@@ -1,0 +1,387 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§4-§5), plus the ablation benches called out in
+// DESIGN.md. Each table bench regenerates its artifact through the same
+// harness code the wdcprofile/wdceval commands use, prints it once, and
+// reports the headline number as a custom metric.
+//
+// The expensive parts — building the benchmark and training the systems —
+// run once and are shared; regeneration of each table from the trained
+// results is what the loop measures. BenchmarkFigure2_PipelineSteps is the
+// exception: it measures a full pipeline build per iteration.
+package wdcproducts_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wdcproducts"
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/matchers"
+	"wdcproducts/internal/pairgen"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+var (
+	buildOnce sync.Once
+	expOnce   sync.Once
+	benchB    *wdcproducts.Benchmark
+	benchC    *wdcproducts.Corpus
+	runner    *wdcproducts.Runner
+	pairRes   *wdcproducts.Results
+	multiRes  *wdcproducts.Results
+	setupErr  error
+
+	printOnce sync.Map
+)
+
+// ensureBuild constructs the shared tiny benchmark and encoder, used by
+// both the facade tests and the benches.
+func ensureBuild(tb testing.TB) {
+	tb.Helper()
+	buildOnce.Do(func() {
+		benchB, benchC, setupErr = wdcproducts.BuildWithCorpus(wdcproducts.TinyScale(42))
+		if setupErr != nil {
+			return
+		}
+		runner = wdcproducts.NewRunner(benchB, 42)
+	})
+	if setupErr != nil {
+		tb.Fatal(setupErr)
+	}
+}
+
+// setup additionally runs the 1-repetition experiment matrix all table
+// benches read from.
+func setup(b *testing.B) {
+	b.Helper()
+	ensureBuild(b)
+	expOnce.Do(func() {
+		pairRes, setupErr = runner.RunPairwise(wdcproducts.ExperimentConfig{Repetitions: 1, Seed: 42})
+		if setupErr != nil {
+			return
+		}
+		multiRes, setupErr = runner.RunMulti(wdcproducts.ExperimentConfig{Repetitions: 1, Seed: 42})
+	})
+	if setupErr != nil {
+		b.Fatal(setupErr)
+	}
+}
+
+// printTable prints a table exactly once per benchmark name, so `go test
+// -bench` output shows the regenerated rows without repeating them b.N
+// times.
+func printTable(name, s string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", s)
+	}
+}
+
+func BenchmarkTable1_SplitStatistics(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Table1(benchB)
+		printTable("table1", t.String())
+	}
+}
+
+func BenchmarkTable2_AttributeProfile(b *testing.B) {
+	setup(b)
+	bpe := wdcproducts.TrainBPE(benchB, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Table2With(benchB, bpe)
+		printTable("table2", t.String())
+	}
+}
+
+func BenchmarkTable3_PairwiseF1(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Table3(pairRes, nil)
+		printTable("table3", t.String())
+	}
+	b.ReportMetric(cellF1(b, "R-SupCon", 50, wdcproducts.Medium, 0)*100, "rsupcon-seen-F1")
+	b.ReportMetric(cellF1(b, "R-SupCon", 50, wdcproducts.Medium, 100)*100, "rsupcon-unseen-F1")
+}
+
+func BenchmarkTable4_PrecisionRecall(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Table4(pairRes, nil)
+		printTable("table4", t.String())
+	}
+}
+
+func BenchmarkTable5_MultiClass(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Table5(multiRes, nil)
+		printTable("table5", t.String())
+	}
+	if c := multiRes.MultiCellFor("R-SupCon", 50, wdcproducts.Large); c != nil {
+		b.ReportMetric(c.MicroF1*100, "rsupcon-microF1")
+	}
+}
+
+func BenchmarkTable6_BenchmarkComparison(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Table6(benchB)
+		printTable("table6", t.String())
+	}
+}
+
+func BenchmarkFigure1_ExamplePairs(b *testing.B) {
+	setup(b)
+	pairs := benchB.TestPairs(80, 0)
+	for i := 0; i < b.N; i++ {
+		// The Figure 1 artifact: hardest positive and hardest negative.
+		var hardPos, hardNeg wdcproducts.Pair
+		hardPosSim, hardNegSim := 2.0, -1.0
+		for _, p := range pairs {
+			s := simlib.Jaccard(benchB.Offer(p.A).Title, benchB.Offer(p.B).Title)
+			if p.Match && s < hardPosSim {
+				hardPos, hardPosSim = p, s
+			}
+			if !p.Match && s > hardNegSim {
+				hardNeg, hardNegSim = p, s
+			}
+		}
+		printTable("figure1", fmt.Sprintf(
+			"Figure 1: hard match (jaccard %.2f)\n  %s\n  %s\nhard non-match (jaccard %.2f)\n  %s\n  %s\n",
+			hardPosSim, benchB.Offer(hardPos.A).Title, benchB.Offer(hardPos.B).Title,
+			hardNegSim, benchB.Offer(hardNeg.A).Title, benchB.Offer(hardNeg.B).Title))
+	}
+}
+
+func BenchmarkFigure2_PipelineSteps(b *testing.B) {
+	// The one bench that measures the end-to-end §3 pipeline itself.
+	for i := 0; i < b.N; i++ {
+		bb, err := wdcproducts.Build(wdcproducts.TinyScale(int64(1000 + i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("figure2", fmt.Sprintf(
+			"Figure 2 pipeline: products=%d pages=%d extracted=%d cleansed=%d groups=%d",
+			bb.Stats.CorpusProducts, bb.Stats.PagesGenerated, bb.Stats.OffersExtracted,
+			bb.Stats.OffersCleansed, bb.Stats.DBSCANGroups))
+	}
+}
+
+func BenchmarkFigure3_ClusterSizes(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Figure3(benchB, 80)
+		printTable("figure3", t.String())
+	}
+}
+
+func BenchmarkFigure4_CornerCaseDimension(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Figure4(pairRes, nil)
+		printTable("figure4", t.String())
+	}
+	easy := cellF1(b, "Ditto", 20, wdcproducts.Medium, 0)
+	hard := cellF1(b, "Ditto", 80, wdcproducts.Medium, 0)
+	b.ReportMetric((easy-hard)*100, "ditto-cc-dropF1")
+}
+
+func BenchmarkFigure5_UnseenDimension(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Figure5(pairRes, nil)
+		printTable("figure5", t.String())
+	}
+	seen := cellF1(b, "R-SupCon", 50, wdcproducts.Medium, 0)
+	unseen := cellF1(b, "R-SupCon", 50, wdcproducts.Medium, 100)
+	b.ReportMetric((seen-unseen)*100, "rsupcon-unseen-dropF1")
+}
+
+func BenchmarkFigure6_DevSizeDimension(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		t := wdcproducts.Figure6(pairRes, nil)
+		printTable("figure6", t.String())
+	}
+	small := cellF1(b, "RoBERTa", 50, wdcproducts.Small, 0)
+	large := cellF1(b, "RoBERTa", 50, wdcproducts.Large, 0)
+	b.ReportMetric((large-small)*100, "roberta-devsize-gainF1")
+}
+
+func BenchmarkLabelQuality_Kappa(b *testing.B) {
+	setup(b)
+	var kappa float64
+	for i := 0; i < b.N; i++ {
+		res, err := wdcproducts.LabelQuality(benchB, benchC, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		kappa = res.Kappa
+		printTable("labels", fmt.Sprintf(
+			"Label quality: %d pairs, noise %.2f%%/%.2f%%, kappa %.3f",
+			res.SampledPairs, res.NoiseEstimate[0]*100, res.NoiseEstimate[1]*100, res.Kappa))
+	}
+	b.ReportMetric(kappa, "kappa")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---------------------------------------
+
+// BenchmarkAblation_SingleMetricSelection compares corner-case selection
+// bias: how well a single-metric matcher solves a test set whose corner
+// cases were chosen by that same metric vs by the alternating registry.
+func BenchmarkAblation_SingleMetricSelection(b *testing.B) {
+	setup(b)
+	// The fixture benchmark used the alternating registry. Measure how well
+	// a pure-cosine thresholder solves its cc=80% test set.
+	cosine := simlib.MetricCosine()
+	solve := func(pairs []wdcproducts.Pair) float64 {
+		scores := make([]float64, len(pairs))
+		labels := make([]bool, len(pairs))
+		for i, p := range pairs {
+			scores[i] = cosine.Sim(benchB.Offer(p.A).Title, benchB.Offer(p.B).Title)
+			labels[i] = p.Match
+		}
+		return bestF1(scores, labels)
+	}
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		f1 = solve(benchB.TestPairs(80, 0))
+	}
+	b.ReportMetric(f1*100, "cosine-solver-F1")
+	printTable("ablation-metric", fmt.Sprintf(
+		"Ablation: pure-cosine thresholder F1 on alternating-metric benchmark = %.2f\n"+
+			"(the §3.4 anti-bias device keeps single-metric solvers from solving the benchmark)", f1*100))
+}
+
+// BenchmarkAblation_NegativesPerOffer sweeps the K corner negatives per
+// offer of §3.6 and reports resulting set sizes, the dev-size construction
+// device.
+func BenchmarkAblation_NegativesPerOffer(b *testing.B) {
+	setup(b)
+	rd := benchB.Ratios[50]
+	var members []pairgen.Member
+	for class, ci := range rd.Classes {
+		members = append(members, pairgen.Member{Product: class, Offers: ci.TrainMedium})
+	}
+	title := func(i int) string { return benchB.Offer(i).Title }
+	var sizes [4]int
+	for i := 0; i < b.N; i++ {
+		for k := 1; k <= 4; k++ {
+			src := xrand.New(int64(k))
+			reg := simlib.NewRegistry(src.Stream("reg"), simlib.DefaultMetrics()...)
+			pairs := pairgen.Generate(members,
+				pairgen.Config{CornerNegatives: k, RandomNegatives: 1}, title, reg, src.Stream("p"))
+			sizes[k-1] = len(pairs)
+		}
+	}
+	printTable("ablation-negs", fmt.Sprintf(
+		"Ablation: pairs generated at K corner negatives/offer: K=1:%d K=2:%d K=3:%d K=4:%d",
+		sizes[0], sizes[1], sizes[2], sizes[3]))
+	b.ReportMetric(float64(sizes[3]-sizes[0]), "pair-count-spread")
+}
+
+// BenchmarkAblation_ContrastiveFreeze contrasts the full two-stage
+// R-SupCon against a head trained directly on raw-encoder similarity (no
+// contrastive stage), quantifying what stage 1 buys on seen products.
+func BenchmarkAblation_ContrastiveFreeze(b *testing.B) {
+	setup(b)
+	var withStage1, withoutStage1 float64
+	for i := 0; i < b.N; i++ {
+		m, err := wdcproducts.NewPairMatcher("R-SupCon")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.TrainPairs(runner.Data, benchB.TrainPairs(50, wdcproducts.Medium),
+			benchB.ValPairs(50, wdcproducts.Medium), 3); err != nil {
+			b.Fatal(err)
+		}
+		counts := matchers.EvaluatePairs(m, runner.Data, benchB.TestPairs(50, 0))
+		withStage1 = counts.F1()
+
+		// No-stage-1 baseline: plain RoBERTa-substitute head on the same
+		// data (the raw pretrained encoder with a discriminative head).
+		raw, err := wdcproducts.NewPairMatcher("RoBERTa")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := raw.TrainPairs(runner.Data, benchB.TrainPairs(50, wdcproducts.Medium),
+			benchB.ValPairs(50, wdcproducts.Medium), 3); err != nil {
+			b.Fatal(err)
+		}
+		rawCounts := matchers.EvaluatePairs(raw, runner.Data, benchB.TestPairs(50, 0))
+		withoutStage1 = rawCounts.F1()
+	}
+	printTable("ablation-freeze", fmt.Sprintf(
+		"Ablation: seen-test F1 with contrastive stage 1 = %.2f, without = %.2f",
+		withStage1*100, withoutStage1*100))
+	b.ReportMetric((withStage1-withoutStage1)*100, "stage1-gainF1")
+}
+
+// BenchmarkExtension_Blocking measures the §6 blocking extension: token
+// blocking over one test split, reporting pair completeness and reduction.
+func BenchmarkExtension_Blocking(b *testing.B) {
+	setup(b)
+	productOf := map[int]int{}
+	var idxs []int
+	for _, tp := range benchB.Ratios[50].TestProducts[0] {
+		for _, o := range tp.Offers {
+			productOf[o] = tp.Slot
+			idxs = append(idxs, o)
+		}
+	}
+	truth := func(x, y int) bool { return productOf[x] == productOf[y] }
+	var m blocking.Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands := blocking.NewTokenBlocker().Candidates(benchB.Offers, idxs)
+		m = blocking.Evaluate(cands, idxs, truth)
+	}
+	b.ReportMetric(m.PairCompleteness*100, "pair-completeness")
+	b.ReportMetric(m.ReductionRatio*100, "reduction-ratio")
+	printTable("blocking", fmt.Sprintf(
+		"Blocking extension: %d candidates, completeness %.1f%%, reduction %.1f%%",
+		m.Candidates, m.PairCompleteness*100, m.ReductionRatio*100))
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func cellF1(b *testing.B, system string, cc wdcproducts.CornerRatio, dev wdcproducts.DevSize, un wdcproducts.Unseen) float64 {
+	b.Helper()
+	cell := pairRes.PairCellFor(system, core.VariantKey{Corner: cc, Dev: dev, Unseen: un})
+	if cell == nil {
+		b.Fatalf("missing cell %s cc%d %s unseen%d", system, cc, dev, un)
+	}
+	return cell.F1
+}
+
+func bestF1(scores []float64, labels []bool) float64 {
+	best := 0.0
+	for step := 0; step <= 100; step++ {
+		th := float64(step) / 100
+		var tp, fp, fn int
+		for i, s := range scores {
+			pred := s >= th
+			switch {
+			case pred && labels[i]:
+				tp++
+			case pred && !labels[i]:
+				fp++
+			case !pred && labels[i]:
+				fn++
+			}
+		}
+		if tp == 0 {
+			continue
+		}
+		p := float64(tp) / float64(tp+fp)
+		r := float64(tp) / float64(tp+fn)
+		if f := 2 * p * r / (p + r); f > best {
+			best = f
+		}
+	}
+	return best
+}

@@ -1,0 +1,93 @@
+// Command wdceval runs the §5 experimental evaluation: it trains the
+// matching systems on every benchmark variant and prints Tables 3, 4 and 5
+// plus the Figure 4/5/6 dimension slices.
+//
+// Usage:
+//
+//	wdceval [-scale small] [-seed 42] [-reps 3] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"wdcproducts"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 42, "master random seed")
+	scale := flag.String("scale", "small", "default|small|tiny")
+	reps := flag.Int("reps", 1, "training repetitions per cell (the paper uses 3)")
+	systemsFlag := flag.String("systems", "", "comma-separated system subset (default: all)")
+	table := flag.Int("table", 0, "print only table 3, 4 or 5")
+	figure := flag.Int("figure", 0, "print only figure 4, 5 or 6")
+	quiet := flag.Bool("q", false, "suppress progress lines")
+	flag.Parse()
+
+	var cfg wdcproducts.BuildConfig
+	switch *scale {
+	case "default":
+		cfg = wdcproducts.DefaultScale(*seed)
+	case "small":
+		cfg = wdcproducts.SmallScale(*seed)
+	case "tiny":
+		cfg = wdcproducts.TinyScale(*seed)
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	b, err := wdcproducts.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := wdcproducts.NewRunner(b, *seed)
+
+	ecfg := wdcproducts.ExperimentConfig{Repetitions: *reps, Seed: *seed}
+	if !*quiet {
+		ecfg.Progress = os.Stderr
+	}
+	if *systemsFlag != "" {
+		ecfg.Systems = strings.Split(*systemsFlag, ",")
+	}
+
+	wantPair := *table == 0 || *table == 3 || *table == 4 || *figure != 0
+	wantMulti := *table == 0 || *table == 5
+	var pair, multi *wdcproducts.Results
+	if wantPair {
+		pair, err = runner.RunPairwise(ecfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if wantMulti {
+		mcfg := ecfg
+		mcfg.Systems = nil // multi-class has its own system set
+		multi, err = runner.RunMulti(mcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	all := *table == 0 && *figure == 0
+	if pair != nil && (*table == 3 || all) {
+		fmt.Println(wdcproducts.Table3(pair, ecfg.Systems))
+	}
+	if pair != nil && (*table == 4 || all) {
+		fmt.Println(wdcproducts.Table4(pair, nil))
+	}
+	if multi != nil && (*table == 5 || all) {
+		fmt.Println(wdcproducts.Table5(multi, nil))
+	}
+	if pair != nil && (*figure == 4 || all) {
+		fmt.Println(wdcproducts.Figure4(pair, ecfg.Systems))
+	}
+	if pair != nil && (*figure == 5 || all) {
+		fmt.Println(wdcproducts.Figure5(pair, ecfg.Systems))
+	}
+	if pair != nil && (*figure == 6 || all) {
+		fmt.Println(wdcproducts.Figure6(pair, ecfg.Systems))
+	}
+}

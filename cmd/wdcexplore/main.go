@@ -1,0 +1,88 @@
+// Command wdcexplore shows example benchmark pairs the way Figure 1 of the
+// paper does: the hardest matches (most dissimilar positives), hardest
+// non-matches (most similar negatives), and easy examples of both, drawn
+// from a test split.
+//
+// Usage:
+//
+//	wdcexplore [-scale tiny] [-seed 42] [-cc 80] [-n 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"wdcproducts"
+	"wdcproducts/internal/simlib"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 42, "master random seed")
+	scale := flag.String("scale", "tiny", "default|small|tiny")
+	cc := flag.Int("cc", 80, "corner-case ratio of the test split (20/50/80)")
+	n := flag.Int("n", 3, "examples per category")
+	flag.Parse()
+
+	var cfg wdcproducts.BuildConfig
+	switch *scale {
+	case "default":
+		cfg = wdcproducts.DefaultScale(*seed)
+	case "small":
+		cfg = wdcproducts.SmallScale(*seed)
+	case "tiny":
+		cfg = wdcproducts.TinyScale(*seed)
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	b, err := wdcproducts.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pairs := b.TestPairs(wdcproducts.CornerRatio(*cc), 0)
+	var pos, neg []scored
+	for _, p := range pairs {
+		s := simlib.Jaccard(b.Offer(p.A).Title, b.Offer(p.B).Title)
+		if p.Match {
+			pos = append(pos, scored{p, s})
+		} else {
+			neg = append(neg, scored{p, s})
+		}
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i].sim < pos[j].sim })
+	sort.Slice(neg, func(i, j int) bool { return neg[i].sim > neg[j].sim })
+
+	show := func(title string, xs []scored, k int) {
+		fmt.Printf("== %s ==\n", title)
+		if k > len(xs) {
+			k = len(xs)
+		}
+		for _, sc := range xs[:k] {
+			fmt.Printf("  [jaccard %.2f]\n    A: %s\n    B: %s\n",
+				sc.sim, b.Offer(sc.p.A).Title, b.Offer(sc.p.B).Title)
+		}
+		fmt.Println()
+	}
+	show("hard matches (dissimilar positives)", pos, *n)
+	show("hard non-matches (similar negatives)", neg, *n)
+	// Easy = the other end of each list.
+	reverse(pos)
+	reverse(neg)
+	show("easy matches", pos, *n)
+	show("easy non-matches", neg, *n)
+}
+
+// scored is a pair annotated with its title similarity.
+type scored struct {
+	p   wdcproducts.Pair
+	sim float64
+}
+
+func reverse(xs []scored) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

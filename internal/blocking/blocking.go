@@ -1,0 +1,186 @@
+// Package blocking implements the blocking extension discussed in §6 of
+// the paper: the corpus behind WDC Products is "well-suited as starting
+// point for building blocking benchmarks" (SC-Block is derived from it).
+// This package provides two standard blockers over benchmark offers — token
+// blocking and embedding nearest-neighbour blocking — together with the
+// standard blocking quality metrics, pair completeness (recall of true
+// matches) and reduction ratio (fraction of the quadratic pair space
+// pruned).
+package blocking
+
+import (
+	"sort"
+
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/vector"
+)
+
+// CandidatePair is an unordered offer-index pair proposed by a blocker.
+type CandidatePair struct {
+	A, B int
+}
+
+func orderedPair(a, b int) CandidatePair {
+	if a > b {
+		a, b = b, a
+	}
+	return CandidatePair{A: a, B: b}
+}
+
+// Blocker proposes candidate pairs from a set of offers.
+type Blocker interface {
+	Name() string
+	// Candidates returns the proposed pairs for the offers at the given
+	// indices.
+	Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair
+}
+
+// TokenBlocker proposes every pair of offers sharing at least MinShared
+// title tokens, skipping tokens more frequent than MaxTokenFreq (stop-word
+// guard: frequent tokens generate quadratic blowup without signal).
+type TokenBlocker struct {
+	MinShared    int
+	MaxTokenFreq int
+}
+
+// NewTokenBlocker returns the standard configuration.
+func NewTokenBlocker() *TokenBlocker { return &TokenBlocker{MinShared: 2, MaxTokenFreq: 50} }
+
+// Name implements Blocker.
+func (t *TokenBlocker) Name() string { return "token-blocking" }
+
+// Candidates implements Blocker.
+func (t *TokenBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
+	inv := map[string][]int{}
+	for _, i := range idxs {
+		for tok := range textutil.TokenSet(offers[i].Title) {
+			inv[tok] = append(inv[tok], i)
+		}
+	}
+	shared := map[CandidatePair]int{}
+	for _, members := range inv {
+		if len(members) > t.MaxTokenFreq {
+			continue
+		}
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				shared[orderedPair(members[x], members[y])]++
+			}
+		}
+	}
+	var out []CandidatePair
+	for p, n := range shared {
+		if n >= t.MinShared {
+			out = append(out, p)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// EmbeddingBlocker proposes, for each offer, its K nearest neighbours in
+// the title embedding space.
+type EmbeddingBlocker struct {
+	Model *embed.Model
+	K     int
+}
+
+// NewEmbeddingBlocker wraps a trained embedding model.
+func NewEmbeddingBlocker(model *embed.Model, k int) *EmbeddingBlocker {
+	return &EmbeddingBlocker{Model: model, K: k}
+}
+
+// Name implements Blocker.
+func (e *EmbeddingBlocker) Name() string { return "embedding-knn" }
+
+// Candidates implements Blocker.
+func (e *EmbeddingBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
+	encs := make([][]float32, len(idxs))
+	for k, i := range idxs {
+		encs[k] = e.Model.Encode(offers[i].Title)
+	}
+	set := map[CandidatePair]bool{}
+	type scored struct {
+		pos int
+		sim float64
+	}
+	for a := range idxs {
+		var nn []scored
+		for b := range idxs {
+			if a == b {
+				continue
+			}
+			nn = append(nn, scored{b, vector.Cosine(encs[a], encs[b])})
+		}
+		sort.Slice(nn, func(x, y int) bool {
+			if nn[x].sim != nn[y].sim {
+				return nn[x].sim > nn[y].sim
+			}
+			return nn[x].pos < nn[y].pos
+		})
+		k := e.K
+		if k > len(nn) {
+			k = len(nn)
+		}
+		for _, s := range nn[:k] {
+			set[orderedPair(idxs[a], idxs[s.pos])] = true
+		}
+	}
+	out := make([]CandidatePair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
+}
+
+// Metrics are the standard blocking quality measures.
+type Metrics struct {
+	// PairCompleteness is the fraction of true matches covered by the
+	// candidate set (recall).
+	PairCompleteness float64
+	// ReductionRatio is 1 - |candidates| / |all pairs|.
+	ReductionRatio float64
+	Candidates     int
+	TrueMatches    int
+	CoveredMatches int
+}
+
+// Evaluate scores a candidate set against ground-truth matches. The truth
+// function reports whether two offer indices refer to the same product.
+func Evaluate(cands []CandidatePair, idxs []int, truth func(a, b int) bool) Metrics {
+	m := Metrics{Candidates: len(cands)}
+	candSet := make(map[CandidatePair]bool, len(cands))
+	for _, p := range cands {
+		candSet[p] = true
+	}
+	for x := 0; x < len(idxs); x++ {
+		for y := x + 1; y < len(idxs); y++ {
+			if truth(idxs[x], idxs[y]) {
+				m.TrueMatches++
+				if candSet[orderedPair(idxs[x], idxs[y])] {
+					m.CoveredMatches++
+				}
+			}
+		}
+	}
+	if m.TrueMatches > 0 {
+		m.PairCompleteness = float64(m.CoveredMatches) / float64(m.TrueMatches)
+	}
+	total := len(idxs) * (len(idxs) - 1) / 2
+	if total > 0 {
+		m.ReductionRatio = 1 - float64(len(cands))/float64(total)
+	}
+	return m
+}
+
+func sortPairs(ps []CandidatePair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}

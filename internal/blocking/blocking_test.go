@@ -1,0 +1,128 @@
+package blocking
+
+import (
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+var (
+	once   sync.Once
+	bench  *core.Benchmark
+	model  *embed.Model
+	buildE error
+)
+
+// fixture: the tiny benchmark's cc=50% test offers, with truth given by
+// the test products.
+func fixture(t *testing.T) (offers []schemaorg.Offer, idxs []int, truth func(a, b int) bool) {
+	t.Helper()
+	once.Do(func() {
+		bench, buildE = core.Build(core.TinyBuildConfig(77))
+		if buildE != nil {
+			return
+		}
+		titles := make([]string, len(bench.Offers))
+		for i := range bench.Offers {
+			titles[i] = bench.Offers[i].Title
+		}
+		cfg := embed.DefaultConfig()
+		cfg.Epochs = 2
+		model = embed.Train(titles, cfg, xrand.New(77).Stream("embed"))
+	})
+	if buildE != nil {
+		t.Fatal(buildE)
+	}
+	productOf := map[int]int{}
+	for _, tp := range bench.Ratios[50].TestProducts[0] {
+		for _, o := range tp.Offers {
+			productOf[o] = tp.Slot
+			idxs = append(idxs, o)
+		}
+	}
+	return bench.Offers, idxs, func(a, b int) bool { return productOf[a] == productOf[b] }
+}
+
+func TestTokenBlockerQuality(t *testing.T) {
+	offers, idxs, truth := fixture(t)
+	cands := NewTokenBlocker().Candidates(offers, idxs)
+	m := Evaluate(cands, idxs, truth)
+	if m.TrueMatches == 0 {
+		t.Fatal("fixture has no true matches")
+	}
+	if m.PairCompleteness < 0.8 {
+		t.Fatalf("token blocking recall = %.2f", m.PairCompleteness)
+	}
+	if m.ReductionRatio < 0.3 {
+		t.Fatalf("token blocking reduction = %.2f (no pruning)", m.ReductionRatio)
+	}
+}
+
+func TestEmbeddingBlockerQuality(t *testing.T) {
+	offers, idxs, truth := fixture(t)
+	cands := NewEmbeddingBlocker(model, 8).Candidates(offers, idxs)
+	m := Evaluate(cands, idxs, truth)
+	if m.PairCompleteness < 0.6 {
+		t.Fatalf("embedding blocking recall = %.2f", m.PairCompleteness)
+	}
+	if m.ReductionRatio < 0.5 {
+		t.Fatalf("embedding blocking reduction = %.2f", m.ReductionRatio)
+	}
+}
+
+func TestKNNBudgetControlsReduction(t *testing.T) {
+	offers, idxs, truth := fixture(t)
+	small := Evaluate(NewEmbeddingBlocker(model, 2).Candidates(offers, idxs), idxs, truth)
+	large := Evaluate(NewEmbeddingBlocker(model, 16).Candidates(offers, idxs), idxs, truth)
+	if small.Candidates >= large.Candidates {
+		t.Fatalf("K=2 produced %d candidates, K=16 produced %d", small.Candidates, large.Candidates)
+	}
+	if large.PairCompleteness < small.PairCompleteness {
+		t.Fatal("larger K lowered recall")
+	}
+}
+
+func TestCandidatesAreOrderedAndUnique(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	cands := NewTokenBlocker().Candidates(offers, idxs)
+	seen := map[CandidatePair]bool{}
+	for _, p := range cands {
+		if p.A >= p.B {
+			t.Fatalf("unordered pair %+v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %+v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestEvaluateEmptyCandidates(t *testing.T) {
+	_, idxs, truth := fixture(t)
+	m := Evaluate(nil, idxs, truth)
+	if m.PairCompleteness != 0 {
+		t.Fatal("empty candidates should have zero recall")
+	}
+	if m.ReductionRatio != 1 {
+		t.Fatalf("empty candidates reduction = %v", m.ReductionRatio)
+	}
+}
+
+func TestStopTokenGuard(t *testing.T) {
+	// A token shared by every offer must not produce the quadratic pair
+	// set when MaxTokenFreq is small.
+	offers := make([]schemaorg.Offer, 30)
+	idxs := make([]int, 30)
+	for i := range offers {
+		offers[i] = schemaorg.Offer{Title: "common token everywhere"}
+		idxs[i] = i
+	}
+	b := &TokenBlocker{MinShared: 1, MaxTokenFreq: 10}
+	if cands := b.Candidates(offers, idxs); len(cands) != 0 {
+		t.Fatalf("stop-token guard failed: %d candidates", len(cands))
+	}
+}

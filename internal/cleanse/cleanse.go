@@ -1,0 +1,154 @@
+// Package cleanse implements the §3.2 cleansing pipeline that turns the raw
+// extracted corpus into the benchmark-ready corpus: language filtering,
+// non-Latin filtering, deduplication, short-title removal, and
+// word-occurrence outlier removal.
+package cleanse
+
+import (
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/textutil"
+)
+
+// Config tunes the cleansing heuristics. Zero values select the paper's
+// parameters via DefaultConfig.
+type Config struct {
+	// MaxNonLatin is the maximum number of non-Latin characters an offer
+	// may contain (the paper keeps offers with fewer than four).
+	MaxNonLatin int
+	// MinTitleWords is the minimum raw word count of the title attribute
+	// (the paper removes titles with fewer than five tokens).
+	MinTitleWords int
+	// OutlierMinClusterSize is the smallest cluster the outlier heuristic
+	// inspects; smaller clusters carry too little signal.
+	OutlierMinClusterSize int
+	// OutlierSupportFraction: a title token is "supported" when it appears
+	// in at least this fraction of the cluster's other offers.
+	OutlierSupportFraction float64
+	// OutlierMaxUniqueFraction: offers whose fraction of unsupported
+	// tokens exceeds this are removed as noise.
+	OutlierMaxUniqueFraction float64
+	// MinClusterSize prunes clusters below this size after cleansing
+	// (PDC2020 keeps clusters of size >= 2).
+	MinClusterSize int
+}
+
+// DefaultConfig returns the §3.2 parameters.
+func DefaultConfig() Config {
+	return Config{
+		MaxNonLatin:              3,
+		MinTitleWords:            5,
+		OutlierMinClusterSize:    4,
+		OutlierSupportFraction:   0.25,
+		OutlierMaxUniqueFraction: 0.72,
+		MinClusterSize:           2,
+	}
+}
+
+// Stats records per-step removal counts, the Figure 2 numbers for the
+// cleansing stage.
+type Stats struct {
+	Input            int
+	NonEnglish       int
+	NonLatin         int
+	Duplicates       int
+	ShortTitles      int
+	Outliers         int
+	SmallClusterLoss int
+	Output           int
+}
+
+// Run applies the five cleansing steps in the paper's order and returns the
+// cleansed corpus together with per-step statistics. The language
+// classifier is passed in so callers can share one trained instance.
+func Run(c *corpus.Corpus, cfg Config, clf *langid.Classifier) (*corpus.Corpus, Stats) {
+	stats := Stats{Input: len(c.Offers)}
+
+	// Step 1: language identification on title ++ description.
+	drop := map[int64]bool{}
+	for _, o := range c.Offers {
+		if !clf.IsEnglish(o.CombinedText()) {
+			drop[o.ID] = true
+			stats.NonEnglish++
+		}
+	}
+	c = c.RemoveOffers(drop)
+
+	// Step 2: non-Latin character filter.
+	drop = map[int64]bool{}
+	for _, o := range c.Offers {
+		if textutil.NonLatinCount(o.CombinedText()) > cfg.MaxNonLatin {
+			drop[o.ID] = true
+			stats.NonLatin++
+		}
+	}
+	c = c.RemoveOffers(drop)
+
+	// Step 3: deduplication on title ++ description ++ brand, keeping the
+	// first occurrence in offer-id order.
+	drop = map[int64]bool{}
+	seen := map[string]bool{}
+	for _, o := range c.Offers {
+		key := o.DedupeKey()
+		if seen[key] {
+			drop[o.ID] = true
+			stats.Duplicates++
+			continue
+		}
+		seen[key] = true
+	}
+	c = c.RemoveOffers(drop)
+
+	// Step 4: short-title removal.
+	drop = map[int64]bool{}
+	for _, o := range c.Offers {
+		if textutil.WordCount(o.Title) < cfg.MinTitleWords {
+			drop[o.ID] = true
+			stats.ShortTitles++
+		}
+	}
+	c = c.RemoveOffers(drop)
+
+	// Step 5: word-occurrence outlier removal inside clusters.
+	drop = map[int64]bool{}
+	for _, idxs := range c.Clusters {
+		if len(idxs) < cfg.OutlierMinClusterSize {
+			continue
+		}
+		// Document frequency of each title token across the cluster.
+		df := map[string]int{}
+		tokenSets := make([]map[string]bool, len(idxs))
+		for i, idx := range idxs {
+			tokenSets[i] = textutil.TokenSet(c.Offers[idx].Title)
+			for tok := range tokenSets[i] {
+				df[tok]++
+			}
+		}
+		minSupport := int(cfg.OutlierSupportFraction*float64(len(idxs)-1)) + 1
+		for i, idx := range idxs {
+			if len(tokenSets[i]) == 0 {
+				continue
+			}
+			unsupported := 0
+			for tok := range tokenSets[i] {
+				// df counts this offer itself; subtract it.
+				if df[tok]-1 < minSupport {
+					unsupported++
+				}
+			}
+			frac := float64(unsupported) / float64(len(tokenSets[i]))
+			if frac > cfg.OutlierMaxUniqueFraction {
+				drop[c.Offers[idx].ID] = true
+				stats.Outliers++
+			}
+		}
+	}
+	c = c.RemoveOffers(drop)
+
+	// Final pruning of clusters that fell below the minimum size.
+	before := len(c.Offers)
+	c = c.PruneSmallClusters(cfg.MinClusterSize)
+	stats.SmallClusterLoss = before - len(c.Offers)
+	stats.Output = len(c.Offers)
+	return c, stats
+}

@@ -1,0 +1,149 @@
+package cleanse
+
+import (
+	"testing"
+
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/xrand"
+)
+
+func runTiny(t *testing.T) (*corpus.Corpus, *corpus.Corpus, Stats) {
+	t.Helper()
+	raw := corpus.Generate(corpus.TinyConfig(), xrand.New(77))
+	clean, stats := Run(raw, DefaultConfig(), langid.New())
+	return raw, clean, stats
+}
+
+func TestStepsRemoveContamination(t *testing.T) {
+	raw, clean, stats := runTiny(t)
+	if stats.Input != len(raw.Offers) {
+		t.Fatalf("Input stat = %d, want %d", stats.Input, len(raw.Offers))
+	}
+	if stats.Output != len(clean.Offers) {
+		t.Fatalf("Output stat = %d, want %d", stats.Output, len(clean.Offers))
+	}
+	if stats.NonEnglish == 0 {
+		t.Error("no non-English offers removed")
+	}
+	if stats.Duplicates == 0 {
+		t.Error("no duplicates removed")
+	}
+	if stats.ShortTitles == 0 {
+		t.Error("no short titles removed")
+	}
+	if stats.Output >= stats.Input {
+		t.Error("cleansing removed nothing")
+	}
+}
+
+func TestLanguageFilterRecallAndPrecision(t *testing.T) {
+	raw, clean, _ := runTiny(t)
+	// Count ground-truth foreign offers surviving and English lost.
+	surviving := map[int64]bool{}
+	for _, o := range clean.Offers {
+		surviving[o.ID] = true
+	}
+	var foreignTotal, foreignSurvived, enTotal, enSurvived int
+	for _, o := range raw.Offers {
+		tr := raw.Truth[o.ID]
+		if tr.Lang != "en" {
+			foreignTotal++
+			if surviving[o.ID] {
+				foreignSurvived++
+			}
+		} else if !tr.Duplicate && !tr.ShortTitle {
+			enTotal++
+			if surviving[o.ID] {
+				enSurvived++
+			}
+		}
+	}
+	if foreignTotal == 0 {
+		t.Fatal("test corpus has no foreign offers")
+	}
+	if frac := float64(foreignSurvived) / float64(foreignTotal); frac > 0.10 {
+		t.Errorf("%.2f of foreign offers survived cleansing", frac)
+	}
+	if frac := float64(enSurvived) / float64(enTotal); frac < 0.85 {
+		t.Errorf("only %.2f of clean English offers survived", frac)
+	}
+}
+
+func TestDuplicatesGone(t *testing.T) {
+	_, clean, _ := runTiny(t)
+	seen := map[string]bool{}
+	for _, o := range clean.Offers {
+		key := o.DedupeKey()
+		if seen[key] {
+			t.Fatalf("duplicate survived cleansing: %q", o.Title)
+		}
+		seen[key] = true
+	}
+}
+
+func TestShortTitlesGone(t *testing.T) {
+	_, clean, _ := runTiny(t)
+	for _, o := range clean.Offers {
+		if textutil.WordCount(o.Title) < DefaultConfig().MinTitleWords {
+			t.Fatalf("short title survived: %q", o.Title)
+		}
+	}
+}
+
+func TestMinClusterSize(t *testing.T) {
+	_, clean, _ := runTiny(t)
+	for id, idxs := range clean.Clusters {
+		if len(idxs) < DefaultConfig().MinClusterSize {
+			t.Fatalf("cluster %d has %d offers after cleansing", id, len(idxs))
+		}
+	}
+}
+
+func TestOutlierRemoval(t *testing.T) {
+	raw, clean, stats := runTiny(t)
+	if stats.Outliers == 0 {
+		t.Skip("no outliers triggered in this seed; covered by larger runs")
+	}
+	// Outlier removal should prefer dropping ground-truth noise offers.
+	surviving := map[int64]bool{}
+	for _, o := range clean.Offers {
+		surviving[o.ID] = true
+	}
+	var noiseTotal, noiseSurvived int
+	for _, o := range raw.Offers {
+		if raw.Truth[o.ID].Noise {
+			noiseTotal++
+			if surviving[o.ID] {
+				noiseSurvived++
+			}
+		}
+	}
+	if noiseTotal > 0 && noiseSurvived == noiseTotal {
+		t.Error("outlier removal caught no injected noise offers")
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	_, clean, _ := runTiny(t)
+	again, stats2 := Run(clean, DefaultConfig(), langid.New())
+	// A second pass may prune at most a few stragglers (clusters that shrank
+	// to the boundary), never a substantial fraction.
+	lost := len(clean.Offers) - len(again.Offers)
+	if lost > len(clean.Offers)/20 {
+		t.Fatalf("second cleansing pass removed %d of %d offers", lost, len(clean.Offers))
+	}
+	if stats2.Duplicates != 0 || stats2.ShortTitles != 0 {
+		t.Fatalf("second pass found duplicates/short titles: %+v", stats2)
+	}
+}
+
+func TestTruthPreserved(t *testing.T) {
+	_, clean, _ := runTiny(t)
+	for _, o := range clean.Offers {
+		if _, ok := clean.Truth[o.ID]; !ok {
+			t.Fatalf("offer %d lost its truth record", o.ID)
+		}
+	}
+}

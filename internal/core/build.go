@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/cleanse"
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/grouping"
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/pairgen"
+	"wdcproducts/internal/selection"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/splitting"
+	"wdcproducts/internal/xrand"
+)
+
+// BuildConfig parameterizes a full benchmark build.
+type BuildConfig struct {
+	Seed      int64
+	Corpus    corpus.Config
+	Cleanse   cleanse.Config
+	Grouping  grouping.Config
+	Splitting splitting.Config
+	Embed     embed.Config
+	// ProductsPerSet is the number of products per split set (500 at
+	// paper scale).
+	ProductsPerSet int
+	// Ratios lists the corner-case ratios to build (default 80/50/20).
+	Ratios []CornerRatio
+	// SimilarPerSeed is the corner-set size minus one (4 in the paper).
+	SimilarPerSeed int
+	// UseEmbeddingMetric adds the trained embedding metric to the
+	// similarity registry (§3.4's fastText metric). Disable only in tests
+	// that need to isolate the symbolic metrics.
+	UseEmbeddingMetric bool
+}
+
+// DefaultBuildConfig returns the paper-scale configuration: 500 products
+// per set on the full synthetic corpus.
+func DefaultBuildConfig(seed int64) BuildConfig {
+	return BuildConfig{
+		Seed:               seed,
+		Corpus:             corpus.DefaultConfig(),
+		Cleanse:            cleanse.DefaultConfig(),
+		Grouping:           grouping.DefaultConfig(),
+		Splitting:          splitting.DefaultConfig(),
+		Embed:              embed.DefaultConfig(),
+		ProductsPerSet:     500,
+		Ratios:             CornerRatios(),
+		SimilarPerSeed:     4,
+		UseEmbeddingMetric: true,
+	}
+}
+
+// SmallBuildConfig returns a reduced configuration (120 products per set)
+// sized for benchmarks and examples.
+func SmallBuildConfig(seed int64) BuildConfig {
+	cfg := DefaultBuildConfig(seed)
+	cfg.Corpus.Catalog.SeriesPerBrand = 2
+	cfg.Corpus.Shops = 120
+	cfg.ProductsPerSet = 120
+	cfg.Embed.Epochs = 2
+	return cfg
+}
+
+// TinyBuildConfig returns the unit-test configuration (40 products per
+// set, symbolic metrics only).
+func TinyBuildConfig(seed int64) BuildConfig {
+	cfg := DefaultBuildConfig(seed)
+	cfg.Corpus = corpus.TinyConfig()
+	cfg.ProductsPerSet = 40
+	cfg.UseEmbeddingMetric = false
+	cfg.Embed.Epochs = 1
+	return cfg
+}
+
+// Build runs the full §3 pipeline and assembles the benchmark.
+func Build(cfg BuildConfig) (*Benchmark, error) {
+	b, _, err := BuildWithCorpus(cfg)
+	return b, err
+}
+
+// BuildWithCorpus is Build but additionally returns the cleansed corpus,
+// whose generator ground truth the label-quality study (§4) audits the
+// benchmark labels against.
+func BuildWithCorpus(cfg BuildConfig) (*Benchmark, *corpus.Corpus, error) {
+	if cfg.ProductsPerSet <= 0 {
+		return nil, nil, fmt.Errorf("core: ProductsPerSet must be positive")
+	}
+	if len(cfg.Ratios) == 0 {
+		cfg.Ratios = CornerRatios()
+	}
+	src := xrand.New(cfg.Seed)
+
+	// §3.1: corpus generation + extraction + identifier grouping.
+	raw := corpus.Generate(cfg.Corpus, src.Split("corpus"))
+
+	// §3.2: cleansing.
+	clean, cleanStats := cleanse.Run(raw, cfg.Cleanse, langid.New())
+
+	// §3.3: grouping.
+	g, err := grouping.Run(clean, cfg.Grouping)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: grouping: %w", err)
+	}
+
+	// §3.4's metric registry: the three symbolic metrics plus the trained
+	// embedding metric.
+	metrics := simlib.DefaultMetrics()
+	if cfg.UseEmbeddingMetric {
+		model := embed.Train(clean.Titles(), cfg.Embed, src.Stream("embed"))
+		metrics = append(metrics, model.CachedMetric())
+	}
+	reg := simlib.NewRegistry(src.Stream("registry"), metrics...)
+
+	b := &Benchmark{
+		Seed:   cfg.Seed,
+		Offers: clean.Offers,
+		Ratios: map[CornerRatio]*RatioData{},
+	}
+	seenPool, unseenPool := g.PoolSizes()
+	b.Stats = PipelineStats{
+		CorpusProducts:  raw.Stats.CatalogProducts,
+		PagesGenerated:  raw.Stats.PagesGenerated,
+		OffersExtracted: raw.Stats.OffersExtracted,
+		OffersClustered: raw.Stats.OffersClustered,
+		RawClusters:     raw.Stats.Clusters,
+		CleanseRemoved: map[string]int{
+			"non_english":  cleanStats.NonEnglish,
+			"non_latin":    cleanStats.NonLatin,
+			"duplicates":   cleanStats.Duplicates,
+			"short_titles": cleanStats.ShortTitles,
+			"outliers":     cleanStats.Outliers,
+		},
+		OffersCleansed:    cleanStats.Output,
+		DBSCANGroups:      len(g.Groups),
+		AvoidedGroups:     len(g.Avoided),
+		SeenPoolClusters:  seenPool,
+		UnseenPoolCluster: unseenPool,
+	}
+
+	title := func(idx int) string { return clean.Offers[idx].Title }
+	for _, ratio := range cfg.Ratios {
+		rd, err := buildRatio(g, ratio, cfg, reg, src, title)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: ratio %d: %w", ratio, err)
+		}
+		b.Ratios[ratio] = rd
+	}
+	b.Stats.MetricDraws = reg.DrawCounts()
+	return b, clean, nil
+}
+
+// buildRatio runs §3.4-§3.6 for one corner-case ratio.
+func buildRatio(g *grouping.Grouping, ratio CornerRatio, cfg BuildConfig,
+	reg *simlib.Registry, src *xrand.Source, title func(int) string) (*RatioData, error) {
+	selCfg := selection.Config{
+		Count:          cfg.ProductsPerSet,
+		CornerRatio:    float64(ratio) / 100,
+		SimilarPerSeed: cfg.SimilarPerSeed,
+	}
+	seenSel, err := selection.Select(g, g.SeenGroups, selCfg, nil,
+		reg, src.Stream(fmt.Sprintf("select-seen-%d", ratio)))
+	if err != nil {
+		return nil, fmt.Errorf("seen selection: %w", err)
+	}
+	exclude := map[int]bool{}
+	for _, p := range seenSel.Products {
+		exclude[p.Slot] = true
+	}
+	unseenSel, err := selection.Select(g, g.UnseenGroups, selCfg, exclude,
+		reg, src.Stream(fmt.Sprintf("select-unseen-%d", ratio)))
+	if err != nil {
+		return nil, fmt.Errorf("unseen selection: %w", err)
+	}
+
+	split, err := splitting.SplitOffers(g, seenSel, unseenSel, cfg.Splitting,
+		reg, src.Stream(fmt.Sprintf("split-%d", ratio)))
+	if err != nil {
+		return nil, fmt.Errorf("splitting: %w", err)
+	}
+	testSets, err := splitting.BuildTestSets(split, src.Stream(fmt.Sprintf("testsets-%d", ratio)))
+	if err != nil {
+		return nil, fmt.Errorf("test sets: %w", err)
+	}
+
+	rd := &RatioData{
+		Ratio:        ratio,
+		TestProducts: map[Unseen][]TestProductInfo{},
+		Train:        map[DevSize][]Pair{},
+		Val:          map[DevSize][]Pair{},
+		Test:         map[Unseen][]Pair{},
+		MultiTrain:   map[DevSize][]MultiExample{},
+	}
+	for _, ps := range split.Seen {
+		rd.Classes = append(rd.Classes, ClassInfo{
+			Slot:        ps.Slot,
+			Corner:      ps.Corner,
+			Train:       ps.Train,
+			TrainMedium: ps.TrainMedium,
+			TrainSmall:  ps.TrainSmall,
+			Val:         ps.Val,
+			Test:        ps.Test,
+		})
+	}
+
+	// Pair-wise training and validation sets per dev size.
+	for _, dev := range DevSizes() {
+		pgCfg := pairgen.ConfigForDevSize(string(dev))
+		trainMembers := make([]pairgen.Member, 0, len(rd.Classes))
+		valMembers := make([]pairgen.Member, 0, len(rd.Classes))
+		for class, ci := range rd.Classes {
+			trainMembers = append(trainMembers, pairgen.Member{Product: class, Offers: trainOffers(ci, dev)})
+			valMembers = append(valMembers, pairgen.Member{Product: class, Offers: ci.Val})
+		}
+		rd.Train[dev] = pairgen.Generate(trainMembers, pgCfg, title, reg,
+			src.Stream(fmt.Sprintf("pairs-train-%d-%s", ratio, dev)))
+		rd.Val[dev] = pairgen.Generate(valMembers, pgCfg, title, reg,
+			src.Stream(fmt.Sprintf("pairs-val-%d-%s", ratio, dev)))
+	}
+
+	// Pair-wise test sets per unseen fraction (always the "large" pair
+	// configuration, as in the paper).
+	for _, un := range UnseenFractions() {
+		tps := testSets[int(un)]
+		members := make([]pairgen.Member, 0, len(tps))
+		for _, tp := range tps {
+			rd.TestProducts[un] = append(rd.TestProducts[un], TestProductInfo{
+				Slot: tp.Slot, Corner: tp.Corner, Unseen: tp.Unseen, Offers: tp.Offers,
+			})
+			// Slots are unique per product across both pools, so they are
+			// safe pair-generation product ids.
+			members = append(members, pairgen.Member{Product: tp.Slot, Offers: tp.Offers})
+		}
+		rd.Test[un] = pairgen.Generate(members, pairgen.ConfigForDevSize("large"), title, reg,
+			src.Stream(fmt.Sprintf("pairs-test-%d-%d", ratio, un)))
+	}
+
+	// Multi-class datasets: classes are the seen products.
+	for _, dev := range DevSizes() {
+		var ds []MultiExample
+		for class, ci := range rd.Classes {
+			for _, o := range trainOffers(ci, dev) {
+				ds = append(ds, MultiExample{Offer: o, Class: class})
+			}
+		}
+		rd.MultiTrain[dev] = ds
+	}
+	for class, ci := range rd.Classes {
+		for _, o := range ci.Val {
+			rd.MultiVal = append(rd.MultiVal, MultiExample{Offer: o, Class: class})
+		}
+		for _, o := range ci.Test {
+			rd.MultiTest = append(rd.MultiTest, MultiExample{Offer: o, Class: class})
+		}
+	}
+	return rd, nil
+}
+
+func trainOffers(ci ClassInfo, dev DevSize) []int {
+	switch dev {
+	case Small:
+		return ci.TrainSmall
+	case Medium:
+		return ci.TrainMedium
+	default:
+		return ci.Train
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// buildOnce caches one tiny benchmark across the package's tests; the build
+// takes a few seconds and the tests only read it.
+var (
+	buildMu   sync.Mutex
+	cachedB   *Benchmark
+	cachedErr error
+)
+
+func tinyBenchmark(t *testing.T) *Benchmark {
+	t.Helper()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if cachedB == nil && cachedErr == nil {
+		cachedB, cachedErr = Build(TinyBuildConfig(42))
+	}
+	if cachedErr != nil {
+		t.Fatal(cachedErr)
+	}
+	return cachedB
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	b := tinyBenchmark(t)
+	if err := Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ratios) != 3 {
+		t.Fatalf("ratios = %d", len(b.Ratios))
+	}
+	for _, cc := range CornerRatios() {
+		rd := b.Ratios[cc]
+		if len(rd.Classes) != 40 {
+			t.Fatalf("cc%d: %d classes, want 40", cc, len(rd.Classes))
+		}
+	}
+}
+
+func TestTable1CountRelationships(t *testing.T) {
+	b := tinyBenchmark(t)
+	n := 40 // products per set
+	for _, cc := range CornerRatios() {
+		rd := b.Ratios[cc]
+		// Test sets: n positives (1 per product), 4 negatives per offer.
+		for _, un := range UnseenFractions() {
+			pos, neg := countPairs(rd.Test[un])
+			if pos != n {
+				t.Errorf("cc%d test%d: %d positives, want %d", cc, un, pos, n)
+			}
+			wantNeg := 4 * 2 * n
+			if neg < wantNeg-n/2 || neg > wantNeg {
+				t.Errorf("cc%d test%d: %d negatives, want ~%d", cc, un, neg, wantNeg)
+			}
+		}
+		// Small train: 1 pos per product, 2 negs per offer (1 corner + 1
+		// random), 2 offers per product.
+		pos, neg := countPairs(rd.Train[Small])
+		if pos != n {
+			t.Errorf("cc%d small train: %d positives, want %d", cc, pos, n)
+		}
+		if want := 2 * 2 * n; neg < want-n/2 || neg > want {
+			t.Errorf("cc%d small train: %d negatives, want ~%d", cc, neg, want)
+		}
+		// Medium train: 3 pos per product, 3 negs per offer.
+		pos, neg = countPairs(rd.Train[Medium])
+		if pos != 3*n {
+			t.Errorf("cc%d medium train: %d positives, want %d", cc, pos, 3*n)
+		}
+		if want := 3 * 3 * n; neg < want-n || neg > want {
+			t.Errorf("cc%d medium train: %d negatives, want ~%d", cc, neg, want)
+		}
+		// Large train positives = sum C(n_i, 2) over class train offers.
+		wantPos := 0
+		trainOfferCount := 0
+		for _, ci := range rd.Classes {
+			k := len(ci.Train)
+			wantPos += k * (k - 1) / 2
+			trainOfferCount += k
+		}
+		pos, neg = countPairs(rd.Train[Large])
+		if pos != wantPos {
+			t.Errorf("cc%d large train: %d positives, want %d", cc, pos, wantPos)
+		}
+		if want := 4 * trainOfferCount; neg < want-trainOfferCount || neg > want {
+			t.Errorf("cc%d large train: %d negatives, want ~%d", cc, neg, want)
+		}
+		// Multi-class sizes: small = 2n offers, medium = 3n, val/test = 2n.
+		if got := len(rd.MultiTrain[Small]); got != 2*n {
+			t.Errorf("cc%d multi small: %d, want %d", cc, got, 2*n)
+		}
+		if got := len(rd.MultiTrain[Medium]); got != 3*n {
+			t.Errorf("cc%d multi medium: %d, want %d", cc, got, 3*n)
+		}
+		if got := len(rd.MultiTrain[Large]); got != trainOfferCount {
+			t.Errorf("cc%d multi large: %d, want %d", cc, got, trainOfferCount)
+		}
+		if len(rd.MultiVal) != 2*n || len(rd.MultiTest) != 2*n {
+			t.Errorf("cc%d multi val/test: %d/%d, want %d/%d", cc, len(rd.MultiVal), len(rd.MultiTest), 2*n, 2*n)
+		}
+	}
+}
+
+func countPairs(pairs []Pair) (pos, neg int) {
+	for _, p := range pairs {
+		if p.Match {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return
+}
+
+func TestVariantEnumeration(t *testing.T) {
+	vs := AllVariants()
+	if len(vs) != 27 {
+		t.Fatalf("variants = %d, want 27", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.String()] {
+			t.Fatalf("duplicate variant %s", v)
+		}
+		seen[v.String()] = true
+	}
+	if vs[0].String() != "cc80-small-unseen0" {
+		t.Fatalf("first variant = %s", vs[0])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	b := tinyBenchmark(t)
+	if len(b.TrainPairs(80, Small)) == 0 {
+		t.Fatal("TrainPairs empty")
+	}
+	if len(b.ValPairs(50, Large)) == 0 {
+		t.Fatal("ValPairs empty")
+	}
+	if len(b.TestPairs(20, 100)) == 0 {
+		t.Fatal("TestPairs empty")
+	}
+	if b.NumClasses(80) != 40 {
+		t.Fatalf("NumClasses = %d", b.NumClasses(80))
+	}
+	o := b.Offer(0)
+	if o.Title == "" {
+		t.Fatal("Offer(0) has empty title")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b := tinyBenchmark(t)
+	dir, err := os.MkdirTemp("", "wdcbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := Save(b, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(loaded); err != nil {
+		t.Fatalf("loaded benchmark invalid: %v", err)
+	}
+	if len(loaded.Offers) != len(b.Offers) {
+		t.Fatalf("offers = %d, want %d", len(loaded.Offers), len(b.Offers))
+	}
+	for _, cc := range CornerRatios() {
+		for _, dev := range DevSizes() {
+			if len(loaded.TrainPairs(cc, dev)) != len(b.TrainPairs(cc, dev)) {
+				t.Fatalf("cc%d %s train pairs differ", cc, dev)
+			}
+		}
+		for _, un := range UnseenFractions() {
+			a, c := loaded.TestPairs(cc, un), b.TestPairs(cc, un)
+			if len(a) != len(c) {
+				t.Fatalf("cc%d unseen%d test pairs differ", cc, un)
+			}
+			for i := range a {
+				if a[i] != c[i] {
+					t.Fatalf("cc%d unseen%d pair %d differs", cc, un, i)
+				}
+			}
+		}
+		if loaded.Ratios[cc].Classes[0].Slot != b.Ratios[cc].Classes[0].Slot {
+			t.Fatal("class info differs after round trip")
+		}
+	}
+	if loaded.Seed != b.Seed {
+		t.Fatal("seed lost")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load("/nonexistent/path/zzz"); err == nil {
+		t.Fatal("loading missing dir succeeded")
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	cfg := TinyBuildConfig(1)
+	cfg.ProductsPerSet = 0
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("zero ProductsPerSet accepted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	b := tinyBenchmark(t)
+	s := b.Stats
+	if s.CorpusProducts == 0 || s.PagesGenerated == 0 || s.OffersCleansed == 0 {
+		t.Fatalf("stats incomplete: %+v", s)
+	}
+	if s.DBSCANGroups == 0 || s.SeenPoolClusters == 0 {
+		t.Fatalf("grouping stats incomplete: %+v", s)
+	}
+	if len(s.CleanseRemoved) == 0 || len(s.MetricDraws) == 0 {
+		t.Fatalf("per-step stats incomplete: %+v", s)
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second build is slow")
+	}
+	b1 := tinyBenchmark(t)
+	b2, err := Build(TinyBuildConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Offers) != len(b2.Offers) {
+		t.Fatalf("offer counts differ: %d vs %d", len(b1.Offers), len(b2.Offers))
+	}
+	for _, cc := range CornerRatios() {
+		a, b := b1.TrainPairs(cc, Large), b2.TrainPairs(cc, Large)
+		if len(a) != len(b) {
+			t.Fatalf("cc%d train sizes differ", cc)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cc%d pair %d differs", cc, i)
+			}
+		}
+	}
+}

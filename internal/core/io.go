@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wdcproducts/internal/schemaorg"
+)
+
+// The on-disk layout mirrors the published benchmark's download structure:
+// one offers table plus one file per dataset, all JSON lines, with a
+// manifest tying them together.
+//
+//	manifest.json
+//	offers.jsonl
+//	cc80/train_small.jsonl ... cc80/test_unseen100.jsonl
+//	cc80/multi_train_small.jsonl ...
+
+type manifest struct {
+	Seed    int64         `json:"seed"`
+	Ratios  []CornerRatio `json:"ratios"`
+	NOffers int           `json:"n_offers"`
+	Stats   PipelineStats `json:"stats"`
+}
+
+type pairRecord struct {
+	A     int  `json:"a"`
+	B     int  `json:"b"`
+	Match bool `json:"match"`
+	ProdA int  `json:"prod_a"`
+	ProdB int  `json:"prod_b"`
+}
+
+// Save writes the benchmark to dir, creating it if needed.
+func Save(b *Benchmark, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	var ratios []CornerRatio
+	for _, cc := range CornerRatios() {
+		if _, ok := b.Ratios[cc]; ok {
+			ratios = append(ratios, cc)
+		}
+	}
+	m := manifest{Seed: b.Seed, Ratios: ratios, NOffers: len(b.Offers), Stats: b.Stats}
+	if err := writeJSON(filepath.Join(dir, "manifest.json"), &m); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, "offers.jsonl"), len(b.Offers), func(i int) interface{} {
+		return &b.Offers[i]
+	}); err != nil {
+		return err
+	}
+	for _, cc := range ratios {
+		rd := b.Ratios[cc]
+		sub := filepath.Join(dir, fmt.Sprintf("cc%d", cc))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		if err := writeJSON(filepath.Join(sub, "classes.json"), rd.Classes); err != nil {
+			return err
+		}
+		if err := writeJSON(filepath.Join(sub, "test_products.json"), rd.TestProducts); err != nil {
+			return err
+		}
+		for _, dev := range DevSizes() {
+			if err := savePairs(filepath.Join(sub, fmt.Sprintf("train_%s.jsonl", dev)), rd.Train[dev]); err != nil {
+				return err
+			}
+			if err := savePairs(filepath.Join(sub, fmt.Sprintf("val_%s.jsonl", dev)), rd.Val[dev]); err != nil {
+				return err
+			}
+			if err := writeJSON(filepath.Join(sub, fmt.Sprintf("multi_train_%s.json", dev)), rd.MultiTrain[dev]); err != nil {
+				return err
+			}
+		}
+		for _, un := range UnseenFractions() {
+			if err := savePairs(filepath.Join(sub, fmt.Sprintf("test_unseen%d.jsonl", un)), rd.Test[un]); err != nil {
+				return err
+			}
+		}
+		if err := writeJSON(filepath.Join(sub, "multi_val.json"), rd.MultiVal); err != nil {
+			return err
+		}
+		if err := writeJSON(filepath.Join(sub, "multi_test.json"), rd.MultiTest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a benchmark saved by Save.
+func Load(dir string) (*Benchmark, error) {
+	var m manifest
+	if err := readJSON(filepath.Join(dir, "manifest.json"), &m); err != nil {
+		return nil, err
+	}
+	b := &Benchmark{Seed: m.Seed, Stats: m.Stats, Ratios: map[CornerRatio]*RatioData{}}
+	if err := readJSONL(filepath.Join(dir, "offers.jsonl"), func(raw []byte) error {
+		var o schemaorg.Offer
+		if err := json.Unmarshal(raw, &o); err != nil {
+			return err
+		}
+		b.Offers = append(b.Offers, o)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if len(b.Offers) != m.NOffers {
+		return nil, fmt.Errorf("core: load: offer count %d != manifest %d", len(b.Offers), m.NOffers)
+	}
+	for _, cc := range m.Ratios {
+		rd := &RatioData{
+			Ratio:        cc,
+			TestProducts: map[Unseen][]TestProductInfo{},
+			Train:        map[DevSize][]Pair{},
+			Val:          map[DevSize][]Pair{},
+			Test:         map[Unseen][]Pair{},
+			MultiTrain:   map[DevSize][]MultiExample{},
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("cc%d", cc))
+		if err := readJSON(filepath.Join(sub, "classes.json"), &rd.Classes); err != nil {
+			return nil, err
+		}
+		if err := readJSON(filepath.Join(sub, "test_products.json"), &rd.TestProducts); err != nil {
+			return nil, err
+		}
+		for _, dev := range DevSizes() {
+			pairs, err := loadPairs(filepath.Join(sub, fmt.Sprintf("train_%s.jsonl", dev)))
+			if err != nil {
+				return nil, err
+			}
+			rd.Train[dev] = pairs
+			pairs, err = loadPairs(filepath.Join(sub, fmt.Sprintf("val_%s.jsonl", dev)))
+			if err != nil {
+				return nil, err
+			}
+			rd.Val[dev] = pairs
+			var multi []MultiExample
+			if err := readJSON(filepath.Join(sub, fmt.Sprintf("multi_train_%s.json", dev)), &multi); err != nil {
+				return nil, err
+			}
+			rd.MultiTrain[dev] = multi
+		}
+		for _, un := range UnseenFractions() {
+			pairs, err := loadPairs(filepath.Join(sub, fmt.Sprintf("test_unseen%d.jsonl", un)))
+			if err != nil {
+				return nil, err
+			}
+			rd.Test[un] = pairs
+		}
+		if err := readJSON(filepath.Join(sub, "multi_val.json"), &rd.MultiVal); err != nil {
+			return nil, err
+		}
+		if err := readJSON(filepath.Join(sub, "multi_test.json"), &rd.MultiTest); err != nil {
+			return nil, err
+		}
+		b.Ratios[cc] = rd
+	}
+	return b, nil
+}
+
+func savePairs(path string, pairs []Pair) error {
+	return writeJSONL(path, len(pairs), func(i int) interface{} {
+		p := pairs[i]
+		return &pairRecord{A: p.A, B: p.B, Match: p.Match, ProdA: p.ProdA, ProdB: p.ProdB}
+	})
+}
+
+func loadPairs(path string) ([]Pair, error) {
+	var out []Pair
+	err := readJSONL(path, func(raw []byte) error {
+		var r pairRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return err
+		}
+		out = append(out, Pair{A: r.A, B: r.B, Match: r.Match, ProdA: r.ProdA, ProdB: r.ProdB})
+		return nil
+	})
+	return out, err
+}
+
+func writeJSON(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("core: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func readJSON(path string, v interface{}) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("core: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeJSONL(path string, n int, row func(int) interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(row(i)); err != nil {
+			f.Close()
+			return fmt.Errorf("core: encode %s row %d: %w", path, i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func readJSONL(path string, row func([]byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if err := row(sc.Bytes()); err != nil {
+			return fmt.Errorf("core: %s line %d: %w", path, line, err)
+		}
+	}
+	return sc.Err()
+}

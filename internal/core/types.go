@@ -1,0 +1,167 @@
+// Package core assembles the WDC Products benchmark: the 27 pair-wise
+// variants (3 corner-case ratios x 3 development-set sizes x 3 unseen
+// fractions) and the 9 multi-class variants, built from the synthetic
+// corpus through the §3 pipeline (cleansing, grouping, selection,
+// splitting, pair generation).
+//
+// A Benchmark is self-contained: pairs and multi-class examples reference
+// offers by index into its Offers slice, so it can be serialized, reloaded,
+// and consumed by matchers without access to the generating corpus.
+package core
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/pairgen"
+	"wdcproducts/internal/schemaorg"
+)
+
+// DevSize is the development-set size dimension.
+type DevSize string
+
+// The three development-set sizes of the benchmark.
+const (
+	Small  DevSize = "small"
+	Medium DevSize = "medium"
+	Large  DevSize = "large"
+)
+
+// DevSizes returns the dimension's values in canonical (ascending) order.
+func DevSizes() []DevSize { return []DevSize{Small, Medium, Large} }
+
+// CornerRatio is the corner-case percentage dimension (20, 50, 80).
+type CornerRatio int
+
+// CornerRatios returns the dimension's values in the paper's order
+// (hardest first, as in Tables 1 and 3).
+func CornerRatios() []CornerRatio { return []CornerRatio{80, 50, 20} }
+
+// Unseen is the unseen-products percentage of a test set (0, 50, 100).
+type Unseen int
+
+// UnseenFractions returns the dimension's values.
+func UnseenFractions() []Unseen { return []Unseen{0, 50, 100} }
+
+// VariantKey addresses one of the 27 pair-wise benchmark variants.
+type VariantKey struct {
+	Corner CornerRatio
+	Dev    DevSize
+	Unseen Unseen
+}
+
+// String renders the key as e.g. "cc80-medium-unseen50".
+func (k VariantKey) String() string {
+	return fmt.Sprintf("cc%d-%s-unseen%d", k.Corner, k.Dev, k.Unseen)
+}
+
+// AllVariants enumerates the 27 pair-wise variants in table order.
+func AllVariants() []VariantKey {
+	var out []VariantKey
+	for _, cc := range CornerRatios() {
+		for _, dev := range DevSizes() {
+			for _, un := range UnseenFractions() {
+				out = append(out, VariantKey{Corner: cc, Dev: dev, Unseen: un})
+			}
+		}
+	}
+	return out
+}
+
+// Pair re-exports the pair type for consumers of the public API.
+type Pair = pairgen.Pair
+
+// MultiExample is one multi-class example: an offer labeled with the class
+// (seen-product index) it belongs to.
+type MultiExample struct {
+	Offer int `json:"offer"`
+	Class int `json:"class"`
+}
+
+// ClassInfo describes one seen product (= one multi-class label).
+type ClassInfo struct {
+	// Slot is the grouping cluster slot the product came from.
+	Slot int `json:"slot"`
+	// Corner marks corner-case products.
+	Corner bool `json:"corner"`
+	// Offer assignments per split (indices into Benchmark.Offers).
+	Train       []int `json:"train"`
+	TrainMedium []int `json:"train_medium"`
+	TrainSmall  []int `json:"train_small"`
+	Val         []int `json:"val"`
+	Test        []int `json:"test"`
+}
+
+// TestProductInfo describes one product of a test-set variant.
+type TestProductInfo struct {
+	Slot   int   `json:"slot"`
+	Corner bool  `json:"corner"`
+	Unseen bool  `json:"unseen"`
+	Offers []int `json:"offers"`
+}
+
+// RatioData holds every dataset of one corner-case ratio.
+type RatioData struct {
+	Ratio CornerRatio `json:"ratio"`
+	// Classes are the 500 seen products; the slice index is the
+	// multi-class label.
+	Classes []ClassInfo `json:"classes"`
+	// TestProducts per unseen fraction.
+	TestProducts map[Unseen][]TestProductInfo `json:"test_products"`
+
+	// Pair-wise datasets.
+	Train map[DevSize][]Pair `json:"train"`
+	Val   map[DevSize][]Pair `json:"val"`
+	Test  map[Unseen][]Pair  `json:"test"`
+
+	// Multi-class datasets. Validation and test are shared across dev
+	// sizes; the test set is the 0%-unseen test split (unseen products
+	// have no class).
+	MultiTrain map[DevSize][]MultiExample `json:"multi_train"`
+	MultiVal   []MultiExample             `json:"multi_val"`
+	MultiTest  []MultiExample             `json:"multi_test"`
+}
+
+// PipelineStats carries the per-stage counts reported along Figure 2.
+type PipelineStats struct {
+	CorpusProducts    int            `json:"corpus_products"`
+	PagesGenerated    int            `json:"pages_generated"`
+	OffersExtracted   int            `json:"offers_extracted"`
+	OffersClustered   int            `json:"offers_clustered"`
+	RawClusters       int            `json:"raw_clusters"`
+	CleanseRemoved    map[string]int `json:"cleanse_removed"`
+	OffersCleansed    int            `json:"offers_cleansed"`
+	DBSCANGroups      int            `json:"dbscan_groups"`
+	AvoidedGroups     int            `json:"avoided_groups"`
+	SeenPoolClusters  int            `json:"seen_pool_clusters"`
+	UnseenPoolCluster int            `json:"unseen_pool_clusters"`
+	MetricDraws       map[string]int `json:"metric_draws"`
+}
+
+// Benchmark is the assembled WDC Products benchmark.
+type Benchmark struct {
+	Seed   int64             `json:"seed"`
+	Offers []schemaorg.Offer `json:"offers"`
+	Ratios map[CornerRatio]*RatioData
+	Stats  PipelineStats `json:"stats"`
+}
+
+// TrainPairs returns the training pairs of a (ratio, dev size) variant.
+func (b *Benchmark) TrainPairs(cc CornerRatio, dev DevSize) []Pair {
+	return b.Ratios[cc].Train[dev]
+}
+
+// ValPairs returns the validation pairs of a (ratio, dev size) variant.
+func (b *Benchmark) ValPairs(cc CornerRatio, dev DevSize) []Pair {
+	return b.Ratios[cc].Val[dev]
+}
+
+// TestPairs returns the test pairs of a (ratio, unseen) variant.
+func (b *Benchmark) TestPairs(cc CornerRatio, un Unseen) []Pair {
+	return b.Ratios[cc].Test[un]
+}
+
+// Offer returns the offer with the given index.
+func (b *Benchmark) Offer(i int) *schemaorg.Offer { return &b.Offers[i] }
+
+// NumClasses returns the number of multi-class labels of a ratio.
+func (b *Benchmark) NumClasses(cc CornerRatio) int { return len(b.Ratios[cc].Classes) }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks the structural invariants the benchmark guarantees its
+// users (§3.5, §4). It returns the first violation found, or nil.
+func Validate(b *Benchmark) error {
+	if len(b.Offers) == 0 {
+		return fmt.Errorf("benchmark has no offers")
+	}
+	for ratio, rd := range b.Ratios {
+		if err := validateRatio(b, rd); err != nil {
+			return fmt.Errorf("ratio %d: %w", ratio, err)
+		}
+	}
+	return nil
+}
+
+func validateRatio(b *Benchmark, rd *RatioData) error {
+	nOffers := len(b.Offers)
+	checkRange := func(o int, where string) error {
+		if o < 0 || o >= nOffers {
+			return fmt.Errorf("%s references offer %d outside [0,%d)", where, o, nOffers)
+		}
+		return nil
+	}
+
+	// Invariant 1: within a ratio, every offer appears in at most one of
+	// train/val/test ("each offer can only be contained in exactly one of
+	// the splits").
+	role := map[int]string{}
+	assign := func(offers []int, r string) error {
+		for _, o := range offers {
+			if err := checkRange(o, r); err != nil {
+				return err
+			}
+			if prev, ok := role[o]; ok && prev != r {
+				return fmt.Errorf("offer %d leaks between %s and %s", o, prev, r)
+			}
+			role[o] = r
+		}
+		return nil
+	}
+	for class, ci := range rd.Classes {
+		if err := assign(ci.Train, "train"); err != nil {
+			return fmt.Errorf("class %d: %w", class, err)
+		}
+		if err := assign(ci.Val, "val"); err != nil {
+			return fmt.Errorf("class %d: %w", class, err)
+		}
+		if err := assign(ci.Test, "test"); err != nil {
+			return fmt.Errorf("class %d: %w", class, err)
+		}
+		// Dev subsets nest.
+		inTrain := intSet(ci.Train)
+		for _, o := range ci.TrainMedium {
+			if !inTrain[o] {
+				return fmt.Errorf("class %d: medium offer %d not in large train", class, o)
+			}
+		}
+		inMedium := intSet(ci.TrainMedium)
+		for _, o := range ci.TrainSmall {
+			if !inMedium[o] {
+				return fmt.Errorf("class %d: small offer %d not in medium train", class, o)
+			}
+		}
+		if len(ci.Val) != 2 || len(ci.Test) != 2 {
+			return fmt.Errorf("class %d: val/test sizes %d/%d, want 2/2", class, len(ci.Val), len(ci.Test))
+		}
+	}
+
+	// Invariant 2: unseen test offers never appear in any train or val
+	// split of this ratio.
+	for un, tps := range rd.TestProducts {
+		for _, tp := range tps {
+			for _, o := range tp.Offers {
+				if err := checkRange(o, "test product"); err != nil {
+					return err
+				}
+				if r, ok := role[o]; tp.Unseen && ok {
+					return fmt.Errorf("unseen%d: offer %d of unseen product also in %s", un, o, r)
+				}
+				if !tp.Unseen {
+					if r := role[o]; r != "test" {
+						return fmt.Errorf("unseen%d: seen test offer %d has role %q", un, o, r)
+					}
+				}
+			}
+		}
+	}
+
+	// Invariant 3: unseen fractions are honored.
+	for _, un := range UnseenFractions() {
+		tps := rd.TestProducts[un]
+		if len(tps) == 0 {
+			return fmt.Errorf("unseen%d: no test products", un)
+		}
+		unseenCount := 0
+		for _, tp := range tps {
+			if tp.Unseen {
+				unseenCount++
+			}
+		}
+		got := float64(unseenCount) / float64(len(tps))
+		want := float64(un) / 100
+		if math.Abs(got-want) > 0.15 {
+			return fmt.Errorf("unseen%d: actual unseen fraction %.2f", un, got)
+		}
+	}
+
+	// Invariant 4: pair labels agree with product membership, pair offers
+	// are in range, and no duplicate unordered pairs exist per set.
+	checkPairs := func(pairs []Pair, name string) error {
+		if len(pairs) == 0 {
+			return fmt.Errorf("%s: empty pair set", name)
+		}
+		seen := map[[2]int]bool{}
+		for _, p := range pairs {
+			if err := checkRange(p.A, name); err != nil {
+				return err
+			}
+			if err := checkRange(p.B, name); err != nil {
+				return err
+			}
+			if p.A >= p.B {
+				return fmt.Errorf("%s: unordered pair (%d,%d)", name, p.A, p.B)
+			}
+			key := [2]int{p.A, p.B}
+			if seen[key] {
+				return fmt.Errorf("%s: duplicate pair (%d,%d)", name, p.A, p.B)
+			}
+			seen[key] = true
+			if p.Match != (p.ProdA == p.ProdB) {
+				return fmt.Errorf("%s: pair (%d,%d) label %v inconsistent with products %d/%d",
+					name, p.A, p.B, p.Match, p.ProdA, p.ProdB)
+			}
+		}
+		return nil
+	}
+	for _, dev := range DevSizes() {
+		if err := checkPairs(rd.Train[dev], fmt.Sprintf("train-%s", dev)); err != nil {
+			return err
+		}
+		if err := checkPairs(rd.Val[dev], fmt.Sprintf("val-%s", dev)); err != nil {
+			return err
+		}
+	}
+	for _, un := range UnseenFractions() {
+		if err := checkPairs(rd.Test[un], fmt.Sprintf("test-unseen%d", un)); err != nil {
+			return err
+		}
+	}
+
+	// Invariant 5: multi-class examples reference valid classes, and the
+	// multi-class splits reuse exactly the pair-wise split offers
+	// (comparability between the two formulations).
+	checkMulti := func(ds []MultiExample, name string) error {
+		if len(ds) == 0 {
+			return fmt.Errorf("%s: empty", name)
+		}
+		for _, ex := range ds {
+			if err := checkRange(ex.Offer, name); err != nil {
+				return err
+			}
+			if ex.Class < 0 || ex.Class >= len(rd.Classes) {
+				return fmt.Errorf("%s: class %d out of range", name, ex.Class)
+			}
+		}
+		return nil
+	}
+	for _, dev := range DevSizes() {
+		if err := checkMulti(rd.MultiTrain[dev], fmt.Sprintf("multi-train-%s", dev)); err != nil {
+			return err
+		}
+	}
+	if err := checkMulti(rd.MultiVal, "multi-val"); err != nil {
+		return err
+	}
+	if err := checkMulti(rd.MultiTest, "multi-test"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func intSet(xs []int) map[int]bool {
+	out := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		out[x] = true
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package corpus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"wdcproducts/internal/xrand"
+)
+
+// Product is one real-world product entity of the synthetic catalog. It is
+// the ground-truth unit of the benchmark: offers referring to the same
+// Product are matches.
+type Product struct {
+	ID       int
+	Category string
+	Brand    string
+	// BrandAbbrevs are alternative brand surface forms vendors may use.
+	BrandAbbrevs []string
+	Series       string
+	// VariantDim/Variant identify the single attribute along which series
+	// siblings differ (capacity, size, model, ...), the corner-case device.
+	VariantDim string
+	Variant    string
+	// SeriesKey is shared by all siblings of a series; products sharing it
+	// are near-duplicates textually and form natural hard negatives.
+	SeriesKey string
+	// Features are the spec tokens this product's offers may mention.
+	Features  []string
+	ModelCode string
+	GTIN      string
+	BasePrice float64
+	// Heavy products receive 7-15 offers (the paper's "seen" pool);
+	// light products receive 2-6 offers (the "unseen" pool).
+	Heavy bool
+}
+
+// CatalogConfig controls catalog synthesis.
+type CatalogConfig struct {
+	// SeriesPerBrand is how many series each brand publishes per category.
+	SeriesPerBrand int
+	// MinSiblings/MaxSiblings bound the number of variant siblings per
+	// series. MinSiblings must be at least 5 so that every series can
+	// donate a seed plus four similar products for an 80% corner-case set.
+	MinSiblings, MaxSiblings int
+	// HeavySeriesFraction is the probability that a series is assigned to
+	// the heavy (7-15 offers) regime.
+	HeavySeriesFraction float64
+}
+
+// DefaultCatalogConfig sizes the catalog so that paper-scale selection
+// (500 seen + 500 unseen products per corner-case ratio) is feasible.
+func DefaultCatalogConfig() CatalogConfig {
+	return CatalogConfig{
+		SeriesPerBrand:      4,
+		MinSiblings:         5,
+		MaxSiblings:         7,
+		HeavySeriesFraction: 0.5,
+	}
+}
+
+// BuildCatalog synthesizes the product catalog from the embedded category
+// specs. The rng drives series sampling; the same stream always yields the
+// same catalog.
+func BuildCatalog(cfg CatalogConfig, rng *rand.Rand) []Product {
+	if cfg.MinSiblings < 2 {
+		cfg.MinSiblings = 2
+	}
+	if cfg.MaxSiblings < cfg.MinSiblings {
+		cfg.MaxSiblings = cfg.MinSiblings
+	}
+	var products []Product
+	for _, spec := range catalogSpecs {
+		for _, brand := range spec.brands {
+			// Draw distinct series names for this brand.
+			n := cfg.SeriesPerBrand
+			if n > len(spec.seriesWords) {
+				n = len(spec.seriesWords)
+			}
+			idxs := xrand.SampleWithoutReplacement(rng, len(spec.seriesWords), n)
+			sort.Ints(idxs) // deterministic order independent of sample order
+			for _, si := range idxs {
+				series := spec.seriesWords[si]
+				dim := spec.dims[rng.Intn(len(spec.dims))]
+				want := xrand.IntBetween(rng, cfg.MinSiblings, cfg.MaxSiblings)
+				if want > len(dim.values) {
+					want = len(dim.values)
+				}
+				// Contiguous variant runs ("1TB","2TB","3TB"...) make the
+				// most confusable siblings, like real assortments.
+				start := 0
+				if len(dim.values) > want {
+					start = rng.Intn(len(dim.values) - want + 1)
+				}
+				heavy := xrand.Bool(rng, cfg.HeavySeriesFraction)
+				// Features are drawn once per series: real siblings share
+				// their spec sheet except for the variant dimension, which
+				// is what makes them textual near-duplicates (the negative
+				// corner-case device of §3.4).
+				nFeat := 3
+				if nFeat > len(spec.features) {
+					nFeat = len(spec.features)
+				}
+				featIdx := xrand.SampleWithoutReplacement(rng, len(spec.features), nFeat)
+				sort.Ints(featIdx)
+				feats := make([]string, 0, nFeat)
+				for _, fi := range featIdx {
+					feats = append(feats, spec.features[fi])
+				}
+				for v := start; v < start+want; v++ {
+					variant := dim.values[v]
+					p := Product{
+						ID:           len(products),
+						Category:     spec.name,
+						Brand:        brand.name,
+						BrandAbbrevs: brand.abbrevs,
+						Series:       series,
+						VariantDim:   dim.name,
+						Variant:      variant,
+						SeriesKey:    spec.name + "|" + brand.name + "|" + series,
+						Features:     feats,
+						BasePrice:    spec.priceBase + rng.Float64()*spec.priceSpread,
+						Heavy:        heavy,
+					}
+					p.ModelCode = modelCode(&p)
+					p.GTIN = gtin13(&p)
+					products = append(products, p)
+				}
+			}
+		}
+	}
+	return products
+}
+
+// modelCode derives a deterministic manufacturer part number from the
+// product identity, shaped like real MPNs (letter prefix + digits + suffix).
+func modelCode(p *Product) string {
+	h := fnv.New64a()
+	h.Write([]byte(p.SeriesKey + "|" + p.Variant))
+	sum := h.Sum64()
+	prefix := brandPrefix(p.Brand)
+	digits := fmt.Sprintf("%04d", sum%10000)
+	suffix := string(rune('A'+(sum/10000)%26)) + string(rune('A'+(sum/260000)%26))
+	varDigits := ""
+	for _, r := range p.Variant {
+		if r >= '0' && r <= '9' {
+			varDigits += string(r)
+		}
+		if len(varDigits) == 3 {
+			break
+		}
+	}
+	return prefix + varDigits + digits + suffix
+}
+
+func brandPrefix(brand string) string {
+	fields := strings.Fields(brand)
+	if len(fields) >= 2 {
+		return strings.ToUpper(fields[0][:1] + fields[1][:1])
+	}
+	up := strings.ToUpper(brand)
+	if len(up) >= 2 {
+		return up[:2]
+	}
+	return up
+}
+
+// gtin13 derives a deterministic 13-digit GTIN (12 digits + standard GS1
+// check digit) from the product identity.
+func gtin13(p *Product) string {
+	h := fnv.New64a()
+	h.Write([]byte("gtin|" + p.SeriesKey + "|" + p.Variant))
+	sum := h.Sum64()
+	digits := make([]int, 12)
+	for i := range digits {
+		digits[i] = int(sum % 10)
+		sum /= 10
+		if sum == 0 {
+			sum = 987654321 + uint64(i)
+		}
+	}
+	check := 0
+	for i, d := range digits {
+		if i%2 == 0 {
+			check += d
+		} else {
+			check += 3 * d
+		}
+	}
+	check = (10 - check%10) % 10
+	var b strings.Builder
+	for _, d := range digits {
+		b.WriteByte(byte('0' + d))
+	}
+	b.WriteByte(byte('0' + check))
+	return b.String()
+}
+
+// SeriesSiblings indexes the catalog by SeriesKey.
+func SeriesSiblings(products []Product) map[string][]int {
+	out := make(map[string][]int)
+	for _, p := range products {
+		out[p.SeriesKey] = append(out[p.SeriesKey], p.ID)
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+package corpus
+
+// This file holds the data-driven catalog specification from which synthetic
+// products are derived. The structure mirrors how real product assortments
+// create entity-matching difficulty: brands publish *series* of products
+// whose variants differ in a single attribute (capacity, size, color...),
+// which is exactly the source of the "very similar but different products"
+// that §3.4 needs for negative corner-cases.
+
+// variantDim is one attribute dimension along which series siblings differ.
+type variantDim struct {
+	name   string
+	values []string
+}
+
+// brandSpec is a brand name plus the abbreviated/alternative surface forms
+// vendors use for it.
+type brandSpec struct {
+	name    string
+	abbrevs []string
+}
+
+// categorySpec is the full generative spec of one product category.
+type categorySpec struct {
+	name string
+	// nouns are head-noun phrases for titles, e.g. "internal hard drive".
+	nouns  []string
+	brands []brandSpec
+	// seriesWords is the pool from which series names are drawn.
+	seriesWords []string
+	// dims: each series picks one dimension; its values enumerate siblings.
+	dims []variantDim
+	// features are optional spec tokens sprinkled into titles/descriptions.
+	features []string
+	// descTemplates with {brand} {series} {variant} {feature} {noun} slots.
+	descTemplates []string
+	// foreignNouns maps language code -> translated head nouns for
+	// non-English offer rendering.
+	foreignNouns map[string][]string
+	priceBase    float64
+	priceSpread  float64
+}
+
+var marketingTokens = []string{
+	"new", "oem", "bulk", "retail", "original", "genuine", "sealed",
+	"free shipping", "fast delivery", "best price", "renewed", "2020 model",
+	"top rated", "in stock", "limited offer", "premium", "official",
+}
+
+var foreignMarketing = map[string][]string{
+	"de": {"neu", "originalverpackt", "kostenloser versand", "sofort lieferbar", "angebot"},
+	"fr": {"neuf", "livraison gratuite", "en stock", "promotion", "garantie"},
+	"es": {"nuevo", "envío gratis", "en stock", "oferta", "garantía"},
+	"it": {"nuovo", "spedizione gratuita", "disponibile", "offerta", "garanzia"},
+}
+
+var catalogSpecs = []categorySpec{
+	{
+		name:        "hard drives",
+		nouns:       []string{"internal hard drive", "desktop hard drive", "hdd", "3.5 inch hard drive"},
+		brands:      []brandSpec{{"Seagate", []string{"SGT"}}, {"Western Digital", []string{"WD", "WDC"}}, {"Toshiba", []string{"TSB"}}, {"Hitachi", []string{"HGST"}}, {"Fujitsu", nil}, {"Maxtor", nil}},
+		seriesWords: []string{"BarraCuda", "FireCuda", "IronWolf", "SkyHawk", "Blue", "Black", "Red", "Purple", "Gold", "P300", "X300", "N300", "UltraStar", "DeskStar", "TravelStar", "Exos", "Caviar", "Scorpio"},
+		dims: []variantDim{
+			{"capacity", []string{"500GB", "1TB", "2TB", "3TB", "4TB", "6TB", "8TB", "10TB"}},
+		},
+		features: []string{"SATA", "6Gb/s", "7200RPM", "5400RPM", "64MB cache", "128MB cache", "256MB cache", "3.5in", "2.5in", "CMR", "SMR"},
+		descTemplates: []string{
+			"The {brand} {series} {variant} {noun} delivers dependable storage with {feature} performance for desktop builds and upgrades.",
+			"Store everything on the {series} {variant} drive featuring {feature} and proven {brand} reliability backed by a multi year warranty.",
+			"{brand} engineered the {series} line for fast sustained transfers thanks to {feature} and optimized caching across the {variant} tier.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"interne festplatte", "festplatte für desktop"},
+			"fr": {"disque dur interne", "disque dur de bureau"},
+			"es": {"disco duro interno", "disco duro para ordenador"},
+			"it": {"disco rigido interno", "disco rigido per desktop"},
+		},
+		priceBase: 55, priceSpread: 120,
+	},
+	{
+		name:        "solid state drives",
+		nouns:       []string{"ssd", "solid state drive", "internal ssd", "nvme ssd"},
+		brands:      []brandSpec{{"Samsung", []string{"SMS"}}, {"Crucial", []string{"CRU"}}, {"Kingston", []string{"KST"}}, {"SanDisk", []string{"SNDK"}}, {"Intel", nil}, {"Corsair", nil}},
+		seriesWords: []string{"EVO", "EVO Plus", "PRO", "QVO", "MX500", "BX500", "P5", "A400", "KC3000", "Ultra", "Extreme", "MP600", "660p", "970", "980", "870"},
+		dims: []variantDim{
+			{"capacity", []string{"250GB", "500GB", "1TB", "2TB", "4TB"}},
+		},
+		features: []string{"NVMe", "PCIe 4.0", "PCIe 3.0", "M.2 2280", "SATA III", "3D NAND", "TLC", "QLC", "DRAM cache"},
+		descTemplates: []string{
+			"Upgrade to the {brand} {series} {variant} {noun} with {feature} technology for instant boot times and snappy application loads.",
+			"The {series} {variant} combines {feature} with {brand} firmware tuning to sustain heavy mixed workloads without thermal throttling.",
+			"With {feature} and capacities up to the {variant} class the {brand} {series} accelerates any laptop or desktop build.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"interne ssd festplatte", "ssd laufwerk"},
+			"fr": {"disque ssd interne", "ssd nvme"},
+			"es": {"unidad ssd interna", "disco ssd"},
+			"it": {"unità ssd interna", "disco ssd"},
+		},
+		priceBase: 45, priceSpread: 180,
+	},
+	{
+		name:        "graphics cards",
+		nouns:       []string{"graphics card", "video card", "gpu", "gaming graphics card"},
+		brands:      []brandSpec{{"ASUS", nil}, {"MSI", nil}, {"Gigabyte", []string{"GB"}}, {"EVGA", nil}, {"Zotac", nil}, {"Sapphire", nil}, {"PNY", nil}},
+		seriesWords: []string{"GeForce RTX", "GeForce GTX", "Radeon RX", "ROG Strix", "TUF Gaming", "Gaming X", "Eagle", "Ventus", "AMP", "Nitro+", "Pulse", "FTW3", "XLR8"},
+		dims: []variantDim{
+			{"model", []string{"3060", "3060 Ti", "3070", "3070 Ti", "3080", "3090", "6600 XT", "6700 XT", "6800 XT"}},
+		},
+		features: []string{"8GB GDDR6", "12GB GDDR6", "10GB GDDR6X", "ray tracing", "triple fan", "dual fan", "RGB lighting", "HDMI 2.1", "factory overclocked"},
+		descTemplates: []string{
+			"The {brand} {series} {variant} {noun} pushes high refresh gaming with {feature} and an advanced cooling shroud.",
+			"Built around the {variant} chip the {brand} {series} offers {feature} for smooth 1440p and 4K performance.",
+			"Gamers choose the {series} {variant} for its {feature} and quiet thermal design tuned by {brand}.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"grafikkarte", "gaming grafikkarte"},
+			"fr": {"carte graphique", "carte graphique gaming"},
+			"es": {"tarjeta gráfica", "tarjeta de video"},
+			"it": {"scheda grafica", "scheda video"},
+		},
+		priceBase: 320, priceSpread: 900,
+	},
+	{
+		name:        "processors",
+		nouns:       []string{"processor", "cpu", "desktop processor"},
+		brands:      []brandSpec{{"Intel", nil}, {"AMD", nil}},
+		seriesWords: []string{"Core i3", "Core i5", "Core i7", "Core i9", "Ryzen 3", "Ryzen 5", "Ryzen 7", "Ryzen 9", "Threadripper", "Xeon E", "Athlon"},
+		dims: []variantDim{
+			{"model", []string{"10100", "10400F", "10600K", "10700K", "10900K", "3600", "3700X", "3900X", "5600X", "5800X", "5900X", "5950X"}},
+		},
+		features: []string{"6 cores", "8 cores", "12 cores", "16 threads", "24 threads", "unlocked", "4.6GHz boost", "4.9GHz boost", "65W TDP", "105W TDP", "AM4 socket", "LGA1200"},
+		descTemplates: []string{
+			"The {brand} {series} {variant} {noun} brings {feature} to mainstream desktops with excellent single core speed.",
+			"Content creators rely on the {series} {variant} and its {feature} for rendering encoding and heavy multitasking.",
+			"With {feature} the {brand} {series} {variant} balances gaming performance and productivity workloads.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"prozessor", "desktop prozessor"},
+			"fr": {"processeur", "processeur de bureau"},
+			"es": {"procesador", "procesador de escritorio"},
+			"it": {"processore", "processore desktop"},
+		},
+		priceBase: 140, priceSpread: 450,
+	},
+	{
+		name:        "monitors",
+		nouns:       []string{"monitor", "led monitor", "computer monitor", "gaming monitor"},
+		brands:      []brandSpec{{"Dell", nil}, {"LG", nil}, {"Samsung", []string{"SMS"}}, {"BenQ", nil}, {"AOC", nil}, {"ViewSonic", []string{"VS"}}, {"Acer", nil}},
+		seriesWords: []string{"UltraSharp", "UltraGear", "Odyssey", "Nitro", "Predator", "ProArt", "Zowie", "Agon", "VX", "PD", "SW", "P-Series", "S-Line"},
+		dims: []variantDim{
+			{"size", []string{"21.5 inch", "24 inch", "27 inch", "32 inch", "34 inch"}},
+		},
+		features: []string{"144Hz", "165Hz", "60Hz", "IPS panel", "VA panel", "1ms response", "QHD 2560x1440", "4K UHD", "FreeSync", "G-Sync compatible", "HDR400"},
+		descTemplates: []string{
+			"The {brand} {series} {variant} {noun} features {feature} for fluid motion and accurate color reproduction.",
+			"Designed for long sessions the {series} {variant} pairs {feature} with an ergonomic height adjustable stand by {brand}.",
+			"Creators and gamers alike praise the {variant} {series} for its {feature} and thin bezel design.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"monitor", "led bildschirm"},
+			"fr": {"écran pc", "moniteur led"},
+			"es": {"monitor led", "pantalla para ordenador"},
+			"it": {"monitor led", "schermo pc"},
+		},
+		priceBase: 130, priceSpread: 420,
+	},
+	{
+		name:        "keyboards",
+		nouns:       []string{"mechanical keyboard", "gaming keyboard", "wireless keyboard", "keyboard"},
+		brands:      []brandSpec{{"Logitech", []string{"Logi"}}, {"Corsair", nil}, {"Razer", nil}, {"SteelSeries", nil}, {"HyperX", nil}, {"Keychron", nil}},
+		seriesWords: []string{"MX Keys", "G Pro", "K70", "K95", "BlackWidow", "Huntsman", "Apex", "Alloy", "K2", "K8", "Q1", "G915", "Strafe"},
+		dims: []variantDim{
+			{"switch", []string{"red switches", "blue switches", "brown switches", "silent switches", "optical switches"}},
+		},
+		features: []string{"RGB backlight", "per-key lighting", "aluminum frame", "hot swappable", "wireless 2.4GHz", "bluetooth", "USB passthrough", "detachable cable", "tenkeyless"},
+		descTemplates: []string{
+			"Type faster on the {brand} {series} {noun} with {variant} and {feature} built for durability.",
+			"The {series} with {variant} gives tactile satisfying keystrokes while {feature} keeps your setup tidy.",
+			"Esports professionals trust the {brand} {series} for its {variant} and {feature}.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"mechanische tastatur", "gaming tastatur"},
+			"fr": {"clavier mécanique", "clavier gaming"},
+			"es": {"teclado mecánico", "teclado gaming"},
+			"it": {"tastiera meccanica", "tastiera da gioco"},
+		},
+		priceBase: 60, priceSpread: 140,
+	},
+	{
+		name:        "headphones",
+		nouns:       []string{"wireless headphones", "over-ear headphones", "noise cancelling headphones", "bluetooth headset"},
+		brands:      []brandSpec{{"Sony", nil}, {"Bose", nil}, {"Sennheiser", []string{"Senn"}}, {"Audio-Technica", []string{"AT"}}, {"JBL", nil}, {"Beats", nil}},
+		seriesWords: []string{"WH-1000X", "QuietComfort", "Momentum", "HD", "ATH-M", "Live", "Tune", "Studio", "Solo", "Elite", "Free", "CX"},
+		dims: []variantDim{
+			{"model", []string{"M3", "M4", "M5", "35 II", "45", "50X", "40X", "660S", "560S", "700BT"}},
+		},
+		features: []string{"active noise cancelling", "30 hour battery", "40 hour battery", "aptX HD", "LDAC", "multipoint pairing", "foldable design", "built-in microphone", "touch controls"},
+		descTemplates: []string{
+			"Escape the noise with the {brand} {series} {variant} {noun} offering {feature} and plush memory foam earcups.",
+			"The {series} {variant} tunes rich balanced sound while {feature} keeps you listening all day.",
+			"Frequent travelers love the {brand} {series} {variant} for its {feature} and compact carry case.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"kabellose kopfhörer", "bluetooth kopfhörer"},
+			"fr": {"casque sans fil", "casque bluetooth"},
+			"es": {"auriculares inalámbricos", "auriculares bluetooth"},
+			"it": {"cuffie senza fili", "cuffie bluetooth"},
+		},
+		priceBase: 90, priceSpread: 260,
+	},
+	{
+		name:        "smartphones",
+		nouns:       []string{"smartphone", "mobile phone", "unlocked smartphone", "cell phone"},
+		brands:      []brandSpec{{"Samsung", []string{"SMS"}}, {"Apple", nil}, {"Google", nil}, {"OnePlus", []string{"1+"}}, {"Xiaomi", []string{"Mi"}}, {"Motorola", []string{"Moto"}}},
+		seriesWords: []string{"Galaxy S", "Galaxy A", "Galaxy Note", "iPhone", "Pixel", "Nord", "Redmi Note", "Edge", "Mi", "Pro Max"},
+		dims: []variantDim{
+			{"storage", []string{"32GB", "64GB", "128GB", "256GB", "512GB", "1TB"}},
+		},
+		features: []string{"5G", "dual SIM", "AMOLED display", "120Hz display", "triple camera", "wireless charging", "IP68 water resistant", "fast charging", "face unlock"},
+		descTemplates: []string{
+			"The {brand} {series} {variant} {noun} captures stunning photos with its {feature} and all day battery life.",
+			"Stay connected on the {series} {variant} featuring {feature} and a premium glass and metal build.",
+			"With {feature} the {brand} {series} {variant} delivers flagship performance without compromise.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"smartphone ohne vertrag", "handy"},
+			"fr": {"smartphone débloqué", "téléphone portable"},
+			"es": {"teléfono móvil libre", "smartphone libre"},
+			"it": {"smartphone sbloccato", "telefono cellulare"},
+		},
+		priceBase: 280, priceSpread: 700,
+	},
+	{
+		name:        "running shoes",
+		nouns:       []string{"running shoes", "road running shoes", "trail running shoes", "trainers"},
+		brands:      []brandSpec{{"Nike", nil}, {"Adidas", nil}, {"ASICS", nil}, {"Brooks", nil}, {"New Balance", []string{"NB"}}, {"Saucony", nil}, {"Hoka", nil}},
+		seriesWords: []string{"Pegasus", "Vomero", "Ultraboost", "Gel-Kayano", "Gel-Nimbus", "Ghost", "Glycerin", "Fresh Foam", "1080", "Ride", "Clifton", "Bondi", "Endorphin"},
+		dims: []variantDim{
+			{"size", []string{"size 8", "size 9", "size 9.5", "size 10", "size 10.5", "size 11", "size 12"}},
+		},
+		features: []string{"breathable mesh upper", "carbon plate", "gel cushioning", "boost midsole", "rocker geometry", "wide fit", "reflective details", "10mm drop", "neutral support"},
+		descTemplates: []string{
+			"Log comfortable miles in the {brand} {series} {noun} with {feature} and a secure midfoot lockdown in {variant}.",
+			"The {series} in {variant} pairs {feature} with a durable rubber outsole for daily training.",
+			"Runners praise the {brand} {series} for its {feature} whether racing or recovering, available in {variant}.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"laufschuhe", "herren laufschuhe"},
+			"fr": {"chaussures de course", "chaussures running"},
+			"es": {"zapatillas de correr", "zapatillas running"},
+			"it": {"scarpe da corsa", "scarpe running"},
+		},
+		priceBase: 85, priceSpread: 90,
+	},
+	{
+		name:        "watches",
+		nouns:       []string{"smartwatch", "fitness watch", "gps watch", "sports watch"},
+		brands:      []brandSpec{{"Garmin", nil}, {"Fitbit", nil}, {"Apple", nil}, {"Polar", nil}, {"Suunto", nil}, {"Amazfit", nil}},
+		seriesWords: []string{"Forerunner", "Fenix", "Venu", "Versa", "Sense", "Watch Series", "Vantage", "Ignite", "GTR", "T-Rex", "Instinct", "Epix"},
+		dims: []variantDim{
+			{"model", []string{"45", "55", "245", "255", "745", "945", "6", "6 Pro", "7", "7S", "3", "4"}},
+		},
+		features: []string{"GPS tracking", "heart rate sensor", "sleep tracking", "7 day battery", "14 day battery", "AMOLED screen", "music storage", "pulse ox sensor", "5ATM water rating"},
+		descTemplates: []string{
+			"Track every run with the {brand} {series} {variant} {noun} featuring {feature} and customizable watch faces.",
+			"The {series} {variant} monitors training load with {feature} so you recover smarter.",
+			"Athletes choose the {brand} {series} {variant} for its {feature} and rugged lightweight build.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"smartwatch", "gps sportuhr"},
+			"fr": {"montre connectée", "montre gps"},
+			"es": {"reloj inteligente", "reloj deportivo gps"},
+			"it": {"orologio intelligente", "orologio gps"},
+		},
+		priceBase: 150, priceSpread: 380,
+	},
+	{
+		name:        "printers",
+		nouns:       []string{"wireless printer", "all-in-one printer", "laser printer", "inkjet printer"},
+		brands:      []brandSpec{{"HP", nil}, {"Canon", nil}, {"Epson", nil}, {"Brother", nil}, {"Lexmark", nil}},
+		seriesWords: []string{"LaserJet", "OfficeJet", "DeskJet", "PIXMA", "MAXIFY", "EcoTank", "WorkForce", "HL", "MFC", "Envy", "imageCLASS"},
+		dims: []variantDim{
+			{"model", []string{"2700", "3750", "4100", "M15w", "M110", "TR4720", "ET-2803", "L3250", "9015e", "TS6420"}},
+		},
+		features: []string{"duplex printing", "wifi direct", "mobile printing", "flatbed scanner", "automatic document feeder", "borderless photo", "20ppm", "monochrome", "refillable tanks"},
+		descTemplates: []string{
+			"Print from anywhere with the {brand} {series} {variant} {noun} supporting {feature} right out of the box.",
+			"The {series} {variant} handles busy home offices thanks to {feature} and low cost per page.",
+			"Setup takes minutes on the {brand} {series} {variant} and {feature} keeps paperwork moving.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"multifunktionsdrucker", "wlan drucker"},
+			"fr": {"imprimante multifonction", "imprimante wifi"},
+			"es": {"impresora multifunción", "impresora wifi"},
+			"it": {"stampante multifunzione", "stampante wifi"},
+		},
+		priceBase: 95, priceSpread: 210,
+	},
+	{
+		name:        "routers",
+		nouns:       []string{"wifi router", "wireless router", "mesh router", "gaming router"},
+		brands:      []brandSpec{{"TP-Link", []string{"TPL"}}, {"Netgear", nil}, {"ASUS", nil}, {"Linksys", nil}, {"D-Link", nil}, {"Ubiquiti", []string{"UBNT"}}},
+		seriesWords: []string{"Archer", "Nighthawk", "Orbi", "Deco", "RT-AX", "ROG Rapture", "Velop", "AmpliFi", "EAX", "XR"},
+		dims: []variantDim{
+			{"model", []string{"AX21", "AX55", "AX73", "C7", "C80", "RAX40", "RAX80", "86U", "88U", "X20", "X60"}},
+		},
+		features: []string{"WiFi 6", "dual band", "tri band", "OFDMA", "MU-MIMO", "gigabit ports", "2.5G WAN", "parental controls", "VPN server", "beamforming"},
+		descTemplates: []string{
+			"Blanket your home in fast wifi with the {brand} {series} {variant} {noun} powered by {feature}.",
+			"The {series} {variant} eliminates dead zones using {feature} and easy app based setup.",
+			"Streamers pick the {brand} {series} {variant} because {feature} keeps latency low on every device.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"wlan router", "wifi router"},
+			"fr": {"routeur wifi", "routeur sans fil"},
+			"es": {"router wifi", "enrutador inalámbrico"},
+			"it": {"router wifi", "router wireless"},
+		},
+		priceBase: 70, priceSpread: 230,
+	},
+	{
+		// Category deliberately excluded by the simulated expert annotation
+		// of §3.3 ("we make the decision to exclude adult products"): it
+		// exists so the exclusion path is exercised end-to-end.
+		name:        "adult products",
+		nouns:       []string{"adult novelty item", "adult toy", "adult gift set"},
+		brands:      []brandSpec{{"NightVelvet", nil}, {"Aphrodite", nil}, {"RougeAmour", nil}},
+		seriesWords: []string{"Desire", "Passion", "Noir", "Velvet", "Secret", "Charm"},
+		dims: []variantDim{
+			{"model", []string{"One", "Two", "Three", "Four", "Five"}},
+		},
+		features: []string{"discreet packaging", "body safe silicone", "rechargeable", "waterproof", "gift boxed"},
+		descTemplates: []string{
+			"The {brand} {series} {variant} {noun} ships in {feature} for complete privacy.",
+			"Crafted from premium materials the {series} {variant} offers {feature}.",
+		},
+		foreignNouns: map[string][]string{
+			"de": {"erotikartikel"},
+			"fr": {"article pour adultes"},
+			"es": {"artículo para adultos"},
+			"it": {"articolo per adulti"},
+		},
+		priceBase: 40, priceSpread: 80,
+	},
+}
+
+// AdultCategoryName is the category the simulated expert annotators mark as
+// "avoid" during group curation.
+const AdultCategoryName = "adult products"

@@ -1,0 +1,149 @@
+// Package corpus synthesizes the web-scale product corpus that substitutes
+// for the WDC Product Data Corpus V2020 (PDC2020, §3.1). E-shops render
+// heterogeneous offers for catalog products into schema.org-annotated HTML
+// pages; the pages are re-extracted through internal/schemaorg, grouped into
+// clusters via product identifiers, and handed to the cleansing pipeline.
+//
+// Ground truth (which catalog product an offer really describes, which
+// offers are injected noise) is carried alongside so tests and the
+// label-quality study can audit every later pipeline stage.
+package corpus
+
+import (
+	"sort"
+
+	"wdcproducts/internal/schemaorg"
+)
+
+// Truth is the generator-side ground truth for one offer.
+type Truth struct {
+	// ProductID is the catalog product the offer text actually describes.
+	ProductID int
+	// Lang is the language the offer was rendered in ("en", "de", ...).
+	Lang string
+	// Noise marks offers injected into a foreign cluster (their identifier
+	// points at a different product than their text).
+	Noise bool
+	// Duplicate marks exact re-listings of an earlier offer.
+	Duplicate bool
+	// ShortTitle marks offers whose title was truncated below five tokens.
+	ShortTitle bool
+}
+
+// Corpus is the extracted, identifier-clustered offer collection.
+type Corpus struct {
+	// Products is the generating catalog; index = Product.ID.
+	Products []Product
+	// Offers holds all extracted offers; Offer.ID indexes Truth.
+	Offers []schemaorg.Offer
+	// Truth maps Offer.ID to generator ground truth.
+	Truth map[int64]Truth
+	// Clusters maps ClusterID to indices into Offers.
+	Clusters map[int64][]int
+	// ClusterProduct maps ClusterID to the catalog product whose
+	// identifier formed the cluster.
+	ClusterProduct map[int64]int
+	// Stats carries per-step pipeline counts (Figure 2).
+	Stats GenStats
+}
+
+// GenStats records the counts the generation/extraction steps produce, the
+// numbers visualized along the Figure 2 pipeline.
+type GenStats struct {
+	CatalogProducts int
+	PagesGenerated  int
+	ListingPages    int
+	AdPages         int
+	PagesExtracted  int
+	OffersExtracted int
+	NoIdentifier    int
+	OffersClustered int
+	Clusters        int
+}
+
+// ClusterIDs returns all cluster ids in ascending order.
+func (c *Corpus) ClusterIDs() []int64 {
+	ids := make([]int64, 0, len(c.Clusters))
+	for id := range c.Clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ClusterOffers returns the offers of one cluster.
+func (c *Corpus) ClusterOffers(clusterID int64) []schemaorg.Offer {
+	idxs := c.Clusters[clusterID]
+	out := make([]schemaorg.Offer, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, c.Offers[i])
+	}
+	return out
+}
+
+// OfferTruth returns the ground truth for an offer id.
+func (c *Corpus) OfferTruth(offerID int64) (Truth, bool) {
+	t, ok := c.Truth[offerID]
+	return t, ok
+}
+
+// RemoveOffers returns a copy of the corpus without the offers whose ids
+// are in the drop set, re-deriving the cluster index. Cleansing steps use
+// it so the original corpus stays immutable.
+func (c *Corpus) RemoveOffers(drop map[int64]bool) *Corpus {
+	out := &Corpus{
+		Products:       c.Products,
+		Truth:          c.Truth,
+		ClusterProduct: map[int64]int{},
+		Clusters:       map[int64][]int{},
+		Stats:          c.Stats,
+	}
+	keepCluster := map[int64]bool{}
+	for _, o := range c.Offers {
+		if drop[o.ID] {
+			continue
+		}
+		out.Offers = append(out.Offers, o)
+		keepCluster[o.ClusterID] = true
+	}
+	for i, o := range out.Offers {
+		out.Clusters[o.ClusterID] = append(out.Clusters[o.ClusterID], i)
+	}
+	for id := range keepCluster {
+		out.ClusterProduct[id] = c.ClusterProduct[id]
+	}
+	return out
+}
+
+// PruneSmallClusters drops clusters with fewer than minSize offers,
+// mirroring PDC2020's restriction to clusters of size >= 2.
+func (c *Corpus) PruneSmallClusters(minSize int) *Corpus {
+	drop := map[int64]bool{}
+	for id, idxs := range c.Clusters {
+		if len(idxs) < minSize {
+			for _, i := range idxs {
+				drop[c.Offers[i].ID] = true
+			}
+			_ = id
+		}
+	}
+	return c.RemoveOffers(drop)
+}
+
+// Titles returns every offer title, the training corpus for the embedding
+// model and the BPE tokenizer.
+func (c *Corpus) Titles() []string {
+	out := make([]string, len(c.Offers))
+	for i, o := range c.Offers {
+		out[i] = o.Title
+	}
+	return out
+}
+
+// rebuildClusters re-derives Clusters from the Offers' ClusterID fields.
+func (c *Corpus) rebuildClusters() {
+	c.Clusters = map[int64][]int{}
+	for i, o := range c.Offers {
+		c.Clusters[o.ClusterID] = append(c.Clusters[o.ClusterID], i)
+	}
+}

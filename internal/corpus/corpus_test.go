@@ -1,0 +1,348 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/xrand"
+)
+
+func tinyCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	return Generate(TinyConfig(), xrand.New(1234))
+}
+
+func TestBuildCatalogStructure(t *testing.T) {
+	cfg := DefaultCatalogConfig()
+	products := BuildCatalog(cfg, xrand.New(1).Stream("catalog"))
+	if len(products) < 800 {
+		t.Fatalf("catalog too small: %d products", len(products))
+	}
+	siblings := SeriesSiblings(products)
+	for key, ids := range siblings {
+		if len(ids) < cfg.MinSiblings {
+			t.Errorf("series %s has %d siblings, want >= %d", key, len(ids), cfg.MinSiblings)
+		}
+		// Siblings share brand+series but differ in variant.
+		seen := map[string]bool{}
+		for _, id := range ids {
+			p := products[id]
+			if seen[p.Variant] {
+				t.Errorf("series %s has duplicate variant %q", key, p.Variant)
+			}
+			seen[p.Variant] = true
+		}
+	}
+	// IDs are dense and self-referential.
+	for i, p := range products {
+		if p.ID != i {
+			t.Fatalf("product %d has ID %d", i, p.ID)
+		}
+		if p.GTIN == "" || p.ModelCode == "" {
+			t.Fatalf("product %d missing identifiers: %+v", i, p)
+		}
+		if len(p.GTIN) != 13 {
+			t.Fatalf("GTIN length = %d", len(p.GTIN))
+		}
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	a := BuildCatalog(DefaultCatalogConfig(), xrand.New(7).Stream("catalog"))
+	b := BuildCatalog(DefaultCatalogConfig(), xrand.New(7).Stream("catalog"))
+	if len(a) != len(b) {
+		t.Fatalf("catalog sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].GTIN != b[i].GTIN || a[i].Variant != b[i].Variant {
+			t.Fatalf("catalog differs at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGTINCheckDigit(t *testing.T) {
+	products := BuildCatalog(DefaultCatalogConfig(), xrand.New(2).Stream("catalog"))
+	for _, p := range products[:50] {
+		sum := 0
+		for i := 0; i < 12; i++ {
+			d := int(p.GTIN[i] - '0')
+			if i%2 == 0 {
+				sum += d
+			} else {
+				sum += 3 * d
+			}
+		}
+		want := (10 - sum%10) % 10
+		if int(p.GTIN[12]-'0') != want {
+			t.Fatalf("GTIN %s has wrong check digit", p.GTIN)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	c := tinyCorpus(t)
+	if len(c.Offers) == 0 {
+		t.Fatal("no offers generated")
+	}
+	if len(c.Clusters) == 0 {
+		t.Fatal("no clusters formed")
+	}
+	if c.Stats.PagesGenerated <= c.Stats.PagesExtracted {
+		t.Errorf("listing pages should be dropped: generated %d, extracted %d",
+			c.Stats.PagesGenerated, c.Stats.PagesExtracted)
+	}
+	if c.Stats.NoIdentifier == 0 {
+		t.Error("expected some offers without identifiers")
+	}
+	// Every offer has truth and belongs to its cluster index.
+	for i, o := range c.Offers {
+		if _, ok := c.Truth[o.ID]; !ok {
+			t.Fatalf("offer %d missing truth", o.ID)
+		}
+		found := false
+		for _, idx := range c.Clusters[o.ClusterID] {
+			if idx == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("offer %d not in its cluster index", o.ID)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(TinyConfig(), xrand.New(99))
+	b := Generate(TinyConfig(), xrand.New(99))
+	if len(a.Offers) != len(b.Offers) {
+		t.Fatalf("offer counts differ: %d vs %d", len(a.Offers), len(b.Offers))
+	}
+	for i := range a.Offers {
+		if a.Offers[i].Title != b.Offers[i].Title || a.Offers[i].ClusterID != b.Offers[i].ClusterID {
+			t.Fatalf("offers differ at %d", i)
+		}
+	}
+}
+
+func TestClusterPurity(t *testing.T) {
+	c := tinyCorpus(t)
+	noisyClusters := 0
+	for id, idxs := range c.Clusters {
+		owner := c.ClusterProduct[id]
+		impure := 0
+		for _, i := range idxs {
+			truth := c.Truth[c.Offers[i].ID]
+			if truth.ProductID != owner {
+				impure++
+				if !truth.Noise {
+					t.Fatalf("cluster %d contains non-noise offer of wrong product", id)
+				}
+			}
+		}
+		if impure > 0 {
+			noisyClusters++
+		}
+	}
+	if noisyClusters == 0 {
+		t.Error("expected some noisy clusters from PClusterNoise")
+	}
+	// Noise should stay a small minority, like the 1.8-6.9% of PDC2020.
+	if frac := float64(noisyClusters) / float64(len(c.Clusters)); frac > 0.2 {
+		t.Errorf("too many noisy clusters: %.2f", frac)
+	}
+}
+
+func TestContaminationPresent(t *testing.T) {
+	c := tinyCorpus(t)
+	var foreign, dup, short int
+	for _, tr := range c.Truth {
+		if tr.Lang != "en" {
+			foreign++
+		}
+		if tr.Duplicate {
+			dup++
+		}
+		if tr.ShortTitle {
+			short++
+		}
+	}
+	if foreign == 0 || dup == 0 || short == 0 {
+		t.Fatalf("contamination missing: foreign=%d dup=%d short=%d", foreign, dup, short)
+	}
+}
+
+func TestHeavyClusterSizes(t *testing.T) {
+	cfg := TinyConfig()
+	c := Generate(cfg, xrand.New(5))
+	for id, idxs := range c.Clusters {
+		owner := c.ClusterProduct[id]
+		if owner < 0 || owner >= len(c.Products) {
+			continue
+		}
+		// Count only clean English base offers (what survives cleansing).
+		clean := 0
+		for _, i := range idxs {
+			tr := c.Truth[c.Offers[i].ID]
+			if tr.Lang == "en" && !tr.Noise && !tr.Duplicate && !tr.ShortTitle {
+				clean++
+			}
+		}
+		p := c.Products[owner]
+		// Base offers can lose their identifiers (PNoIdentifier) and drop
+		// out at grouping, so allow a small deficit below the base count.
+		if p.Heavy && clean < cfg.HeavyMinOffers-2 {
+			t.Errorf("heavy cluster %d has only %d clean offers", id, clean)
+		}
+		if !p.Heavy && clean > cfg.LightMaxOffers {
+			t.Errorf("light cluster %d has %d clean offers", id, clean)
+		}
+	}
+}
+
+func TestRenderOfferShape(t *testing.T) {
+	products := BuildCatalog(DefaultCatalogConfig(), xrand.New(3).Stream("catalog"))
+	rng := xrand.New(3).Stream("render")
+	spec := &catalogSpecs[0]
+	var withDesc, withBrand, withPrice, total int
+	var titleLens []int
+	for i := 0; i < 400; i++ {
+		o := renderOffer(&products[i%len(products)], spec, DefaultRenderConfig(), rng)
+		total++
+		if o.Title == "" {
+			t.Fatal("empty title rendered")
+		}
+		titleLens = append(titleLens, textutil.WordCount(o.Title))
+		if o.Description != "" {
+			withDesc++
+		}
+		if o.Brand != "" {
+			withBrand++
+		}
+		if o.Price != "" {
+			withPrice++
+		}
+	}
+	// Densities should land near the Table 2 calibration targets.
+	checkRate := func(name string, got, want, tol float64) {
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s density = %.2f, want %.2f±%.2f", name, got, want, tol)
+		}
+	}
+	checkRate("description", float64(withDesc)/float64(total), 0.76, 0.10)
+	checkRate("brand", float64(withBrand)/float64(total), 0.35, 0.10)
+	checkRate("price", float64(withPrice)/float64(total), 0.93, 0.07)
+	// Median title length near 8 words.
+	sortInts(titleLens)
+	med := titleLens[len(titleLens)/2]
+	if med < 5 || med > 11 {
+		t.Errorf("median title length = %d, want ~8", med)
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestSiblingTitleSimilarity(t *testing.T) {
+	// Sibling products must render similar titles (the corner-case device):
+	// shared brand+series tokens with only the variant differing.
+	products := BuildCatalog(DefaultCatalogConfig(), xrand.New(11).Stream("catalog"))
+	siblings := SeriesSiblings(products)
+	rng := xrand.New(11).Stream("render")
+	specByName := map[string]*categorySpec{}
+	for i := range catalogSpecs {
+		specByName[catalogSpecs[i].name] = &catalogSpecs[i]
+	}
+	for key, ids := range siblings {
+		if len(ids) < 2 {
+			continue
+		}
+		a := products[ids[0]]
+		b := products[ids[1]]
+		oa := renderOffer(&a, specByName[a.Category], DefaultRenderConfig(), rng)
+		ob := renderOffer(&b, specByName[b.Category], DefaultRenderConfig(), rng)
+		sa := textutil.TokenSet(oa.Title)
+		sb := textutil.TokenSet(ob.Title)
+		shared := 0
+		for tok := range sa {
+			if sb[tok] {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Fatalf("series %s siblings share no title tokens: %q vs %q", key, oa.Title, ob.Title)
+		}
+		break // one series suffices; rendering is uniform
+	}
+}
+
+func TestRewriteVariant(t *testing.T) {
+	rng := xrand.New(1).Stream("v")
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		seen[rewriteVariant("2TB", rng)] = true
+	}
+	if !seen["2 TB"] || !seen["2000GB"] {
+		t.Errorf("2TB rewrites missing: %v", seen)
+	}
+	if got := rewriteVariant("red switches", rng); got != "red switches" {
+		t.Errorf("non-unit variant rewritten: %q", got)
+	}
+	// Unit rewrites must normalize back to the same canonical token.
+	canon := func(s string) string {
+		return strings.Join(textutil.NormalizeUnits(textutil.Tokenize(s)), " ")
+	}
+	if canon("2TB") != canon("2000GB") || canon("2TB") != canon("2 TB") {
+		t.Error("unit rewrites not canonically equal")
+	}
+}
+
+func TestRemoveOffersAndPrune(t *testing.T) {
+	c := tinyCorpus(t)
+	// Drop every offer of the first cluster.
+	ids := c.ClusterIDs()
+	first := ids[0]
+	drop := map[int64]bool{}
+	for _, i := range c.Clusters[first] {
+		drop[c.Offers[i].ID] = true
+	}
+	c2 := c.RemoveOffers(drop)
+	if _, ok := c2.Clusters[first]; ok {
+		t.Fatal("dropped cluster still present")
+	}
+	if len(c2.Offers) != len(c.Offers)-len(c.Clusters[first]) {
+		t.Fatal("wrong offer count after removal")
+	}
+	// Prune singletons.
+	c3 := c2.PruneSmallClusters(2)
+	for id, idxs := range c3.Clusters {
+		if len(idxs) < 2 {
+			t.Fatalf("cluster %d survived pruning with %d offers", id, len(idxs))
+		}
+	}
+}
+
+func TestShopCount(t *testing.T) {
+	c := tinyCorpus(t)
+	n := c.ShopCount()
+	if n <= 1 || n > TinyConfig().Shops {
+		t.Fatalf("ShopCount = %d", n)
+	}
+}
+
+func TestForeignOfferLanguage(t *testing.T) {
+	products := BuildCatalog(DefaultCatalogConfig(), xrand.New(4).Stream("catalog"))
+	rng := xrand.New(4).Stream("f")
+	o := renderForeignOffer(&products[0], &catalogSpecs[0], "de", DefaultRenderConfig(), rng)
+	if o.Description == "" {
+		t.Fatal("foreign offer missing description")
+	}
+	if !strings.Contains(o.Title, products[0].Series) {
+		t.Error("foreign title should keep the series name")
+	}
+}

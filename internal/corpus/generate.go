@@ -1,0 +1,241 @@
+package corpus
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+// Config controls corpus generation.
+type Config struct {
+	Catalog CatalogConfig
+	Render  RenderConfig
+	// Shops is the number of distinct e-shops emitting pages.
+	Shops int
+	// Offer count ranges per product regime (pre-cleansing; the upper
+	// heavy bound exceeds the paper's cap of 15 because cleansing removes
+	// contaminated offers and splitting caps at 15 anyway).
+	HeavyMinOffers, HeavyMaxOffers int
+	LightMinOffers, LightMaxOffers int
+	// Contamination rates. These offers are generated in addition to the
+	// base counts so the cleansing steps (§3.2) have realistic work while
+	// post-cleansing cluster sizes remain controlled.
+	PNonEnglish   float64 // extra non-English offer per base offer
+	PDuplicate    float64 // extra exact-duplicate offer per base offer
+	PShortTitle   float64 // extra short-title offer per base offer
+	PClusterNoise float64 // per heavy cluster: inject one wrong-product offer
+	PNoIdentifier float64 // offer rendered without any identifier
+	PListingPage  float64 // per cluster: emit one multi-product listing page
+}
+
+// DefaultConfig returns the paper-scale generation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Catalog:        DefaultCatalogConfig(),
+		Render:         DefaultRenderConfig(),
+		Shops:          300,
+		HeavyMinOffers: 9, HeavyMaxOffers: 16,
+		LightMinOffers: 3, LightMaxOffers: 7,
+		PNonEnglish:   0.18,
+		PDuplicate:    0.05,
+		PShortTitle:   0.04,
+		PClusterNoise: 0.06,
+		PNoIdentifier: 0.02,
+		PListingPage:  0.02,
+	}
+}
+
+// TinyConfig returns a configuration for fast unit tests.
+func TinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Catalog.SeriesPerBrand = 1
+	cfg.Shops = 40
+	cfg.HeavyMinOffers, cfg.HeavyMaxOffers = 8, 12
+	cfg.LightMinOffers, cfg.LightMaxOffers = 3, 5
+	return cfg
+}
+
+// genRecord ties a generated page to its ground truth; pages and records
+// stay index-aligned through extraction.
+type genRecord struct {
+	truth   Truth
+	listing bool
+}
+
+// Generate runs the full §3.1 substitute: catalog synthesis, per-shop offer
+// rendering, schema.org page emission, extraction, and identifier-based
+// cluster grouping. The result is the raw (pre-cleansing) corpus.
+func Generate(cfg Config, src *xrand.Source) *Corpus {
+	catRng := src.Stream("catalog")
+	products := BuildCatalog(cfg.Catalog, catRng)
+	specByName := map[string]*categorySpec{}
+	for i := range catalogSpecs {
+		specByName[catalogSpecs[i].name] = &catalogSpecs[i]
+	}
+
+	offerRng := src.Stream("offers")
+	pageRng := src.Stream("pages")
+	var pages []schemaorg.Page
+	var records []genRecord
+	stats := GenStats{CatalogProducts: len(products)}
+
+	emit := func(o schemaorg.Offer, truth Truth, listing bool, extra *schemaorg.Offer) {
+		shop := pageRng.Intn(maxInt(cfg.Shops, 1))
+		o.ShopID = shop
+		format := schemaorg.FormatJSONLD
+		if shop%2 == 1 {
+			format = schemaorg.FormatMicrodata
+		}
+		url := fmt.Sprintf("https://shop%d.example/p/%d", shop, len(pages))
+		var page schemaorg.Page
+		if listing && extra != nil {
+			page = schemaorg.RenderPage(url, shop, format, o, *extra)
+			stats.ListingPages++
+		} else {
+			page = schemaorg.RenderPage(url, shop, format, o)
+		}
+		pages = append(pages, page)
+		records = append(records, genRecord{truth: truth, listing: listing})
+	}
+
+	foreignLangs := []string{"de", "fr", "es", "it"}
+	for pi := range products {
+		p := &products[pi]
+		spec := specByName[p.Category]
+		n := xrand.IntBetween(offerRng, cfg.LightMinOffers, cfg.LightMaxOffers)
+		if p.Heavy {
+			n = xrand.IntBetween(offerRng, cfg.HeavyMinOffers, cfg.HeavyMaxOffers)
+		}
+		var lastGood *schemaorg.Offer
+		for k := 0; k < n; k++ {
+			o := renderOffer(p, spec, cfg.Render, offerRng)
+			if xrand.Bool(offerRng, cfg.PNoIdentifier) {
+				o.GTIN, o.MPN, o.SKU = "", "", ""
+			}
+			good := o
+			lastGood = &good
+			emit(o, Truth{ProductID: p.ID, Lang: "en"}, false, nil)
+
+			// Contamination offers ride on top of the base count.
+			if xrand.Bool(offerRng, cfg.PNonEnglish) {
+				lang := foreignLangs[offerRng.Intn(len(foreignLangs))]
+				fo := renderForeignOffer(p, spec, lang, cfg.Render, offerRng)
+				emit(fo, Truth{ProductID: p.ID, Lang: lang}, false, nil)
+			}
+			if xrand.Bool(offerRng, cfg.PDuplicate) {
+				dup := o // exact same text from another shop
+				emit(dup, Truth{ProductID: p.ID, Lang: "en", Duplicate: true}, false, nil)
+			}
+			if xrand.Bool(offerRng, cfg.PShortTitle) {
+				st := renderOffer(p, spec, cfg.Render, offerRng)
+				st.Title = shortenTitle(st.Title, offerRng)
+				emit(st, Truth{ProductID: p.ID, Lang: "en", ShortTitle: true}, false, nil)
+			}
+		}
+		// Cluster noise: an offer whose text describes a different product
+		// but which carries this product's identifiers (mis-annotated shop
+		// data, the 1.8-6.9% noise §3.1 reports).
+		if p.Heavy && xrand.Bool(offerRng, cfg.PClusterNoise) && len(products) > 1 {
+			other := offerRng.Intn(len(products))
+			if other == p.ID {
+				other = (other + 1) % len(products)
+			}
+			op := &products[other]
+			noisy := renderOffer(op, specByName[op.Category], cfg.Render, offerRng)
+			noisy.GTIN, noisy.MPN = p.GTIN, p.ModelCode
+			emit(noisy, Truth{ProductID: other, Lang: "en", Noise: true}, false, nil)
+		}
+		// Listing pages: a page advertising two sibling products at once;
+		// extraction drops the whole page (§3.1).
+		if xrand.Bool(offerRng, cfg.PListingPage) && lastGood != nil {
+			second := renderOffer(p, spec, cfg.Render, offerRng)
+			emit(*lastGood, Truth{ProductID: p.ID, Lang: "en"}, true, &second)
+		}
+	}
+	stats.PagesGenerated = len(pages)
+
+	// Extraction: parse every page; drop listing pages.
+	c := &Corpus{
+		Products:       products,
+		Truth:          map[int64]Truth{},
+		Clusters:       map[int64][]int{},
+		ClusterProduct: map[int64]int{},
+	}
+	var nextID int64
+	for i, page := range pages {
+		extracted := schemaorg.ExtractPage(page)
+		if len(extracted) != 1 {
+			continue // listing page or extraction failure
+		}
+		stats.PagesExtracted++
+		o := extracted[0]
+		o.ID = nextID
+		nextID++
+		c.Offers = append(c.Offers, o)
+		c.Truth[o.ID] = records[i].truth
+	}
+	stats.OffersExtracted = len(c.Offers)
+
+	// Identifier grouping: offers sharing a GTIN/MPN/SKU key form a
+	// cluster; offers without identifiers cannot be grouped and are
+	// dropped, as in PDC2020.
+	clusterByKey := map[string]int64{}
+	var kept []schemaorg.Offer
+	for _, o := range c.Offers {
+		key := o.IdentifierKey()
+		if key == "" {
+			stats.NoIdentifier++
+			delete(c.Truth, o.ID)
+			continue
+		}
+		id, ok := clusterByKey[key]
+		if !ok {
+			id = int64(len(clusterByKey))
+			clusterByKey[key] = id
+			// The cluster's owning product is the one whose identifier
+			// formed the key; noise offers share the key but have a
+			// different truth product.
+			c.ClusterProduct[id] = c.Truth[o.ID].ProductID
+			if c.Truth[o.ID].Noise {
+				// The identifiers of a noise offer belong to the cluster
+				// owner, not the text's product; resolve via catalog.
+				c.ClusterProduct[id] = productByGTIN(products, o.GTIN)
+			}
+		}
+		o.ClusterID = id
+		kept = append(kept, o)
+	}
+	c.Offers = kept
+	c.rebuildClusters()
+	stats.OffersClustered = len(c.Offers)
+	stats.Clusters = len(c.Clusters)
+	c.Stats = stats
+	return c
+}
+
+func productByGTIN(products []Product, gtin string) int {
+	for i := range products {
+		if products[i].GTIN == gtin {
+			return i
+		}
+	}
+	return -1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ShopCount returns the number of distinct shops contributing offers, the
+// "# Sources" statistic of Table 6.
+func (c *Corpus) ShopCount() int {
+	seen := map[int]bool{}
+	for _, o := range c.Offers {
+		seen[o.ShopID] = true
+	}
+	return len(seen)
+}

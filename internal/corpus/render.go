@@ -1,0 +1,233 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+// RenderConfig tunes the per-offer heterogeneity operators. The default
+// probabilities are calibrated so the generated benchmark reproduces the
+// attribute densities of Table 2 (title 100%, description ~75%, price ~93%,
+// priceCurrency ~90%, brand ~35%) and a median title length of ~8 words.
+type RenderConfig struct {
+	PBrandInTitle   float64 // brand token appears in the title
+	PBrandAbbrev    float64 // ... as an abbreviation, when available
+	PModelInTitle   float64 // manufacturer part number appears in the title
+	PUnitVariant    float64 // variant token is rewritten ("1TB" -> "1000GB")
+	PFeature        float64 // each feature token is mentioned
+	PMarketing      float64 // a marketing token is appended
+	PSecondMarket   float64 // ... and a second one
+	PTypo           float64 // one token receives a character transposition
+	PNounFirst      float64 // head noun precedes the variant
+	PDescription    float64 // description attribute present
+	PSecondSentence float64 // description gets a second sentence
+	PBrandAttr      float64 // brand attribute present
+	PPrice          float64 // price attribute present
+	PCurrency       float64 // priceCurrency attribute present
+}
+
+// DefaultRenderConfig returns the Table 2-calibrated defaults.
+func DefaultRenderConfig() RenderConfig {
+	return RenderConfig{
+		PBrandInTitle:   0.86,
+		PBrandAbbrev:    0.25,
+		PModelInTitle:   0.45,
+		PUnitVariant:    0.35,
+		PFeature:        0.40,
+		PMarketing:      0.40,
+		PSecondMarket:   0.25,
+		PTypo:           0.04,
+		PNounFirst:      0.25,
+		PDescription:    0.76,
+		PSecondSentence: 0.75,
+		PBrandAttr:      0.35,
+		PPrice:          0.93,
+		PCurrency:       0.90,
+	}
+}
+
+var currencies = []string{"USD", "USD", "USD", "EUR", "EUR", "GBP"}
+
+// renderOffer produces one vendor-specific English offer for a product.
+func renderOffer(p *Product, spec *categorySpec, cfg RenderConfig, rng *rand.Rand) schemaorg.Offer {
+	var parts []string
+	brandForm := p.Brand
+	if len(p.BrandAbbrevs) > 0 && xrand.Bool(rng, cfg.PBrandAbbrev) {
+		brandForm = p.BrandAbbrevs[rng.Intn(len(p.BrandAbbrevs))]
+	}
+	if xrand.Bool(rng, cfg.PBrandInTitle) {
+		parts = append(parts, brandForm)
+	}
+	parts = append(parts, p.Series)
+
+	variant := p.Variant
+	if xrand.Bool(rng, cfg.PUnitVariant) {
+		variant = rewriteVariant(variant, rng)
+	}
+	noun := spec.nouns[rng.Intn(len(spec.nouns))]
+	if xrand.Bool(rng, cfg.PNounFirst) {
+		parts = append(parts, noun, variant)
+	} else {
+		parts = append(parts, variant, noun)
+	}
+	if xrand.Bool(rng, cfg.PModelInTitle) {
+		parts = append(parts, p.ModelCode)
+	}
+	for _, f := range p.Features {
+		if xrand.Bool(rng, cfg.PFeature) {
+			parts = append(parts, f)
+		}
+	}
+	if xrand.Bool(rng, cfg.PMarketing) {
+		parts = append(parts, marketingTokens[rng.Intn(len(marketingTokens))])
+		if xrand.Bool(rng, cfg.PSecondMarket) {
+			parts = append(parts, marketingTokens[rng.Intn(len(marketingTokens))])
+		}
+	}
+	title := strings.Join(parts, " ")
+	if xrand.Bool(rng, cfg.PTypo) {
+		title = injectTypo(title, rng)
+	}
+
+	o := schemaorg.Offer{Title: title}
+	if xrand.Bool(rng, cfg.PDescription) {
+		o.Description = renderDescription(p, spec, variant, cfg, rng)
+	}
+	if xrand.Bool(rng, cfg.PBrandAttr) {
+		o.Brand = p.Brand
+	}
+	if xrand.Bool(rng, cfg.PPrice) {
+		jitter := 1 + (rng.Float64()-0.5)*0.3
+		o.Price = fmt.Sprintf("%.2f", p.BasePrice*jitter)
+	}
+	if xrand.Bool(rng, cfg.PCurrency) {
+		o.PriceCurrency = currencies[rng.Intn(len(currencies))]
+	}
+	o.GTIN = p.GTIN
+	o.MPN = p.ModelCode
+	o.SKU = fmt.Sprintf("SKU-%d-%04d", p.ID, rng.Intn(10000))
+	return o
+}
+
+// renderDescription fills 1-2 category templates with the product's slots.
+func renderDescription(p *Product, spec *categorySpec, variant string, cfg RenderConfig, rng *rand.Rand) string {
+	fill := func(tmpl string) string {
+		feat := ""
+		if len(p.Features) > 0 {
+			feat = p.Features[rng.Intn(len(p.Features))]
+		}
+		r := strings.NewReplacer(
+			"{brand}", p.Brand,
+			"{series}", p.Series,
+			"{variant}", variant,
+			"{feature}", feat,
+			"{noun}", spec.nouns[rng.Intn(len(spec.nouns))],
+		)
+		return r.Replace(tmpl)
+	}
+	idx := rng.Intn(len(spec.descTemplates))
+	out := fill(spec.descTemplates[idx])
+	if xrand.Bool(rng, cfg.PSecondSentence) && len(spec.descTemplates) > 1 {
+		second := rng.Intn(len(spec.descTemplates))
+		if second == idx {
+			second = (second + 1) % len(spec.descTemplates)
+		}
+		out += " " + fill(spec.descTemplates[second])
+	}
+	return out
+}
+
+// renderForeignOffer produces a non-English offer (title and description in
+// the given language), the contamination the §3.2 language filter removes.
+func renderForeignOffer(p *Product, spec *categorySpec, lang string, cfg RenderConfig, rng *rand.Rand) schemaorg.Offer {
+	nouns := spec.foreignNouns[lang]
+	if len(nouns) == 0 {
+		nouns = spec.nouns
+	}
+	parts := []string{p.Brand, p.Series, p.Variant, nouns[rng.Intn(len(nouns))]}
+	if marks := foreignMarketing[lang]; len(marks) > 0 {
+		parts = append(parts, marks[rng.Intn(len(marks))])
+		if xrand.Bool(rng, 0.5) {
+			parts = append(parts, marks[rng.Intn(len(marks))])
+		}
+	}
+	o := schemaorg.Offer{Title: strings.Join(parts, " ")}
+	seeds := langid.SeedSentences(lang)
+	if len(seeds) > 0 {
+		a := seeds[rng.Intn(len(seeds))]
+		b := seeds[rng.Intn(len(seeds))]
+		o.Description = a + " " + b
+	}
+	if xrand.Bool(rng, cfg.PPrice) {
+		o.Price = fmt.Sprintf("%.2f", p.BasePrice)
+		o.PriceCurrency = "EUR"
+	}
+	o.GTIN = p.GTIN
+	o.MPN = p.ModelCode
+	return o
+}
+
+// rewriteVariant applies the unit-heterogeneity operator: "2TB" becomes
+// "2 TB" or "2000GB", "size 9" becomes "us 9" or "sz 9", etc.
+func rewriteVariant(v string, rng *rand.Rand) string {
+	lower := strings.ToLower(v)
+	switch {
+	case strings.HasSuffix(lower, "tb") && !strings.Contains(v, " "):
+		num := v[:len(v)-2]
+		if rng.Intn(2) == 0 {
+			return num + " TB"
+		}
+		return num + "000GB"
+	case strings.HasSuffix(lower, "gb") && !strings.Contains(v, " "):
+		num := v[:len(v)-2]
+		return num + " GB"
+	case strings.HasPrefix(lower, "size "):
+		num := v[5:]
+		if rng.Intn(2) == 0 {
+			return "us " + num
+		}
+		return "sz " + num
+	case strings.HasSuffix(lower, " inch"):
+		num := v[:len(v)-5]
+		if rng.Intn(2) == 0 {
+			return num + "in"
+		}
+		return num + "\""
+	default:
+		return v
+	}
+}
+
+// injectTypo transposes two adjacent characters inside one alphabetic token.
+func injectTypo(title string, rng *rand.Rand) string {
+	words := strings.Fields(title)
+	// Pick a word long enough to transpose.
+	for attempts := 0; attempts < 5; attempts++ {
+		i := rng.Intn(len(words))
+		w := words[i]
+		if len(w) >= 4 {
+			pos := 1 + rng.Intn(len(w)-2)
+			b := []byte(w)
+			b[pos], b[pos+1] = b[pos+1], b[pos]
+			words[i] = string(b)
+			break
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// shortenTitle truncates a title below the five-token cleansing threshold,
+// producing the "sparsely described" offers §3.2 removes.
+func shortenTitle(title string, rng *rand.Rand) string {
+	words := strings.Fields(title)
+	keep := 2 + rng.Intn(2) // 2-3 words
+	if keep > len(words) {
+		keep = len(words)
+	}
+	return strings.Join(words[:keep], " ")
+}

@@ -1,0 +1,188 @@
+// Package dbscan implements the density-based clustering used by the §3.3
+// grouping step (substituting scikit-learn's DBSCAN with eps=0.35 and
+// min_samples=1 over binary word-occurrence vectors).
+//
+// The implementation supports general min_samples; with min_samples <= 1
+// every point is a core point and DBSCAN reduces exactly to the connected
+// components of the eps-neighbourhood graph, which is computed with
+// union-find. Neighbour candidates come from an inverted index over the
+// non-zero dimensions, so only vector pairs sharing at least one token are
+// ever compared — with cosine distance, disjoint vectors are at distance 1
+// and can never be neighbours for eps < 1.
+package dbscan
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/vector"
+)
+
+// Noise is the label assigned to points in no cluster (only possible when
+// MinSamples > 1).
+const Noise = -1
+
+// Config holds the clustering parameters.
+type Config struct {
+	// Eps is the maximum cosine distance (1 - cosine similarity) for two
+	// points to be neighbours.
+	Eps float64
+	// MinSamples is the core-point threshold, counting the point itself
+	// (scikit-learn semantics).
+	MinSamples int
+}
+
+// DefaultConfig returns the paper's parameters (§3.3).
+func DefaultConfig() Config { return Config{Eps: 0.35, MinSamples: 1} }
+
+// Cluster assigns a group label to every input vector. Labels are dense
+// integers starting at 0; points labelled Noise belong to no group.
+func Cluster(points []vector.Sparse, cfg Config) ([]int, error) {
+	if cfg.Eps < 0 || cfg.Eps > 1 {
+		return nil, fmt.Errorf("dbscan: eps %v outside [0,1] for cosine distance", cfg.Eps)
+	}
+	if cfg.MinSamples < 1 {
+		cfg.MinSamples = 1
+	}
+	if cfg.MinSamples == 1 {
+		return componentCluster(points, cfg.Eps), nil
+	}
+	return classicDBSCAN(points, cfg), nil
+}
+
+// invertedIndex maps dimension id -> point ids containing it.
+func invertedIndex(points []vector.Sparse) map[int32][]int32 {
+	idx := make(map[int32][]int32)
+	for i, p := range points {
+		for _, d := range p.Idx {
+			idx[d] = append(idx[d], int32(i))
+		}
+	}
+	return idx
+}
+
+// neighbors returns all points within eps of point i (excluding i), using
+// the inverted index for candidate generation.
+func neighbors(points []vector.Sparse, inv map[int32][]int32, i int, eps float64) []int {
+	seen := map[int32]bool{}
+	var out []int
+	pi := points[i]
+	for _, d := range pi.Idx {
+		for _, j := range inv[d] {
+			if int(j) == i || seen[j] {
+				continue
+			}
+			seen[j] = true
+			if 1-pi.Cosine(points[j]) <= eps {
+				out = append(out, int(j))
+			}
+		}
+	}
+	return out
+}
+
+// componentCluster handles the min_samples=1 case via union-find.
+func componentCluster(points []vector.Sparse, eps float64) []int {
+	parent := make([]int, len(points))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	inv := invertedIndex(points)
+	for i := range points {
+		pi := points[i]
+		checked := map[int32]bool{}
+		for _, d := range pi.Idx {
+			for _, j := range inv[d] {
+				if int(j) <= i || checked[j] {
+					continue
+				}
+				checked[j] = true
+				if 1-pi.Cosine(points[int(j)]) <= eps {
+					union(i, int(j))
+				}
+			}
+		}
+	}
+	// Relabel roots densely in first-appearance order for determinism.
+	labels := make([]int, len(points))
+	next := 0
+	rootLabel := map[int]int{}
+	for i := range points {
+		r := find(i)
+		l, ok := rootLabel[r]
+		if !ok {
+			l = next
+			rootLabel[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+// classicDBSCAN is the standard expansion algorithm for MinSamples > 1.
+func classicDBSCAN(points []vector.Sparse, cfg Config) []int {
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	inv := invertedIndex(points)
+	clusterID := 0
+	for i := range points {
+		if labels[i] != -2 {
+			continue
+		}
+		nbrs := neighbors(points, inv, i, cfg.Eps)
+		if len(nbrs)+1 < cfg.MinSamples {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = clusterID
+		queue := append([]int(nil), nbrs...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = clusterID // border point
+			}
+			if labels[j] != -2 {
+				continue
+			}
+			labels[j] = clusterID
+			jn := neighbors(points, inv, j, cfg.Eps)
+			if len(jn)+1 >= cfg.MinSamples {
+				queue = append(queue, jn...)
+			}
+		}
+		clusterID++
+	}
+	return labels
+}
+
+// Groups inverts a label slice into label -> member indices, skipping noise.
+func Groups(labels []int) map[int][]int {
+	out := make(map[int][]int)
+	for i, l := range labels {
+		if l == Noise {
+			continue
+		}
+		out[l] = append(out[l], i)
+	}
+	return out
+}

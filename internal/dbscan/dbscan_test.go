@@ -1,0 +1,211 @@
+package dbscan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wdcproducts/internal/vector"
+)
+
+// vec builds a binary sparse vector over the given token ids.
+func vec(ids ...int32) vector.Sparse { return vector.NewBinarySparse(ids) }
+
+func TestTwoCleanGroups(t *testing.T) {
+	points := []vector.Sparse{
+		vec(1, 2, 3, 4), vec(1, 2, 3, 5), vec(1, 2, 3, 6), // group A
+		vec(10, 11, 12, 13), vec(10, 11, 12, 14), // group B
+	}
+	labels, err := Cluster(points, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("group A split: %v", labels)
+	}
+	if labels[3] != labels[4] {
+		t.Fatalf("group B split: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Fatalf("groups merged: %v", labels)
+	}
+}
+
+func TestChainLinkage(t *testing.T) {
+	// min_samples=1 DBSCAN chains through transitive neighbours: a-b close,
+	// b-c close, a-c far -> all one group.
+	points := []vector.Sparse{
+		vec(1, 2, 3, 4),
+		vec(3, 4, 5, 6),
+		vec(5, 6, 7, 8),
+	}
+	labels, err := Cluster(points, Config{Eps: 0.6, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[2] {
+		t.Fatalf("chain not linked: %v", labels)
+	}
+	// Direct distance a-c is 1.0 (> eps), confirming it's transitive.
+	if d := 1 - points[0].Cosine(points[2]); d <= 0.6 {
+		t.Fatalf("test premise broken: d(a,c) = %v", d)
+	}
+}
+
+func TestDisjointVectorsNeverMerge(t *testing.T) {
+	points := []vector.Sparse{vec(1, 2), vec(3, 4), vec(5, 6)}
+	labels, err := Cluster(points, Config{Eps: 0.99, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] == labels[1] || labels[1] == labels[2] || labels[0] == labels[2] {
+		t.Fatalf("disjoint vectors merged: %v", labels)
+	}
+}
+
+func TestEpsZeroOnlyExactDuplicates(t *testing.T) {
+	points := []vector.Sparse{vec(1, 2, 3), vec(1, 2, 3), vec(1, 2, 4)}
+	labels, err := Cluster(points, Config{Eps: 0, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] {
+		t.Fatalf("identical vectors split: %v", labels)
+	}
+	if labels[0] == labels[2] {
+		t.Fatalf("near-duplicates merged at eps=0: %v", labels)
+	}
+}
+
+func TestMinSamplesNoise(t *testing.T) {
+	// A lone point far from a dense blob becomes noise when MinSamples=3.
+	points := []vector.Sparse{
+		vec(1, 2, 3), vec(1, 2, 4), vec(1, 3, 4), vec(2, 3, 4), // dense blob
+		vec(50, 51, 52), // isolated
+	}
+	labels, err := Cluster(points, Config{Eps: 0.4, MinSamples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[4] != Noise {
+		t.Fatalf("isolated point not noise: %v", labels)
+	}
+	for i := 0; i < 4; i++ {
+		if labels[i] == Noise {
+			t.Fatalf("blob point %d marked noise: %v", i, labels)
+		}
+	}
+}
+
+func TestBorderPointAttachment(t *testing.T) {
+	// Classic DBSCAN: border points join the cluster of a core neighbour.
+	points := []vector.Sparse{
+		vec(1, 2, 3, 4), vec(1, 2, 3, 5), vec(1, 2, 3, 6), vec(1, 2, 3, 7), // core region
+		vec(1, 2, 8, 9), // border: near cores but itself sparse-neighboured
+	}
+	labels, err := Cluster(points, Config{Eps: 0.5, MinSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[4] == Noise {
+		t.Skipf("border point classified noise under these params: %v", labels)
+	}
+	if labels[4] != labels[0] {
+		t.Fatalf("border point in wrong cluster: %v", labels)
+	}
+}
+
+func TestInvalidEps(t *testing.T) {
+	if _, err := Cluster(nil, Config{Eps: 1.5}); err == nil {
+		t.Fatal("eps > 1 accepted")
+	}
+	if _, err := Cluster(nil, Config{Eps: -0.1}); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	labels, err := Cluster(nil, DefaultConfig())
+	if err != nil || len(labels) != 0 {
+		t.Fatalf("empty input: %v, %v", labels, err)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	g := Groups([]int{0, 1, 0, Noise, 1})
+	if len(g) != 2 {
+		t.Fatalf("Groups = %v", g)
+	}
+	if len(g[0]) != 2 || len(g[1]) != 2 {
+		t.Fatalf("Groups sizes = %v", g)
+	}
+	if _, ok := g[Noise]; ok {
+		t.Fatal("noise label appeared in Groups")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	points := []vector.Sparse{
+		vec(1, 2, 3), vec(1, 2, 4), vec(9, 10, 11), vec(9, 10, 12), vec(20, 21),
+	}
+	a, _ := Cluster(points, DefaultConfig())
+	b, _ := Cluster(points, DefaultConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("labels differ: %v vs %v", a, b)
+		}
+	}
+	// Labels are dense starting at 0.
+	maxLabel := 0
+	for _, l := range a {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	present := make([]bool, maxLabel+1)
+	for _, l := range a {
+		present[l] = true
+	}
+	for l, ok := range present {
+		if !ok {
+			t.Fatalf("label %d skipped: %v", l, a)
+		}
+	}
+}
+
+// Property: with min_samples=1, points in the same component are connected
+// by a chain of eps-neighbours, and every point gets a non-noise label.
+func TestComponentProperty(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 || len(seeds) > 24 {
+			return true
+		}
+		points := make([]vector.Sparse, len(seeds))
+		for i, s := range seeds {
+			// Small id space forces overlaps.
+			points[i] = vec(int32(s%7), int32(s/7%7)+7, int32(s/49%5)+14)
+		}
+		eps := 0.35
+		labels, err := Cluster(points, Config{Eps: eps, MinSamples: 1})
+		if err != nil {
+			return false
+		}
+		for _, l := range labels {
+			if l == Noise {
+				return false
+			}
+		}
+		// Different labels => direct distance must exceed eps (no missed
+		// direct link).
+		for i := range points {
+			for j := i + 1; j < len(points); j++ {
+				if labels[i] != labels[j] && 1-points[i].Cosine(points[j]) <= eps {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

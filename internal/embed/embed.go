@@ -1,0 +1,391 @@
+// Package embed provides trainable word embeddings used as the learned
+// similarity metric of §3.4 (replacing fastText trained on the Leipzig
+// product benchmark titles) and as the text encoder of the neural matcher
+// substitutes.
+//
+// The model is skip-gram with negative sampling (SGNS). Like fastText, each
+// word vector is the sum of a word-identity vector and hashed character
+// n-gram vectors, so unseen words still receive meaningful representations
+// from their subwords — the property that makes the embedding metric behave
+// differently from the symbolic token-set metrics during corner-case
+// selection.
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/vector"
+)
+
+// Config controls embedding training.
+type Config struct {
+	Dim          int     // embedding dimension
+	Window       int     // skip-gram context window
+	Negatives    int     // negative samples per positive
+	Epochs       int     // passes over the corpus
+	LearningRate float64 // initial SGD learning rate (linearly decayed)
+	MinCount     int     // discard words rarer than this
+	Buckets      int     // hash buckets for char n-grams
+	MinN, MaxN   int     // char n-gram lengths
+}
+
+// DefaultConfig returns a configuration sized for single-CPU training on
+// tens of thousands of short titles.
+func DefaultConfig() Config {
+	return Config{
+		Dim:          32,
+		Window:       3,
+		Negatives:    4,
+		Epochs:       3,
+		LearningRate: 0.05,
+		MinCount:     2,
+		Buckets:      1 << 15,
+		MinN:         3,
+		MaxN:         4,
+	}
+}
+
+// Model is a trained embedding model.
+type Model struct {
+	cfg        Config
+	vocab      map[string]int
+	words      []string
+	in         [][]float32 // input vectors (word identity)
+	grams      [][]float32 // hashed subword vectors
+	out        [][]float32 // output (context) vectors
+	counts     []int
+	totalCount int
+	negTbl     []int32
+	trained    bool
+}
+
+// Train fits an embedding model on the given texts (titles). The rng drives
+// initialization, shuffling and negative sampling so training is fully
+// deterministic for a fixed stream.
+func Train(texts []string, cfg Config, rng *rand.Rand) *Model {
+	m := &Model{cfg: cfg, vocab: make(map[string]int)}
+	// Build vocabulary.
+	freq := make(map[string]int)
+	corpus := make([][]string, 0, len(texts))
+	for _, t := range texts {
+		toks := textutil.Tokenize(t)
+		corpus = append(corpus, toks)
+		for _, w := range toks {
+			freq[w]++
+		}
+	}
+	for w, n := range freq {
+		if n >= cfg.MinCount {
+			m.vocab[w] = 0 // assigned below after sorting for determinism
+		}
+	}
+	m.words = make([]string, 0, len(m.vocab))
+	for w := range m.vocab {
+		m.words = append(m.words, w)
+	}
+	sort.Strings(m.words)
+	for i, w := range m.words {
+		m.vocab[w] = i
+	}
+	m.counts = make([]int, len(m.words))
+	for i, w := range m.words {
+		m.counts[i] = freq[w]
+		m.totalCount += freq[w]
+	}
+	// Initialize vectors.
+	initVec := func(n int, scale float32) [][]float32 {
+		vs := make([][]float32, n)
+		for i := range vs {
+			v := make([]float32, cfg.Dim)
+			for d := range v {
+				v[d] = (rng.Float32() - 0.5) * scale / float32(cfg.Dim)
+			}
+			vs[i] = v
+		}
+		return vs
+	}
+	m.in = initVec(len(m.words), 2)
+	m.grams = initVec(cfg.Buckets, 2)
+	m.out = make([][]float32, len(m.words))
+	for i := range m.out {
+		m.out[i] = make([]float32, cfg.Dim)
+	}
+	m.buildNegativeTable()
+	m.train(corpus, rng)
+	m.trained = true
+	return m
+}
+
+// buildNegativeTable builds the unigram^0.75 sampling table.
+func (m *Model) buildNegativeTable() {
+	const tableSize = 1 << 17
+	if len(m.words) == 0 {
+		return
+	}
+	total := 0.0
+	pows := make([]float64, len(m.counts))
+	for i, c := range m.counts {
+		pows[i] = math.Pow(float64(c), 0.75)
+		total += pows[i]
+	}
+	m.negTbl = make([]int32, tableSize)
+	idx, acc := 0, pows[0]/total
+	for i := range m.negTbl {
+		p := float64(i) / tableSize
+		for p > acc && idx < len(pows)-1 {
+			idx++
+			acc += pows[idx] / total
+		}
+		m.negTbl[i] = int32(idx)
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// train runs SGNS over the corpus.
+func (m *Model) train(corpus [][]string, rng *rand.Rand) {
+	if len(m.words) == 0 {
+		return
+	}
+	// Pre-encode corpus to vocab ids.
+	encoded := make([][]int32, 0, len(corpus))
+	for _, toks := range corpus {
+		row := make([]int32, 0, len(toks))
+		for _, w := range toks {
+			if id, ok := m.vocab[w]; ok {
+				row = append(row, int32(id))
+			}
+		}
+		if len(row) >= 2 {
+			encoded = append(encoded, row)
+		}
+	}
+	if len(encoded) == 0 {
+		return
+	}
+	steps := 0
+	totalSteps := m.cfg.Epochs * len(encoded)
+	grad := make([]float32, m.cfg.Dim)
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		order := rng.Perm(len(encoded))
+		for _, ri := range order {
+			row := encoded[ri]
+			lr := m.cfg.LearningRate * (1 - float64(steps)/float64(totalSteps+1))
+			if lr < m.cfg.LearningRate*0.05 {
+				lr = m.cfg.LearningRate * 0.05
+			}
+			steps++
+			for pos, center := range row {
+				lo := pos - m.cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := pos + m.cfg.Window
+				if hi >= len(row) {
+					hi = len(row) - 1
+				}
+				cvec := m.composedVecMutable(int(center))
+				for cpos := lo; cpos <= hi; cpos++ {
+					if cpos == pos {
+						continue
+					}
+					for d := range grad {
+						grad[d] = 0
+					}
+					// Positive example.
+					m.sgnsStep(cvec, int(row[cpos]), 1, lr, grad)
+					// Negatives.
+					for k := 0; k < m.cfg.Negatives; k++ {
+						neg := m.negTbl[rng.Intn(len(m.negTbl))]
+						if neg == row[cpos] {
+							continue
+						}
+						m.sgnsStep(cvec, int(neg), 0, lr, grad)
+					}
+					// Propagate accumulated input-side gradient to the word
+					// vector and its subword buckets.
+					m.applyInputGrad(int(center), grad)
+				}
+			}
+		}
+	}
+	m.trained = true
+}
+
+// sgnsStep performs one logistic step against output vector of word o with
+// target t (1 positive, 0 negative), accumulating the input-side gradient.
+func (m *Model) sgnsStep(cvec []float32, o int, t float64, lr float64, grad []float32) {
+	ovec := m.out[o]
+	g := (t - sigmoid(vector.Dot(cvec, ovec))) * lr
+	gf := float32(g)
+	for d := range cvec {
+		grad[d] += gf * ovec[d]
+		ovec[d] += gf * cvec[d]
+	}
+}
+
+// composedVecMutable returns the current composed (word + subword mean)
+// vector for a word id. The result is a fresh slice.
+func (m *Model) composedVecMutable(id int) []float32 {
+	v := make([]float32, m.cfg.Dim)
+	copy(v, m.in[id])
+	buckets := m.gramBuckets(m.words[id])
+	if len(buckets) == 0 {
+		return v
+	}
+	inv := 1 / float32(len(buckets))
+	for _, b := range buckets {
+		vector.Axpy(inv, m.grams[b], v)
+	}
+	return v
+}
+
+// applyInputGrad distributes the input-side gradient across the word vector
+// and its subword buckets (fastText-style shared update).
+func (m *Model) applyInputGrad(id int, grad []float32) {
+	vector.Axpy(1, grad, m.in[id])
+	buckets := m.gramBuckets(m.words[id])
+	if len(buckets) == 0 {
+		return
+	}
+	inv := 1 / float32(len(buckets))
+	for _, b := range buckets {
+		vector.Axpy(inv, grad, m.grams[b])
+	}
+}
+
+// gramBuckets hashes the char n-grams of w into bucket ids.
+func (m *Model) gramBuckets(w string) []int {
+	var out []int
+	for n := m.cfg.MinN; n <= m.cfg.MaxN; n++ {
+		for _, g := range textutil.CharNGrams(w, n) {
+			out = append(out, int(fnv32(g)%uint32(m.cfg.Buckets)))
+		}
+	}
+	return out
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// WordVec returns the composed vector for a word. Out-of-vocabulary words
+// are represented purely by their subword buckets, which is what lets the
+// embedding metric generalize to unseen model numbers.
+func (m *Model) WordVec(w string) []float32 {
+	if id, ok := m.vocab[w]; ok {
+		return m.composedVecMutable(id)
+	}
+	v := make([]float32, m.cfg.Dim)
+	buckets := m.gramBuckets(w)
+	if len(buckets) == 0 {
+		return v
+	}
+	inv := 1 / float32(len(buckets))
+	for _, b := range buckets {
+		vector.Axpy(inv, m.grams[b], v)
+	}
+	return v
+}
+
+// Encode returns the normalized, IDF-weighted mean word vector of the
+// text — the title encoder used for similarity search and by the neural
+// matchers. IDF weighting keeps the rare, discriminative tokens (model
+// numbers, capacity variants) from being washed out by the shared series
+// and category words, which is essential for separating corner-case
+// sibling products.
+func (m *Model) Encode(text string) []float32 {
+	toks := textutil.Tokenize(text)
+	v := make([]float32, m.cfg.Dim)
+	if len(toks) == 0 {
+		return v
+	}
+	var totalW float32
+	for _, w := range toks {
+		weight := m.idf(w)
+		vector.Axpy(weight, m.WordVec(w), v)
+		totalW += weight
+	}
+	if totalW > 0 {
+		vector.Scale(1/totalW, v)
+	}
+	vector.Normalize(v)
+	return v
+}
+
+// TokenIDF exposes the smoothed inverse-document-frequency weight of a
+// word, used by matchers for IDF-weighted lexical overlap features.
+func (m *Model) TokenIDF(w string) float64 { return float64(m.idf(w)) }
+
+// idf returns a smoothed inverse-document-frequency weight for w. Unknown
+// words are treated as rare (count 1) — they are usually model codes.
+func (m *Model) idf(w string) float32 {
+	count := 1
+	if id, ok := m.vocab[w]; ok {
+		count = m.counts[id] + 1
+	}
+	total := m.totalCount + 1
+	return float32(math.Log(1 + float64(total)/float64(count)))
+}
+
+// Similarity returns the cosine similarity of the encoded texts, shifted
+// from [-1,1] to [0,1] so it composes with the simlib metrics.
+func (m *Model) Similarity(a, b string) float64 {
+	c := vector.Cosine(m.Encode(a), m.Encode(b))
+	return (c + 1) / 2
+}
+
+// Metric adapts the model to the simlib.Metric interface for registration
+// in the corner-case selection registry.
+func (m *Model) Metric() simlib.Metric {
+	return simlib.Func{MetricName: "embedding", F: m.Similarity}
+}
+
+// CachedMetric is like Metric but memoizes Encode per distinct string.
+// Corner-case selection and pair generation score the same titles millions
+// of times; the cache turns each into a single dot product. The cache is
+// not safe for concurrent use, matching the single-threaded pipeline.
+func (m *Model) CachedMetric() simlib.Metric {
+	cache := make(map[string][]float32)
+	enc := func(s string) []float32 {
+		if v, ok := cache[s]; ok {
+			return v
+		}
+		v := m.Encode(s)
+		cache[s] = v
+		return v
+	}
+	return simlib.Func{MetricName: "embedding", F: func(a, b string) float64 {
+		c := vector.Cosine(enc(a), enc(b))
+		return (c + 1) / 2
+	}}
+}
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.cfg.Dim }
+
+// VocabSize returns the number of in-vocabulary words.
+func (m *Model) VocabSize() int { return len(m.words) }
+
+// HasWord reports whether w is in the trained vocabulary.
+func (m *Model) HasWord(w string) bool {
+	_, ok := m.vocab[w]
+	return ok
+}

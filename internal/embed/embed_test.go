@@ -1,0 +1,174 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wdcproducts/internal/vector"
+	"wdcproducts/internal/xrand"
+)
+
+// syntheticTitles builds a small corpus with two clearly separated topics so
+// tests can check that embeddings capture co-occurrence structure.
+func syntheticTitles() []string {
+	var titles []string
+	drives := []string{"seagate", "western", "digital", "toshiba"}
+	caps := []string{"1tb", "2tb", "4tb", "500gb"}
+	for i, b := range drives {
+		for j, c := range caps {
+			titles = append(titles,
+				fmt.Sprintf("%s internal hard drive %s sata desktop storage", b, c),
+				fmt.Sprintf("%s %s hard drive internal sata pc %d", b, c, i*4+j),
+			)
+		}
+	}
+	shoes := []string{"nike", "adidas", "asics", "brooks"}
+	sizes := []string{"size-9", "size-10", "size-11", "size-8"}
+	for i, b := range shoes {
+		for j, s := range sizes {
+			titles = append(titles,
+				fmt.Sprintf("%s running shoes %s breathable mesh lightweight", b, s),
+				fmt.Sprintf("%s %s shoes running cushioned trainer %d", b, s, i*4+j),
+			)
+		}
+	}
+	return titles
+}
+
+func trainTest(t *testing.T) *Model {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	cfg.Dim = 24
+	return Train(syntheticTitles(), cfg, xrand.New(42).Stream("embed"))
+}
+
+func TestTrainBasics(t *testing.T) {
+	m := trainTest(t)
+	if m.VocabSize() == 0 {
+		t.Fatal("empty vocabulary after training")
+	}
+	if !m.HasWord("seagate") || !m.HasWord("running") {
+		t.Fatal("expected vocabulary words missing")
+	}
+	if m.Dim() != 24 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+}
+
+func TestEncodeProperties(t *testing.T) {
+	m := trainTest(t)
+	v := m.Encode("seagate internal hard drive 2tb")
+	if len(v) != m.Dim() {
+		t.Fatalf("Encode dim = %d", len(v))
+	}
+	if n := vector.Norm(v); math.Abs(n-1) > 1e-5 {
+		t.Fatalf("Encode norm = %v, want 1", n)
+	}
+	zero := m.Encode("")
+	if vector.Norm(zero) != 0 {
+		t.Fatal("empty text should encode to zero vector")
+	}
+}
+
+func TestTopicSeparation(t *testing.T) {
+	m := trainTest(t)
+	inTopic := m.Similarity(
+		"seagate internal hard drive 2tb sata",
+		"toshiba internal hard drive 4tb sata")
+	crossTopic := m.Similarity(
+		"seagate internal hard drive 2tb sata",
+		"nike running shoes size-9 mesh")
+	if inTopic <= crossTopic {
+		t.Fatalf("topic separation failed: in-topic %.3f <= cross-topic %.3f", inTopic, crossTopic)
+	}
+}
+
+func TestSimilarityRangeAndSymmetry(t *testing.T) {
+	m := trainTest(t)
+	pairs := [][2]string{
+		{"seagate hard drive", "western digital drive"},
+		{"nike shoes", "adidas shoes"},
+		{"", "something"},
+		{"seagate", "seagate"},
+	}
+	for _, p := range pairs {
+		s1 := m.Similarity(p[0], p[1])
+		s2 := m.Similarity(p[1], p[0])
+		if math.Abs(s1-s2) > 1e-9 {
+			t.Fatalf("similarity asymmetric for %v: %v vs %v", p, s1, s2)
+		}
+		if s1 < 0 || s1 > 1 {
+			t.Fatalf("similarity out of range for %v: %v", p, s1)
+		}
+	}
+	if s := m.Similarity("seagate hard drive 2tb", "seagate hard drive 2tb"); math.Abs(s-1) > 1e-5 {
+		t.Fatalf("self similarity = %v", s)
+	}
+}
+
+func TestOOVSubwordGeneralization(t *testing.T) {
+	m := trainTest(t)
+	// "seagatte" is OOV but shares subwords with "seagate"; its vector must
+	// be closer to seagate's than to an unrelated word's.
+	oov := m.WordVec("seagatte")
+	if vector.Norm(oov) == 0 {
+		t.Fatal("OOV word has zero vector (subwords not applied)")
+	}
+	simTypo := vector.Cosine(oov, m.WordVec("seagate"))
+	simOther := vector.Cosine(oov, m.WordVec("shoes"))
+	if simTypo <= simOther {
+		t.Fatalf("subword generalization failed: typo-sim %.3f <= other-sim %.3f", simTypo, simOther)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	a := Train(syntheticTitles(), cfg, xrand.New(7).Stream("embed"))
+	b := Train(syntheticTitles(), cfg, xrand.New(7).Stream("embed"))
+	va, vb := a.Encode("seagate hard drive"), b.Encode("seagate hard drive")
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("training not deterministic at dim %d: %v vs %v", i, va[i], vb[i])
+		}
+	}
+}
+
+func TestMetricAdapter(t *testing.T) {
+	m := trainTest(t)
+	metric := m.Metric()
+	if metric.Name() != "embedding" {
+		t.Fatalf("metric name = %q", metric.Name())
+	}
+	if s := metric.Sim("a b c", "a b c"); s < 0.99 {
+		t.Fatalf("metric self-sim = %v", s)
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	m := Train(nil, cfg, xrand.New(1).Stream("e"))
+	if m.VocabSize() != 0 {
+		t.Fatal("empty corpus should produce empty vocab")
+	}
+	// Encode must still work through subword buckets without panicking.
+	_ = m.Encode("anything at all")
+	_ = m.Similarity("a", "b")
+}
+
+func TestMinCountFiltersRareWords(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinCount = 3
+	cfg.Epochs = 1
+	titles := []string{"common common common rare", "common word word", "word common"}
+	m := Train(titles, cfg, xrand.New(1).Stream("e"))
+	if m.HasWord("rare") {
+		t.Fatal("rare word not filtered by MinCount")
+	}
+	if !m.HasWord("common") {
+		t.Fatal("frequent word missing")
+	}
+}

@@ -1,0 +1,244 @@
+// Package eval implements the evaluation metrics of the WDC Products
+// experiments: precision, recall and F1 for the pair-wise binary task
+// (computed for the match class, as in Tables 3 and 4), micro and macro F1
+// for the multi-class task (Table 5), confusion matrices, and Cohen's kappa
+// for the label-quality study of §4.
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinaryCounts accumulates a 2x2 confusion matrix for the positive class.
+type BinaryCounts struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (predicted, actual) observation.
+func (c *BinaryCounts) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded observations.
+func (c *BinaryCounts) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (c *BinaryCounts) Precision() float64 {
+	d := c.TP + c.FP
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (c *BinaryCounts) Recall() float64 {
+	d := c.TP + c.FN
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall, 0 when undefined.
+func (c *BinaryCounts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/total, 0 on empty counts.
+func (c *BinaryCounts) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// PRF bundles the three headline pair-wise metrics.
+type PRF struct {
+	Precision, Recall, F1 float64
+}
+
+// PRF returns the metric bundle of the counts.
+func (c *BinaryCounts) PRF() PRF {
+	return PRF{Precision: c.Precision(), Recall: c.Recall(), F1: c.F1()}
+}
+
+// String renders the metrics as percentages in the paper's format.
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f", p.Precision*100, p.Recall*100, p.F1*100)
+}
+
+// EvaluateBinary scores predicted probabilities against boolean labels at
+// the given decision threshold.
+func EvaluateBinary(scores []float64, labels []bool, threshold float64) BinaryCounts {
+	var c BinaryCounts
+	for i, s := range scores {
+		c.Add(s >= threshold, labels[i])
+	}
+	return c
+}
+
+// BestF1Threshold sweeps candidate thresholds (the distinct score values)
+// and returns the threshold maximizing F1 together with the achieved
+// counts. This mirrors the "Top-F1" protocol: matchers are compared at
+// their best operating point on the validation set.
+func BestF1Threshold(scores []float64, labels []bool) (float64, BinaryCounts) {
+	if len(scores) == 0 {
+		return 0.5, BinaryCounts{}
+	}
+	bestT, bestF1 := 0.5, -1.0
+	var bestC BinaryCounts
+	// Candidate thresholds: 101 quantile points keeps the sweep O(101*n).
+	for step := 0; step <= 100; step++ {
+		t := float64(step) / 100
+		c := EvaluateBinary(scores, labels, t)
+		if f := c.F1(); f > bestF1 {
+			bestF1, bestT, bestC = f, t, c
+		}
+	}
+	return bestT, bestC
+}
+
+// MultiClassCounts accumulates multi-class predictions for micro/macro F1.
+type MultiClassCounts struct {
+	NumClasses int
+	tp, fp, fn []int
+	correct    int
+	total      int
+}
+
+// NewMultiClassCounts returns counts for n classes.
+func NewMultiClassCounts(n int) *MultiClassCounts {
+	return &MultiClassCounts{NumClasses: n, tp: make([]int, n), fp: make([]int, n), fn: make([]int, n)}
+}
+
+// Add records one (predicted, actual) class observation. Out-of-range
+// classes panic: that is always a harness bug.
+func (m *MultiClassCounts) Add(predicted, actual int) {
+	if predicted < 0 || predicted >= m.NumClasses || actual < 0 || actual >= m.NumClasses {
+		panic(fmt.Sprintf("eval: class out of range (pred=%d actual=%d n=%d)", predicted, actual, m.NumClasses))
+	}
+	m.total++
+	if predicted == actual {
+		m.correct++
+		m.tp[actual]++
+		return
+	}
+	m.fp[predicted]++
+	m.fn[actual]++
+}
+
+// MicroF1 returns the micro-averaged F1. For single-label multi-class
+// classification micro-F1 equals accuracy; computing it through the
+// aggregate TP/FP/FN keeps the formula explicit.
+func (m *MultiClassCounts) MicroF1() float64 {
+	var tp, fp, fn int
+	for c := 0; c < m.NumClasses; c++ {
+		tp += m.tp[c]
+		fp += m.fp[c]
+		fn += m.fn[c]
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores.
+func (m *MultiClassCounts) MacroF1() float64 {
+	if m.NumClasses == 0 {
+		return 0
+	}
+	sum := 0.0
+	for c := 0; c < m.NumClasses; c++ {
+		p, r := 0.0, 0.0
+		if d := m.tp[c] + m.fp[c]; d > 0 {
+			p = float64(m.tp[c]) / float64(d)
+		}
+		if d := m.tp[c] + m.fn[c]; d > 0 {
+			r = float64(m.tp[c]) / float64(d)
+		}
+		if p+r > 0 {
+			sum += 2 * p * r / (p + r)
+		}
+	}
+	return sum / float64(m.NumClasses)
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (m *MultiClassCounts) Accuracy() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return float64(m.correct) / float64(m.total)
+}
+
+// CohenKappa computes inter-annotator agreement for two label sequences.
+// Labels are arbitrary comparable strings; the sequences must have equal
+// length. Kappa is (po - pe) / (1 - pe); 1 when pe == 1 and the annotators
+// agree everywhere (degenerate single-label case).
+func CohenKappa(a, b []string) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: annotator sequences differ in length (%d vs %d)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("eval: empty annotator sequences")
+	}
+	n := float64(len(a))
+	agree := 0.0
+	countA := map[string]float64{}
+	countB := map[string]float64{}
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+		countA[a[i]]++
+		countB[b[i]]++
+	}
+	po := agree / n
+	pe := 0.0
+	for label, ca := range countA {
+		pe += (ca / n) * (countB[label] / n)
+	}
+	if math.Abs(1-pe) < 1e-12 {
+		if po == 1 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return (po - pe) / (1 - pe), nil
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs, used
+// when averaging metric scores over experiment repetitions.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

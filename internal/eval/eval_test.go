@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBinaryCounts(t *testing.T) {
+	var c BinaryCounts
+	// 3 TP, 1 FP, 2 FN, 4 TN
+	for i := 0; i < 3; i++ {
+		c.Add(true, true)
+	}
+	c.Add(true, false)
+	for i := 0; i < 2; i++ {
+		c.Add(false, true)
+	}
+	for i := 0; i < 4; i++ {
+		c.Add(false, false)
+	}
+	if !approx(c.Precision(), 0.75) {
+		t.Errorf("Precision = %v", c.Precision())
+	}
+	if !approx(c.Recall(), 0.6) {
+		t.Errorf("Recall = %v", c.Recall())
+	}
+	wantF1 := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if !approx(c.F1(), wantF1) {
+		t.Errorf("F1 = %v, want %v", c.F1(), wantF1)
+	}
+	if !approx(c.Accuracy(), 0.7) {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestBinaryCountsEmpty(t *testing.T) {
+	var c BinaryCounts
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty counts should yield zero metrics")
+	}
+}
+
+func TestEvaluateBinaryThreshold(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	labels := []bool{true, false, true, false}
+	c := EvaluateBinary(scores, labels, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestBestF1Threshold(t *testing.T) {
+	// Perfectly separable at 0.5.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	th, c := BestF1Threshold(scores, labels)
+	if !approx(c.F1(), 1) {
+		t.Fatalf("best F1 = %v, want 1", c.F1())
+	}
+	if th <= 0.2 || th > 0.9 {
+		t.Fatalf("threshold = %v outside separating band", th)
+	}
+	// Empty input falls back to 0.5.
+	th, _ = BestF1Threshold(nil, nil)
+	if th != 0.5 {
+		t.Fatalf("empty threshold = %v", th)
+	}
+}
+
+func TestBestF1NeverWorseThanFixed(t *testing.T) {
+	f := func(raw []float64, seed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		for i, v := range raw {
+			s := math.Abs(math.Mod(v, 1))
+			if math.IsNaN(s) {
+				s = 0.5
+			}
+			scores[i] = s
+			labels[i] = (int(seed)+i)%3 == 0
+		}
+		_, best := BestF1Threshold(scores, labels)
+		fixed := EvaluateBinary(scores, labels, 0.5)
+		return best.F1() >= fixed.F1()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiClassMicroEqualsAccuracy(t *testing.T) {
+	m := NewMultiClassCounts(4)
+	preds := []int{0, 1, 2, 3, 0, 1, 2, 0}
+	actual := []int{0, 1, 2, 0, 1, 1, 3, 0}
+	for i := range preds {
+		m.Add(preds[i], actual[i])
+	}
+	if !approx(m.MicroF1(), m.Accuracy()) {
+		t.Fatalf("micro-F1 (%v) != accuracy (%v) for single-label task", m.MicroF1(), m.Accuracy())
+	}
+	if !approx(m.Accuracy(), 5.0/8.0) {
+		t.Fatalf("accuracy = %v", m.Accuracy())
+	}
+}
+
+func TestMultiClassMacro(t *testing.T) {
+	m := NewMultiClassCounts(2)
+	// Class 0: perfect (2 TP). Class 1: never predicted (2 FN -> F1 0).
+	m.Add(0, 0)
+	m.Add(0, 0)
+	m.Add(0, 1)
+	m.Add(0, 1)
+	macro := m.MacroF1()
+	// class0: P=2/4, R=1 -> F1=2/3. class1: 0.
+	if !approx(macro, (2.0/3.0)/2) {
+		t.Fatalf("macro = %v", macro)
+	}
+}
+
+func TestMultiClassPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewMultiClassCounts(2).Add(5, 0)
+}
+
+func TestCohenKappa(t *testing.T) {
+	// Perfect agreement.
+	a := []string{"m", "n", "m", "n"}
+	k, err := CohenKappa(a, a)
+	if err != nil || !approx(k, 1) {
+		t.Fatalf("perfect kappa = %v, err=%v", k, err)
+	}
+	// Known worked example: po=0.7, pe=0.5 -> kappa=0.4.
+	ann1 := []string{"y", "y", "y", "y", "y", "n", "n", "n", "n", "n"}
+	ann2 := []string{"y", "y", "y", "n", "y", "n", "n", "y", "n", "y"}
+	k, err = CohenKappa(ann1, ann2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := 0.7
+	pe := 0.5*0.6 + 0.5*0.4
+	want := (po - pe) / (1 - pe)
+	if !approx(k, want) {
+		t.Fatalf("kappa = %v, want %v", k, want)
+	}
+}
+
+func TestCohenKappaErrors(t *testing.T) {
+	if _, err := CohenKappa([]string{"a"}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := CohenKappa(nil, nil); err == nil {
+		t.Fatal("empty input not rejected")
+	}
+}
+
+func TestCohenKappaDegenerate(t *testing.T) {
+	// Single label everywhere: pe == 1, po == 1 -> kappa defined as 1.
+	a := []string{"m", "m", "m"}
+	k, err := CohenKappa(a, a)
+	if err != nil || k != 1 {
+		t.Fatalf("degenerate kappa = %v, err=%v", k, err)
+	}
+}
+
+func TestCohenKappaRange(t *testing.T) {
+	f := func(xs []bool, ys []bool) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		a := make([]string, n)
+		b := make([]string, n)
+		for i := 0; i < n; i++ {
+			a[i] = label(xs[i])
+			b[i] = label(ys[i])
+		}
+		k, err := CohenKappa(a, b)
+		if err != nil {
+			return false
+		}
+		return k >= -1-1e-9 && k <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func label(b bool) string {
+	if b {
+		return "match"
+	}
+	return "non-match"
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !approx(m, 5) || !approx(s, 2) {
+		t.Fatalf("MeanStd = %v, %v", m, s)
+	}
+	m, s = MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty MeanStd should be 0,0")
+	}
+}
+
+func TestPRFString(t *testing.T) {
+	p := PRF{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3.0}
+	if got := p.String(); got != "P=50.00 R=25.00 F1=33.33" {
+		t.Fatalf("PRF.String = %q", got)
+	}
+}

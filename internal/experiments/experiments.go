@@ -1,0 +1,263 @@
+// Package experiments is the §5 evaluation harness: it trains every
+// matching system on every benchmark variant (with repetitions, averaged)
+// and renders the paper's result tables — Table 3 (pair-wise F1), Table 4
+// (precision/recall of the neural systems), Table 5 (multi-class micro-F1)
+// — and the Figure 4/5/6 dimension slices.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/eval"
+	"wdcproducts/internal/matchers"
+	"wdcproducts/internal/xrand"
+)
+
+// PairSystems lists the pair-wise systems in the paper's column order.
+var PairSystems = []string{"Word-Cooc", "Magellan", "RoBERTa", "Ditto", "HierGAT", "R-SupCon"}
+
+// NeuralSystems are the systems whose precision/recall Table 4 reports.
+var NeuralSystems = []string{"RoBERTa", "Ditto", "HierGAT", "R-SupCon"}
+
+// MultiSystems lists the multi-class systems of Table 5.
+var MultiSystems = []string{"Word-Occ", "RoBERTa", "R-SupCon"}
+
+// NewPairMatcher constructs a pair-wise system by name.
+func NewPairMatcher(name string) (matchers.PairMatcher, error) {
+	switch name {
+	case "Word-Cooc":
+		return matchers.NewWordCooc(), nil
+	case "Magellan":
+		return matchers.NewMagellan(), nil
+	case "RoBERTa":
+		return matchers.NewRoBERTa(), nil
+	case "Ditto":
+		return matchers.NewDitto(), nil
+	case "HierGAT":
+		return matchers.NewHierGAT(), nil
+	case "R-SupCon":
+		return matchers.NewRSupCon(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown pair system %q", name)
+	}
+}
+
+// NewMultiMatcher constructs a multi-class system by name.
+func NewMultiMatcher(name string) (matchers.MultiMatcher, error) {
+	switch name {
+	case "Word-Occ":
+		return matchers.NewWordOccMulti(), nil
+	case "RoBERTa":
+		return matchers.NewRoBERTaMulti(), nil
+	case "R-SupCon":
+		return matchers.NewRSupConMulti(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown multi system %q", name)
+	}
+}
+
+// Config controls an experiment run.
+type Config struct {
+	// Repetitions per (system, variant); the paper trains three times and
+	// reports the average.
+	Repetitions int
+	// Systems restricts the run (nil = all).
+	Systems []string
+	// Seed drives repetition seeds.
+	Seed int64
+	// Progress, when non-nil, receives one line per trained cell.
+	Progress io.Writer
+}
+
+// DefaultConfig mirrors the paper's protocol.
+func DefaultConfig() Config { return Config{Repetitions: 3, Seed: 1} }
+
+// PairCell is the averaged result of one system on one variant.
+type PairCell struct {
+	System  string
+	Variant core.VariantKey
+	eval.PRF
+	F1Std float64
+}
+
+// MultiCell is the averaged multi-class result of one system on one
+// (ratio, dev size) variant.
+type MultiCell struct {
+	System  string
+	Corner  core.CornerRatio
+	Dev     core.DevSize
+	MicroF1 float64
+	F1Std   float64
+}
+
+// Results holds a full experiment run.
+type Results struct {
+	Pair  []PairCell
+	Multi []MultiCell
+}
+
+// PairCellFor returns the cell for (system, variant), or nil.
+func (r *Results) PairCellFor(system string, v core.VariantKey) *PairCell {
+	for i := range r.Pair {
+		if r.Pair[i].System == system && r.Pair[i].Variant == v {
+			return &r.Pair[i]
+		}
+	}
+	return nil
+}
+
+// MultiCellFor returns the multi-class cell, or nil.
+func (r *Results) MultiCellFor(system string, cc core.CornerRatio, dev core.DevSize) *MultiCell {
+	for i := range r.Multi {
+		if r.Multi[i].System == system && r.Multi[i].Corner == cc && r.Multi[i].Dev == dev {
+			return &r.Multi[i]
+		}
+	}
+	return nil
+}
+
+// Runner binds a benchmark to a pretrained encoder shared by all neural
+// systems (the "pretrained language model").
+type Runner struct {
+	B    *core.Benchmark
+	Data *matchers.Data
+}
+
+// NewRunner trains the shared encoder on the benchmark's offer titles.
+func NewRunner(b *core.Benchmark, embedCfg embed.Config, seed int64) *Runner {
+	titles := make([]string, len(b.Offers))
+	for i := range b.Offers {
+		titles[i] = b.Offers[i].Title
+	}
+	model := embed.Train(titles, embedCfg, xrand.New(seed).Stream("runner-embed"))
+	return &Runner{B: b, Data: matchers.NewData(b.Offers, model)}
+}
+
+// RunPairwise trains every selected system on every (ratio, dev) variant
+// and evaluates each trained model on the three unseen test sets,
+// averaging over repetitions.
+func (r *Runner) RunPairwise(cfg Config) (*Results, error) {
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 1
+	}
+	systems := cfg.Systems
+	if systems == nil {
+		systems = PairSystems
+	}
+	res := &Results{}
+	for _, name := range systems {
+		for _, cc := range core.CornerRatios() {
+			for _, dev := range core.DevSizes() {
+				cells, err := r.runPairCell(name, cc, dev, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res.Pair = append(res.Pair, cells...)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "trained %s cc%d %s\n", name, cc, dev)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// runPairCell trains one (system, ratio, dev) with repetitions and returns
+// the three unseen-fraction cells.
+func (r *Runner) runPairCell(name string, cc core.CornerRatio, dev core.DevSize, cfg Config) ([]PairCell, error) {
+	type agg struct{ p, rec, f1 []float64 }
+	byUnseen := map[core.Unseen]*agg{}
+	for _, un := range core.UnseenFractions() {
+		byUnseen[un] = &agg{}
+	}
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		m, err := NewPairMatcher(name)
+		if err != nil {
+			return nil, err
+		}
+		seed := cfg.Seed + int64(rep)*7919
+		if err := m.TrainPairs(r.Data, r.B.TrainPairs(cc, dev), r.B.ValPairs(cc, dev), seed); err != nil {
+			return nil, fmt.Errorf("%s cc%d %s: %w", name, cc, dev, err)
+		}
+		for _, un := range core.UnseenFractions() {
+			counts := matchers.EvaluatePairs(m, r.Data, r.B.TestPairs(cc, un))
+			a := byUnseen[un]
+			a.p = append(a.p, counts.Precision())
+			a.rec = append(a.rec, counts.Recall())
+			a.f1 = append(a.f1, counts.F1())
+		}
+	}
+	var out []PairCell
+	for _, un := range core.UnseenFractions() {
+		a := byUnseen[un]
+		pm, _ := eval.MeanStd(a.p)
+		rm, _ := eval.MeanStd(a.rec)
+		fm, fs := eval.MeanStd(a.f1)
+		out = append(out, PairCell{
+			System:  name,
+			Variant: core.VariantKey{Corner: cc, Dev: dev, Unseen: un},
+			PRF:     eval.PRF{Precision: pm, Recall: rm, F1: fm},
+			F1Std:   fs,
+		})
+	}
+	return out, nil
+}
+
+// RunMulti trains the multi-class systems over the 9 variants.
+func (r *Runner) RunMulti(cfg Config) (*Results, error) {
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 1
+	}
+	systems := cfg.Systems
+	if systems == nil {
+		systems = MultiSystems
+	}
+	res := &Results{}
+	for _, name := range systems {
+		for _, cc := range core.CornerRatios() {
+			rd := r.B.Ratios[cc]
+			n := r.B.NumClasses(cc)
+			for _, dev := range core.DevSizes() {
+				var f1s []float64
+				for rep := 0; rep < cfg.Repetitions; rep++ {
+					m, err := NewMultiMatcher(name)
+					if err != nil {
+						return nil, err
+					}
+					seed := cfg.Seed + int64(rep)*7919
+					if err := m.TrainMulti(r.Data, rd.MultiTrain[dev], rd.MultiVal, n, seed); err != nil {
+						return nil, fmt.Errorf("%s cc%d %s: %w", name, cc, dev, err)
+					}
+					counts := matchers.EvaluateMulti(m, r.Data, rd.MultiTest, n)
+					f1s = append(f1s, counts.MicroF1())
+				}
+				mean, std := eval.MeanStd(f1s)
+				res.Multi = append(res.Multi, MultiCell{System: name, Corner: cc, Dev: dev, MicroF1: mean, F1Std: std})
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "trained multi %s cc%d %s\n", name, cc, dev)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// sortPairCells orders cells in the paper's Table 3 row order.
+func sortPairCells(cells []PairCell) {
+	devRank := map[core.DevSize]int{core.Small: 0, core.Medium: 1, core.Large: 2}
+	ccRank := map[core.CornerRatio]int{80: 0, 50: 1, 20: 2}
+	sort.SliceStable(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if ccRank[a.Variant.Corner] != ccRank[b.Variant.Corner] {
+			return ccRank[a.Variant.Corner] < ccRank[b.Variant.Corner]
+		}
+		if devRank[a.Variant.Dev] != devRank[b.Variant.Dev] {
+			return devRank[a.Variant.Dev] < devRank[b.Variant.Dev]
+		}
+		return a.Variant.Unseen < b.Variant.Unseen
+	})
+}

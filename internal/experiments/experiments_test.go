@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/embed"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *Runner
+	runnerRes  *Results
+	multiRes   *Results
+	runnerErr  error
+)
+
+// sharedRunner builds one tiny benchmark and runs a 1-repetition
+// experiment across all systems, reused by every test here.
+func sharedRunner(t *testing.T) (*Runner, *Results, *Results) {
+	t.Helper()
+	runnerOnce.Do(func() {
+		b, err := core.Build(core.TinyBuildConfig(11))
+		if err != nil {
+			runnerErr = err
+			return
+		}
+		cfg := embed.DefaultConfig()
+		cfg.Epochs = 3
+		runner = NewRunner(b, cfg, 11)
+		res, err := runner.RunPairwise(Config{Repetitions: 1, Seed: 5})
+		if err != nil {
+			runnerErr = err
+			return
+		}
+		runnerRes = res
+		mres, err := runner.RunMulti(Config{Repetitions: 1, Seed: 5})
+		if err != nil {
+			runnerErr = err
+			return
+		}
+		multiRes = mres
+	})
+	if runnerErr != nil {
+		t.Fatal(runnerErr)
+	}
+	return runner, runnerRes, multiRes
+}
+
+func TestRunPairwiseCoverage(t *testing.T) {
+	_, res, _ := sharedRunner(t)
+	want := len(PairSystems) * 27
+	if len(res.Pair) != want {
+		t.Fatalf("pair cells = %d, want %d", len(res.Pair), want)
+	}
+	for _, s := range PairSystems {
+		for _, v := range core.AllVariants() {
+			cell := res.PairCellFor(s, v)
+			if cell == nil {
+				t.Fatalf("missing cell %s %s", s, v)
+			}
+			if cell.F1 < 0 || cell.F1 > 1 {
+				t.Fatalf("F1 out of range: %+v", cell)
+			}
+		}
+	}
+}
+
+func TestRunMultiCoverage(t *testing.T) {
+	_, _, mres := sharedRunner(t)
+	want := len(MultiSystems) * 9
+	if len(mres.Multi) != want {
+		t.Fatalf("multi cells = %d, want %d", len(mres.Multi), want)
+	}
+}
+
+func TestShapeCornerCasesHurt(t *testing.T) {
+	// Figure 4 shape: averaged over systems, 80% corner-cases is harder
+	// than 20% (medium dev, seen test).
+	_, res, _ := sharedRunner(t)
+	var easy, hard float64
+	for _, s := range PairSystems {
+		easy += res.PairCellFor(s, core.VariantKey{Corner: 20, Dev: core.Medium, Unseen: 0}).F1
+		hard += res.PairCellFor(s, core.VariantKey{Corner: 80, Dev: core.Medium, Unseen: 0}).F1
+	}
+	if hard >= easy {
+		t.Fatalf("80%% corner-cases not harder: hard=%.3f easy=%.3f (summed F1)", hard, easy)
+	}
+}
+
+func TestShapeUnseenHurts(t *testing.T) {
+	// Figure 5 shape: averaged over systems, unseen is harder than seen.
+	_, res, _ := sharedRunner(t)
+	var seen, unseen float64
+	for _, s := range PairSystems {
+		seen += res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: core.Medium, Unseen: 0}).F1
+		unseen += res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: core.Medium, Unseen: 100}).F1
+	}
+	if unseen >= seen {
+		t.Fatalf("unseen not harder: unseen=%.3f seen=%.3f (summed F1)", unseen, seen)
+	}
+}
+
+func TestShapeRSupConLargestUnseenDrop(t *testing.T) {
+	// The paper's headline Figure 5 finding: R-SupCon has the largest
+	// seen->unseen drop among the neural systems.
+	_, res, _ := sharedRunner(t)
+	drop := func(s string) float64 {
+		seen := res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: core.Medium, Unseen: 0}).F1
+		un := res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: core.Medium, Unseen: 100}).F1
+		return seen - un
+	}
+	rs := drop("R-SupCon")
+	for _, s := range []string{"RoBERTa", "Ditto", "HierGAT"} {
+		if drop(s) > rs {
+			t.Fatalf("%s drop (%.3f) exceeds R-SupCon drop (%.3f)", s, drop(s), rs)
+		}
+	}
+}
+
+func TestShapeDevSizeHelps(t *testing.T) {
+	// Figure 6 shape: averaged over systems, large dev beats small.
+	_, res, _ := sharedRunner(t)
+	var small, large float64
+	for _, s := range PairSystems {
+		small += res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: core.Small, Unseen: 0}).F1
+		large += res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: core.Large, Unseen: 0}).F1
+	}
+	if large <= small {
+		t.Fatalf("large dev not better: large=%.3f small=%.3f (summed F1)", large, small)
+	}
+}
+
+func TestShapeMultiWordOccBeatsRoBERTaSmall(t *testing.T) {
+	// Table 5 shape: Word-Occ beats the LM substitute on small dev sets.
+	_, _, mres := sharedRunner(t)
+	for _, cc := range core.CornerRatios() {
+		wo := mres.MultiCellFor("Word-Occ", cc, core.Small).MicroF1
+		rb := mres.MultiCellFor("RoBERTa", cc, core.Small).MicroF1
+		if wo <= rb {
+			t.Errorf("cc%d small: Word-Occ (%.3f) <= RoBERTa (%.3f)", cc, wo, rb)
+		}
+	}
+}
+
+func TestShapeRSupConBestMulti(t *testing.T) {
+	// Table 5 shape: R-SupCon leads the multi-class task.
+	_, _, mres := sharedRunner(t)
+	for _, cc := range core.CornerRatios() {
+		for _, dev := range core.DevSizes() {
+			rs := mres.MultiCellFor("R-SupCon", cc, dev).MicroF1
+			for _, other := range []string{"Word-Occ", "RoBERTa"} {
+				if mres.MultiCellFor(other, cc, dev).MicroF1 > rs+0.05 {
+					t.Errorf("cc%d %s: %s beats R-SupCon by more than tolerance", cc, dev, other)
+				}
+			}
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	_, res, mres := sharedRunner(t)
+	t3 := Table3(res, nil).String()
+	if !strings.Contains(t3, "R-SupCon/Seen") || !strings.Contains(t3, "80%") {
+		t.Fatalf("Table 3 malformed:\n%s", t3)
+	}
+	t4 := Table4(res, nil).String()
+	if !strings.Contains(t4, "Ditto/Half/P") {
+		t.Fatalf("Table 4 malformed:\n%s", t4)
+	}
+	t5 := Table5(mres, nil).String()
+	if !strings.Contains(t5, "Word-Occ") {
+		t.Fatalf("Table 5 malformed:\n%s", t5)
+	}
+	for _, fig := range []string{Figure4(res, nil).String(), Figure5(res, nil).String(), Figure6(res, nil).String()} {
+		if !strings.Contains(fig, "R-SupCon") {
+			t.Fatalf("figure table malformed:\n%s", fig)
+		}
+	}
+	// Rows: 9 per results table, 6 per figure.
+	if n := len(Table3(res, nil).Rows); n != 9 {
+		t.Fatalf("Table 3 rows = %d", n)
+	}
+	if n := len(Figure5(res, nil).Rows); n != 6 {
+		t.Fatalf("Figure 5 rows = %d", n)
+	}
+}
+
+func TestPaperReferenceLookups(t *testing.T) {
+	v := core.VariantKey{Corner: 80, Dev: core.Medium, Unseen: 0}
+	if got := PaperPairF1("R-SupCon", v); got != 79.99 {
+		t.Fatalf("paper ref = %v, want 79.99", got)
+	}
+	v.Unseen = 100
+	if got := PaperPairF1("R-SupCon", v); got != 53.10 {
+		t.Fatalf("paper ref unseen = %v, want 53.10", got)
+	}
+	if got := PaperMultiF1("Word-Occ", 50, core.Large); got != 81.10 {
+		t.Fatalf("paper multi ref = %v", got)
+	}
+	if PaperPairF1("NoSuchSystem", v) != -1 || PaperMultiF1("NoSuchSystem", 50, core.Small) != -1 {
+		t.Fatal("unknown system should return -1")
+	}
+	// Every system/variant combination the tables cover must be present.
+	for _, s := range PairSystems {
+		for _, v := range core.AllVariants() {
+			if PaperPairF1(s, v) <= 0 {
+				t.Fatalf("missing paper reference for %s %s", s, v)
+			}
+		}
+	}
+}
+
+func TestUnknownSystemRejected(t *testing.T) {
+	if _, err := NewPairMatcher("nope"); err == nil {
+		t.Fatal("unknown pair system accepted")
+	}
+	if _, err := NewMultiMatcher("nope"); err == nil {
+		t.Fatal("unknown multi system accepted")
+	}
+	r, _, _ := sharedRunner(t)
+	if _, err := r.RunPairwise(Config{Repetitions: 1, Systems: []string{"nope"}}); err == nil {
+		t.Fatal("unknown system in run accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import "wdcproducts/internal/core"
+
+// Paper reference values, transcribed from Tables 3 and 5 of Peeters, Der
+// & Bizer (EDBT 2024). They are used by EXPERIMENTS.md generation to print
+// paper-vs-measured comparisons and by the shape checks that verify the
+// reproduction preserves the paper's qualitative findings. All values are
+// F1 percentages.
+
+// paperT3 maps system -> [corner][dev][unseen] F1. Row order inside the
+// array literals follows the paper: unseen 0 ("Seen"), 50 ("Half-Seen"),
+// 100 ("Unseen").
+var paperT3 = map[string]map[core.CornerRatio]map[core.DevSize][3]float64{
+	"Word-Cooc": {
+		80: {core.Small: {43.73, 40.07, 27.46}, core.Medium: {52.66, 44.06, 30.57}, core.Large: {56.67, 50.24, 30.26}},
+		50: {core.Small: {48.10, 40.23, 29.44}, core.Medium: {58.07, 46.04, 29.70}, core.Large: {60.39, 51.15, 31.64}},
+		20: {core.Small: {46.55, 45.30, 33.30}, core.Medium: {58.04, 51.33, 34.38}, core.Large: {61.81, 54.26, 35.83}},
+	},
+	"Magellan": {
+		80: {core.Small: {31.15, 33.75, 33.34}, core.Medium: {30.55, 35.00, 33.47}, core.Large: {31.96, 36.42, 34.95}},
+		50: {core.Small: {31.38, 32.44, 33.34}, core.Medium: {35.83, 37.45, 36.61}, core.Large: {35.41, 37.39, 38.51}},
+		20: {core.Small: {34.17, 37.50, 35.18}, core.Medium: {36.90, 40.68, 37.10}, core.Large: {37.58, 41.57, 37.23}},
+	},
+	"RoBERTa": {
+		80: {core.Small: {65.45, 66.68, 64.50}, core.Medium: {72.18, 72.05, 70.13}, core.Large: {78.15, 75.52, 69.75}},
+		50: {core.Small: {68.69, 69.18, 65.79}, core.Medium: {78.58, 75.91, 71.14}, core.Large: {82.46, 78.89, 71.52}},
+		20: {core.Small: {75.24, 75.87, 72.44}, core.Medium: {83.68, 80.60, 78.35}, core.Large: {87.80, 82.17, 78.64}},
+	},
+	"Ditto": {
+		80: {core.Small: {58.33, 58.97, 57.16}, core.Medium: {74.07, 72.78, 69.49}, core.Large: {79.46, 68.81, 67.94}},
+		50: {core.Small: {70.19, 65.40, 61.84}, core.Medium: {79.16, 75.22, 70.24}, core.Large: {83.88, 79.36, 69.36}},
+		20: {core.Small: {73.96, 75.36, 72.62}, core.Medium: {83.43, 78.40, 76.33}, core.Large: {87.52, 82.81, 77.92}},
+	},
+	"HierGAT": {
+		80: {core.Small: {59.65, 61.54, 60.63}, core.Medium: {71.40, 67.64, 67.45}, core.Large: {75.42, 73.20, 68.53}},
+		50: {core.Small: {61.70, 60.74, 59.21}, core.Medium: {75.17, 73.30, 68.74}, core.Large: {81.47, 76.98, 71.34}},
+		20: {core.Small: {64.34, 64.62, 68.25}, core.Medium: {79.53, 77.60, 74.84}, core.Large: {84.15, 79.54, 75.53}},
+	},
+	"R-SupCon": {
+		80: {core.Small: {77.48, 64.25, 51.91}, core.Medium: {79.99, 67.21, 53.10}, core.Large: {82.15, 67.27, 53.31}},
+		50: {core.Small: {78.43, 68.24, 57.44}, core.Medium: {81.88, 68.69, 57.23}, core.Large: {85.16, 71.15, 57.68}},
+		20: {core.Small: {85.06, 73.09, 64.56}, core.Medium: {87.46, 73.17, 63.52}, core.Large: {89.04, 74.59, 62.45}},
+	},
+}
+
+// paperT5 maps system -> [corner][dev] multi-class micro-F1.
+var paperT5 = map[string]map[core.CornerRatio]map[core.DevSize]float64{
+	"Word-Occ": {
+		80: {core.Small: 63.30, core.Medium: 71.50, core.Large: 79.40},
+		50: {core.Small: 68.60, core.Medium: 76.10, core.Large: 81.10},
+		20: {core.Small: 66.60, core.Medium: 76.20, core.Large: 81.30},
+	},
+	"RoBERTa": {
+		80: {core.Small: 36.63, core.Medium: 52.03, core.Large: 78.77},
+		50: {core.Small: 40.83, core.Medium: 61.33, core.Large: 82.00},
+		20: {core.Small: 39.83, core.Medium: 61.13, core.Large: 83.37},
+	},
+	"R-SupCon": {
+		80: {core.Small: 82.30, core.Medium: 88.63, core.Large: 89.33},
+		50: {core.Small: 85.23, core.Medium: 89.80, core.Large: 91.73},
+		20: {core.Small: 87.87, core.Medium: 92.60, core.Large: 93.03},
+	},
+}
+
+// PaperPairF1 returns the paper's Table 3 value for a (system, variant),
+// or -1 when the paper does not report it.
+func PaperPairF1(system string, v core.VariantKey) float64 {
+	byCC, ok := paperT3[system]
+	if !ok {
+		return -1
+	}
+	triple, ok := byCC[v.Corner][v.Dev]
+	if !ok {
+		return -1
+	}
+	switch v.Unseen {
+	case 0:
+		return triple[0]
+	case 50:
+		return triple[1]
+	case 100:
+		return triple[2]
+	}
+	return -1
+}
+
+// PaperMultiF1 returns the paper's Table 5 value, or -1.
+func PaperMultiF1(system string, cc core.CornerRatio, dev core.DevSize) float64 {
+	byCC, ok := paperT5[system]
+	if !ok {
+		return -1
+	}
+	v, ok := byCC[cc][dev]
+	if !ok {
+		return -1
+	}
+	return v
+}

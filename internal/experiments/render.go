@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/tables"
+)
+
+// Table3 renders the pair-wise F1 table in the paper's layout: one row per
+// (dev size, corner ratio), one Seen/Half-Seen/Unseen column triple per
+// system.
+func Table3(res *Results, systems []string) *tables.Table {
+	if systems == nil {
+		systems = PairSystems
+	}
+	headers := []string{"DevSize", "CornerCases"}
+	for _, s := range systems {
+		headers = append(headers, s+"/Seen", s+"/Half", s+"/Unseen")
+	}
+	t := tables.New("Table 3: pair-wise F1 (match class) over all three dimensions", headers...)
+	for _, cc := range core.CornerRatios() {
+		for _, dev := range core.DevSizes() {
+			row := []string{string(dev), fmt.Sprintf("%d%%", cc)}
+			for _, s := range systems {
+				for _, un := range core.UnseenFractions() {
+					cell := res.PairCellFor(s, core.VariantKey{Corner: cc, Dev: dev, Unseen: un})
+					if cell == nil {
+						row = append(row, "-")
+						continue
+					}
+					row = append(row, tables.Pct(cell.F1))
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Table4 renders precision and recall for the neural systems.
+func Table4(res *Results, systems []string) *tables.Table {
+	if systems == nil {
+		systems = NeuralSystems
+	}
+	headers := []string{"DevSize", "CornerCases"}
+	for _, s := range systems {
+		for _, un := range []string{"Seen", "Half", "Unseen"} {
+			headers = append(headers, s+"/"+un+"/P", s+"/"+un+"/R")
+		}
+	}
+	t := tables.New("Table 4: precision and recall of the neural matching systems", headers...)
+	for _, cc := range core.CornerRatios() {
+		for _, dev := range core.DevSizes() {
+			row := []string{string(dev), fmt.Sprintf("%d%%", cc)}
+			for _, s := range systems {
+				for _, un := range core.UnseenFractions() {
+					cell := res.PairCellFor(s, core.VariantKey{Corner: cc, Dev: dev, Unseen: un})
+					if cell == nil {
+						row = append(row, "-", "-")
+						continue
+					}
+					row = append(row, tables.Pct(cell.Precision), tables.Pct(cell.Recall))
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Table5 renders the multi-class micro-F1 table.
+func Table5(res *Results, systems []string) *tables.Table {
+	if systems == nil {
+		systems = MultiSystems
+	}
+	headers := append([]string{"DevSize", "CornerCases"}, systems...)
+	t := tables.New("Table 5: multi-class matching micro-F1", headers...)
+	for _, cc := range core.CornerRatios() {
+		for _, dev := range core.DevSizes() {
+			row := []string{string(dev), fmt.Sprintf("%d%%", cc)}
+			for _, s := range systems {
+				cell := res.MultiCellFor(s, cc, dev)
+				if cell == nil {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, tables.Pct(cell.MicroF1))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Figure4 renders the corner-case dimension slice: F1 per system while the
+// corner-case ratio varies, with dev size medium and 0% unseen.
+func Figure4(res *Results, systems []string) *tables.Table {
+	if systems == nil {
+		systems = PairSystems
+	}
+	t := tables.New("Figure 4: F1 vs corner-case ratio (dev=medium, unseen=0%)",
+		append([]string{"System"}, "20%", "50%", "80%")...)
+	for _, s := range systems {
+		row := []string{s}
+		for _, cc := range []core.CornerRatio{20, 50, 80} {
+			cell := res.PairCellFor(s, core.VariantKey{Corner: cc, Dev: core.Medium, Unseen: 0})
+			row = appendCell(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure5 renders the unseen dimension slice: F1 per system while the
+// unseen fraction varies, with 50% corner-cases and dev size medium.
+func Figure5(res *Results, systems []string) *tables.Table {
+	if systems == nil {
+		systems = PairSystems
+	}
+	t := tables.New("Figure 5: F1 vs unseen fraction (cc=50%, dev=medium)",
+		append([]string{"System"}, "Seen", "Half-Seen", "Unseen")...)
+	for _, s := range systems {
+		row := []string{s}
+		for _, un := range core.UnseenFractions() {
+			cell := res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: core.Medium, Unseen: un})
+			row = appendCell(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure6 renders the development-set-size slice: F1 per system while the
+// dev size varies, with 50% corner-cases and 0% unseen.
+func Figure6(res *Results, systems []string) *tables.Table {
+	if systems == nil {
+		systems = PairSystems
+	}
+	t := tables.New("Figure 6: F1 vs development set size (cc=50%, unseen=0%)",
+		append([]string{"System"}, "Small", "Medium", "Large")...)
+	for _, s := range systems {
+		row := []string{s}
+		for _, dev := range core.DevSizes() {
+			cell := res.PairCellFor(s, core.VariantKey{Corner: 50, Dev: dev, Unseen: 0})
+			row = appendCell(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func appendCell(row []string, cell *PairCell) []string {
+	if cell == nil {
+		return append(row, "-")
+	}
+	return append(row, tables.Pct(cell.F1))
+}

@@ -1,0 +1,214 @@
+// Package forest implements CART decision trees and a random forest
+// classifier (bootstrap aggregation with per-split feature subsampling).
+// It is the classifier behind the Magellan baseline of §5.1, substituting
+// scikit-learn's RandomForestClassifier.
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config holds the forest hyperparameters.
+type Config struct {
+	Trees    int
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf.
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split; 0
+	// selects the sqrt(d) heuristic.
+	FeatureFrac float64
+}
+
+// DefaultConfig returns a configuration matched to Magellan-style feature
+// vectors (a dozen dense similarity features).
+func DefaultConfig() Config {
+	return Config{Trees: 24, MaxDepth: 10, MinLeaf: 2}
+}
+
+type node struct {
+	// Leaf payload.
+	leaf bool
+	prob float64 // P(positive)
+	// Internal split.
+	feature     int
+	threshold   float64
+	left, right *node
+}
+
+// Tree is a single CART classification tree.
+type Tree struct {
+	root *node
+}
+
+// Forest is a bagged ensemble of trees.
+type Forest struct {
+	trees []*Tree
+}
+
+// Train fits a random forest on dense features with binary labels.
+func Train(xs [][]float64, ys []bool, cfg Config, rng *rand.Rand) *Forest {
+	f := &Forest{}
+	if len(xs) == 0 {
+		return f
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 16
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	dim := len(xs[0])
+	nFeat := int(cfg.FeatureFrac * float64(dim))
+	if cfg.FeatureFrac <= 0 {
+		nFeat = int(math.Sqrt(float64(dim)) + 0.5)
+	}
+	if nFeat < 1 {
+		nFeat = 1
+	}
+	if nFeat > dim {
+		nFeat = dim
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = rng.Intn(len(xs))
+		}
+		tree := &Tree{}
+		tree.root = buildNode(xs, ys, idx, cfg, nFeat, 0, rng)
+		f.trees = append(f.trees, tree)
+	}
+	return f
+}
+
+func buildNode(xs [][]float64, ys []bool, idx []int, cfg Config, nFeat, depth int, rng *rand.Rand) *node {
+	pos := 0
+	for _, i := range idx {
+		if ys[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pos == 0 || pos == len(idx) {
+		return &node{leaf: true, prob: prob}
+	}
+	dim := len(xs[0])
+	// Feature subsample.
+	feats := rng.Perm(dim)[:nFeat]
+	bestGini := math.Inf(1)
+	bestFeat, bestThresh := -1, 0.0
+	values := make([]float64, 0, len(idx))
+	for _, fi := range feats {
+		values = values[:0]
+		for _, i := range idx {
+			values = append(values, xs[i][fi])
+		}
+		sort.Float64s(values)
+		// Candidate thresholds: midpoints of up to 16 quantile cuts.
+		for q := 1; q < 16; q++ {
+			cut := values[q*len(values)/16]
+			gini, ok := splitGini(xs, ys, idx, fi, cut, cfg.MinLeaf)
+			if ok && gini < bestGini {
+				bestGini, bestFeat, bestThresh = gini, fi, cut
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{leaf: true, prob: prob}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if xs[i][bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < cfg.MinLeaf || len(rightIdx) < cfg.MinLeaf {
+		return &node{leaf: true, prob: prob}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      buildNode(xs, ys, leftIdx, cfg, nFeat, depth+1, rng),
+		right:     buildNode(xs, ys, rightIdx, cfg, nFeat, depth+1, rng),
+	}
+}
+
+// splitGini computes the weighted Gini impurity of splitting idx at
+// feature <= threshold. ok is false for degenerate splits.
+func splitGini(xs [][]float64, ys []bool, idx []int, feat int, thresh float64, minLeaf int) (float64, bool) {
+	var lN, lPos, rN, rPos int
+	for _, i := range idx {
+		if xs[i][feat] <= thresh {
+			lN++
+			if ys[i] {
+				lPos++
+			}
+		} else {
+			rN++
+			if ys[i] {
+				rPos++
+			}
+		}
+	}
+	if lN < minLeaf || rN < minLeaf {
+		return 0, false
+	}
+	gini := func(n, pos int) float64 {
+		p := float64(pos) / float64(n)
+		return 2 * p * (1 - p)
+	}
+	total := float64(lN + rN)
+	return float64(lN)/total*gini(lN, lPos) + float64(rN)/total*gini(rN, rPos), true
+}
+
+// Prob returns the forest's positive-class probability: the mean of the
+// trees' leaf probabilities.
+func (f *Forest) Prob(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.prob(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Predict returns the majority-probability class.
+func (f *Forest) Predict(x []float64) bool { return f.Prob(x) >= 0.5 }
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+func (t *Tree) prob(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// Depth returns the maximum depth of the tree, for tests and diagnostics.
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

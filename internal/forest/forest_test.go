@@ -1,0 +1,143 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdcproducts/internal/xrand"
+)
+
+// xorData is not linearly separable; trees must handle it.
+func xorData(n int, rng *rand.Rand) ([][]float64, []bool) {
+	var xs [][]float64
+	var ys []bool
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		xs = append(xs, []float64{a, b, rng.Float64() * 0.01})
+		ys = append(ys, (a > 0.5) != (b > 0.5))
+	}
+	return xs, ys
+}
+
+func TestXORLearnable(t *testing.T) {
+	rng := xrand.New(1).Stream("forest")
+	xs, ys := xorData(600, rng)
+	f := Train(xs, ys, Config{Trees: 20, MaxDepth: 8, MinLeaf: 2, FeatureFrac: 1.0}, rng)
+	correct := 0
+	for i := range xs {
+		if f.Predict(xs[i]) == ys[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.9 {
+		t.Fatalf("XOR training accuracy = %.3f", acc)
+	}
+}
+
+func TestGeneralization(t *testing.T) {
+	rng := xrand.New(2).Stream("forest")
+	xs, ys := xorData(600, rng)
+	f := Train(xs, ys, DefaultConfig(), rng)
+	testX, testY := xorData(200, rng)
+	correct := 0
+	for i := range testX {
+		if f.Predict(testX[i]) == testY[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(testX)); acc < 0.8 {
+		t.Fatalf("held-out accuracy = %.3f", acc)
+	}
+}
+
+func TestProbRange(t *testing.T) {
+	rng := xrand.New(3).Stream("forest")
+	xs, ys := xorData(200, rng)
+	f := Train(xs, ys, DefaultConfig(), rng)
+	for i := range xs {
+		p := f.Prob(xs[i])
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+	}
+}
+
+func TestPureLabels(t *testing.T) {
+	rng := xrand.New(4).Stream("forest")
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []bool{true, true, true, true}
+	f := Train(xs, ys, DefaultConfig(), rng)
+	if p := f.Prob([]float64{2.5}); p != 1 {
+		t.Fatalf("pure-positive forest prob = %v", p)
+	}
+}
+
+func TestEmptyTraining(t *testing.T) {
+	f := Train(nil, nil, DefaultConfig(), xrand.New(1).Stream("f"))
+	if f.NumTrees() != 0 {
+		t.Fatal("trees grown from empty data")
+	}
+	if p := f.Prob([]float64{1}); p != 0 {
+		t.Fatalf("empty forest prob = %v", p)
+	}
+}
+
+func TestDepthBounded(t *testing.T) {
+	rng := xrand.New(5).Stream("forest")
+	xs, ys := xorData(500, rng)
+	cfg := Config{Trees: 5, MaxDepth: 4, MinLeaf: 1, FeatureFrac: 1}
+	f := Train(xs, ys, cfg, rng)
+	for i, tree := range f.trees {
+		if d := tree.Depth(); d > cfg.MaxDepth {
+			t.Fatalf("tree %d depth %d exceeds max %d", i, d, cfg.MaxDepth)
+		}
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	rng := xrand.New(6).Stream("forest")
+	xs, ys := xorData(100, rng)
+	f := Train(xs, ys, Config{Trees: 3, MaxDepth: 20, MinLeaf: 30, FeatureFrac: 1}, rng)
+	// With a huge MinLeaf, trees stay shallow.
+	for _, tree := range f.trees {
+		if tree.Depth() > 3 {
+			t.Fatalf("MinLeaf not limiting growth: depth %d", tree.Depth())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *Forest {
+		rng := xrand.New(7).Stream("forest")
+		xs, ys := xorData(200, rng)
+		return Train(xs, ys, DefaultConfig(), rng)
+	}
+	a, b := build(), build()
+	probe := []float64{0.3, 0.7, 0.0}
+	if a.Prob(probe) != b.Prob(probe) {
+		t.Fatal("forest training not deterministic")
+	}
+}
+
+func TestBaggingDiversity(t *testing.T) {
+	rng := xrand.New(8).Stream("forest")
+	xs, ys := xorData(300, rng)
+	f := Train(xs, ys, Config{Trees: 10, MaxDepth: 6, MinLeaf: 2, FeatureFrac: 0.5}, rng)
+	// Trees should not all be identical: check that at least two trees
+	// disagree on some input.
+	diverse := false
+	for i := 0; i < 50 && !diverse; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		first := f.trees[0].prob(x)
+		for _, tree := range f.trees[1:] {
+			if tree.prob(x) != first {
+				diverse = true
+				break
+			}
+		}
+	}
+	if !diverse {
+		t.Fatal("all trees identical; bagging broken")
+	}
+}

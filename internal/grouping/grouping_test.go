@@ -1,0 +1,178 @@
+package grouping
+
+import (
+	"testing"
+
+	"wdcproducts/internal/cleanse"
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/xrand"
+)
+
+func cleanTiny(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	raw := corpus.Generate(corpus.TinyConfig(), xrand.New(321))
+	clean, _ := cleanse.Run(raw, cleanse.DefaultConfig(), langid.New())
+	return clean
+}
+
+func runGrouping(t *testing.T) (*corpus.Corpus, *Grouping) {
+	t.Helper()
+	c := cleanTiny(t)
+	g, err := Run(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+func TestGroupingBasics(t *testing.T) {
+	c, g := runGrouping(t)
+	if len(g.Clusters) != len(c.Clusters) {
+		t.Fatalf("cluster count mismatch: %d vs %d", len(g.Clusters), len(c.Clusters))
+	}
+	// Every cluster belongs to exactly one group and the group index is
+	// consistent.
+	seen := map[int]bool{}
+	for label, slots := range g.Groups {
+		for _, slot := range slots {
+			if g.Clusters[slot].Group != label {
+				t.Fatalf("slot %d group mismatch", slot)
+			}
+			if seen[slot] {
+				t.Fatalf("slot %d in two groups", slot)
+			}
+			seen[slot] = true
+		}
+	}
+	if len(seen) != len(g.Clusters) {
+		t.Fatalf("only %d of %d slots grouped", len(seen), len(g.Clusters))
+	}
+}
+
+func TestSiblingsGroupedTogether(t *testing.T) {
+	c, g := runGrouping(t)
+	// Clusters of sibling products (same SeriesKey) should mostly land in
+	// the same DBSCAN group — that is the whole point of the step.
+	bySeries := map[string][]int{}
+	for slot, ci := range g.Clusters {
+		if ci.ProductID < 0 || ci.ProductID >= len(c.Products) {
+			continue
+		}
+		key := c.Products[ci.ProductID].SeriesKey
+		bySeries[key] = append(bySeries[key], slot)
+	}
+	checked, together := 0, 0
+	for _, slots := range bySeries {
+		if len(slots) < 2 {
+			continue
+		}
+		checked++
+		groups := map[int]bool{}
+		for _, slot := range slots {
+			groups[g.Clusters[slot].Group] = true
+		}
+		if len(groups) == 1 {
+			together++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no multi-cluster series to check")
+	}
+	if frac := float64(together) / float64(checked); frac < 0.7 {
+		t.Fatalf("only %.2f of series grouped together (%d/%d)", frac, together, checked)
+	}
+}
+
+func TestAdultGroupsAvoided(t *testing.T) {
+	c, g := runGrouping(t)
+	for label, slots := range g.Groups {
+		hasAdult := false
+		for _, slot := range slots {
+			pid := g.Clusters[slot].ProductID
+			if pid >= 0 && c.Products[pid].Category == corpus.AdultCategoryName {
+				hasAdult = true
+			}
+		}
+		if hasAdult && !g.Avoided[label] {
+			t.Fatalf("adult group %d not avoided", label)
+		}
+	}
+	// The tiny corpus always contains adult products, so something must be
+	// avoided.
+	if len(g.Avoided) == 0 {
+		t.Fatal("no groups avoided")
+	}
+}
+
+func TestPoolSizeBounds(t *testing.T) {
+	_, g := runGrouping(t)
+	cfg := DefaultConfig()
+	for _, slots := range g.SeenGroups {
+		for _, slot := range slots {
+			if g.Clusters[slot].Size() < cfg.SeenMinOffers {
+				t.Fatalf("seen-pool cluster with %d offers", g.Clusters[slot].Size())
+			}
+		}
+	}
+	for _, slots := range g.UnseenGroups {
+		for _, slot := range slots {
+			n := g.Clusters[slot].Size()
+			if n < cfg.UnseenMinOffers || n > cfg.UnseenMaxOffers {
+				t.Fatalf("unseen-pool cluster with %d offers", n)
+			}
+		}
+	}
+	seenN, unseenN := g.PoolSizes()
+	if seenN == 0 || unseenN == 0 {
+		t.Fatalf("empty pools: seen=%d unseen=%d", seenN, unseenN)
+	}
+}
+
+func TestAvoidedGroupsExcludedFromPools(t *testing.T) {
+	_, g := runGrouping(t)
+	for label := range g.Avoided {
+		if _, ok := g.SeenGroups[label]; ok {
+			t.Fatalf("avoided group %d in seen pool", label)
+		}
+		if _, ok := g.UnseenGroups[label]; ok {
+			t.Fatalf("avoided group %d in unseen pool", label)
+		}
+	}
+}
+
+func TestRepTitleNonEmpty(t *testing.T) {
+	_, g := runGrouping(t)
+	for i, ci := range g.Clusters {
+		if ci.RepTitle == "" {
+			t.Fatalf("cluster slot %d has empty representative title", i)
+		}
+	}
+}
+
+func TestEmptyCorpusRejected(t *testing.T) {
+	empty := &corpus.Corpus{Clusters: map[int64][]int{}}
+	if _, err := Run(empty, DefaultConfig()); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := cleanTiny(t)
+	a, err := Run(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatal("cluster counts differ")
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i].Group != b.Clusters[i].Group || a.Clusters[i].RepTitle != b.Clusters[i].RepTitle {
+			t.Fatalf("grouping not deterministic at slot %d", i)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package labelcheck
+
+import (
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/xrand"
+)
+
+var (
+	once   sync.Once
+	bench  *core.Benchmark
+	corp   *corpus.Corpus
+	buildE error
+)
+
+func fixture(t *testing.T) (*core.Benchmark, *corpus.Corpus) {
+	t.Helper()
+	once.Do(func() {
+		bench, corp, buildE = core.BuildWithCorpus(core.TinyBuildConfig(31))
+	})
+	if buildE != nil {
+		t.Fatal(buildE)
+	}
+	return bench, corp
+}
+
+func TestRunBasics(t *testing.T) {
+	b, c := fixture(t)
+	res, err := Run(b, c, DefaultConfig(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampledPairs == 0 {
+		t.Fatal("no pairs sampled")
+	}
+	// Stratification: roughly balanced positives and negatives.
+	if res.Positives == 0 || res.Negatives == 0 {
+		t.Fatalf("unbalanced sample: %d/%d", res.Positives, res.Negatives)
+	}
+	ratio := float64(res.Positives) / float64(res.SampledPairs)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("positive ratio = %.2f", ratio)
+	}
+}
+
+func TestNoiseEstimateInPaperRange(t *testing.T) {
+	b, c := fixture(t)
+	res, err := Run(b, c, DefaultConfig(), xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper estimates ~4% noise; the simulation should land in the
+	// single-digit percent range and never at zero (cluster noise exists).
+	for i, n := range res.NoiseEstimate {
+		if n < 0 || n > 0.15 {
+			t.Fatalf("annotator %d noise estimate = %.3f", i+1, n)
+		}
+	}
+}
+
+func TestKappaHighAgreement(t *testing.T) {
+	b, c := fixture(t)
+	res, err := Run(b, c, DefaultConfig(), xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports kappa 0.91; the simulated annotators share ground
+	// truth and differ only in rare independent errors.
+	if res.Kappa < 0.75 || res.Kappa > 1 {
+		t.Fatalf("kappa = %.3f", res.Kappa)
+	}
+}
+
+func TestHigherErrorLowersKappa(t *testing.T) {
+	b, c := fixture(t)
+	low, err := Run(b, c, DefaultConfig(), xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := DefaultConfig()
+	noisy.BaseError = 0.2
+	noisy.HardError = 0.35
+	high, err := Run(b, c, noisy, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Kappa >= low.Kappa {
+		t.Fatalf("noisier annotators did not lower kappa: %.3f vs %.3f", high.Kappa, low.Kappa)
+	}
+	if high.NoiseEstimate[0] <= low.NoiseEstimate[0] {
+		t.Fatalf("noisier annotators did not raise the noise estimate")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	b, c := fixture(t)
+	a, err := Run(b, c, DefaultConfig(), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := Run(b, c, DefaultConfig(), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kappa != bres.Kappa || a.NoiseEstimate != bres.NoiseEstimate {
+		t.Fatal("label check not deterministic")
+	}
+}
+
+func TestEmptyConfigFallsBack(t *testing.T) {
+	b, c := fixture(t)
+	res, err := Run(b, c, Config{}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampledPairs == 0 {
+		t.Fatal("default fallback did not sample")
+	}
+}

@@ -1,0 +1,135 @@
+// Package langid is the language-identification substrate of the cleansing
+// pipeline (§3.2). It replaces the fastText language-identification model
+// with a character n-gram multinomial Naive Bayes classifier trained on
+// embedded multilingual seed corpora.
+//
+// The classifier exposes the same contract the pipeline needs from
+// fastText: Predict(text) returns the most likely language and a
+// confidence, and the cleansing step keeps offers whose top label is "en".
+package langid
+
+import (
+	"math"
+	"sort"
+
+	"wdcproducts/internal/textutil"
+)
+
+// Prediction is one (language, probability) pair.
+type Prediction struct {
+	Lang string
+	Prob float64
+}
+
+// Classifier is a character n-gram Naive Bayes language identifier.
+type Classifier struct {
+	langs     []string
+	ngramSize int
+	logPrior  map[string]float64
+	// logProb[lang][gram] is the smoothed log likelihood of gram under lang.
+	logProb map[string]map[string]float64
+	// logUnseen[lang] is the smoothed log likelihood of an unseen gram.
+	logUnseen map[string]float64
+	vocabSize int
+}
+
+// New trains the default classifier (3-grams) on the embedded seed corpora.
+func New() *Classifier {
+	return NewFromCorpora(seedCorpora, 3)
+}
+
+// NewFromCorpora trains a classifier from explicit corpora, used by tests
+// and by callers who extend the language set.
+func NewFromCorpora(corpora map[string][]string, ngramSize int) *Classifier {
+	c := &Classifier{
+		ngramSize: ngramSize,
+		logPrior:  make(map[string]float64),
+		logProb:   make(map[string]map[string]float64),
+		logUnseen: make(map[string]float64),
+	}
+	vocab := make(map[string]bool)
+	counts := make(map[string]map[string]float64)
+	totals := make(map[string]float64)
+	for lang, sentences := range corpora {
+		c.langs = append(c.langs, lang)
+		counts[lang] = make(map[string]float64)
+		for _, s := range sentences {
+			for _, g := range textutil.CharNGrams(s, ngramSize) {
+				counts[lang][g]++
+				totals[lang]++
+				vocab[g] = true
+			}
+		}
+	}
+	sort.Strings(c.langs)
+	c.vocabSize = len(vocab)
+	prior := math.Log(1 / float64(len(c.langs)))
+	for _, lang := range c.langs {
+		c.logPrior[lang] = prior
+		c.logProb[lang] = make(map[string]float64, len(counts[lang]))
+		denom := totals[lang] + float64(c.vocabSize) // Laplace smoothing
+		for g, n := range counts[lang] {
+			c.logProb[lang][g] = math.Log((n + 1) / denom)
+		}
+		c.logUnseen[lang] = math.Log(1 / denom)
+	}
+	return c
+}
+
+// Predict returns the most probable language for text together with its
+// posterior probability. Empty or non-textual input predicts "en" with
+// probability 1/len(langs) — the pipeline treats that as low confidence.
+func (c *Classifier) Predict(text string) Prediction {
+	ps := c.PredictAll(text)
+	return ps[0]
+}
+
+// PredictAll returns the posterior distribution over all languages, sorted
+// by descending probability (ties broken by language code).
+func (c *Classifier) PredictAll(text string) []Prediction {
+	grams := textutil.CharNGrams(text, c.ngramSize)
+	scores := make([]float64, len(c.langs))
+	for i, lang := range c.langs {
+		s := c.logPrior[lang]
+		lp := c.logProb[lang]
+		unseen := c.logUnseen[lang]
+		for _, g := range grams {
+			if v, ok := lp[g]; ok {
+				s += v
+			} else {
+				s += unseen
+			}
+		}
+		scores[i] = s
+	}
+	// Softmax in log space for stable posteriors.
+	maxScore := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	total := 0.0
+	for i := range scores {
+		scores[i] = math.Exp(scores[i] - maxScore)
+		total += scores[i]
+	}
+	out := make([]Prediction, len(c.langs))
+	for i, lang := range c.langs {
+		out[i] = Prediction{Lang: lang, Prob: scores[i] / total}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Prob != out[b].Prob {
+			return out[a].Prob > out[b].Prob
+		}
+		return out[a].Lang < out[b].Lang
+	})
+	return out
+}
+
+// IsEnglish reports whether the classifier's top prediction for text is
+// English — exactly the cleansing criterion of §3.2 ("keep all rows where
+// the classifier confidence is highest for the English language").
+func (c *Classifier) IsEnglish(text string) bool {
+	return c.Predict(text).Lang == "en"
+}

@@ -1,0 +1,146 @@
+package langid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPredictSeedLanguages(t *testing.T) {
+	c := New()
+	cases := map[string]string{
+		"the shipping is free and the warranty covers two years": "en",
+		"die lieferung ist kostenlos und die garantie gilt":      "de",
+		"la livraison est gratuite et la garantie couvre":        "fr",
+		"el envío es gratuito y la garantía cubre dos años":      "es",
+		"la spedizione è gratuita e la garanzia copre due anni":  "it",
+		"de verzending is gratis en de garantie dekt twee jaar":  "nl",
+		"o envio é grátis e a garantia cobre dois anos":          "pt",
+	}
+	for text, want := range cases {
+		if got := c.Predict(text); got.Lang != want {
+			t.Errorf("Predict(%q) = %s (p=%.3f), want %s", text, got.Lang, got.Prob, want)
+		}
+	}
+}
+
+func TestHeldOutAccuracy(t *testing.T) {
+	// Train on all but the last 4 sentences per language, evaluate on those.
+	train := map[string][]string{}
+	type heldOut struct{ lang, text string }
+	var test []heldOut
+	for lang, sents := range seedCorpora {
+		cut := len(sents) - 4
+		train[lang] = sents[:cut]
+		for _, s := range sents[cut:] {
+			test = append(test, heldOut{lang, s})
+		}
+	}
+	c := NewFromCorpora(train, 3)
+	correct := 0
+	for _, h := range test {
+		if c.Predict(h.text).Lang == h.lang {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test))
+	if acc < 0.85 {
+		t.Fatalf("held-out accuracy = %.2f (%d/%d), want >= 0.85", acc, correct, len(test))
+	}
+}
+
+func TestPredictAllIsDistribution(t *testing.T) {
+	c := New()
+	ps := c.PredictAll("wireless mechanical keyboard with rgb lighting")
+	total := 0.0
+	for _, p := range ps {
+		if p.Prob < 0 || p.Prob > 1 {
+			t.Fatalf("probability out of range: %+v", p)
+		}
+		total += p.Prob
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("posterior sums to %v", total)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Prob < ps[i].Prob {
+			t.Fatal("PredictAll not sorted descending")
+		}
+	}
+	if len(ps) != len(Languages()) {
+		t.Fatalf("PredictAll returned %d languages, want %d", len(ps), len(Languages()))
+	}
+}
+
+func TestIsEnglish(t *testing.T) {
+	c := New()
+	if !c.IsEnglish("brand new laptop with free shipping and one year warranty") {
+		t.Error("English title misclassified")
+	}
+	if c.IsEnglish("neue festplatte mit kostenloser lieferung und voller garantie für ihren computer") {
+		t.Error("German title classified as English")
+	}
+}
+
+func TestEnglishTitleWithModelNumbers(t *testing.T) {
+	// Product titles are full of codes; they must still lean English when
+	// the surrounding words are English.
+	c := New()
+	title := "seagate barracuda st2000dm008 2tb internal hard drive for desktop"
+	if !c.IsEnglish(title) {
+		t.Errorf("model-number-laden English title misclassified: %v", c.PredictAll(title)[:3])
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	c := New()
+	p := c.Predict("")
+	if p.Lang == "" {
+		t.Fatal("Predict on empty input returned empty language")
+	}
+	// Uniform-ish posterior: confidence must be far below 1.
+	if p.Prob > 0.9 {
+		t.Fatalf("empty input over-confident: %+v", p)
+	}
+}
+
+func TestSeedSentencesCopy(t *testing.T) {
+	a := SeedSentences("en")
+	if len(a) == 0 {
+		t.Fatal("no English seeds")
+	}
+	a[0] = "mutated"
+	b := SeedSentences("en")
+	if b[0] == "mutated" {
+		t.Fatal("SeedSentences leaks internal slice")
+	}
+	if SeedSentences("zz") != nil && len(SeedSentences("zz")) != 0 {
+		t.Fatal("unknown language should return empty")
+	}
+}
+
+func TestLanguagesSorted(t *testing.T) {
+	langs := Languages()
+	for i := 1; i < len(langs); i++ {
+		if strings.Compare(langs[i-1], langs[i]) >= 0 {
+			t.Fatalf("Languages not sorted: %v", langs)
+		}
+	}
+	for _, l := range langs {
+		if len(seedCorpora[l]) == 0 {
+			t.Fatalf("language %s has no seed corpus", l)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New()
+	b := New()
+	texts := []string{"free shipping today", "garantie du fabricant", "in den warenkorb"}
+	for _, s := range texts {
+		pa, pb := a.Predict(s), b.Predict(s)
+		if pa.Lang != pb.Lang || math.Abs(pa.Prob-pb.Prob) > 1e-12 {
+			t.Fatalf("classifiers differ on %q: %+v vs %+v", s, pa, pb)
+		}
+	}
+}

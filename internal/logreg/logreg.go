@@ -1,0 +1,192 @@
+// Package logreg implements binary logistic regression and multinomial
+// softmax regression over dense features, trained with mini-batch SGD and
+// L2 regularization. The R-SupCon substitute uses the binary model as its
+// frozen-encoder classification head; the multi-class RoBERTa substitute
+// uses the softmax model as its classification layer.
+package logreg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config holds shared training hyperparameters.
+type Config struct {
+	Epochs       int
+	LearningRate float64
+	L2           float64
+	BatchSize    int
+}
+
+// DefaultConfig returns a configuration suited to the small feature
+// dimensions used by the matchers.
+func DefaultConfig() Config {
+	return Config{Epochs: 60, LearningRate: 0.1, L2: 1e-4, BatchSize: 32}
+}
+
+// Binary is a binary logistic regression model.
+type Binary struct {
+	W    []float64
+	Bias float64
+}
+
+// TrainBinary fits a binary model on dense features.
+func TrainBinary(xs [][]float64, ys []bool, cfg Config, rng *rand.Rand) *Binary {
+	if len(xs) == 0 {
+		return &Binary{}
+	}
+	dim := len(xs[0])
+	m := &Binary{W: make([]float64, dim)}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
+		order := rng.Perm(len(xs))
+		for _, i := range order {
+			p := m.Prob(xs[i])
+			y := 0.0
+			if ys[i] {
+				y = 1.0
+			}
+			g := p - y
+			for d := range m.W {
+				m.W[d] -= lr * (g*xs[i][d] + cfg.L2*m.W[d])
+			}
+			m.Bias -= lr * g
+		}
+	}
+	return m
+}
+
+// Prob returns P(positive | x).
+func (m *Binary) Prob(x []float64) float64 {
+	s := m.Bias
+	for d := range m.W {
+		s += m.W[d] * x[d]
+	}
+	return sigmoid(s)
+}
+
+func sigmoid(x float64) float64 {
+	if x > 30 {
+		return 1
+	}
+	if x < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Softmax is a multinomial (softmax) regression model with K classes.
+type Softmax struct {
+	// W[k] is the weight vector of class k; B[k] its bias.
+	W [][]float64
+	B []float64
+}
+
+// TrainSoftmax fits a K-class softmax model.
+func TrainSoftmax(xs [][]float64, classes []int, numClasses int, cfg Config, rng *rand.Rand) *Softmax {
+	m := NewSoftmax(numClasses, dimOf(xs))
+	if len(xs) == 0 || numClasses == 0 {
+		return m
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	probs := make([]float64, numClasses)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
+		order := rng.Perm(len(xs))
+		for _, i := range order {
+			m.probsInto(xs[i], probs)
+			for k := 0; k < numClasses; k++ {
+				g := probs[k]
+				if k == classes[i] {
+					g -= 1
+				}
+				if g == 0 {
+					continue
+				}
+				wk := m.W[k]
+				for d := range wk {
+					wk[d] -= lr * (g*xs[i][d] + cfg.L2*wk[d])
+				}
+				m.B[k] -= lr * g
+			}
+		}
+	}
+	return m
+}
+
+// NewSoftmax returns a zero-initialized softmax model.
+func NewSoftmax(numClasses, dim int) *Softmax {
+	m := &Softmax{W: make([][]float64, numClasses), B: make([]float64, numClasses)}
+	for k := range m.W {
+		m.W[k] = make([]float64, dim)
+	}
+	return m
+}
+
+func dimOf(xs [][]float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return len(xs[0])
+}
+
+// probsInto writes the class posterior into out.
+func (m *Softmax) probsInto(x []float64, out []float64) {
+	maxLogit := math.Inf(-1)
+	for k := range m.W {
+		s := m.B[k]
+		wk := m.W[k]
+		for d := range wk {
+			s += wk[d] * x[d]
+		}
+		out[k] = s
+		if s > maxLogit {
+			maxLogit = s
+		}
+	}
+	total := 0.0
+	for k := range out {
+		out[k] = math.Exp(out[k] - maxLogit)
+		total += out[k]
+	}
+	for k := range out {
+		out[k] /= total
+	}
+}
+
+// Probs returns the class posterior for x.
+func (m *Softmax) Probs(x []float64) []float64 {
+	out := make([]float64, len(m.W))
+	if len(m.W) == 0 {
+		return out
+	}
+	m.probsInto(x, out)
+	return out
+}
+
+// Predict returns the argmax class for x.
+func (m *Softmax) Predict(x []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for k := range m.W {
+		s := m.B[k]
+		wk := m.W[k]
+		for d := range wk {
+			s += wk[d] * x[d]
+		}
+		if s > bestScore {
+			best, bestScore = k, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"wdcproducts/internal/xrand"
+)
+
+func TestBinarySeparable(t *testing.T) {
+	rng := xrand.New(1).Stream("lr")
+	var xs [][]float64
+	var ys []bool
+	for i := 0; i < 300; i++ {
+		pos := i%2 == 0
+		x := rng.Float64()
+		if pos {
+			x += 1.5
+		}
+		xs = append(xs, []float64{x, rng.Float64()})
+		ys = append(ys, pos)
+	}
+	m := TrainBinary(xs, ys, DefaultConfig(), rng)
+	correct := 0
+	for i := range xs {
+		if (m.Prob(xs[i]) >= 0.5) == ys[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.97 {
+		t.Fatalf("accuracy = %.3f", acc)
+	}
+}
+
+func TestBinaryProbRange(t *testing.T) {
+	rng := xrand.New(2).Stream("lr")
+	m := TrainBinary([][]float64{{1}, {-1}}, []bool{true, false}, DefaultConfig(), rng)
+	for _, x := range []float64{-100, -1, 0, 1, 100} {
+		p := m.Prob([]float64{x})
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Prob(%v) = %v", x, p)
+		}
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	m := TrainBinary(nil, nil, DefaultConfig(), xrand.New(1).Stream("x"))
+	if m.Bias != 0 {
+		t.Fatal("empty training changed model")
+	}
+}
+
+func TestSoftmaxThreeClasses(t *testing.T) {
+	rng := xrand.New(3).Stream("lr")
+	var xs [][]float64
+	var cls []int
+	centers := [][2]float64{{0, 0}, {3, 0}, {0, 3}}
+	for i := 0; i < 450; i++ {
+		c := i % 3
+		xs = append(xs, []float64{centers[c][0] + rng.NormFloat64()*0.4, centers[c][1] + rng.NormFloat64()*0.4})
+		cls = append(cls, c)
+	}
+	m := TrainSoftmax(xs, cls, 3, DefaultConfig(), rng)
+	correct := 0
+	for i := range xs {
+		if m.Predict(xs[i]) == cls[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.95 {
+		t.Fatalf("softmax accuracy = %.3f", acc)
+	}
+}
+
+func TestSoftmaxProbsSumToOne(t *testing.T) {
+	rng := xrand.New(4).Stream("lr")
+	xs := [][]float64{{1, 0}, {0, 1}, {1, 1}, {0, 0}}
+	cls := []int{0, 1, 2, 0}
+	m := TrainSoftmax(xs, cls, 3, DefaultConfig(), rng)
+	for _, x := range xs {
+		ps := m.Probs(x)
+		sum := 0.0
+		for _, p := range ps {
+			if p < 0 || p > 1 {
+				t.Fatalf("prob out of range: %v", ps)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probs sum to %v", sum)
+		}
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	m := TrainSoftmax(nil, nil, 0, DefaultConfig(), xrand.New(1).Stream("x"))
+	if len(m.Probs([]float64{1})) != 0 {
+		t.Fatal("empty softmax should have no classes")
+	}
+}
+
+func TestSoftmaxPredictConsistentWithProbs(t *testing.T) {
+	rng := xrand.New(5).Stream("lr")
+	xs := [][]float64{{2, 0}, {0, 2}}
+	cls := []int{0, 1}
+	m := TrainSoftmax(xs, cls, 2, DefaultConfig(), rng)
+	for _, x := range xs {
+		ps := m.Probs(x)
+		argmax := 0
+		if ps[1] > ps[0] {
+			argmax = 1
+		}
+		if m.Predict(x) != argmax {
+			t.Fatal("Predict disagrees with Probs argmax")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Binary {
+		rng := xrand.New(6).Stream("lr")
+		return TrainBinary([][]float64{{1, 0}, {0, 1}, {1, 1}}, []bool{true, false, true}, DefaultConfig(), rng)
+	}
+	a, b := run(), run()
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}

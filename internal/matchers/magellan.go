@@ -1,0 +1,167 @@
+package matchers
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/forest"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/xrand"
+)
+
+// Magellan is the second symbolic baseline of §5.1: per-attribute typed
+// similarity features (string similarities for textual attributes, relative
+// difference for the numeric price, missingness indicators) fed to a random
+// forest, mirroring the Magellan system's automatic feature selection by
+// attribute type.
+type Magellan struct {
+	Forest forest.Config
+
+	model     *forest.Forest
+	threshold float64
+}
+
+// NewMagellan returns the baseline with its default forest.
+func NewMagellan() *Magellan {
+	return &Magellan{Forest: forest.DefaultConfig()}
+}
+
+// Name implements PairMatcher.
+func (m *Magellan) Name() string { return "Magellan" }
+
+// Threshold implements PairMatcher.
+func (m *Magellan) Threshold() float64 { return m.threshold }
+
+// TrainPairs implements PairMatcher.
+func (m *Magellan) TrainPairs(d *Data, train, val []core.Pair, seed int64) error {
+	if len(train) == 0 {
+		return fmt.Errorf("magellan: no training pairs")
+	}
+	xs := make([][]float64, len(train))
+	ys := make([]bool, len(train))
+	for i, p := range train {
+		xs[i] = magellanFeatures(d, p.A, p.B)
+		ys[i] = p.Match
+	}
+	rng := xrand.New(seed).Stream("magellan")
+	m.model = forest.Train(xs, ys, m.Forest, rng)
+	m.threshold, _ = fitThreshold(func(a, b int) float64 {
+		return m.model.Prob(magellanFeatures(d, a, b))
+	}, val)
+	return nil
+}
+
+// ScorePair implements PairMatcher.
+func (m *Magellan) ScorePair(d *Data, a, b int) float64 {
+	return m.model.Prob(magellanFeatures(d, a, b))
+}
+
+// magellanFeatures builds the 15-dimensional typed feature vector.
+func magellanFeatures(d *Data, a, b int) []float64 {
+	oa, ob := &d.Offers[a], &d.Offers[b]
+	f := make([]float64, 0, 15)
+	// Title: four token/char metrics.
+	f = append(f,
+		simlib.Jaccard(oa.Title, ob.Title),
+		simlib.CosineTokens(oa.Title, ob.Title),
+		simlib.Dice(oa.Title, ob.Title),
+		simlib.TrigramJaccard(clip(oa.Title, 40), clip(ob.Title, 40)),
+	)
+	// Description: cosine + missingness.
+	f = append(f,
+		simlib.CosineTokens(clip(oa.Description, 200), clip(ob.Description, 200)),
+		missing(oa.Description, ob.Description),
+		oneMissing(oa.Description, ob.Description),
+	)
+	// Brand: exact match, Jaro-Winkler, missingness.
+	f = append(f,
+		simlib.ExactMatch(oa.Brand, ob.Brand),
+		simlib.JaroWinkler(strings.ToLower(oa.Brand), strings.ToLower(ob.Brand)),
+		missing(oa.Brand, ob.Brand),
+		oneMissing(oa.Brand, ob.Brand),
+	)
+	// Price: bounded relative difference + missingness; currency equality.
+	f = append(f,
+		priceRelDiff(oa.Price, ob.Price),
+		missing(oa.Price, ob.Price),
+		oneMissing(oa.Price, ob.Price),
+		simlib.ExactMatch(oa.PriceCurrency, ob.PriceCurrency),
+	)
+	return f
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func missing(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	return 0
+}
+
+func oneMissing(a, b string) float64 {
+	if (a == "") != (b == "") {
+		return 1
+	}
+	return 0
+}
+
+// priceRelDiff returns 1 - |pa-pb|/max(pa,pb) clamped to [0,1]; 0.5 when a
+// price is missing or unparsable (uninformative).
+func priceRelDiff(a, b string) float64 {
+	pa, errA := strconv.ParseFloat(a, 64)
+	pb, errB := strconv.ParseFloat(b, 64)
+	if errA != nil || errB != nil || pa <= 0 || pb <= 0 {
+		return 0.5
+	}
+	diff := math.Abs(pa-pb) / math.Max(pa, pb)
+	if diff > 1 {
+		diff = 1
+	}
+	return 1 - diff
+}
+
+// numericJaccard returns the Jaccard similarity of the numeric tokens
+// (model numbers, capacities) of two titles — a strong product-identity
+// signal used by the neural substitutes' feature blocks.
+func numericJaccard(aToks, bToks []string) float64 {
+	numsOf := func(toks []string) map[string]bool {
+		out := map[string]bool{}
+		for _, t := range toks {
+			if strings.IndexFunc(t, func(r rune) bool { return r >= '0' && r <= '9' }) >= 0 {
+				out[t] = true
+			}
+		}
+		return out
+	}
+	na, nb := numsOf(aToks), numsOf(bToks)
+	if len(na) == 0 && len(nb) == 0 {
+		return 0.5 // both have no numbers: uninformative
+	}
+	inter := 0
+	for t := range na {
+		if nb[t] {
+			inter++
+		}
+	}
+	union := len(na) + len(nb) - inter
+	if union == 0 {
+		return 0.5
+	}
+	return float64(inter) / float64(union)
+}
+
+// normalizedTitle returns the unit-canonicalized title used by the Ditto
+// substitute's domain-knowledge injection.
+func normalizedTitle(title string) string {
+	return textutil.Join(textutil.NormalizeUnits(textutil.Tokenize(title)))
+}

@@ -1,0 +1,161 @@
+// Package matchers implements the six matching systems evaluated in §5 of
+// the paper — Word-(Co-)Occurrence, Magellan, RoBERTa, Ditto, HierGAT and
+// R-SupCon — against a common interface, with the transformer systems
+// replaced by CPU-trainable substitutes built on the pretrained embedding
+// model (see DESIGN.md for the substitution rationale).
+package matchers
+
+import (
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/eval"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/textutil"
+)
+
+// Data is the shared view of the benchmark's offers handed to matchers,
+// with lazy caches for the representations several matchers recompute
+// (token sets, embedding vectors, per-token embedding matrices).
+type Data struct {
+	Offers []schemaorg.Offer
+	// Embed is the encoder pretrained on the corpus titles (the
+	// "language model" of the neural substitutes); nil for runs that only
+	// use symbolic matchers.
+	Embed *embed.Model
+
+	tokenSets []map[string]bool
+	tokens    [][]string
+	encodings [][]float32
+	tokenVecs [][][]float32
+}
+
+// NewData wraps the benchmark offers.
+func NewData(offers []schemaorg.Offer, model *embed.Model) *Data {
+	return &Data{
+		Offers:    offers,
+		Embed:     model,
+		tokenSets: make([]map[string]bool, len(offers)),
+		tokens:    make([][]string, len(offers)),
+		encodings: make([][]float32, len(offers)),
+		tokenVecs: make([][][]float32, len(offers)),
+	}
+}
+
+// Title returns the title of offer i.
+func (d *Data) Title(i int) string { return d.Offers[i].Title }
+
+// Tokens returns the cached normalized title tokens of offer i.
+func (d *Data) Tokens(i int) []string {
+	if d.tokens[i] == nil {
+		t := textutil.Tokenize(d.Offers[i].Title)
+		if t == nil {
+			t = []string{}
+		}
+		d.tokens[i] = t
+	}
+	return d.tokens[i]
+}
+
+// TokenSet returns the cached title token set of offer i.
+func (d *Data) TokenSet(i int) map[string]bool {
+	if d.tokenSets[i] == nil {
+		set := make(map[string]bool)
+		for _, t := range d.Tokens(i) {
+			set[t] = true
+		}
+		d.tokenSets[i] = set
+	}
+	return d.tokenSets[i]
+}
+
+// Encoding returns the cached title embedding of offer i.
+func (d *Data) Encoding(i int) []float32 {
+	if d.encodings[i] == nil {
+		d.encodings[i] = d.Embed.Encode(d.Offers[i].Title)
+	}
+	return d.encodings[i]
+}
+
+// TokenVecs returns the cached per-token embedding vectors of offer i's
+// title (capped at 14 tokens; titles have a median of ~8 words).
+func (d *Data) TokenVecs(i int) [][]float32 {
+	if d.tokenVecs[i] == nil {
+		toks := d.Tokens(i)
+		if len(toks) > 14 {
+			toks = toks[:14]
+		}
+		vecs := make([][]float32, len(toks))
+		for k, t := range toks {
+			vecs[k] = d.Embed.WordVec(t)
+		}
+		d.tokenVecs[i] = vecs
+	}
+	return d.tokenVecs[i]
+}
+
+// PairMatcher is a trained pair-wise matching system.
+type PairMatcher interface {
+	// Name identifies the system in result tables.
+	Name() string
+	// TrainPairs fits the matcher on the training pairs, using the
+	// validation pairs for hyperparameter/threshold selection and early
+	// stopping. The seed makes repetition runs independent.
+	TrainPairs(d *Data, train, val []core.Pair, seed int64) error
+	// ScorePair returns a match score in [0,1] for offers a and b.
+	ScorePair(d *Data, a, b int) float64
+	// Threshold is the decision threshold selected on validation data.
+	Threshold() float64
+}
+
+// MultiMatcher is a trained multi-class matching system.
+type MultiMatcher interface {
+	Name() string
+	TrainMulti(d *Data, train, val []core.MultiExample, numClasses int, seed int64) error
+	PredictClass(d *Data, offer int) int
+}
+
+// EvaluatePairs scores a trained matcher on test pairs at its selected
+// threshold, returning the binary counts for the match class.
+func EvaluatePairs(m PairMatcher, d *Data, test []core.Pair) eval.BinaryCounts {
+	var c eval.BinaryCounts
+	th := m.Threshold()
+	for _, p := range test {
+		c.Add(m.ScorePair(d, p.A, p.B) >= th, p.Match)
+	}
+	return c
+}
+
+// EvaluateMulti scores a trained multi-class matcher, returning the
+// multi-class counts (micro-F1 is the Table 5 metric).
+func EvaluateMulti(m MultiMatcher, d *Data, test []core.MultiExample, numClasses int) *eval.MultiClassCounts {
+	counts := eval.NewMultiClassCounts(numClasses)
+	for _, ex := range test {
+		counts.Add(m.PredictClass(d, ex.Offer), ex.Class)
+	}
+	return counts
+}
+
+// scoredVal computes scores and labels for threshold selection.
+func scoredVal(score func(a, b int) float64, val []core.Pair) ([]float64, []bool) {
+	scores := make([]float64, len(val))
+	labels := make([]bool, len(val))
+	for i, p := range val {
+		scores[i] = score(p.A, p.B)
+		labels[i] = p.Match
+	}
+	return scores, labels
+}
+
+// fitThreshold picks the F1-optimal decision threshold on validation data.
+func fitThreshold(score func(a, b int) float64, val []core.Pair) (float64, float64) {
+	scores, labels := scoredVal(score, val)
+	th, counts := eval.BestF1Threshold(scores, labels)
+	return th, counts.F1()
+}
+
+// evalBestF1 returns the F1-optimal threshold and its F1 for pre-computed
+// scores, used in early-stopping callbacks.
+func evalBestF1(scores []float64, labels []bool) (float64, float64) {
+	th, counts := eval.BestF1Threshold(scores, labels)
+	return th, counts.F1()
+}

@@ -1,0 +1,222 @@
+package matchers
+
+import (
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/eval"
+	"wdcproducts/internal/xrand"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureB    *core.Benchmark
+	fixtureD    *Data
+	fixtureErr  error
+)
+
+// fixture builds one tiny benchmark plus the pretrained encoder, shared by
+// all tests in the package.
+func fixture(t *testing.T) (*core.Benchmark, *Data) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		b, err := core.Build(core.TinyBuildConfig(7))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		titles := make([]string, len(b.Offers))
+		for i := range b.Offers {
+			titles[i] = b.Offers[i].Title
+		}
+		cfg := embed.DefaultConfig()
+		cfg.Epochs = 3
+		model := embed.Train(titles, cfg, xrand.New(7).Stream("embed-pretrain"))
+		fixtureB = b
+		fixtureD = NewData(b.Offers, model)
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureB, fixtureD
+}
+
+func trainEval(t *testing.T, m PairMatcher, cc core.CornerRatio, dev core.DevSize, un core.Unseen) eval.BinaryCounts {
+	t.Helper()
+	b, d := fixture(t)
+	if err := m.TrainPairs(d, b.TrainPairs(cc, dev), b.ValPairs(cc, dev), 1); err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	return EvaluatePairs(m, d, b.TestPairs(cc, un))
+}
+
+func TestAllPairMatchersBeatChance(t *testing.T) {
+	// The test sets are ~11% positive; predicting all-match scores F1
+	// ~0.2. Every system must clear that bar by a wide margin on the
+	// medium/seen variant.
+	systems := []PairMatcher{NewWordCooc(), NewMagellan(), NewRoBERTa(), NewDitto(), NewHierGAT(), NewRSupCon()}
+	for _, m := range systems {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			c := trainEval(t, m, 50, core.Medium, 0)
+			if f1 := c.F1(); f1 < 0.35 {
+				t.Fatalf("%s F1 = %.3f on cc50/medium/seen", m.Name(), f1)
+			}
+		})
+	}
+}
+
+func TestThresholdInRange(t *testing.T) {
+	m := NewWordCooc()
+	trainEval(t, m, 50, core.Small, 0)
+	if th := m.Threshold(); th < 0 || th > 1 {
+		t.Fatalf("threshold = %v", th)
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	b, d := fixture(t)
+	m := NewRoBERTa()
+	if err := m.TrainPairs(d, b.TrainPairs(50, core.Small), b.ValPairs(50, core.Small), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range b.TestPairs(50, 0)[:50] {
+		s := m.ScorePair(d, p.A, p.B)
+		if s < 0 || s > 1 {
+			t.Fatalf("score out of range: %v", s)
+		}
+	}
+}
+
+func TestNeuralRequiresEmbedding(t *testing.T) {
+	b, _ := fixture(t)
+	bare := NewData(b.Offers, nil)
+	for _, m := range []PairMatcher{NewRoBERTa(), NewDitto(), NewHierGAT(), NewRSupCon()} {
+		if err := m.TrainPairs(bare, b.TrainPairs(50, core.Small), b.ValPairs(50, core.Small), 1); err == nil {
+			t.Fatalf("%s trained without embedding model", m.Name())
+		}
+	}
+}
+
+func TestEmptyTrainingRejected(t *testing.T) {
+	_, d := fixture(t)
+	for _, m := range []PairMatcher{NewWordCooc(), NewMagellan(), NewRoBERTa(), NewRSupCon()} {
+		if err := m.TrainPairs(d, nil, nil, 1); err == nil {
+			t.Fatalf("%s accepted empty training", m.Name())
+		}
+	}
+}
+
+func TestRSupConSeenVsUnseenGap(t *testing.T) {
+	// The contrastive matcher must lose F1 when moving from the seen to
+	// the fully unseen test set — the paper's central Figure 5 finding.
+	m := NewRSupCon()
+	seen := trainEval(t, m, 50, core.Medium, 0)
+	unseen := EvaluatePairs(m, fixtureD, fixtureB.TestPairs(50, 100))
+	if unseen.F1() >= seen.F1() {
+		t.Fatalf("R-SupCon unseen F1 (%.3f) >= seen F1 (%.3f)", unseen.F1(), seen.F1())
+	}
+}
+
+func TestMultiMatchers(t *testing.T) {
+	b, d := fixture(t)
+	rd := b.Ratios[50]
+	n := b.NumClasses(50)
+	systems := []MultiMatcher{NewWordOccMulti(), NewRoBERTaMulti(), NewRSupConMulti()}
+	for _, m := range systems {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			if err := m.TrainMulti(d, rd.MultiTrain[core.Large], rd.MultiVal, n, 1); err != nil {
+				t.Fatal(err)
+			}
+			counts := EvaluateMulti(m, d, rd.MultiTest, n)
+			// Chance is 1/40 = 0.025; require well above.
+			if f1 := counts.MicroF1(); f1 < 0.2 {
+				t.Fatalf("%s micro-F1 = %.3f", m.Name(), f1)
+			}
+		})
+	}
+}
+
+func TestWordOccMultiBeatsRoBERTaOnSmall(t *testing.T) {
+	// Table 5's signature finding: the symbolic word-occurrence baseline
+	// beats the fine-tuned LM substitute when classes have only two
+	// training offers.
+	b, d := fixture(t)
+	rd := b.Ratios[50]
+	n := b.NumClasses(50)
+	wo := NewWordOccMulti()
+	if err := wo.TrainMulti(d, rd.MultiTrain[core.Small], rd.MultiVal, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	rb := NewRoBERTaMulti()
+	if err := rb.TrainMulti(d, rd.MultiTrain[core.Small], rd.MultiVal, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	woF1 := EvaluateMulti(wo, d, rd.MultiTest, n).MicroF1()
+	rbF1 := EvaluateMulti(rb, d, rd.MultiTest, n).MicroF1()
+	if woF1 <= rbF1 {
+		t.Fatalf("Word-Occ (%.3f) did not beat RoBERTa (%.3f) on small multi-class", woF1, rbF1)
+	}
+}
+
+func TestMagellanFeatureShape(t *testing.T) {
+	_, d := fixture(t)
+	f := magellanFeatures(d, 0, 1)
+	if len(f) != 15 {
+		t.Fatalf("feature dim = %d, want 15", len(f))
+	}
+	for i, v := range f {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature %d out of [0,1]: %v", i, v)
+		}
+	}
+}
+
+func TestNumericJaccard(t *testing.T) {
+	if got := numericJaccard([]string{"drive", "2tb", "st2000"}, []string{"drive", "2tb", "st2000"}); got != 1 {
+		t.Fatalf("identical numerics = %v", got)
+	}
+	if got := numericJaccard([]string{"2tb"}, []string{"4tb"}); got != 0 {
+		t.Fatalf("disjoint numerics = %v", got)
+	}
+	if got := numericJaccard([]string{"drive"}, []string{"disk"}); got != 0.5 {
+		t.Fatalf("no-numbers case = %v", got)
+	}
+}
+
+func TestDropTokens(t *testing.T) {
+	rng := xrand.New(1).Stream("drop")
+	title := "one two three four five six seven eight"
+	shorter := false
+	for i := 0; i < 30; i++ {
+		out := dropTokens(title, 0.3, rng)
+		if out == "" {
+			t.Fatal("dropTokens produced empty title")
+		}
+		if len(out) < len(title) {
+			shorter = true
+		}
+	}
+	if !shorter {
+		t.Fatal("dropTokens never dropped anything at p=0.3")
+	}
+	if got := dropTokens("word", 1.0, rng); got != "word" {
+		t.Fatalf("full drop should fall back to original, got %q", got)
+	}
+}
+
+func TestEvaluatePairsCounts(t *testing.T) {
+	b, d := fixture(t)
+	m := NewWordCooc()
+	if err := m.TrainPairs(d, b.TrainPairs(20, core.Small), b.ValPairs(20, core.Small), 3); err != nil {
+		t.Fatal(err)
+	}
+	test := b.TestPairs(20, 0)
+	c := EvaluatePairs(m, d, test)
+	if c.Total() != len(test) {
+		t.Fatalf("evaluated %d of %d pairs", c.Total(), len(test))
+	}
+}

@@ -1,0 +1,225 @@
+package matchers
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/logreg"
+	"wdcproducts/internal/nn"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+// RSupCon is the R-SupCon substitute of §5.1: a two-stage matcher. Stage 1
+// trains a projection of the pretrained offer encodings with a supervised
+// contrastive (prototype) objective, using the product ids of the training
+// offers as labels — this is the pre-training that clusters same-product
+// offers in the representation space. Stage 2 freezes the projection and
+// fits only a small logistic classification head on projected-similarity
+// features.
+//
+// Both headline behaviours of the original system emerge from this
+// construction rather than being scripted: the contrastive stage is
+// extremely training-data efficient (a tight cluster forms from two offers
+// per product), and it warps the space around the *seen* products, so
+// unseen products land in arbitrary regions — the large Figure 5 drop.
+type RSupCon struct {
+	Proto nn.ProtoConfig
+	Head  logreg.Config
+	// HashDim is the size of the hashed bag-of-words block of the encoder
+	// input. The contrastive projection is linear, so lexical expressivity
+	// must come from the input: hashing gives every title token its own
+	// (approximately) private dimension the projection can re-weight,
+	// mirroring the freedom full transformer fine-tuning has.
+	HashDim int
+
+	proto     *nn.ProtoContrastive
+	head      *logreg.Binary
+	threshold float64
+}
+
+// NewRSupCon returns the substitute with its default two-stage config.
+func NewRSupCon() *RSupCon {
+	head := logreg.DefaultConfig()
+	head.Epochs = 40
+	proto := nn.DefaultProtoConfig()
+	proto.OutDim = 48
+	return &RSupCon{Proto: proto, Head: head, HashDim: 512}
+}
+
+// encode builds the stage-1 input: hashed IDF-weighted bag-of-words
+// concatenated with the pretrained title embedding (lexical precision plus
+// subword generalization).
+func (r *RSupCon) encode(d *Data, offer int) []float64 {
+	x := make([]float64, r.HashDim+d.Embed.Dim())
+	toks := d.Tokens(offer)
+	for _, tok := range toks {
+		x[int(fnvHash(tok)%uint32(r.HashDim))] += 1
+	}
+	// L2-normalize the lexical block.
+	var norm float64
+	for i := 0; i < r.HashDim; i++ {
+		norm += x[i] * x[i]
+	}
+	if norm > 0 {
+		norm = 1 / math.Sqrt(norm)
+		for i := 0; i < r.HashDim; i++ {
+			x[i] *= norm
+		}
+	}
+	for i, v := range d.Encoding(offer) {
+		x[r.HashDim+i] = float64(v)
+	}
+	return x
+}
+
+func fnvHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Name implements PairMatcher.
+func (r *RSupCon) Name() string { return "R-SupCon" }
+
+// Threshold implements PairMatcher.
+func (r *RSupCon) Threshold() float64 { return r.threshold }
+
+// TrainPairs implements PairMatcher.
+func (r *RSupCon) TrainPairs(d *Data, train, val []core.Pair, seed int64) error {
+	if d.Embed == nil {
+		return fmt.Errorf("rsupcon: requires a pretrained embedding model")
+	}
+	if len(train) == 0 {
+		return fmt.Errorf("rsupcon: no training pairs")
+	}
+	rng := xrand.New(seed).Stream("rsupcon")
+
+	// Stage 1: contrastive pre-training on the training offers, labeled by
+	// product. The offers and their product ids are recovered from the
+	// training pairs (every training offer appears in at least one pair).
+	offerProduct := map[int]int{}
+	for _, p := range train {
+		offerProduct[p.A] = p.ProdA
+		offerProduct[p.B] = p.ProdB
+	}
+	offers := make([]int, 0, len(offerProduct))
+	for o := range offerProduct {
+		offers = append(offers, o)
+	}
+	sort.Ints(offers)
+	classOf := map[int]int{}
+	var xs [][]float64
+	var cls []int
+	for _, o := range offers {
+		prod := offerProduct[o]
+		c, ok := classOf[prod]
+		if !ok {
+			c = len(classOf)
+			classOf[prod] = c
+		}
+		xs = append(xs, r.encode(d, o))
+		cls = append(cls, c)
+	}
+	r.proto = nn.TrainProto(xs, cls, len(classOf), r.Proto, rng)
+
+	// Stage 2: frozen projection, logistic head on pair features.
+	headX := make([][]float64, len(train))
+	headY := make([]bool, len(train))
+	for i, p := range train {
+		headX[i] = r.pairFeatures(d, p.A, p.B)
+		headY[i] = p.Match
+	}
+	r.head = logreg.TrainBinary(headX, headY, r.Head, rng)
+	r.threshold, _ = fitThreshold(func(a, b int) float64 {
+		return r.ScorePair(d, a, b)
+	}, val)
+	return nil
+}
+
+// ScorePair implements PairMatcher.
+func (r *RSupCon) ScorePair(d *Data, a, b int) float64 {
+	return r.head.Prob(r.pairFeatures(d, a, b))
+}
+
+// pairFeatures projects both offers and exposes the frozen representation
+// to the head: projected similarity, whether both offers fall into the
+// same learned product cluster (and how decisively), plus a raw
+// token-overlap anchor. These are exactly the signals a linear head over a
+// frozen contrastive encoder can exploit — and exactly the signals that
+// mislead it on unseen products, whose cluster assignments are arbitrary.
+func (r *RSupCon) pairFeatures(d *Data, a, b int) []float64 {
+	za := r.encode(d, a)
+	zb := r.encode(d, b)
+	sim := r.proto.Similarity(za, zb)
+	ca, confA := r.proto.Affinity(za)
+	cb, confB := r.proto.Affinity(zb)
+	same := 0.0
+	if ca == cb {
+		same = 1.0
+	}
+	minConf := confA
+	if confB < minConf {
+		minConf = confB
+	}
+	return []float64{
+		sim,
+		sim * sim,
+		same,
+		same * minConf,
+		minConf,
+		simlib.Jaccard(d.Title(a), d.Title(b)),
+	}
+}
+
+// RSupConMulti is the multi-class R-SupCon substitute: the contrastive
+// projection plus the prototype classifier itself as the (frozen-encoder)
+// classification head. It shares the pair-wise variant's hashed-lexical
+// encoder input.
+type RSupConMulti struct {
+	Proto   nn.ProtoConfig
+	HashDim int
+
+	enc   *RSupCon // reused for its encode method only
+	proto *nn.ProtoContrastive
+}
+
+// NewRSupConMulti returns the multi-class substitute.
+func NewRSupConMulti() *RSupConMulti {
+	proto := nn.DefaultProtoConfig()
+	proto.OutDim = 48
+	return &RSupConMulti{Proto: proto, HashDim: 512}
+}
+
+// Name implements MultiMatcher.
+func (r *RSupConMulti) Name() string { return "R-SupCon" }
+
+// TrainMulti implements MultiMatcher.
+func (r *RSupConMulti) TrainMulti(d *Data, train, val []core.MultiExample, numClasses int, seed int64) error {
+	if d.Embed == nil {
+		return fmt.Errorf("rsupcon-multi: requires a pretrained embedding model")
+	}
+	if len(train) == 0 {
+		return fmt.Errorf("rsupcon-multi: no training examples")
+	}
+	r.enc = &RSupCon{HashDim: r.HashDim}
+	xs := make([][]float64, len(train))
+	cls := make([]int, len(train))
+	for i, ex := range train {
+		xs[i] = r.enc.encode(d, ex.Offer)
+		cls[i] = ex.Class
+	}
+	rng := xrand.New(seed).Stream("rsupcon-multi")
+	r.proto = nn.TrainProto(xs, cls, numClasses, r.Proto, rng)
+	return nil
+}
+
+// PredictClass implements MultiMatcher.
+func (r *RSupConMulti) PredictClass(d *Data, offer int) int {
+	return r.proto.PredictClass(r.enc.encode(d, offer))
+}

@@ -1,0 +1,166 @@
+package matchers
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/svm"
+	"wdcproducts/internal/vector"
+	"wdcproducts/internal/xrand"
+)
+
+// WordCooc is the symbolic Word-(Co-)Occurrence baseline of §5.1: binary
+// word co-occurrence features between the two offers of a pair, fed to a
+// linear SVM, with a grid search over the regularization strength. The
+// feature space has two blocks per vocabulary word: "appears in both
+// titles" and "appears in exactly one", which lets the SVM learn both
+// agreement and disagreement signals.
+type WordCooc struct {
+	// Lambdas is the grid-search range.
+	Lambdas []float64
+	Epochs  int
+
+	vocab     map[string]int32
+	model     *svm.Model
+	threshold float64
+}
+
+// NewWordCooc returns the baseline with the default grid.
+func NewWordCooc() *WordCooc {
+	return &WordCooc{Lambdas: []float64{1e-3, 1e-4, 1e-5}, Epochs: 10}
+}
+
+// Name implements PairMatcher.
+func (w *WordCooc) Name() string { return "Word-Cooc" }
+
+// Threshold implements PairMatcher.
+func (w *WordCooc) Threshold() float64 { return w.threshold }
+
+// TrainPairs implements PairMatcher.
+func (w *WordCooc) TrainPairs(d *Data, train, val []core.Pair, seed int64) error {
+	if len(train) == 0 {
+		return fmt.Errorf("wordcooc: no training pairs")
+	}
+	// Vocabulary over the training offers' titles.
+	w.vocab = map[string]int32{}
+	for _, p := range train {
+		for _, o := range []int{p.A, p.B} {
+			for tok := range d.TokenSet(o) {
+				if _, ok := w.vocab[tok]; !ok {
+					w.vocab[tok] = int32(len(w.vocab))
+				}
+			}
+		}
+	}
+	dim := 2 * len(w.vocab)
+	xs := make([]vector.Sparse, len(train))
+	ys := make([]bool, len(train))
+	for i, p := range train {
+		xs[i] = w.featurize(d, p.A, p.B)
+		ys[i] = p.Match
+	}
+	rng := xrand.New(seed).Stream("wordcooc")
+	valScore := func(m *svm.Model) float64 {
+		_, f1 := fitThreshold(func(a, b int) float64 {
+			return m.Score(w.featurize(d, a, b))
+		}, val)
+		return f1
+	}
+	model, _ := svm.GridSearch(w.Lambdas, w.Epochs, xs, ys, dim, valScore, rng)
+	w.model = model
+	w.threshold, _ = fitThreshold(func(a, b int) float64 {
+		return w.model.Score(w.featurize(d, a, b))
+	}, val)
+	return nil
+}
+
+// ScorePair implements PairMatcher.
+func (w *WordCooc) ScorePair(d *Data, a, b int) float64 {
+	return w.model.Score(w.featurize(d, a, b))
+}
+
+// featurize builds the two-block co-occurrence vector of a pair.
+func (w *WordCooc) featurize(d *Data, a, b int) vector.Sparse {
+	sa, sb := d.TokenSet(a), d.TokenSet(b)
+	n := int32(len(w.vocab))
+	var ids []int32
+	for tok := range sa {
+		id, ok := w.vocab[tok]
+		if !ok {
+			continue
+		}
+		if sb[tok] {
+			ids = append(ids, id) // co-occurrence block
+		} else {
+			ids = append(ids, n+id) // disagreement block
+		}
+	}
+	for tok := range sb {
+		if sa[tok] {
+			continue // already counted in the co-occurrence block
+		}
+		if id, ok := w.vocab[tok]; ok {
+			ids = append(ids, n+id)
+		}
+	}
+	return vector.NewBinarySparse(ids)
+}
+
+// WordOccMulti is the multi-class variant: binary word occurrence vectors
+// of single offers, one-vs-rest linear SVMs (§5.1: "For the multi-class
+// matching case, the feature input is a binary word occurrence vector").
+type WordOccMulti struct {
+	Lambda float64
+	Epochs int
+
+	vocab map[string]int32
+	model *svm.Multiclass
+}
+
+// NewWordOccMulti returns the multi-class baseline.
+func NewWordOccMulti() *WordOccMulti {
+	return &WordOccMulti{Lambda: 1e-4, Epochs: 8}
+}
+
+// Name implements MultiMatcher.
+func (w *WordOccMulti) Name() string { return "Word-Occ" }
+
+// TrainMulti implements MultiMatcher.
+func (w *WordOccMulti) TrainMulti(d *Data, train, val []core.MultiExample, numClasses int, seed int64) error {
+	if len(train) == 0 {
+		return fmt.Errorf("wordocc: no training examples")
+	}
+	w.vocab = map[string]int32{}
+	for _, ex := range train {
+		for tok := range d.TokenSet(ex.Offer) {
+			if _, ok := w.vocab[tok]; !ok {
+				w.vocab[tok] = int32(len(w.vocab))
+			}
+		}
+	}
+	xs := make([]vector.Sparse, len(train))
+	cls := make([]int, len(train))
+	for i, ex := range train {
+		xs[i] = w.featurize(d, ex.Offer)
+		cls[i] = ex.Class
+	}
+	rng := xrand.New(seed).Stream("wordocc-multi")
+	w.model = svm.TrainMulticlass(xs, cls, numClasses, len(w.vocab),
+		svm.Config{Lambda: w.Lambda, Epochs: w.Epochs}, rng)
+	return nil
+}
+
+// PredictClass implements MultiMatcher.
+func (w *WordOccMulti) PredictClass(d *Data, offer int) int {
+	return w.model.Predict(w.featurize(d, offer))
+}
+
+func (w *WordOccMulti) featurize(d *Data, offer int) vector.Sparse {
+	var ids []int32
+	for tok := range d.TokenSet(offer) {
+		if id, ok := w.vocab[tok]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return vector.NewBinarySparse(ids)
+}

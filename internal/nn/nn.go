@@ -1,0 +1,221 @@
+// Package nn implements small feed-forward neural networks with
+// backpropagation: dense layers, ReLU activations, sigmoid or softmax
+// outputs, SGD with momentum, and early stopping. The "RoBERTa", "Ditto"
+// and "HierGAT" matcher substitutes are MLPs over interaction features
+// built from the pretrained embedding model.
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config holds the architecture and training hyperparameters of an MLP.
+type Config struct {
+	// Hidden lists the hidden layer widths, e.g. {32, 16}.
+	Hidden []int
+	// Epochs is the maximum number of training epochs.
+	Epochs int
+	// Patience stops training after this many epochs without validation
+	// improvement (0 disables early stopping).
+	Patience     int
+	LearningRate float64
+	Momentum     float64
+	L2           float64
+}
+
+// DefaultConfig returns the matcher substitutes' configuration. The
+// learning rate and momentum are tuned for stable per-sample SGD on the
+// small interaction-feature inputs the matchers use.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       []int{32, 16},
+		Epochs:       60,
+		Patience:     8,
+		LearningRate: 0.015,
+		Momentum:     0.5,
+		L2:           1e-4,
+	}
+}
+
+type layer struct {
+	in, out int
+	w       []float64 // row-major out x in
+	b       []float64
+	vw, vb  []float64 // momentum buffers
+	// forward caches
+	x, z, a []float64
+}
+
+// MLP is a binary classifier: hidden ReLU layers + sigmoid output.
+type MLP struct {
+	layers []*layer
+	cfg    Config
+}
+
+// NewMLP builds an MLP with the given input dimension.
+func NewMLP(inputDim int, cfg Config, rng *rand.Rand) *MLP {
+	m := &MLP{cfg: cfg}
+	prev := inputDim
+	dims := append(append([]int(nil), cfg.Hidden...), 1)
+	for _, width := range dims {
+		l := &layer{in: prev, out: width}
+		l.w = make([]float64, width*prev)
+		l.b = make([]float64, width)
+		l.vw = make([]float64, width*prev)
+		l.vb = make([]float64, width)
+		scale := math.Sqrt(2 / float64(prev))
+		for i := range l.w {
+			l.w[i] = rng.NormFloat64() * scale
+		}
+		m.layers = append(m.layers, l)
+		prev = width
+	}
+	return m
+}
+
+// forward computes the pre-sigmoid logit of x.
+func (m *MLP) forward(x []float64) float64 {
+	cur := x
+	for li, l := range m.layers {
+		l.x = cur
+		if cap(l.z) < l.out {
+			l.z = make([]float64, l.out)
+			l.a = make([]float64, l.out)
+		}
+		l.z = l.z[:l.out]
+		l.a = l.a[:l.out]
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i := range row {
+				s += row[i] * cur[i]
+			}
+			l.z[o] = s
+			if li < len(m.layers)-1 && s < 0 {
+				l.a[o] = 0 // ReLU
+			} else {
+				l.a[o] = s
+			}
+		}
+		cur = l.a
+	}
+	return cur[0]
+}
+
+// Prob returns P(positive | x).
+func (m *MLP) Prob(x []float64) float64 { return sigmoid(m.forward(x)) }
+
+func sigmoid(x float64) float64 {
+	if x > 30 {
+		return 1
+	}
+	if x < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// backward performs one SGD-with-momentum step given the output gradient
+// dL/dlogit.
+func (m *MLP) backward(gradOut, lr float64) {
+	grad := []float64{gradOut}
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		l := m.layers[li]
+		// Gradient through ReLU for hidden layers.
+		if li < len(m.layers)-1 {
+			for o := range grad {
+				if l.z[o] <= 0 {
+					grad[o] = 0
+				}
+			}
+		}
+		var nextGrad []float64
+		if li > 0 {
+			nextGrad = make([]float64, l.in)
+		}
+		for o := 0; o < l.out; o++ {
+			g := grad[o]
+			if g == 0 {
+				continue
+			}
+			// Clip per-unit gradients: deep ReLU stacks on per-sample SGD
+			// occasionally spike and a single spike can undo an epoch.
+			if g > 4 {
+				g = 4
+			} else if g < -4 {
+				g = -4
+			}
+			row := l.w[o*l.in : (o+1)*l.in]
+			vrow := l.vw[o*l.in : (o+1)*l.in]
+			for i := range row {
+				if nextGrad != nil {
+					nextGrad[i] += g * row[i]
+				}
+				dw := g*l.x[i] + m.cfg.L2*row[i]
+				vrow[i] = m.cfg.Momentum*vrow[i] - lr*dw
+				row[i] += vrow[i]
+			}
+			l.vb[o] = m.cfg.Momentum*l.vb[o] - lr*g
+			l.b[o] += l.vb[o]
+		}
+		grad = nextGrad
+	}
+}
+
+// Fit trains with cross-entropy on (xs, ys), early-stopping on the score
+// function (higher is better, typically validation F1). It returns the
+// best validation score seen.
+func (m *MLP) Fit(xs [][]float64, ys []bool, valScore func() float64, rng *rand.Rand) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	best := math.Inf(-1)
+	bestWeights := m.snapshot()
+	sinceBest := 0
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		lr := m.cfg.LearningRate * (1 - 0.9*float64(epoch)/float64(m.cfg.Epochs))
+		order := rng.Perm(len(xs))
+		for _, i := range order {
+			p := sigmoid(m.forward(xs[i]))
+			y := 0.0
+			if ys[i] {
+				y = 1.0
+			}
+			m.backward(p-y, lr)
+		}
+		if valScore == nil {
+			continue
+		}
+		if s := valScore(); s > best {
+			best = s
+			bestWeights = m.snapshot()
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if m.cfg.Patience > 0 && sinceBest >= m.cfg.Patience {
+				break
+			}
+		}
+	}
+	if valScore != nil {
+		m.restore(bestWeights)
+		return best
+	}
+	return 0
+}
+
+func (m *MLP) snapshot() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers {
+		out = append(out, append([]float64(nil), l.w...), append([]float64(nil), l.b...))
+	}
+	return out
+}
+
+func (m *MLP) restore(snap [][]float64) {
+	for i, l := range m.layers {
+		copy(l.w, snap[2*i])
+		copy(l.b, snap[2*i+1])
+	}
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"wdcproducts/internal/xrand"
+)
+
+func xorData(n int, rng interface{ Float64() float64 }) ([][]float64, []bool) {
+	var xs [][]float64
+	var ys []bool
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, (a > 0.5) != (b > 0.5))
+	}
+	return xs, ys
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := xrand.New(1).Stream("nn")
+	xs, ys := xorData(500, rng)
+	cfg := DefaultConfig()
+	cfg.Epochs = 120
+	cfg.Patience = 0
+	m := NewMLP(2, cfg, rng)
+	m.Fit(xs, ys, nil, rng)
+	correct := 0
+	for i := range xs {
+		if (m.Prob(xs[i]) >= 0.5) == ys[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.9 {
+		t.Fatalf("XOR accuracy = %.3f (MLP cannot be linear)", acc)
+	}
+}
+
+func TestProbRange(t *testing.T) {
+	rng := xrand.New(2).Stream("nn")
+	m := NewMLP(3, DefaultConfig(), rng)
+	for i := 0; i < 20; i++ {
+		p := m.Prob([]float64{rng.NormFloat64() * 10, rng.NormFloat64(), rng.NormFloat64()})
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Prob = %v", p)
+		}
+	}
+}
+
+func TestEarlyStoppingRestoresBest(t *testing.T) {
+	rng := xrand.New(3).Stream("nn")
+	xs, ys := xorData(200, rng)
+	cfg := DefaultConfig()
+	cfg.Epochs = 40
+	cfg.Patience = 3
+	m := NewMLP(2, cfg, rng)
+	// A validation score that decays after epoch 5 forces early stopping
+	// and restoration of the epoch-5 snapshot.
+	epoch := 0
+	probe := []float64{0.25, 0.75}
+	var probAtBest float64
+	score := func() float64 {
+		epoch++
+		switch {
+		case epoch < 5:
+			return 0.5 + 0.05*float64(epoch) // rising
+		case epoch == 5:
+			probAtBest = m.Prob(probe)
+			return 1.0 // peak
+		default:
+			return 1.0 - 0.01*float64(epoch) // decaying
+		}
+	}
+	best := m.Fit(xs, ys, score, rng)
+	if best != 1.0 {
+		t.Fatalf("best score = %v, want 1.0", best)
+	}
+	if epoch >= cfg.Epochs {
+		t.Fatalf("early stopping never triggered (ran %d epochs)", epoch)
+	}
+	if got := m.Prob(probe); got != probAtBest {
+		t.Fatalf("weights not restored to best epoch: %v vs %v", got, probAtBest)
+	}
+}
+
+func TestEmptyFit(t *testing.T) {
+	rng := xrand.New(4).Stream("nn")
+	m := NewMLP(2, DefaultConfig(), rng)
+	if got := m.Fit(nil, nil, nil, rng); got != 0 {
+		t.Fatalf("empty Fit = %v", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		rng := xrand.New(5).Stream("nn")
+		xs, ys := xorData(100, rng)
+		cfg := DefaultConfig()
+		cfg.Epochs = 10
+		cfg.Patience = 0
+		m := NewMLP(2, cfg, rng)
+		m.Fit(xs, ys, nil, rng)
+		return m.Prob([]float64{0.3, 0.8})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("training not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestProtoSeparatesClasses(t *testing.T) {
+	rng := xrand.New(6).Stream("proto")
+	// Four classes at distinct corners of a 4-dim space.
+	var xs [][]float64
+	var cls []int
+	for i := 0; i < 400; i++ {
+		c := i % 4
+		x := make([]float64, 4)
+		x[c] = 1 + rng.NormFloat64()*0.1
+		for d := range x {
+			x[d] += rng.NormFloat64() * 0.05
+		}
+		xs = append(xs, x)
+		cls = append(cls, c)
+	}
+	cfg := DefaultProtoConfig()
+	cfg.Epochs = 40
+	p := TrainProto(xs, cls, 4, cfg, rng)
+	correct := 0
+	for i := range xs {
+		if p.PredictClass(xs[i]) == cls[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.95 {
+		t.Fatalf("prototype accuracy = %.3f", acc)
+	}
+}
+
+func TestProtoSimilarityStructure(t *testing.T) {
+	rng := xrand.New(7).Stream("proto")
+	var xs [][]float64
+	var cls []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		x := []float64{0, 0}
+		x[c] = 1 + rng.NormFloat64()*0.1
+		xs = append(xs, x)
+		cls = append(cls, c)
+	}
+	cfg := DefaultProtoConfig()
+	cfg.OutDim = 8
+	cfg.Epochs = 40
+	p := TrainProto(xs, cls, 2, cfg, rng)
+	same := p.Similarity([]float64{1, 0}, []float64{1.1, 0.05})
+	diff := p.Similarity([]float64{1, 0}, []float64{0, 1})
+	if same <= diff {
+		t.Fatalf("projected similarity broken: same=%.3f diff=%.3f", same, diff)
+	}
+	if same < 0 || same > 1 || diff < 0 || diff > 1 {
+		t.Fatalf("similarity out of range: %v %v", same, diff)
+	}
+}
+
+func TestProtoEmbedUnitNorm(t *testing.T) {
+	rng := xrand.New(8).Stream("proto")
+	p := TrainProto([][]float64{{1, 0}, {0, 1}}, []int{0, 1}, 2, DefaultProtoConfig(), rng)
+	z := p.Embed([]float64{0.5, 0.5})
+	n := 0.0
+	for _, v := range z {
+		n += v * v
+	}
+	if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+		t.Fatalf("Embed norm = %v", math.Sqrt(n))
+	}
+}
+
+func TestProtoEmptyTraining(t *testing.T) {
+	p := TrainProto(nil, nil, 0, DefaultProtoConfig(), xrand.New(1).Stream("x"))
+	if len(p.Protos) != 0 {
+		t.Fatal("prototypes from empty training")
+	}
+}
+
+func TestFloat32To64(t *testing.T) {
+	out := Float32To64([]float32{1.5, -2})
+	if len(out) != 2 || out[0] != 1.5 || out[1] != -2 {
+		t.Fatalf("Float32To64 = %v", out)
+	}
+}

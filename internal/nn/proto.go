@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ProtoContrastive is the supervised-contrastive representation learner
+// behind the R-SupCon substitute: a linear projection of offer embeddings
+// trained with a prototype formulation of the supervised contrastive loss.
+// Each class (product) owns a prototype vector; the projection and the
+// prototypes are optimized with a temperature-scaled cross-entropy over
+// cosine similarities, which pulls same-product offers toward a shared
+// prototype and pushes different products apart — the clustering effect the
+// paper attributes to R-SupCon's pre-training stage.
+type ProtoContrastive struct {
+	InDim, OutDim int
+	// W is the projection, row-major OutDim x InDim.
+	W []float64
+	// Protos[k] is the (unit-norm) prototype of class k.
+	Protos [][]float64
+	// Temperature of the contrastive softmax.
+	Tau float64
+}
+
+// ProtoConfig holds training hyperparameters for ProtoContrastive.
+type ProtoConfig struct {
+	OutDim       int
+	Epochs       int
+	LearningRate float64
+	Tau          float64
+}
+
+// DefaultProtoConfig returns the R-SupCon substitute's configuration.
+func DefaultProtoConfig() ProtoConfig {
+	return ProtoConfig{OutDim: 32, Epochs: 80, LearningRate: 0.08, Tau: 0.1}
+}
+
+// TrainProto fits the projection and prototypes on (xs, classes).
+func TrainProto(xs [][]float64, classes []int, numClasses int, cfg ProtoConfig, rng *rand.Rand) *ProtoContrastive {
+	inDim := 0
+	if len(xs) > 0 {
+		inDim = len(xs[0])
+	}
+	if cfg.OutDim <= 0 {
+		cfg.OutDim = 32
+	}
+	if cfg.Tau <= 0 {
+		cfg.Tau = 0.1
+	}
+	p := &ProtoContrastive{InDim: inDim, OutDim: cfg.OutDim, Tau: cfg.Tau}
+	p.W = make([]float64, cfg.OutDim*inDim)
+	scale := math.Sqrt(2 / float64(inDim+1))
+	for i := range p.W {
+		p.W[i] = rng.NormFloat64() * scale
+	}
+	p.Protos = make([][]float64, numClasses)
+	for k := range p.Protos {
+		v := make([]float64, cfg.OutDim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		normalize(v)
+		p.Protos[k] = v
+	}
+	if len(xs) == 0 || numClasses == 0 {
+		return p
+	}
+	logits := make([]float64, numClasses)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
+		order := rng.Perm(len(xs))
+		for _, i := range order {
+			z := p.project(xs[i])
+			normalize(z)
+			// Softmax over prototype similarities.
+			maxL := math.Inf(-1)
+			for k := range p.Protos {
+				logits[k] = dot(z, p.Protos[k]) / p.Tau
+				if logits[k] > maxL {
+					maxL = logits[k]
+				}
+			}
+			total := 0.0
+			for k := range logits {
+				logits[k] = math.Exp(logits[k] - maxL)
+				total += logits[k]
+			}
+			// Gradient step: dL/dlogit_k = p_k - 1[k==y]; backprop to the
+			// prototypes and (through z, ignoring the normalization
+			// Jacobian, a standard simplification) to W.
+			zGrad := make([]float64, p.OutDim)
+			for k := range p.Protos {
+				g := logits[k]/total/p.Tau - 0.0
+				if k == classes[i] {
+					g -= 1 / p.Tau
+				}
+				if g == 0 {
+					continue
+				}
+				for d := 0; d < p.OutDim; d++ {
+					zGrad[d] += g * p.Protos[k][d]
+					p.Protos[k][d] -= lr * g * z[d]
+				}
+				normalize(p.Protos[k])
+			}
+			for o := 0; o < p.OutDim; o++ {
+				row := p.W[o*inDim : (o+1)*inDim]
+				g := zGrad[o]
+				if g == 0 {
+					continue
+				}
+				for d := range row {
+					row[d] -= lr * g * xs[i][d]
+				}
+			}
+		}
+	}
+	return p
+}
+
+func (p *ProtoContrastive) project(x []float64) []float64 {
+	z := make([]float64, p.OutDim)
+	for o := 0; o < p.OutDim; o++ {
+		row := p.W[o*p.InDim : (o+1)*p.InDim]
+		s := 0.0
+		for d := range row {
+			s += row[d] * x[d]
+		}
+		z[o] = s
+	}
+	return z
+}
+
+// Embed returns the unit-norm projected representation of x.
+func (p *ProtoContrastive) Embed(x []float64) []float64 {
+	z := p.project(x)
+	normalize(z)
+	return z
+}
+
+// Similarity returns the cosine similarity of two inputs in the projected
+// space, mapped to [0,1].
+func (p *ProtoContrastive) Similarity(a, b []float64) float64 {
+	za, zb := p.Embed(a), p.Embed(b)
+	return (dot(za, zb) + 1) / 2
+}
+
+// PredictClass returns the nearest-prototype class of x.
+func (p *ProtoContrastive) PredictClass(x []float64) int {
+	c, _ := p.Affinity(x)
+	return c
+}
+
+// Affinity returns the nearest-prototype class of x together with its
+// softmax confidence under the training temperature. The pair-wise
+// R-SupCon head uses it to ask "do both offers fall into the same learned
+// product cluster, and how decisively?".
+func (p *ProtoContrastive) Affinity(x []float64) (int, float64) {
+	if len(p.Protos) == 0 {
+		return 0, 0
+	}
+	z := p.Embed(x)
+	best, bestSim := 0, math.Inf(-1)
+	var total, bestExp float64
+	maxSim := math.Inf(-1)
+	sims := make([]float64, len(p.Protos))
+	for k := range p.Protos {
+		s := dot(z, p.Protos[k])
+		sims[k] = s
+		if s > maxSim {
+			maxSim = s
+		}
+		if s > bestSim {
+			best, bestSim = k, s
+		}
+	}
+	for k := range sims {
+		e := math.Exp((sims[k] - maxSim) / p.Tau)
+		total += e
+		if k == best {
+			bestExp = e
+		}
+	}
+	return best, bestExp / total
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(v []float64) {
+	n := 0.0
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Float32To64 converts an embedding vector for use with this package.
+func Float32To64(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+// Package pairgen implements §3.6: turning the offer splits into labeled
+// pairs for the pair-wise formulation of the benchmark. For every product
+// all positive pairs are built; for every offer, K corner negatives (the
+// most similar offers of other products, alternating similarity metrics)
+// plus one random negative are added. K is 3 for the large/test sets, 2 for
+// medium, and 1 for small, modelling reduced labeling effort.
+package pairgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/textutil"
+)
+
+// Member is one product's offer list within a split set.
+type Member struct {
+	// Product is an opaque product identifier (cluster slot or class id);
+	// offers of the same product form positive pairs, offers of different
+	// products form negatives.
+	Product int
+	Offers  []int
+}
+
+// Pair is one labeled offer pair. A and B are offer indices (A < B).
+type Pair struct {
+	A, B  int
+	Match bool
+	// ProdA and ProdB are the products of A and B for bookkeeping.
+	ProdA, ProdB int
+}
+
+// Config controls pair generation.
+type Config struct {
+	// CornerNegatives is K, the number of similarity-searched negatives
+	// per offer.
+	CornerNegatives int
+	// RandomNegatives is the number of uniform random negatives per offer
+	// (1 in the paper).
+	RandomNegatives int
+	// MaxCandidates caps the similarity-search candidate list per offer;
+	// candidates are pre-ranked by shared-token count through an inverted
+	// index, so the cap trades a little recall for a lot of speed.
+	MaxCandidates int
+}
+
+// ConfigForDevSize returns the paper's K per development-set size
+// ("small", "medium", "large"); test sets use the large configuration.
+func ConfigForDevSize(devSize string) Config {
+	k := 3
+	switch devSize {
+	case "small":
+		k = 1
+	case "medium":
+		k = 2
+	}
+	return Config{CornerNegatives: k, RandomNegatives: 1, MaxCandidates: 120}
+}
+
+// Generate builds the pair set for one split. The title function maps an
+// offer index to its title text; the registry supplies alternating metrics
+// for the corner-negative search.
+func Generate(members []Member, cfg Config, title func(int) string,
+	reg *simlib.Registry, rng *rand.Rand) []Pair {
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 120
+	}
+	var pairs []Pair
+	seen := map[[2]int]bool{}
+	addPair := func(a, b int, match bool, pa, pb int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+			pa, pb = pb, pa
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		pairs = append(pairs, Pair{A: a, B: b, Match: match, ProdA: pa, ProdB: pb})
+		return true
+	}
+
+	// Positives: all combinations within each product.
+	for _, m := range members {
+		for i := 0; i < len(m.Offers); i++ {
+			for j := i + 1; j < len(m.Offers); j++ {
+				addPair(m.Offers[i], m.Offers[j], true, m.Product, m.Product)
+			}
+		}
+	}
+
+	// Index all offers for negative search.
+	type entry struct {
+		offer   int
+		product int
+	}
+	var all []entry
+	for _, m := range members {
+		for _, o := range m.Offers {
+			all = append(all, entry{o, m.Product})
+		}
+	}
+	// Inverted index: token -> entry positions.
+	inv := map[string][]int32{}
+	tokens := make([][]string, len(all))
+	for i, e := range all {
+		ts := textutil.Tokenize(title(e.offer))
+		uniq := make(map[string]bool, len(ts))
+		for _, tok := range ts {
+			if !uniq[tok] {
+				uniq[tok] = true
+				inv[tok] = append(inv[tok], int32(i))
+			}
+		}
+		tokens[i] = ts
+	}
+
+	sharedCounts := make([]int16, len(all))
+	var touched []int32
+	for i, e := range all {
+		// Candidate generation by shared-token count.
+		touched = touched[:0]
+		for tok := range uniqueTokens(tokens[i]) {
+			for _, j := range inv[tok] {
+				if int(j) == i || all[j].product == e.product {
+					continue
+				}
+				if sharedCounts[j] == 0 {
+					touched = append(touched, j)
+				}
+				sharedCounts[j]++
+			}
+		}
+		sort.Slice(touched, func(a, b int) bool {
+			if sharedCounts[touched[a]] != sharedCounts[touched[b]] {
+				return sharedCounts[touched[a]] > sharedCounts[touched[b]]
+			}
+			return touched[a] < touched[b]
+		})
+		cands := touched
+		if len(cands) > cfg.MaxCandidates {
+			cands = cands[:cfg.MaxCandidates]
+		}
+		// Offers sharing no token with anything else (an isolated random
+		// product, say a lone watch among drives) still need their full
+		// negative quota: fall back to arbitrary other-product offers,
+		// which the metric will rank at similarity ~0.
+		if need := cfg.CornerNegatives + cfg.RandomNegatives + 4; len(cands) < need {
+			inCands := map[int32]bool{}
+			for _, j := range cands {
+				inCands[j] = true
+			}
+			for j := range all {
+				if len(cands) >= need {
+					break
+				}
+				if j == i || all[j].product == e.product || inCands[int32(j)] {
+					continue
+				}
+				cands = append(cands, int32(j))
+			}
+		}
+
+		// Corner negatives: for each of K picks, draw a metric and take the
+		// most similar unused candidate. If the pair already exists (e.g.
+		// as a mirror), the next most similar is taken instead (§3.6).
+		titleI := title(e.offer)
+		usedHere := map[int]bool{}
+		for k := 0; k < cfg.CornerNegatives && len(cands) > 0; k++ {
+			metric := reg.Draw()
+			best, bestScore := int32(-1), -1.0
+			for _, j := range cands {
+				if usedHere[int(j)] {
+					continue
+				}
+				s := metric.Sim(titleI, title(all[j].offer))
+				if s > bestScore || (s == bestScore && (best == -1 || j < best)) {
+					best, bestScore = j, s
+				}
+			}
+			if best < 0 {
+				break
+			}
+			usedHere[int(best)] = true
+			if !addPair(e.offer, all[best].offer, false, e.product, all[best].product) {
+				k-- // mirrored pair already present: pick the next one
+			}
+		}
+		// Random negatives.
+		for k := 0; k < cfg.RandomNegatives; k++ {
+			for attempt := 0; attempt < 20; attempt++ {
+				j := rng.Intn(len(all))
+				if all[j].product == e.product || usedHere[j] {
+					continue
+				}
+				if addPair(e.offer, all[j].offer, false, e.product, all[j].product) {
+					usedHere[j] = true
+					break
+				}
+			}
+		}
+		for _, j := range touched {
+			sharedCounts[j] = 0
+		}
+	}
+	return pairs
+}
+
+func uniqueTokens(ts []string) map[string]bool {
+	m := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		m[t] = true
+	}
+	return m
+}
+
+// Stats summarizes a pair set (the Table 1 columns).
+type Stats struct {
+	All, Pos, Neg int
+}
+
+// Summarize counts positives and negatives.
+func Summarize(pairs []Pair) Stats {
+	s := Stats{All: len(pairs)}
+	for _, p := range pairs {
+		if p.Match {
+			s.Pos++
+		} else {
+			s.Neg++
+		}
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package pairgen
+
+import (
+	"fmt"
+	"testing"
+
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+// fixture: 6 products x 4 offers with controlled titles. Products 0/1 and
+// 2/3 are near-duplicates (corner negatives); 4/5 are unrelated.
+func fixtureMembers() ([]Member, func(int) string) {
+	titles := map[int]string{}
+	var members []Member
+	next := 0
+	add := func(product int, base string) {
+		m := Member{Product: product}
+		for k := 0; k < 4; k++ {
+			titles[next] = fmt.Sprintf("%s variant offer %d listing", base, k)
+			m.Offers = append(m.Offers, next)
+			next++
+		}
+		members = append(members, m)
+	}
+	add(0, "seagate barracuda 2tb internal drive")
+	add(1, "seagate barracuda 4tb internal drive")
+	add(2, "nike pegasus running shoes size 9")
+	add(3, "nike pegasus running shoes size 10")
+	add(4, "canon pixma wireless printer home")
+	add(5, "garmin forerunner gps watch black")
+	return members, func(i int) string { return titles[i] }
+}
+
+func gen(t *testing.T, cfg Config) ([]Pair, []Member, func(int) string) {
+	t.Helper()
+	members, title := fixtureMembers()
+	src := xrand.New(42)
+	reg := simlib.NewRegistry(src.Stream("reg"), simlib.DefaultMetrics()...)
+	pairs := Generate(members, cfg, title, reg, src.Stream("pairs"))
+	return pairs, members, title
+}
+
+func TestPositiveCounts(t *testing.T) {
+	pairs, members, _ := gen(t, ConfigForDevSize("large"))
+	stats := Summarize(pairs)
+	wantPos := 0
+	for _, m := range members {
+		n := len(m.Offers)
+		wantPos += n * (n - 1) / 2
+	}
+	if stats.Pos != wantPos {
+		t.Fatalf("positives = %d, want %d", stats.Pos, wantPos)
+	}
+}
+
+func TestNegativeCountsPerOffer(t *testing.T) {
+	for _, devSize := range []string{"small", "medium", "large"} {
+		cfg := ConfigForDevSize(devSize)
+		pairs, members, _ := gen(t, cfg)
+		stats := Summarize(pairs)
+		offers := 0
+		for _, m := range members {
+			offers += len(m.Offers)
+		}
+		want := offers * (cfg.CornerNegatives + cfg.RandomNegatives)
+		if stats.Neg != want {
+			t.Errorf("%s: negatives = %d, want %d", devSize, stats.Neg, want)
+		}
+	}
+}
+
+func TestLabelsCorrect(t *testing.T) {
+	pairs, members, _ := gen(t, ConfigForDevSize("large"))
+	productOf := map[int]int{}
+	for _, m := range members {
+		for _, o := range m.Offers {
+			productOf[o] = m.Product
+		}
+	}
+	for _, p := range pairs {
+		same := productOf[p.A] == productOf[p.B]
+		if p.Match != same {
+			t.Fatalf("pair (%d,%d) labeled %v but same-product=%v", p.A, p.B, p.Match, same)
+		}
+		if p.ProdA != productOf[p.A] || p.ProdB != productOf[p.B] {
+			t.Fatalf("pair product bookkeeping wrong: %+v", p)
+		}
+	}
+}
+
+func TestNoDuplicatesOrMirrors(t *testing.T) {
+	pairs, _, _ := gen(t, ConfigForDevSize("large"))
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p.A >= p.B {
+			t.Fatalf("pair not ordered: %+v", p)
+		}
+		key := [2]int{p.A, p.B}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCornerNegativesAreSimilar(t *testing.T) {
+	pairs, _, title := gen(t, Config{CornerNegatives: 2, RandomNegatives: 0, MaxCandidates: 50})
+	// With no random negatives, every negative is a corner negative; the
+	// 2tb drive's negatives should come from the 4tb sibling, not from the
+	// printer.
+	metric := simlib.MetricJaccard()
+	var simSum float64
+	var n int
+	for _, p := range pairs {
+		if p.Match {
+			continue
+		}
+		simSum += metric.Sim(title(p.A), title(p.B))
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no negatives generated")
+	}
+	if avg := simSum / float64(n); avg < 0.3 {
+		t.Fatalf("corner negatives not similar: avg jaccard %.3f", avg)
+	}
+}
+
+func TestRandomNegativesLessSimilarThanCorner(t *testing.T) {
+	members, title := fixtureMembers()
+	src := xrand.New(7)
+	reg := simlib.NewRegistry(src.Stream("reg"), simlib.DefaultMetrics()...)
+	corner := Generate(members, Config{CornerNegatives: 3, RandomNegatives: 0}, title, reg, src.Stream("a"))
+	random := Generate(members, Config{CornerNegatives: 0, RandomNegatives: 3}, title, reg, src.Stream("b"))
+	metric := simlib.MetricJaccard()
+	avg := func(pairs []Pair) float64 {
+		var s float64
+		var n int
+		for _, p := range pairs {
+			if !p.Match {
+				s += metric.Sim(title(p.A), title(p.B))
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if avg(corner) <= avg(random) {
+		t.Fatalf("corner negatives (%.3f) not harder than random (%.3f)", avg(corner), avg(random))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _, _ := gen(t, ConfigForDevSize("medium"))
+	b, _, _ := gen(t, ConfigForDevSize("medium"))
+	if len(a) != len(b) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pairs differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSingleProductNoNegatives(t *testing.T) {
+	members := []Member{{Product: 0, Offers: []int{0, 1, 2}}}
+	title := func(i int) string { return fmt.Sprintf("same product offer %d", i) }
+	src := xrand.New(1)
+	reg := simlib.NewRegistry(src.Stream("reg"), simlib.DefaultMetrics()...)
+	pairs := Generate(members, ConfigForDevSize("large"), title, reg, src.Stream("p"))
+	stats := Summarize(pairs)
+	if stats.Neg != 0 {
+		t.Fatalf("negatives from a single product: %d", stats.Neg)
+	}
+	if stats.Pos != 3 {
+		t.Fatalf("positives = %d, want 3", stats.Pos)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	src := xrand.New(1)
+	reg := simlib.NewRegistry(src.Stream("reg"), simlib.DefaultMetrics()...)
+	pairs := Generate(nil, ConfigForDevSize("large"), func(int) string { return "" }, reg, src.Stream("p"))
+	if len(pairs) != 0 {
+		t.Fatalf("pairs from empty input: %d", len(pairs))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]Pair{{Match: true}, {Match: false}, {Match: false}})
+	if s.All != 3 || s.Pos != 1 || s.Neg != 2 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+}

@@ -1,0 +1,230 @@
+// Package profilestats computes the §4 benchmark-profiling statistics:
+// the split-size table (Table 1), the attribute density / length /
+// vocabulary table (Table 2), the cluster-size and split distribution of
+// Figure 3, and the benchmark-landscape comparison of Table 6.
+package profilestats
+
+import (
+	"fmt"
+	"sort"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/pairgen"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/tables"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/tokenize"
+)
+
+// Table1 renders the split statistics of every variant.
+func Table1(b *core.Benchmark) *tables.Table {
+	t := tables.New("Table 1: training, validation and test set sizes (pair-wise and multi-class)",
+		"Type", "CornerCases",
+		"Small/All", "Small/Pos", "Small/Neg",
+		"Medium/All", "Medium/Pos", "Medium/Neg",
+		"Large/All", "Large/Pos", "Large/Neg",
+		"MC/Small", "MC/Medium", "MC/Large")
+	for _, cc := range core.CornerRatios() {
+		rd := b.Ratios[cc]
+		addRow := func(typ string, pairsOf func(core.DevSize) []core.Pair, multiOf func(core.DevSize) int) {
+			row := []string{typ, fmt.Sprintf("%d%%", cc)}
+			for _, dev := range core.DevSizes() {
+				s := pairgen.Summarize(pairsOf(dev))
+				row = append(row, fmt.Sprint(s.All), fmt.Sprint(s.Pos), fmt.Sprint(s.Neg))
+			}
+			for _, dev := range core.DevSizes() {
+				row = append(row, fmt.Sprint(multiOf(dev)))
+			}
+			t.AddRow(row...)
+		}
+		addRow("Training",
+			func(dev core.DevSize) []core.Pair { return rd.Train[dev] },
+			func(dev core.DevSize) int { return len(rd.MultiTrain[dev]) })
+		addRow("Validation",
+			func(dev core.DevSize) []core.Pair { return rd.Val[dev] },
+			func(core.DevSize) int { return len(rd.MultiVal) })
+		addRow("Test",
+			func(core.DevSize) []core.Pair { return rd.Test[0] },
+			func(core.DevSize) int { return len(rd.MultiTest) })
+	}
+	return t
+}
+
+// AttributeProfile is one Table 2 row.
+type AttributeProfile struct {
+	Dev     core.DevSize
+	Corner  core.CornerRatio
+	Density map[string]float64 // attribute -> fraction non-empty
+	Median  map[string]int     // attribute -> median word length
+	Words   int                // distinct normalized words
+	Tokens  int                // distinct BPE tokens used
+}
+
+// attributes in Table 2 column order.
+var attributes = []string{"title", "description", "price", "priceCurrency", "brand"}
+
+// Profile computes the Table 2 statistics for one (dev size, ratio) merged
+// set (training + validation + test offers). The BPE tokenizer is shared
+// across rows (trained once on all benchmark titles, the RoBERTa-vocab
+// stand-in).
+func Profile(b *core.Benchmark, cc core.CornerRatio, dev core.DevSize, bpe *tokenize.BPE) AttributeProfile {
+	offerSet := map[int]bool{}
+	rd := b.Ratios[cc]
+	for _, ci := range rd.Classes {
+		for _, o := range trainOffers(ci, dev) {
+			offerSet[o] = true
+		}
+		for _, o := range ci.Val {
+			offerSet[o] = true
+		}
+		for _, o := range ci.Test {
+			offerSet[o] = true
+		}
+	}
+	offers := make([]int, 0, len(offerSet))
+	for o := range offerSet {
+		offers = append(offers, o)
+	}
+	sort.Ints(offers)
+
+	p := AttributeProfile{Dev: dev, Corner: cc, Density: map[string]float64{}, Median: map[string]int{}}
+	words := map[string]bool{}
+	var texts []string
+	for _, attr := range attributes {
+		var lengths []int
+		nonEmpty := 0
+		for _, o := range offers {
+			v := attrValue(b.Offer(o), attr)
+			if v == "" {
+				continue
+			}
+			nonEmpty++
+			lengths = append(lengths, textutil.WordCount(v))
+		}
+		p.Density[attr] = float64(nonEmpty) / float64(len(offers))
+		p.Median[attr] = median(lengths)
+	}
+	for _, o := range offers {
+		off := b.Offer(o)
+		for _, v := range []string{off.Title, off.Description, off.Brand} {
+			if v == "" {
+				continue
+			}
+			texts = append(texts, v)
+			for _, w := range textutil.Tokenize(v) {
+				words[w] = true
+			}
+		}
+	}
+	p.Words = len(words)
+	if bpe != nil {
+		p.Tokens = bpe.CoveredTokens(texts)
+	}
+	return p
+}
+
+// Table2 renders the full attribute-profile table.
+func Table2(b *core.Benchmark, bpe *tokenize.BPE) *tables.Table {
+	t := tables.New("Table 2: attribute density (%) / median length (words) and vocabulary of the merged sets",
+		"DevSize", "CornerCases", "title", "description", "price", "priceCurrency", "brand", "Words", "Tokens")
+	for _, cc := range core.CornerRatios() {
+		for _, dev := range core.DevSizes() {
+			p := Profile(b, cc, dev, bpe)
+			row := []string{string(dev), fmt.Sprintf("%d%%", cc)}
+			for _, attr := range attributes {
+				row = append(row, fmt.Sprintf("%.0f/%d", p.Density[attr]*100, p.Median[attr]))
+			}
+			row = append(row, fmt.Sprint(p.Words), fmt.Sprint(p.Tokens))
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// TrainBPE trains the shared tokenizer on all benchmark offer titles and
+// descriptions.
+func TrainBPE(b *core.Benchmark, merges int) *tokenize.BPE {
+	var texts []string
+	for i := range b.Offers {
+		texts = append(texts, b.Offers[i].Title)
+		if b.Offers[i].Description != "" {
+			texts = append(texts, b.Offers[i].Description)
+		}
+	}
+	return tokenize.Train(texts, merges)
+}
+
+// Figure3 renders the cluster-size and split-assignment distribution: how
+// many seen products contribute k offers, and how those offers are divided
+// into train/val/test (Figure 3 of the paper).
+func Figure3(b *core.Benchmark, cc core.CornerRatio) *tables.Table {
+	t := tables.New(fmt.Sprintf("Figure 3: cluster sizes and split distribution (cc=%d%%)", cc),
+		"ClusterSize", "Products", "TrainOffers", "ValOffers", "TestOffers")
+	rd := b.Ratios[cc]
+	type bucket struct{ products, train, val, test int }
+	buckets := map[int]*bucket{}
+	for _, ci := range rd.Classes {
+		size := len(ci.Train) + len(ci.Val) + len(ci.Test)
+		bk := buckets[size]
+		if bk == nil {
+			bk = &bucket{}
+			buckets[size] = bk
+		}
+		bk.products++
+		bk.train += len(ci.Train)
+		bk.val += len(ci.Val)
+		bk.test += len(ci.Test)
+	}
+	var sizes []int
+	for s := range buckets {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		bk := buckets[s]
+		t.AddRow(fmt.Sprint(s), fmt.Sprint(bk.products), fmt.Sprint(bk.train), fmt.Sprint(bk.val), fmt.Sprint(bk.test))
+	}
+	unseen := 0
+	for _, tp := range rd.TestProducts[100] {
+		unseen += len(tp.Offers)
+	}
+	t.AddRow("unseen(2)", fmt.Sprint(len(rd.TestProducts[100])), "0", "0", fmt.Sprint(unseen))
+	return t
+}
+
+func trainOffers(ci core.ClassInfo, dev core.DevSize) []int {
+	switch dev {
+	case core.Small:
+		return ci.TrainSmall
+	case core.Medium:
+		return ci.TrainMedium
+	default:
+		return ci.Train
+	}
+}
+
+func attrValue(o *schemaorg.Offer, attr string) string {
+	switch attr {
+	case "title":
+		return o.Title
+	case "description":
+		return o.Description
+	case "price":
+		return o.Price
+	case "priceCurrency":
+		return o.PriceCurrency
+	case "brand":
+		return o.Brand
+	default:
+		return ""
+	}
+}
+
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	return sorted[len(sorted)/2]
+}

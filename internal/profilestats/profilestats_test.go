@@ -1,0 +1,163 @@
+package profilestats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/tokenize"
+)
+
+var (
+	once   sync.Once
+	bench  *core.Benchmark
+	bpe    *tokenize.BPE
+	buildE error
+)
+
+func fixture(t *testing.T) (*core.Benchmark, *tokenize.BPE) {
+	t.Helper()
+	once.Do(func() {
+		bench, buildE = core.Build(core.TinyBuildConfig(21))
+		if buildE == nil {
+			bpe = TrainBPE(bench, 300)
+		}
+	})
+	if buildE != nil {
+		t.Fatal(buildE)
+	}
+	return bench, bpe
+}
+
+func TestTable1Structure(t *testing.T) {
+	b, _ := fixture(t)
+	tab := Table1(b)
+	if len(tab.Rows) != 9 { // 3 ratios x (train, val, test)
+		t.Fatalf("Table 1 rows = %d, want 9", len(tab.Rows))
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Training") || !strings.Contains(out, "80%") {
+		t.Fatalf("Table 1 malformed:\n%s", out)
+	}
+}
+
+func TestProfileDensities(t *testing.T) {
+	b, bpe := fixture(t)
+	p := Profile(b, 50, core.Medium, bpe)
+	if p.Density["title"] != 1.0 {
+		t.Fatalf("title density = %v, want 1.0", p.Density["title"])
+	}
+	// Description ~75%, brand ~35%, price ~93% with generous tolerance at
+	// tiny scale.
+	within := func(attr string, want, tol float64) {
+		if got := p.Density[attr]; got < want-tol || got > want+tol {
+			t.Errorf("%s density = %.2f, want %.2f±%.2f", attr, got, want, tol)
+		}
+	}
+	within("description", 0.76, 0.12)
+	within("brand", 0.35, 0.12)
+	within("price", 0.93, 0.08)
+	within("priceCurrency", 0.90, 0.10)
+	if p.Median["title"] < 5 || p.Median["title"] > 11 {
+		t.Errorf("title median = %d, want ~8", p.Median["title"])
+	}
+	if p.Median["description"] < 15 {
+		t.Errorf("description median = %d, want long-text attribute", p.Median["description"])
+	}
+	if p.Words == 0 || p.Tokens == 0 {
+		t.Errorf("vocabulary empty: words=%d tokens=%d", p.Words, p.Tokens)
+	}
+	if p.Tokens > bpe.VocabSize() {
+		t.Errorf("covered tokens %d exceed vocab %d", p.Tokens, bpe.VocabSize())
+	}
+}
+
+func TestLargerDevLargerVocab(t *testing.T) {
+	b, bpe := fixture(t)
+	small := Profile(b, 50, core.Small, bpe)
+	large := Profile(b, 50, core.Large, bpe)
+	if large.Words < small.Words {
+		t.Fatalf("large dev vocabulary (%d) smaller than small (%d)", large.Words, small.Words)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	b, bpe := fixture(t)
+	out := Table2(b, bpe).String()
+	if !strings.Contains(out, "100/") {
+		t.Fatalf("Table 2 missing title density:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 12 { // title+header+sep+9 rows
+		t.Fatalf("Table 2 row count wrong:\n%s", out)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	b, _ := fixture(t)
+	tab := Figure3(b, 80)
+	if len(tab.Rows) < 2 {
+		t.Fatalf("Figure 3 rows = %d", len(tab.Rows))
+	}
+	out := tab.String()
+	if !strings.Contains(out, "unseen(2)") {
+		t.Fatalf("Figure 3 missing unseen row:\n%s", out)
+	}
+	// Every seen product contributes exactly 2 val and 2 test offers, so
+	// per bucket val == test == 2*products.
+	for _, row := range tab.Rows {
+		if row[0] == "unseen(2)" {
+			continue
+		}
+		products := atoiMust(t, row[1])
+		if atoiMust(t, row[3]) != 2*products || atoiMust(t, row[4]) != 2*products {
+			t.Fatalf("Figure 3 split counts inconsistent: %v", row)
+		}
+	}
+}
+
+func atoiMust(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+func TestComputeWDCRow(t *testing.T) {
+	b, _ := fixture(t)
+	row := ComputeWDCRow(b)
+	if row.Entities == 0 || row.Records == 0 {
+		t.Fatalf("row empty: %+v", row)
+	}
+	if row.Matches == 0 || row.NonMatches == 0 {
+		t.Fatalf("pair counts empty: %+v", row)
+	}
+	if row.NonMatches <= row.Matches {
+		t.Fatalf("negatives should outnumber positives: %+v", row)
+	}
+	if row.AvgDensity < 0.5 || row.AvgDensity > 1 {
+		t.Fatalf("avg density = %v", row.AvgDensity)
+	}
+	if row.MatchesPerEntity <= 1 {
+		t.Fatalf("matches/entity = %v, want > 1 (multi-offer clusters)", row.MatchesPerEntity)
+	}
+	if row.Attributes != 5 {
+		t.Fatalf("attributes = %d", row.Attributes)
+	}
+}
+
+func TestTable6IncludesBothWDCRows(t *testing.T) {
+	b, _ := fixture(t)
+	out := Table6(b).String()
+	if !strings.Contains(out, "WDC Products (paper)") || !strings.Contains(out, "WDC Products (this repo)") {
+		t.Fatalf("Table 6 missing WDC rows:\n%s", out)
+	}
+	if !strings.Contains(out, "Abt-Buy") {
+		t.Fatalf("Table 6 missing literature rows")
+	}
+}

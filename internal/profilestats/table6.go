@@ -1,0 +1,139 @@
+package profilestats
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/tables"
+)
+
+// BenchmarkRow is one row of the Table 6 benchmark-landscape comparison.
+type BenchmarkRow struct {
+	Name             string
+	Domain           string
+	Sources          int
+	Entities         int
+	Records          int
+	Attributes       int
+	AvgDensity       float64
+	Matches          int
+	NonMatches       int
+	MatchesPerEntity float64
+	FixedSplits      bool
+}
+
+// literatureRows are the reference benchmarks of Table 6 (values
+// transcribed from the paper; non-matches are 0 where the paper reports
+// none).
+var literatureRows = []BenchmarkRow{
+	{"Abt-Buy", "Product", 2, 1012, 2173, 3, 0.63, 1095, 0, 1.08, true},
+	{"Amazon-Google", "Product", 2, 995, 4589, 4, 0.75, 1298, 0, 1.30, true},
+	{"DBLP-ACM", "Bibliogr.", 2, 2220, 4908, 4, 1.00, 2223, 0, 1.00, true},
+	{"DBLP-Scholar", "Bibliogr.", 2, 2351, 66879, 4, 0.81, 5346, 0, 2.27, true},
+	{"Walmart-Amazon", "Product", 2, 846, 24628, 10, 0.84, 1154, 0, 1.36, true},
+	{"Company", "Company", 2, 28200, 56400, 1, 1.00, 28200, 84432, 1.00, true},
+	{"Alaska Camera", "Product", 24, 103, 3865, 56, 0.13, 157157, 0, 1525.80, false},
+	{"Alaska Monitor", "Product", 26, 242, 2283, 87, 0.17, 13556, 0, 56.02, false},
+	{"Ember", "Product", 1, 350, 6245, 5, 1.00, 5053, 206296, 14.44, true},
+	{"LSPM Computers", "Product", 269, 745, 3665, 4, 0.51, 7478, 59571, 10.04, true},
+	{"WDC Products (paper)", "Product", 3259, 2162, 11715, 5, 0.79, 28299, 124899, 13.09, true},
+}
+
+// ComputeWDCRow profiles the generated benchmark into its Table 6 row.
+func ComputeWDCRow(b *core.Benchmark) BenchmarkRow {
+	offerSet := map[int]bool{}
+	entitySet := map[int]bool{}
+	pairSet := map[[2]int]bool{}
+	matches, nonMatches := 0, 0
+	countPairs := func(pairs []core.Pair) {
+		for _, p := range pairs {
+			key := [2]int{p.A, p.B}
+			if pairSet[key] {
+				continue
+			}
+			pairSet[key] = true
+			if p.Match {
+				matches++
+			} else {
+				nonMatches++
+			}
+		}
+	}
+	for _, cc := range core.CornerRatios() {
+		rd, ok := b.Ratios[cc]
+		if !ok {
+			continue
+		}
+		for _, ci := range rd.Classes {
+			entitySet[ci.Slot] = true
+			for _, set := range [][]int{ci.Train, ci.Val, ci.Test} {
+				for _, o := range set {
+					offerSet[o] = true
+				}
+			}
+		}
+		for _, un := range core.UnseenFractions() {
+			for _, tp := range rd.TestProducts[un] {
+				entitySet[tp.Slot] = true
+				for _, o := range tp.Offers {
+					offerSet[o] = true
+				}
+			}
+			countPairs(rd.Test[un])
+		}
+		for _, dev := range core.DevSizes() {
+			countPairs(rd.Train[dev])
+			countPairs(rd.Val[dev])
+		}
+	}
+	// Source shops and attribute density over the referenced offers.
+	shops := map[int]bool{}
+	density := 0.0
+	for o := range offerSet {
+		off := b.Offer(o)
+		shops[off.ShopID] = true
+		nonEmpty := 0
+		for _, attr := range attributes {
+			if attrValue(off, attr) != "" {
+				nonEmpty++
+			}
+		}
+		density += float64(nonEmpty) / float64(len(attributes))
+	}
+	if len(offerSet) > 0 {
+		density /= float64(len(offerSet))
+	}
+	row := BenchmarkRow{
+		Name:        "WDC Products (this repo)",
+		Domain:      "Product",
+		Sources:     len(shops),
+		Entities:    len(entitySet),
+		Records:     len(offerSet),
+		Attributes:  len(attributes),
+		AvgDensity:  density,
+		Matches:     matches,
+		NonMatches:  nonMatches,
+		FixedSplits: true,
+	}
+	if row.Entities > 0 {
+		row.MatchesPerEntity = float64(row.Matches) / float64(row.Entities)
+	}
+	return row
+}
+
+// Table6 renders the landscape comparison with the generated benchmark's
+// own row appended.
+func Table6(b *core.Benchmark) *tables.Table {
+	t := tables.New("Table 6: comparison of WDC Products to existing entity matching benchmarks",
+		"Benchmark", "Domain", "#Sources", "#Entities", "#Records", "#Attr",
+		"AvgDensity", "#Matches", "#NonMatches", "Matches/Entity", "FixedSplits")
+	rows := append([]BenchmarkRow{}, literatureRows...)
+	rows = append(rows, ComputeWDCRow(b))
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Domain, fmt.Sprint(r.Sources), fmt.Sprint(r.Entities),
+			fmt.Sprint(r.Records), fmt.Sprint(r.Attributes), fmt.Sprintf("%.2f", r.AvgDensity),
+			fmt.Sprint(r.Matches), fmt.Sprint(r.NonMatches), fmt.Sprintf("%.2f", r.MatchesPerEntity),
+			fmt.Sprint(r.FixedSplits))
+	}
+	return t
+}

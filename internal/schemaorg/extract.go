@@ -1,0 +1,182 @@
+package schemaorg
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// ExtractPage parses all schema.org Product annotations from an HTML page,
+// both JSON-LD script blocks and microdata markup. IDs and cluster ids are
+// left zero; the caller assigns them during corpus assembly.
+func ExtractPage(p Page) []Offer {
+	var offers []Offer
+	offers = append(offers, extractJSONLD(p.HTML)...)
+	offers = append(offers, extractMicrodata(p.HTML)...)
+	for i := range offers {
+		offers[i].ShopID = p.Shop
+	}
+	return offers
+}
+
+// IsListingPage reports whether a page carries more than one annotated
+// product — the extraction pipeline drops such pages (§3.1: "removing
+// offers from listing pages as well as advertisements that are contained in
+// a page in addition to the main offer").
+func IsListingPage(p Page) bool {
+	return len(ExtractPage(p)) > 1
+}
+
+// --- JSON-LD extraction --------------------------------------------------
+
+func extractJSONLD(html string) []Offer {
+	var offers []Offer
+	rest := html
+	for {
+		start := strings.Index(rest, "<script type=\"application/ld+json\">")
+		if start < 0 {
+			break
+		}
+		rest = rest[start+len("<script type=\"application/ld+json\">"):]
+		end := strings.Index(rest, "</script>")
+		if end < 0 {
+			break
+		}
+		payload := rest[:end]
+		rest = rest[end:]
+		var p jsonLDProduct
+		if err := json.Unmarshal([]byte(payload), &p); err != nil {
+			continue // malformed block: skip, as a crawler would
+		}
+		if p.Type != "Product" || p.Name == "" {
+			continue
+		}
+		o := Offer{
+			Title:       p.Name,
+			Description: p.Description,
+			GTIN:        p.GTIN13,
+			MPN:         p.MPN,
+			SKU:         p.SKU,
+		}
+		if p.Brand != nil {
+			o.Brand = p.Brand.Name
+		}
+		if p.Offers != nil {
+			o.Price = p.Offers.Price
+			o.PriceCurrency = p.Offers.PriceCurrency
+		}
+		offers = append(offers, o)
+	}
+	return offers
+}
+
+// --- Microdata extraction --------------------------------------------------
+
+// extractMicrodata scans for itemscope blocks of type schema.org/Product and
+// collects itemprop values. It is a purpose-built scanner, not a general
+// HTML5 microdata processor: it handles the markup shapes e-shops emit for
+// products (property on a tag with a content attribute, or as tag text).
+func extractMicrodata(html string) []Offer {
+	var offers []Offer
+	rest := html
+	for {
+		idx := strings.Index(rest, "itemtype=\"https://schema.org/Product\"")
+		if idx < 0 {
+			break
+		}
+		rest = rest[idx+len("itemtype=\"https://schema.org/Product\""):]
+		// The product scope ends at the next Product itemtype or EOF.
+		scopeEnd := strings.Index(rest, "itemtype=\"https://schema.org/Product\"")
+		scope := rest
+		if scopeEnd >= 0 {
+			scope = rest[:scopeEnd]
+		}
+		o := parseProductScope(scope)
+		if o.Title != "" {
+			offers = append(offers, o)
+		}
+		if scopeEnd < 0 {
+			break
+		}
+		rest = rest[scopeEnd:]
+	}
+	return offers
+}
+
+func parseProductScope(scope string) Offer {
+	var o Offer
+	set := func(prop, val string) {
+		val = strings.TrimSpace(unescapeHTML(val))
+		switch prop {
+		case "name":
+			if o.Title == "" {
+				o.Title = val
+			}
+		case "description":
+			if o.Description == "" {
+				o.Description = val
+			}
+		case "brand":
+			if o.Brand == "" {
+				o.Brand = val
+			}
+		case "gtin13", "gtin":
+			if o.GTIN == "" {
+				o.GTIN = val
+			}
+		case "mpn":
+			if o.MPN == "" {
+				o.MPN = val
+			}
+		case "sku":
+			if o.SKU == "" {
+				o.SKU = val
+			}
+		case "price":
+			if o.Price == "" {
+				o.Price = val
+			}
+		case "priceCurrency":
+			if o.PriceCurrency == "" {
+				o.PriceCurrency = val
+			}
+		}
+	}
+	rest := scope
+	for {
+		idx := strings.Index(rest, "itemprop=\"")
+		if idx < 0 {
+			break
+		}
+		rest = rest[idx+len("itemprop=\""):]
+		q := strings.IndexByte(rest, '"')
+		if q < 0 {
+			break
+		}
+		prop := rest[:q]
+		rest = rest[q+1:]
+		// Find the end of the current tag.
+		tagEnd := strings.IndexByte(rest, '>')
+		if tagEnd < 0 {
+			break
+		}
+		tag := rest[:tagEnd]
+		if cIdx := strings.Index(tag, "content=\""); cIdx >= 0 {
+			val := tag[cIdx+len("content=\""):]
+			if qe := strings.IndexByte(val, '"'); qe >= 0 {
+				set(prop, val[:qe])
+			}
+			rest = rest[tagEnd+1:]
+			continue
+		}
+		// Value is the tag's text content up to the next '<'.
+		body := rest[tagEnd+1:]
+		lt := strings.IndexByte(body, '<')
+		if lt < 0 {
+			set(prop, body)
+			break
+		}
+		set(prop, body[:lt])
+		rest = body[lt:]
+	}
+	return o
+}

@@ -1,0 +1,122 @@
+package schemaorg
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// jsonLDProduct is the JSON-LD wire format of a schema.org Product.
+type jsonLDProduct struct {
+	Context     string       `json:"@context"`
+	Type        string       `json:"@type"`
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Brand       *jsonLDBrand `json:"brand,omitempty"`
+	GTIN13      string       `json:"gtin13,omitempty"`
+	MPN         string       `json:"mpn,omitempty"`
+	SKU         string       `json:"sku,omitempty"`
+	Offers      *jsonLDOffer `json:"offers,omitempty"`
+}
+
+type jsonLDBrand struct {
+	Type string `json:"@type"`
+	Name string `json:"name"`
+}
+
+type jsonLDOffer struct {
+	Type          string `json:"@type"`
+	Price         string `json:"price,omitempty"`
+	PriceCurrency string `json:"priceCurrency,omitempty"`
+}
+
+// RenderPage produces an HTML page advertising the given offers in the
+// requested annotation format. Real pages carry one main offer; listing
+// pages and pages with embedded advertisement offers carry several — the
+// extraction cleansing step (§3.1) filters those.
+func RenderPage(url string, shop int, format AnnotationFormat, offers ...Offer) Page {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	if len(offers) > 0 {
+		b.WriteString(escapeHTML(offers[0].Title))
+	}
+	b.WriteString("</title></head>\n<body>\n")
+	for i := range offers {
+		switch format {
+		case FormatJSONLD:
+			renderJSONLD(&b, &offers[i])
+		default:
+			renderMicrodata(&b, &offers[i])
+		}
+	}
+	b.WriteString("<footer>© shop</footer>\n</body></html>\n")
+	return Page{URL: url, Shop: shop, HTML: b.String()}
+}
+
+func renderJSONLD(b *strings.Builder, o *Offer) {
+	p := jsonLDProduct{
+		Context:     "https://schema.org/",
+		Type:        "Product",
+		Name:        o.Title,
+		Description: o.Description,
+		GTIN13:      o.GTIN,
+		MPN:         o.MPN,
+		SKU:         o.SKU,
+	}
+	if o.Brand != "" {
+		p.Brand = &jsonLDBrand{Type: "Brand", Name: o.Brand}
+	}
+	if o.Price != "" || o.PriceCurrency != "" {
+		p.Offers = &jsonLDOffer{Type: "Offer", Price: o.Price, PriceCurrency: o.PriceCurrency}
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		// Offers contain only plain strings; marshal cannot fail. Guard
+		// anyway so a future field type change surfaces loudly in tests.
+		panic(fmt.Sprintf("schemaorg: render marshal: %v", err))
+	}
+	b.WriteString("<script type=\"application/ld+json\">")
+	b.Write(raw)
+	b.WriteString("</script>\n")
+}
+
+func renderMicrodata(b *strings.Builder, o *Offer) {
+	b.WriteString("<div itemscope itemtype=\"https://schema.org/Product\">\n")
+	fmt.Fprintf(b, "  <h1 itemprop=\"name\">%s</h1>\n", escapeHTML(o.Title))
+	if o.Description != "" {
+		fmt.Fprintf(b, "  <p itemprop=\"description\">%s</p>\n", escapeHTML(o.Description))
+	}
+	if o.Brand != "" {
+		fmt.Fprintf(b, "  <span itemprop=\"brand\">%s</span>\n", escapeHTML(o.Brand))
+	}
+	if o.GTIN != "" {
+		fmt.Fprintf(b, "  <meta itemprop=\"gtin13\" content=\"%s\"/>\n", escapeHTML(o.GTIN))
+	}
+	if o.MPN != "" {
+		fmt.Fprintf(b, "  <meta itemprop=\"mpn\" content=\"%s\"/>\n", escapeHTML(o.MPN))
+	}
+	if o.SKU != "" {
+		fmt.Fprintf(b, "  <meta itemprop=\"sku\" content=\"%s\"/>\n", escapeHTML(o.SKU))
+	}
+	if o.Price != "" || o.PriceCurrency != "" {
+		b.WriteString("  <div itemprop=\"offers\" itemscope itemtype=\"https://schema.org/Offer\">\n")
+		if o.Price != "" {
+			fmt.Fprintf(b, "    <meta itemprop=\"price\" content=\"%s\"/>\n", escapeHTML(o.Price))
+		}
+		if o.PriceCurrency != "" {
+			fmt.Fprintf(b, "    <meta itemprop=\"priceCurrency\" content=\"%s\"/>\n", escapeHTML(o.PriceCurrency))
+		}
+		b.WriteString("  </div>\n")
+	}
+	b.WriteString("</div>\n")
+}
+
+func escapeHTML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "\"", "&quot;")
+	return r.Replace(s)
+}
+
+func unescapeHTML(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", "\"", "&#39;", "'")
+	return r.Replace(s)
+}

@@ -1,0 +1,85 @@
+// Package schemaorg defines the product-offer data model of the benchmark
+// and implements extraction of schema.org-annotated offers from HTML pages.
+//
+// It substitutes for the Web Data Commons extraction framework that produced
+// the PDC2020 corpus from the Common Crawl (§3.1): e-shops in the synthetic
+// corpus mark up offers with schema.org JSON-LD or microdata, and this
+// package extracts them back into structured offers, including the product
+// identifiers (GTIN/MPN/SKU) that later group offers into clusters.
+package schemaorg
+
+// Offer is one product offer as observed on the Web. Every attribute except
+// ID and ClusterID corresponds to a schema.org property; the five
+// text/price attributes (title, description, brand, price, priceCurrency)
+// are exactly the attributes of the WDC Products benchmark (Table 2).
+type Offer struct {
+	// ID is a corpus-unique offer identifier assigned at extraction time.
+	ID int64 `json:"id"`
+	// ClusterID groups offers for the same real-world product; it is
+	// assigned by identifier-based grouping after extraction and is the
+	// ground-truth label of the benchmark.
+	ClusterID int64 `json:"cluster_id"`
+
+	Title         string `json:"title"`
+	Description   string `json:"description,omitempty"`
+	Brand         string `json:"brand,omitempty"`
+	Price         string `json:"price,omitempty"`
+	PriceCurrency string `json:"priceCurrency,omitempty"`
+
+	// Product identifiers used for cluster grouping (§3.1).
+	GTIN string `json:"gtin,omitempty"`
+	MPN  string `json:"mpn,omitempty"`
+	SKU  string `json:"sku,omitempty"`
+
+	// ShopID identifies the source e-shop (the benchmark spans 3,259
+	// shops; the synthetic corpus spans a configurable number).
+	ShopID int `json:"shop_id"`
+}
+
+// IdentifierKey returns the strongest available product identifier for
+// cluster grouping, preferring GTIN over MPN over SKU, or "" when the offer
+// carries no identifier (such offers cannot be clustered and are dropped,
+// as in PDC2020).
+func (o *Offer) IdentifierKey() string {
+	switch {
+	case o.GTIN != "":
+		return "gtin:" + o.GTIN
+	case o.MPN != "":
+		return "mpn:" + o.MPN
+	case o.SKU != "":
+		return "sku:" + o.SKU
+	default:
+		return ""
+	}
+}
+
+// CombinedText returns title and description joined, the input to language
+// identification in the cleansing step (§3.2).
+func (o *Offer) CombinedText() string {
+	if o.Description == "" {
+		return o.Title
+	}
+	return o.Title + " " + o.Description
+}
+
+// DedupeKey returns the concatenation of title, description and brand used
+// by the §3.2 deduplication step.
+func (o *Offer) DedupeKey() string {
+	return o.Title + "\x1f" + o.Description + "\x1f" + o.Brand
+}
+
+// Page is one crawled HTML page from a shop.
+type Page struct {
+	URL  string
+	Shop int
+	HTML string
+}
+
+// AnnotationFormat selects how a shop marks up its offers.
+type AnnotationFormat int
+
+// The two markup formats found in the wild and emitted by the generator.
+const (
+	FormatJSONLD AnnotationFormat = iota
+	FormatMicrodata
+)

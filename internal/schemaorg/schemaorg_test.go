@@ -1,0 +1,198 @@
+package schemaorg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOffer() Offer {
+	return Offer{
+		Title:         "Seagate BarraCuda 2TB Internal Hard Drive",
+		Description:   "Reliable 3.5 inch SATA drive with 7200 RPM & 256MB cache",
+		Brand:         "Seagate",
+		Price:         "54.99",
+		PriceCurrency: "USD",
+		GTIN:          "0763649123456",
+		MPN:           "ST2000DM008",
+		SKU:           "SHOP-8841",
+	}
+}
+
+func TestRoundTripJSONLD(t *testing.T) {
+	want := sampleOffer()
+	page := RenderPage("https://shop1.example/p/1", 1, FormatJSONLD, want)
+	got := ExtractPage(page)
+	if len(got) != 1 {
+		t.Fatalf("extracted %d offers, want 1", len(got))
+	}
+	checkOfferEqual(t, got[0], want, 1)
+}
+
+func TestRoundTripMicrodata(t *testing.T) {
+	want := sampleOffer()
+	page := RenderPage("https://shop2.example/p/1", 2, FormatMicrodata, want)
+	got := ExtractPage(page)
+	if len(got) != 1 {
+		t.Fatalf("extracted %d offers, want 1", len(got))
+	}
+	checkOfferEqual(t, got[0], want, 2)
+}
+
+func checkOfferEqual(t *testing.T, got, want Offer, shop int) {
+	t.Helper()
+	if got.Title != want.Title {
+		t.Errorf("Title = %q, want %q", got.Title, want.Title)
+	}
+	if got.Description != want.Description {
+		t.Errorf("Description = %q, want %q", got.Description, want.Description)
+	}
+	if got.Brand != want.Brand {
+		t.Errorf("Brand = %q, want %q", got.Brand, want.Brand)
+	}
+	if got.Price != want.Price || got.PriceCurrency != want.PriceCurrency {
+		t.Errorf("Price = %q %q, want %q %q", got.Price, got.PriceCurrency, want.Price, want.PriceCurrency)
+	}
+	if got.GTIN != want.GTIN || got.MPN != want.MPN || got.SKU != want.SKU {
+		t.Errorf("identifiers = %q %q %q, want %q %q %q",
+			got.GTIN, got.MPN, got.SKU, want.GTIN, want.MPN, want.SKU)
+	}
+	if got.ShopID != shop {
+		t.Errorf("ShopID = %d, want %d", got.ShopID, shop)
+	}
+}
+
+func TestSparseOfferRoundTrip(t *testing.T) {
+	// Only title + SKU: optional fields must stay empty through the cycle.
+	want := Offer{Title: "Minimal offer title here", SKU: "X1"}
+	for _, f := range []AnnotationFormat{FormatJSONLD, FormatMicrodata} {
+		got := ExtractPage(RenderPage("u", 0, f, want))
+		if len(got) != 1 {
+			t.Fatalf("format %v: extracted %d offers", f, len(got))
+		}
+		if got[0].Description != "" || got[0].Brand != "" || got[0].Price != "" {
+			t.Errorf("format %v: optional fields leaked: %+v", f, got[0])
+		}
+		if got[0].SKU != "X1" {
+			t.Errorf("format %v: SKU lost", f)
+		}
+	}
+}
+
+func TestSpecialCharacters(t *testing.T) {
+	want := sampleOffer()
+	want.Title = `Drive "Pro" <2TB> & more`
+	for _, f := range []AnnotationFormat{FormatJSONLD, FormatMicrodata} {
+		got := ExtractPage(RenderPage("u", 0, f, want))
+		if len(got) != 1 || got[0].Title != want.Title {
+			t.Errorf("format %v: title with special chars mangled: %+v", f, got)
+		}
+	}
+}
+
+func TestListingPageDetection(t *testing.T) {
+	a, b := sampleOffer(), sampleOffer()
+	b.Title = "Different product entirely"
+	single := RenderPage("u", 0, FormatJSONLD, a)
+	listing := RenderPage("u", 0, FormatJSONLD, a, b)
+	if IsListingPage(single) {
+		t.Error("single-offer page flagged as listing")
+	}
+	if !IsListingPage(listing) {
+		t.Error("two-offer page not flagged as listing")
+	}
+	listingMD := RenderPage("u", 0, FormatMicrodata, a, b)
+	if !IsListingPage(listingMD) {
+		t.Error("two-offer microdata page not flagged as listing")
+	}
+}
+
+func TestMalformedJSONLDSkipped(t *testing.T) {
+	html := `<script type="application/ld+json">{not json at all</script>`
+	if got := extractJSONLD(html); len(got) != 0 {
+		t.Fatalf("malformed block extracted: %v", got)
+	}
+	// Non-product types are skipped too.
+	html = `<script type="application/ld+json">{"@type":"Organization","name":"x"}</script>`
+	if got := extractJSONLD(html); len(got) != 0 {
+		t.Fatalf("non-product extracted: %v", got)
+	}
+}
+
+func TestForeignMicrodataIgnored(t *testing.T) {
+	html := `<div itemscope itemtype="https://schema.org/Recipe">
+		<span itemprop="name">Apple pie</span></div>`
+	if got := extractMicrodata(html); len(got) != 0 {
+		t.Fatalf("non-product microdata extracted: %v", got)
+	}
+}
+
+func TestIdentifierKeyPreference(t *testing.T) {
+	o := Offer{GTIN: "g", MPN: "m", SKU: "s"}
+	if o.IdentifierKey() != "gtin:g" {
+		t.Error("GTIN should win")
+	}
+	o.GTIN = ""
+	if o.IdentifierKey() != "mpn:m" {
+		t.Error("MPN should be second")
+	}
+	o.MPN = ""
+	if o.IdentifierKey() != "sku:s" {
+		t.Error("SKU should be third")
+	}
+	o.SKU = ""
+	if o.IdentifierKey() != "" {
+		t.Error("no identifier should yield empty key")
+	}
+}
+
+func TestCombinedTextAndDedupeKey(t *testing.T) {
+	o := Offer{Title: "t", Description: "d", Brand: "b"}
+	if o.CombinedText() != "t d" {
+		t.Errorf("CombinedText = %q", o.CombinedText())
+	}
+	o.Description = ""
+	if o.CombinedText() != "t" {
+		t.Errorf("CombinedText no-desc = %q", o.CombinedText())
+	}
+	a := Offer{Title: "x", Description: "", Brand: "yz"}
+	b := Offer{Title: "x", Description: "y", Brand: "z"}
+	if a.DedupeKey() == b.DedupeKey() {
+		t.Error("DedupeKey collides across field boundaries")
+	}
+}
+
+// Property: render→extract round trips arbitrary printable titles in both
+// formats.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(title, desc string) bool {
+		title = sanitize(title)
+		if title == "" {
+			title = "fallback title"
+		}
+		want := Offer{Title: title, Description: sanitize(desc), SKU: "k"}
+		for _, format := range []AnnotationFormat{FormatJSONLD, FormatMicrodata} {
+			got := ExtractPage(RenderPage("u", 3, format, want))
+			if len(got) != 1 || got[0].Title != want.Title || got[0].Description != want.Description {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize restricts fuzz input to the character set real offer text uses:
+// printable runes with whitespace collapsed (titles never contain raw
+// control characters or newlines after crawling).
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 0x20 && r != 0x7f && r < 0xD800 {
+			b.WriteRune(r)
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}

@@ -1,0 +1,192 @@
+// Package selection implements §3.4: picking the sets of products that
+// materialize the corner-case dimension. For a corner-case ratio r and a
+// set size N, r*N products are chosen so that each has at least
+// SimilarPerSeed textually similar but distinct products in the set
+// (negative corner-cases); the remaining (1-r)*N products are chosen at
+// random. The search alternates among the registry's similarity metrics to
+// avoid biasing the benchmark toward any single metric.
+package selection
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wdcproducts/internal/grouping"
+	"wdcproducts/internal/simlib"
+)
+
+// Config parameterizes one product-set selection.
+type Config struct {
+	// Count is the number of products to select (500 at paper scale).
+	Count int
+	// CornerRatio is the fraction of corner-case products (0.8/0.5/0.2).
+	CornerRatio float64
+	// SimilarPerSeed is how many similar products accompany each seed
+	// (4 in the paper, so corner products come in sets of 5).
+	SimilarPerSeed int
+}
+
+// SelectedProduct is one chosen product cluster.
+type SelectedProduct struct {
+	// Slot indexes grouping.Grouping.Clusters.
+	Slot int
+	// Corner marks products selected through similarity search.
+	Corner bool
+	// CornerSet links a seed and its similar products (-1 for random
+	// picks); unseen replacement swaps whole sets to preserve the ratio.
+	CornerSet int
+}
+
+// Selection is a selected product set.
+type Selection struct {
+	Products []SelectedProduct
+	// CornerCount is the achieved number of corner products (equals
+	// round(Count*CornerRatio) except in degenerate small configurations).
+	CornerCount int
+}
+
+// CornerSets groups the selected corner products by their CornerSet id.
+func (s *Selection) CornerSets() map[int][]int {
+	out := map[int][]int{}
+	for i, p := range s.Products {
+		if p.Corner {
+			out[p.CornerSet] = append(out[p.CornerSet], i)
+		}
+	}
+	return out
+}
+
+// Slots returns the cluster slots of all selected products.
+func (s *Selection) Slots() []int {
+	out := make([]int, len(s.Products))
+	for i, p := range s.Products {
+		out[i] = p.Slot
+	}
+	return out
+}
+
+// Select picks cfg.Count products from the given pool (a map from DBSCAN
+// group label to eligible cluster slots, i.e. grouping.SeenGroups or
+// grouping.UnseenGroups). The exclude set prevents reuse of slots already
+// claimed by another selection (the seen and unseen sets of one ratio must
+// be disjoint).
+func Select(g *grouping.Grouping, pool map[int][]int, cfg Config, exclude map[int]bool,
+	reg *simlib.Registry, rng *rand.Rand) (*Selection, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("selection: non-positive count %d", cfg.Count)
+	}
+	if cfg.SimilarPerSeed <= 0 {
+		cfg.SimilarPerSeed = 4
+	}
+	cornerTarget := int(cfg.CornerRatio*float64(cfg.Count) + 0.5)
+
+	used := map[int]bool{}
+	for slot := range exclude {
+		used[slot] = true
+	}
+	available := func(label int) []int {
+		var out []int
+		for _, slot := range pool[label] {
+			if !used[slot] {
+				out = append(out, slot)
+			}
+		}
+		return out
+	}
+
+	labels := make([]int, 0, len(pool))
+	for label := range pool {
+		labels = append(labels, label)
+	}
+	sort.Ints(labels)
+	rng.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+
+	sel := &Selection{}
+	nextSet := 0
+	// Repeated passes over the groups: the paper's corpus has enough groups
+	// for a single pass; smaller corpora draw several seeds per group.
+	for sel.CornerCount < cornerTarget {
+		progressed := false
+		for _, label := range labels {
+			remaining := cornerTarget - sel.CornerCount
+			if remaining <= 0 {
+				break
+			}
+			if remaining == 1 {
+				// A lone corner product has no similar partner; the last
+				// slot is filled randomly instead (only reachable in tiny
+				// configurations whose corner count is not a multiple of
+				// SimilarPerSeed+1).
+				cornerTarget--
+				break
+			}
+			cands := available(label)
+			wantSimilar := cfg.SimilarPerSeed
+			if remaining-1 < wantSimilar {
+				wantSimilar = remaining - 1
+			}
+			if len(cands) < wantSimilar+1 {
+				continue
+			}
+			// Random seed cluster within the group.
+			seedSlot := cands[rng.Intn(len(cands))]
+			seedTitle := g.Clusters[seedSlot].RepTitle
+			members := []int{seedSlot}
+			used[seedSlot] = true
+			// Pick the most similar remaining candidates, drawing a fresh
+			// metric per pick to alternate between metrics (§3.4).
+			for k := 0; k < wantSimilar; k++ {
+				cands = available(label)
+				if len(cands) == 0 {
+					break
+				}
+				metric := reg.Draw()
+				best, bestScore := -1, -1.0
+				for _, slot := range cands {
+					s := metric.Sim(seedTitle, g.Clusters[slot].RepTitle)
+					if s > bestScore || (s == bestScore && slot < best) {
+						best, bestScore = slot, s
+					}
+				}
+				members = append(members, best)
+				used[best] = true
+			}
+			if len(members) < 2 {
+				// Could not find any similar partner; release the seed.
+				used[seedSlot] = false
+				continue
+			}
+			for _, slot := range members {
+				sel.Products = append(sel.Products, SelectedProduct{Slot: slot, Corner: true, CornerSet: nextSet})
+			}
+			sel.CornerCount += len(members)
+			nextSet++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	if sel.CornerCount < cornerTarget {
+		return nil, fmt.Errorf("selection: pool exhausted at %d/%d corner products (need more groups with >= %d eligible clusters)",
+			sel.CornerCount, cornerTarget, cfg.SimilarPerSeed+1)
+	}
+
+	// Random fill from all remaining eligible clusters.
+	var rest []int
+	for _, label := range labels {
+		rest = append(rest, available(label)...)
+	}
+	sort.Ints(rest)
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	need := cfg.Count - len(sel.Products)
+	if need > len(rest) {
+		return nil, fmt.Errorf("selection: pool exhausted at random fill: need %d more products, have %d", need, len(rest))
+	}
+	for _, slot := range rest[:need] {
+		used[slot] = true
+		sel.Products = append(sel.Products, SelectedProduct{Slot: slot, Corner: false, CornerSet: -1})
+	}
+	return sel, nil
+}

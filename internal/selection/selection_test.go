@@ -1,0 +1,218 @@
+package selection
+
+import (
+	"testing"
+
+	"wdcproducts/internal/cleanse"
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/grouping"
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+func setup(t *testing.T) (*grouping.Grouping, *simlib.Registry, *xrand.Source) {
+	t.Helper()
+	src := xrand.New(2024)
+	raw := corpus.Generate(corpus.TinyConfig(), src.Split("corpus"))
+	clean, _ := cleanse.Run(raw, cleanse.DefaultConfig(), langid.New())
+	g, err := grouping.Run(clean, grouping.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := simlib.NewRegistry(src.Stream("registry"), simlib.DefaultMetrics()...)
+	return g, reg, src
+}
+
+func TestSelectBasic(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 40, CornerRatio: 0.8, SimilarPerSeed: 4}
+	sel, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Products) != 40 {
+		t.Fatalf("selected %d products, want 40", len(sel.Products))
+	}
+	if sel.CornerCount != 32 {
+		t.Fatalf("corner count = %d, want 32", sel.CornerCount)
+	}
+	// No duplicate slots.
+	seen := map[int]bool{}
+	for _, p := range sel.Products {
+		if seen[p.Slot] {
+			t.Fatalf("slot %d selected twice", p.Slot)
+		}
+		seen[p.Slot] = true
+	}
+}
+
+func TestCornerSetsStructure(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 40, CornerRatio: 0.5, SimilarPerSeed: 4}
+	sel, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := sel.CornerSets()
+	total := 0
+	for id, members := range sets {
+		if len(members) < 2 {
+			t.Fatalf("corner set %d has %d members; corner products need partners", id, len(members))
+		}
+		if len(members) > cfg.SimilarPerSeed+1 {
+			t.Fatalf("corner set %d has %d members", id, len(members))
+		}
+		// Members of a set come from the same DBSCAN group.
+		group := g.Clusters[sel.Products[members[0]].Slot].Group
+		for _, m := range members[1:] {
+			if g.Clusters[sel.Products[m].Slot].Group != group {
+				t.Fatalf("corner set %d spans groups", id)
+			}
+		}
+		total += len(members)
+	}
+	if total != sel.CornerCount {
+		t.Fatalf("corner sets total %d != CornerCount %d", total, sel.CornerCount)
+	}
+	// Random products have CornerSet -1.
+	for _, p := range sel.Products {
+		if !p.Corner && p.CornerSet != -1 {
+			t.Fatalf("random product has corner set %d", p.CornerSet)
+		}
+	}
+}
+
+func TestCornerProductsAreSimilar(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 30, CornerRatio: 0.8, SimilarPerSeed: 4}
+	sel, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average similarity within corner sets must exceed similarity between
+	// random cross-set picks — otherwise the "corner" label is meaningless.
+	metric := simlib.MetricJaccard()
+	var inSet, inN float64
+	sets := sel.CornerSets()
+	for _, members := range sets {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a := g.Clusters[sel.Products[members[i]].Slot].RepTitle
+				b := g.Clusters[sel.Products[members[j]].Slot].RepTitle
+				inSet += metric.Sim(a, b)
+				inN++
+			}
+		}
+	}
+	var cross, crossN float64
+	for i := 0; i < len(sel.Products); i += 3 {
+		for j := i + 1; j < len(sel.Products); j += 3 {
+			if sel.Products[i].CornerSet == sel.Products[j].CornerSet && sel.Products[i].Corner {
+				continue
+			}
+			a := g.Clusters[sel.Products[i].Slot].RepTitle
+			b := g.Clusters[sel.Products[j].Slot].RepTitle
+			cross += metric.Sim(a, b)
+			crossN++
+		}
+	}
+	if inN == 0 || crossN == 0 {
+		t.Fatal("no pairs compared")
+	}
+	if inSet/inN <= cross/crossN {
+		t.Fatalf("corner sets not more similar: within=%.3f cross=%.3f", inSet/inN, cross/crossN)
+	}
+}
+
+func TestExcludeRespected(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 25, CornerRatio: 0.5, SimilarPerSeed: 4}
+	first, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclude := map[int]bool{}
+	for _, p := range first.Products {
+		exclude[p.Slot] = true
+	}
+	second, err := Select(g, g.SeenGroups, cfg, exclude, reg, src.Stream("sel-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range second.Products {
+		if exclude[p.Slot] {
+			t.Fatalf("excluded slot %d reselected", p.Slot)
+		}
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 100000, CornerRatio: 0.8, SimilarPerSeed: 4}
+	if _, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel")); err == nil {
+		t.Fatal("oversized selection should fail")
+	}
+}
+
+func TestInvalidCount(t *testing.T) {
+	g, reg, src := setup(t)
+	if _, err := Select(g, g.SeenGroups, Config{Count: 0}, nil, reg, src.Stream("sel")); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestLowRatioMostlyRandom(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 40, CornerRatio: 0.2, SimilarPerSeed: 4}
+	sel, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.CornerCount != 8 {
+		t.Fatalf("corner count = %d, want 8", sel.CornerCount)
+	}
+	random := 0
+	for _, p := range sel.Products {
+		if !p.Corner {
+			random++
+		}
+	}
+	if random != 32 {
+		t.Fatalf("random count = %d, want 32", random)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		g, reg, src := setup(t)
+		cfg := Config{Count: 30, CornerRatio: 0.5, SimilarPerSeed: 4}
+		sel, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel.Slots()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnseenPoolSelection(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 40, CornerRatio: 0.8, SimilarPerSeed: 4}
+	sel, err := Select(g, g.UnseenGroups, cfg, nil, reg, src.Stream("sel-unseen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := grouping.DefaultConfig()
+	for _, p := range sel.Products {
+		n := g.Clusters[p.Slot].Size()
+		if n < gcfg.UnseenMinOffers || n > gcfg.UnseenMaxOffers {
+			t.Fatalf("unseen product with %d offers selected", n)
+		}
+	}
+}

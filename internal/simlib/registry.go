@@ -1,0 +1,102 @@
+package simlib
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Registry holds the set of similarity metrics among which the pipeline
+// randomly alternates when searching for corner-cases (§3.4). The paper uses
+// Cosine, Dice and Generalized Jaccard from py_stringmatching plus a
+// fastText embedding metric; the embedding metric is injected by the caller
+// (internal/embed provides it) to keep this package dependency-free.
+type Registry struct {
+	metrics []Metric
+	rng     *rand.Rand
+	// drawCounts records how often each metric was drawn, for manifests and
+	// the single-metric ablation report.
+	drawCounts map[string]int
+}
+
+// NewRegistry builds a registry over the given metrics. The rng drives the
+// alternation; callers pass a dedicated named stream so selection is
+// reproducible.
+func NewRegistry(rng *rand.Rand, metrics ...Metric) *Registry {
+	if len(metrics) == 0 {
+		panic("simlib: registry needs at least one metric")
+	}
+	return &Registry{metrics: metrics, rng: rng, drawCounts: make(map[string]int)}
+}
+
+// DefaultMetrics returns the three symbolic metrics of §3.4. The embedding
+// metric is appended by the pipeline once the embedding model is trained.
+func DefaultMetrics() []Metric {
+	return []Metric{MetricCosine(), MetricDice(), MetricGeneralizedJaccard()}
+}
+
+// Draw returns a uniformly random metric from the registry.
+func (r *Registry) Draw() Metric {
+	m := r.metrics[r.rng.Intn(len(r.metrics))]
+	r.drawCounts[m.Name()]++
+	return m
+}
+
+// Metrics returns the registered metrics in registration order.
+func (r *Registry) Metrics() []Metric { return r.metrics }
+
+// DrawCounts returns a copy of the per-metric draw counters.
+func (r *Registry) DrawCounts() map[string]int {
+	out := make(map[string]int, len(r.drawCounts))
+	for k, v := range r.drawCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// Ranked is one scored candidate returned by TopK.
+type Ranked struct {
+	Index int
+	Score float64
+}
+
+// TopK scores query against every candidate with the given metric and
+// returns the k highest-scoring candidate indices in descending score order.
+// Ties are broken by ascending index for determinism.
+func TopK(m Metric, query string, candidates []string, k int) []Ranked {
+	scored := make([]Ranked, 0, len(candidates))
+	for i, c := range candidates {
+		scored = append(scored, Ranked{Index: i, Score: m.Sim(query, c)})
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].Index < scored[b].Index
+	})
+	if k > len(scored) {
+		k = len(scored)
+	}
+	return scored[:k]
+}
+
+// RankDescending sorts the given pre-scored candidates in place in
+// descending score order with deterministic tie-breaking.
+func RankDescending(rs []Ranked) {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Score != rs[b].Score {
+			return rs[a].Score > rs[b].Score
+		}
+		return rs[a].Index < rs[b].Index
+	})
+}
+
+// RankAscending sorts candidates in ascending score order (most dissimilar
+// first), used by the positive corner-case split procedure of §3.5.
+func RankAscending(rs []Ranked) {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Score != rs[b].Score {
+			return rs[a].Score < rs[b].Score
+		}
+		return rs[a].Index < rs[b].Index
+	})
+}

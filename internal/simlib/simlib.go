@@ -1,0 +1,405 @@
+// Package simlib implements the string and token similarity metrics used
+// throughout the WDC Products pipeline, replacing the py_stringmatching
+// package referenced in §3.4 of the paper.
+//
+// All metrics return similarities in [0, 1], where 1 means identical. The
+// Registry type implements the paper's anti-bias device: corner-case
+// selection randomly alternates among several qualitatively different
+// metrics so that the resulting benchmark cannot be solved by a matcher
+// built on any single one of them.
+package simlib
+
+import (
+	"math"
+	"strings"
+
+	"wdcproducts/internal/textutil"
+)
+
+// Metric scores the similarity of two strings in [0, 1].
+type Metric interface {
+	// Name identifies the metric in manifests and ablation reports.
+	Name() string
+	// Sim returns the similarity of a and b.
+	Sim(a, b string) float64
+}
+
+// Func adapts a plain function to the Metric interface.
+type Func struct {
+	MetricName string
+	F          func(a, b string) float64
+}
+
+// Name implements Metric.
+func (f Func) Name() string { return f.MetricName }
+
+// Sim implements Metric.
+func (f Func) Sim(a, b string) float64 { return f.F(a, b) }
+
+// ---------------------------------------------------------------------------
+// Character-level metrics
+// ---------------------------------------------------------------------------
+
+// Levenshtein returns the normalized Levenshtein similarity
+// 1 - dist/max(len(a), len(b)) over runes.
+func Levenshtein(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	d := levDistance(ra, rb)
+	m := len(ra)
+	if len(rb) > m {
+		m = len(rb)
+	}
+	return 1 - float64(d)/float64(m)
+}
+
+func levDistance(a, b []rune) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Jaro returns the Jaro similarity over runes.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale of 0.1 and a maximum prefix of 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < 4 && prefix < len(ra) && prefix < len(rb) && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// ---------------------------------------------------------------------------
+// Token-level metrics (the §3.4 alternating set)
+// ---------------------------------------------------------------------------
+
+// Jaccard returns |A∩B| / |A∪B| over the token sets of a and b.
+func Jaccard(a, b string) float64 {
+	sa, sb := textutil.TokenSet(a), textutil.TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|A∩B| / (|A|+|B|) over token sets.
+func Dice(a, b string) float64 {
+	sa, sb := textutil.TokenSet(a), textutil.TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}
+
+// CosineTokens returns |A∩B| / sqrt(|A||B|) over token sets — the set
+// formulation of cosine similarity used by py_stringmatching.
+func CosineTokens(a, b string) float64 {
+	sa, sb := textutil.TokenSet(a), textutil.TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return float64(inter) / math.Sqrt(float64(len(sa))*float64(len(sb)))
+}
+
+// OverlapCoefficient returns |A∩B| / min(|A|, |B|).
+func OverlapCoefficient(a, b string) float64 {
+	sa, sb := textutil.TokenSet(a), textutil.TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	return float64(inter) / float64(m)
+}
+
+// GeneralizedJaccard computes the generalized Jaccard similarity: tokens are
+// soft-matched with Jaro-Winkler, pairs scoring at least threshold are
+// greedily matched best-first, and the score is sum(sims)/(|A|+|B|-matches).
+// This is the py_stringmatching GeneralizedJaccard with a JW inner metric.
+func GeneralizedJaccard(a, b string) float64 {
+	return generalizedJaccard(a, b, 0.8)
+}
+
+func generalizedJaccard(a, b string, threshold float64) float64 {
+	ta := dedupe(textutil.Tokenize(a))
+	tb := dedupe(textutil.Tokenize(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var cands []tokenPair
+	for i, x := range ta {
+		for j, y := range tb {
+			s := JaroWinkler(x, y)
+			if s >= threshold {
+				cands = append(cands, tokenPair{i, j, s})
+			}
+		}
+	}
+	// Greedy best-first matching.
+	sortCands(cands)
+	usedA := make([]bool, len(ta))
+	usedB := make([]bool, len(tb))
+	sum := 0.0
+	matches := 0
+	for _, c := range cands {
+		if usedA[c.i] || usedB[c.j] {
+			continue
+		}
+		usedA[c.i] = true
+		usedB[c.j] = true
+		sum += c.sim
+		matches++
+	}
+	return sum / float64(len(ta)+len(tb)-matches)
+}
+
+type tokenPair struct {
+	i, j int
+	sim  float64
+}
+
+func sortCands(cands []tokenPair) {
+	// Insertion sort by descending sim; candidate lists are short for titles.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].sim > cands[j-1].sim; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+func dedupe(tokens []string) []string {
+	seen := make(map[string]bool, len(tokens))
+	out := tokens[:0]
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MongeElkan returns the Monge-Elkan similarity: the average over tokens of
+// a of the best Jaro-Winkler match in b. Note this variant is asymmetric;
+// SymmetricMongeElkan averages both directions.
+func MongeElkan(a, b string) float64 {
+	ta := textutil.Tokenize(a)
+	tb := textutil.Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// SymmetricMongeElkan averages MongeElkan in both directions.
+func SymmetricMongeElkan(a, b string) float64 {
+	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+}
+
+// TrigramJaccard returns the Jaccard similarity over character 3-grams, a
+// cheap character-level set metric used by the Magellan matcher features.
+func TrigramJaccard(a, b string) float64 {
+	ga := gramSet(a, 3)
+	gb := gramSet(b, 3)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range ga {
+		if gb[g] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func gramSet(s string, n int) map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range textutil.CharNGrams(strings.ToLower(s), n) {
+		set[g] = true
+	}
+	return set
+}
+
+// ExactMatch returns 1 when the normalized token sequences are equal.
+func ExactMatch(a, b string) float64 {
+	if textutil.Join(textutil.Tokenize(a)) == textutil.Join(textutil.Tokenize(b)) {
+		return 1
+	}
+	return 0
+}
+
+// Named metric constructors used by the Registry and by Magellan features.
+
+// MetricCosine is the py_stringmatching Cosine token metric.
+func MetricCosine() Metric { return Func{"cosine", CosineTokens} }
+
+// MetricDice is the py_stringmatching Dice token metric.
+func MetricDice() Metric { return Func{"dice", Dice} }
+
+// MetricGeneralizedJaccard is the py_stringmatching GeneralizedJaccard.
+func MetricGeneralizedJaccard() Metric { return Func{"generalized_jaccard", GeneralizedJaccard} }
+
+// MetricJaccard is the plain token Jaccard metric.
+func MetricJaccard() Metric { return Func{"jaccard", Jaccard} }
+
+// MetricLevenshtein is the normalized Levenshtein metric.
+func MetricLevenshtein() Metric { return Func{"levenshtein", Levenshtein} }
+
+// MetricJaroWinkler is the Jaro-Winkler metric.
+func MetricJaroWinkler() Metric { return Func{"jaro_winkler", JaroWinkler} }

@@ -1,0 +1,242 @@
+package simlib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wdcproducts/internal/xrand"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "abc", 1},
+		{"abc", "", 0},
+		{"kitten", "sitting", 1 - 3.0/7.0},
+		{"flaw", "lawn", 0.5},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); !approx(got, c.want) {
+			t.Errorf("Levenshtein(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaro(t *testing.T) {
+	if got := Jaro("martha", "marhta"); math.Abs(got-0.944444) > 1e-4 {
+		t.Errorf("Jaro(martha,marhta) = %v", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); math.Abs(got-0.766667) > 1e-4 {
+		t.Errorf("Jaro(dixon,dicksonx) = %v", got)
+	}
+	if Jaro("", "") != 1 || Jaro("a", "") != 0 {
+		t.Error("Jaro empty-string cases wrong")
+	}
+	if Jaro("ab", "xy") != 0 {
+		t.Error("Jaro disjoint should be 0")
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.961111) > 1e-4 {
+		t.Errorf("JaroWinkler(martha,marhta) = %v", got)
+	}
+	// Shared prefix boosts above plain Jaro.
+	if JaroWinkler("prefixed", "prefixes") <= Jaro("prefixed", "prefixes") {
+		t.Error("JaroWinkler should boost shared prefixes")
+	}
+}
+
+func TestTokenMetricsKnownValues(t *testing.T) {
+	a := "seagate barracuda 2tb internal drive"
+	b := "seagate barracuda 4tb internal drive"
+	// 4 shared tokens of 5 each.
+	if got := Jaccard(a, b); !approx(got, 4.0/6.0) {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if got := Dice(a, b); !approx(got, 8.0/10.0) {
+		t.Errorf("Dice = %v", got)
+	}
+	if got := CosineTokens(a, b); !approx(got, 4.0/5.0) {
+		t.Errorf("CosineTokens = %v", got)
+	}
+	if got := OverlapCoefficient(a, b); !approx(got, 4.0/5.0) {
+		t.Errorf("Overlap = %v", got)
+	}
+}
+
+func TestGeneralizedJaccardSoftMatch(t *testing.T) {
+	// "barracuda" vs "baracuda" (typo) should soft-match above plain Jaccard.
+	a := "seagate barracuda 2tb"
+	b := "seagate baracuda 2tb"
+	gj := GeneralizedJaccard(a, b)
+	j := Jaccard(a, b)
+	if gj <= j {
+		t.Errorf("GeneralizedJaccard (%v) should exceed Jaccard (%v) under typos", gj, j)
+	}
+	if !approx(GeneralizedJaccard("same tokens here", "same tokens here"), 1) {
+		t.Error("GeneralizedJaccard identity failed")
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	if !approx(MongeElkan("abc def", "abc def"), 1) {
+		t.Error("MongeElkan identity failed")
+	}
+	if MongeElkan("", "") != 1 || MongeElkan("x", "") != 0 {
+		t.Error("MongeElkan empty cases wrong")
+	}
+	s := SymmetricMongeElkan("alpha beta", "beta alpha gamma")
+	if s <= 0 || s > 1 {
+		t.Errorf("SymmetricMongeElkan out of range: %v", s)
+	}
+}
+
+func TestTrigramJaccard(t *testing.T) {
+	if !approx(TrigramJaccard("hello", "hello"), 1) {
+		t.Error("TrigramJaccard identity failed")
+	}
+	if TrigramJaccard("abc", "xyz") != 0 {
+		t.Error("TrigramJaccard disjoint should be 0")
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	if ExactMatch("Seagate  2TB!", "seagate 2tb") != 1 {
+		t.Error("ExactMatch should normalize")
+	}
+	if ExactMatch("a", "b") != 0 {
+		t.Error("ExactMatch false positive")
+	}
+}
+
+// Property: every metric is symmetric, bounded in [0,1], and 1 on identity.
+func TestMetricProperties(t *testing.T) {
+	metrics := []Metric{
+		MetricCosine(), MetricDice(), MetricGeneralizedJaccard(),
+		MetricJaccard(), MetricLevenshtein(), MetricJaroWinkler(),
+		Func{"monge_elkan_sym", SymmetricMongeElkan},
+		Func{"trigram_jaccard", TrigramJaccard},
+		Func{"overlap", OverlapCoefficient},
+	}
+	for _, m := range metrics {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(a, b string) bool {
+				if len(a) > 40 {
+					a = a[:40]
+				}
+				if len(b) > 40 {
+					b = b[:40]
+				}
+				s1 := m.Sim(a, b)
+				s2 := m.Sim(b, a)
+				if math.Abs(s1-s2) > 1e-9 {
+					return false
+				}
+				if s1 < -1e-9 || s1 > 1+1e-9 {
+					return false
+				}
+				return m.Sim(a, a) > 1-1e-9
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRegistryDraw(t *testing.T) {
+	src := xrand.New(1)
+	reg := NewRegistry(src.Stream("registry"), DefaultMetrics()...)
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[reg.Draw().Name()]++
+	}
+	for _, m := range DefaultMetrics() {
+		if counts[m.Name()] < 700 {
+			t.Errorf("metric %s under-drawn: %d/3000", m.Name(), counts[m.Name()])
+		}
+	}
+	dc := reg.DrawCounts()
+	total := 0
+	for _, v := range dc {
+		total += v
+	}
+	if total != 3000 {
+		t.Errorf("DrawCounts total = %d, want 3000", total)
+	}
+}
+
+func TestRegistryDeterminism(t *testing.T) {
+	draw := func() []string {
+		src := xrand.New(99)
+		reg := NewRegistry(src.Stream("registry"), DefaultMetrics()...)
+		var names []string
+		for i := 0; i < 20; i++ {
+			names = append(names, reg.Draw().Name())
+		}
+		return names
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("registry draws diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRegistryEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty registry did not panic")
+		}
+	}()
+	NewRegistry(xrand.New(1).Stream("x"))
+}
+
+func TestTopK(t *testing.T) {
+	m := MetricJaccard()
+	cands := []string{
+		"seagate barracuda 2tb",
+		"completely different thing",
+		"seagate barracuda 2tb drive",
+		"seagate barracuda 4tb",
+	}
+	top := TopK(m, "seagate barracuda 2tb", cands, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK len = %d", len(top))
+	}
+	if top[0].Index != 0 {
+		t.Errorf("TopK best = %d, want 0 (exact match)", top[0].Index)
+	}
+	if top[0].Score < top[1].Score {
+		t.Error("TopK not descending")
+	}
+	// k larger than candidates.
+	all := TopK(m, "x", cands, 99)
+	if len(all) != len(cands) {
+		t.Errorf("TopK overflow len = %d", len(all))
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	rs := []Ranked{{0, 0.5}, {1, 0.9}, {2, 0.5}, {3, 0.1}}
+	RankDescending(rs)
+	if rs[0].Index != 1 || rs[3].Index != 3 {
+		t.Fatalf("RankDescending wrong: %v", rs)
+	}
+	if rs[1].Index != 0 || rs[2].Index != 2 {
+		t.Fatalf("RankDescending tie-break wrong: %v", rs)
+	}
+	RankAscending(rs)
+	if rs[0].Index != 3 || rs[3].Index != 1 {
+		t.Fatalf("RankAscending wrong: %v", rs)
+	}
+}

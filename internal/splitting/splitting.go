@@ -1,0 +1,279 @@
+// Package splitting implements §3.5: assigning the offers of each selected
+// product cluster to training, validation, and test splits (2 offers each
+// for validation and test, the rest for training), choosing positive
+// corner-case pairs for corner products, materializing the unseen dimension
+// by replacing seen test products with unseen ones, and deriving the
+// medium/small development-set subsets.
+//
+// The invariant the whole benchmark rests on is enforced here: an offer is
+// assigned to exactly one split, so no information can leak from training
+// into evaluation.
+package splitting
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wdcproducts/internal/grouping"
+	"wdcproducts/internal/selection"
+	"wdcproducts/internal/simlib"
+)
+
+// Config parameterizes the splitting step.
+type Config struct {
+	// MaxOffersPerCluster caps how many offers a seen cluster contributes
+	// (15 in the paper).
+	MaxOffersPerCluster int
+	// ValOffers and TestOffers are the per-product split sizes (2 and 2).
+	ValOffers, TestOffers int
+	// UnseenOffers is how many offers an unseen product contributes (2).
+	UnseenOffers int
+	// CornerPairFraction is the slice of the ascending-similarity pair list
+	// from which positive corner-case pairs are drawn (the "first fifth").
+	CornerPairFraction float64
+	// MediumTrainOffers/SmallTrainOffers are the per-product training
+	// offer counts of the medium and small development sets (3 and 2).
+	MediumTrainOffers, SmallTrainOffers int
+}
+
+// DefaultConfig returns the §3.5 parameters.
+func DefaultConfig() Config {
+	return Config{
+		MaxOffersPerCluster: 15,
+		ValOffers:           2,
+		TestOffers:          2,
+		UnseenOffers:        2,
+		CornerPairFraction:  0.2,
+		MediumTrainOffers:   3,
+		SmallTrainOffers:    2,
+	}
+}
+
+// ProductSplit holds the per-product offer assignment. All offer values are
+// indices into the corpus' Offers slice.
+type ProductSplit struct {
+	// Slot is the grouping cluster slot; Corner/CornerSet copy the
+	// selection metadata.
+	Slot      int
+	Corner    bool
+	CornerSet int
+	// Train/TrainMedium/TrainSmall are nested subsets (small ⊆ medium ⊆
+	// large).
+	Train       []int
+	TrainMedium []int
+	TrainSmall  []int
+	Val         []int
+	Test        []int
+}
+
+// UnseenProduct is an unseen-pool product contributing test offers only.
+type UnseenProduct struct {
+	Slot      int
+	Corner    bool
+	CornerSet int
+	Test      []int
+}
+
+// Split is the complete §3.5 output for one corner-case ratio.
+type Split struct {
+	Seen   []ProductSplit
+	Unseen []UnseenProduct
+}
+
+// SplitOffers assigns offers for every selected seen and unseen product.
+func SplitOffers(g *grouping.Grouping, seen, unseen *selection.Selection, cfg Config,
+	reg *simlib.Registry, rng *rand.Rand) (*Split, error) {
+	out := &Split{}
+	for _, sp := range seen.Products {
+		ci := &g.Clusters[sp.Slot]
+		offers := append([]int(nil), ci.OfferIdxs...)
+		if len(offers) < cfg.ValOffers+cfg.TestOffers+1 {
+			return nil, fmt.Errorf("splitting: seen cluster slot %d has only %d offers", sp.Slot, len(offers))
+		}
+		if len(offers) > cfg.MaxOffersPerCluster {
+			rng.Shuffle(len(offers), func(i, j int) { offers[i], offers[j] = offers[j], offers[i] })
+			offers = offers[:cfg.MaxOffersPerCluster]
+			sort.Ints(offers)
+		}
+		ps := ProductSplit{Slot: sp.Slot, Corner: sp.Corner, CornerSet: sp.CornerSet}
+		title := func(idx int) string { return g.Corpus.Offers[idx].Title }
+		if sp.Corner {
+			test, val, train := cornerSplit(offers, title, cfg, reg, rng)
+			ps.Test, ps.Val, ps.Train = test, val, train
+		} else {
+			shuffled := append([]int(nil), offers...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			ps.Test = sortedCopy(shuffled[:cfg.TestOffers])
+			ps.Val = sortedCopy(shuffled[cfg.TestOffers : cfg.TestOffers+cfg.ValOffers])
+			ps.Train = sortedCopy(shuffled[cfg.TestOffers+cfg.ValOffers:])
+		}
+		ps.TrainMedium, ps.TrainSmall = devSubsets(ps.Train, sp.Corner, title, cfg, reg, rng)
+		out.Seen = append(out.Seen, ps)
+	}
+	for _, sp := range unseen.Products {
+		ci := &g.Clusters[sp.Slot]
+		offers := append([]int(nil), ci.OfferIdxs...)
+		if len(offers) < cfg.UnseenOffers {
+			return nil, fmt.Errorf("splitting: unseen cluster slot %d has only %d offers", sp.Slot, len(offers))
+		}
+		rng.Shuffle(len(offers), func(i, j int) { offers[i], offers[j] = offers[j], offers[i] })
+		out.Unseen = append(out.Unseen, UnseenProduct{
+			Slot:      sp.Slot,
+			Corner:    sp.Corner,
+			CornerSet: sp.CornerSet,
+			Test:      sortedCopy(offers[:cfg.UnseenOffers]),
+		})
+	}
+	return out, nil
+}
+
+// cornerSplit implements the positive corner-case procedure: sort all offer
+// pairs by increasing similarity (one metric drawn per product), slice the
+// most-dissimilar fraction, and draw two disjoint pairs from it for test
+// and validation.
+func cornerSplit(offers []int, title func(int) string, cfg Config,
+	reg *simlib.Registry, rng *rand.Rand) (test, val, train []int) {
+	metric := reg.Draw()
+	type scored struct {
+		a, b int
+		sim  float64
+	}
+	var pairs []scored
+	for i := 0; i < len(offers); i++ {
+		for j := i + 1; j < len(offers); j++ {
+			pairs = append(pairs, scored{offers[i], offers[j], metric.Sim(title(offers[i]), title(offers[j]))})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].sim != pairs[j].sim {
+			return pairs[i].sim < pairs[j].sim
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	// Candidate region: the most dissimilar fraction, grown until it can
+	// host two disjoint pairs.
+	lim := int(cfg.CornerPairFraction*float64(len(pairs)) + 0.5)
+	if lim < 2 {
+		lim = 2
+	}
+	for ; lim <= len(pairs); lim++ {
+		region := pairs[:lim]
+		// Draw the test pair at random from the region, then the first
+		// disjoint pair (in ascending-similarity order) for validation.
+		order := rng.Perm(len(region))
+		for _, ti := range order {
+			tp := region[ti]
+			for _, vp := range region {
+				if vp.a != tp.a && vp.a != tp.b && vp.b != tp.a && vp.b != tp.b {
+					test = []int{tp.a, tp.b}
+					val = []int{vp.a, vp.b}
+					sort.Ints(test)
+					sort.Ints(val)
+					taken := map[int]bool{tp.a: true, tp.b: true, vp.a: true, vp.b: true}
+					for _, o := range offers {
+						if !taken[o] {
+							train = append(train, o)
+						}
+					}
+					sort.Ints(train)
+					return test, val, train
+				}
+			}
+		}
+	}
+	// Unreachable for clusters with >= 5 offers; guard for tiny clusters.
+	test = []int{offers[0], offers[1]}
+	val = []int{offers[2], offers[3%len(offers)]}
+	for _, o := range offers[4:] {
+		train = append(train, o)
+	}
+	return test, val, train
+}
+
+// devSubsets derives the medium (3-offer) and small (2-offer) training
+// subsets. For corner products the most mutually dissimilar offers are
+// chosen so that small/medium positive pairs remain corner-cases.
+func devSubsets(train []int, corner bool, title func(int) string, cfg Config,
+	reg *simlib.Registry, rng *rand.Rand) (medium, small []int) {
+	if len(train) <= cfg.MediumTrainOffers {
+		medium = sortedCopy(train)
+	} else if corner {
+		metric := reg.Draw()
+		// Start from the most dissimilar pair, then add the offer with the
+		// lowest maximum similarity to the chosen ones.
+		bestA, bestB, bestSim := train[0], train[1], 2.0
+		for i := 0; i < len(train); i++ {
+			for j := i + 1; j < len(train); j++ {
+				s := metric.Sim(title(train[i]), title(train[j]))
+				if s < bestSim {
+					bestA, bestB, bestSim = train[i], train[j], s
+				}
+			}
+		}
+		medium = []int{bestA, bestB}
+		for len(medium) < cfg.MediumTrainOffers {
+			bestO, bestScore := -1, 2.0
+			for _, o := range train {
+				if contains(medium, o) {
+					continue
+				}
+				maxSim := 0.0
+				for _, m := range medium {
+					if s := metric.Sim(title(o), title(m)); s > maxSim {
+						maxSim = s
+					}
+				}
+				if maxSim < bestScore || (maxSim == bestScore && o < bestO) {
+					bestO, bestScore = o, maxSim
+				}
+			}
+			medium = append(medium, bestO)
+		}
+		sort.Ints(medium)
+	} else {
+		shuffled := append([]int(nil), train...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		medium = sortedCopy(shuffled[:cfg.MediumTrainOffers])
+	}
+	if len(medium) <= cfg.SmallTrainOffers {
+		small = sortedCopy(medium)
+	} else if corner {
+		// The small set is the most dissimilar pair within medium.
+		metric := reg.Draw()
+		bestA, bestB, bestSim := medium[0], medium[1], 2.0
+		for i := 0; i < len(medium); i++ {
+			for j := i + 1; j < len(medium); j++ {
+				s := metric.Sim(title(medium[i]), title(medium[j]))
+				if s < bestSim {
+					bestA, bestB, bestSim = medium[i], medium[j], s
+				}
+			}
+		}
+		small = []int{bestA, bestB}
+		sort.Ints(small)
+	} else {
+		shuffled := append([]int(nil), medium...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		small = sortedCopy(shuffled[:cfg.SmallTrainOffers])
+	}
+	return medium, small
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package splitting
+
+import (
+	"math"
+	"testing"
+
+	"wdcproducts/internal/cleanse"
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/grouping"
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/selection"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+type fixture struct {
+	g      *grouping.Grouping
+	split  *Split
+	tests  map[int][]TestProduct
+	seen   *selection.Selection
+	unseen *selection.Selection
+}
+
+func buildFixture(t *testing.T, ratio float64) *fixture {
+	t.Helper()
+	src := xrand.New(555)
+	raw := corpus.Generate(corpus.TinyConfig(), src.Split("corpus"))
+	clean, _ := cleanse.Run(raw, cleanse.DefaultConfig(), langid.New())
+	g, err := grouping.Run(clean, grouping.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := simlib.NewRegistry(src.Stream("registry"), simlib.DefaultMetrics()...)
+	selCfg := selection.Config{Count: 40, CornerRatio: ratio, SimilarPerSeed: 4}
+	seen, err := selection.Select(g, g.SeenGroups, selCfg, nil, reg, src.Stream("sel-seen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclude := map[int]bool{}
+	for _, p := range seen.Products {
+		exclude[p.Slot] = true
+	}
+	unseen, err := selection.Select(g, g.UnseenGroups, selCfg, exclude, reg, src.Stream("sel-unseen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SplitOffers(g, seen, unseen, DefaultConfig(), reg, src.Stream("split"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := BuildTestSets(split, src.Stream("testsets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, split: split, tests: tests, seen: seen, unseen: unseen}
+}
+
+func TestNoOfferLeakage(t *testing.T) {
+	fx := buildFixture(t, 0.8)
+	for _, ps := range fx.split.Seen {
+		assigned := map[int]string{}
+		place := func(offers []int, name string) {
+			for _, o := range offers {
+				if prev, ok := assigned[o]; ok && prev != name {
+					t.Fatalf("offer %d in both %s and %s", o, prev, name)
+				}
+				assigned[o] = name
+			}
+		}
+		place(ps.Train, "train")
+		place(ps.Val, "val")
+		place(ps.Test, "test")
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	fx := buildFixture(t, 0.5)
+	cfg := DefaultConfig()
+	for _, ps := range fx.split.Seen {
+		if len(ps.Val) != cfg.ValOffers {
+			t.Fatalf("val size = %d", len(ps.Val))
+		}
+		if len(ps.Test) != cfg.TestOffers {
+			t.Fatalf("test size = %d", len(ps.Test))
+		}
+		if len(ps.Train) < 3 {
+			t.Fatalf("train size = %d, want >= 3", len(ps.Train))
+		}
+		total := len(ps.Train) + len(ps.Val) + len(ps.Test)
+		if total < 7 || total > cfg.MaxOffersPerCluster {
+			t.Fatalf("total offers = %d", total)
+		}
+	}
+	for _, up := range fx.split.Unseen {
+		if len(up.Test) != cfg.UnseenOffers {
+			t.Fatalf("unseen test size = %d", len(up.Test))
+		}
+	}
+}
+
+func TestDevSubsetNesting(t *testing.T) {
+	fx := buildFixture(t, 0.8)
+	cfg := DefaultConfig()
+	for _, ps := range fx.split.Seen {
+		if len(ps.TrainMedium) > cfg.MediumTrainOffers {
+			t.Fatalf("medium size = %d", len(ps.TrainMedium))
+		}
+		if len(ps.TrainSmall) > cfg.SmallTrainOffers {
+			t.Fatalf("small size = %d", len(ps.TrainSmall))
+		}
+		inTrain := map[int]bool{}
+		for _, o := range ps.Train {
+			inTrain[o] = true
+		}
+		inMedium := map[int]bool{}
+		for _, o := range ps.TrainMedium {
+			if !inTrain[o] {
+				t.Fatal("medium offer not in large train")
+			}
+			inMedium[o] = true
+		}
+		for _, o := range ps.TrainSmall {
+			if !inMedium[o] {
+				t.Fatal("small offer not in medium")
+			}
+		}
+	}
+}
+
+func TestCornerTestPairsAreDissimilar(t *testing.T) {
+	fx := buildFixture(t, 0.8)
+	// For corner products, the test pair should on average be less similar
+	// than a random train pair — that is what "positive corner-case" means.
+	metric := simlib.MetricJaccard()
+	title := func(idx int) string { return fx.g.Corpus.Offers[idx].Title }
+	var testSim, trainSim float64
+	var nTest, nTrain float64
+	for _, ps := range fx.split.Seen {
+		if !ps.Corner {
+			continue
+		}
+		testSim += metric.Sim(title(ps.Test[0]), title(ps.Test[1]))
+		nTest++
+		for i := 0; i < len(ps.Train) && i < 2; i++ {
+			for j := i + 1; j < len(ps.Train) && j < 3; j++ {
+				trainSim += metric.Sim(title(ps.Train[i]), title(ps.Train[j]))
+				nTrain++
+			}
+		}
+	}
+	if nTest == 0 || nTrain == 0 {
+		t.Fatal("no pairs sampled")
+	}
+	if testSim/nTest >= trainSim/nTrain {
+		t.Fatalf("corner test pairs not harder: test=%.3f train=%.3f", testSim/nTest, trainSim/nTrain)
+	}
+}
+
+func TestUnseenFractions(t *testing.T) {
+	fx := buildFixture(t, 0.5)
+	if got := UnseenFraction(fx.tests[0]); got != 0 {
+		t.Fatalf("0%% set has unseen fraction %v", got)
+	}
+	if got := UnseenFraction(fx.tests[100]); got != 1 {
+		t.Fatalf("100%% set has unseen fraction %v", got)
+	}
+	got := UnseenFraction(fx.tests[50])
+	if math.Abs(got-0.5) > 0.15 {
+		t.Fatalf("50%% set has unseen fraction %v", got)
+	}
+}
+
+func TestCornerRatioPreserved(t *testing.T) {
+	for _, ratio := range []float64{0.8, 0.5, 0.2} {
+		fx := buildFixture(t, ratio)
+		for _, pct := range UnseenPercentages {
+			got := CornerFraction(fx.tests[pct])
+			if math.Abs(got-ratio) > 0.15 {
+				t.Errorf("ratio %.1f unseen %d%%: corner fraction %v", ratio, pct, got)
+			}
+			if len(fx.tests[pct]) != 40 {
+				t.Errorf("test set size = %d, want 40", len(fx.tests[pct]))
+			}
+		}
+	}
+}
+
+func TestHalfSeenDisjointFromTraining(t *testing.T) {
+	fx := buildFixture(t, 0.5)
+	trainOffers := map[int]bool{}
+	for _, ps := range fx.split.Seen {
+		for _, o := range ps.Train {
+			trainOffers[o] = true
+		}
+		for _, o := range ps.Val {
+			trainOffers[o] = true
+		}
+	}
+	for _, pct := range []int{0, 50, 100} {
+		for _, tp := range fx.tests[pct] {
+			for _, o := range tp.Offers {
+				if trainOffers[o] {
+					t.Fatalf("test offer %d (unseen=%v, pct=%d) appears in train/val", o, tp.Unseen, pct)
+				}
+			}
+		}
+	}
+}
+
+func TestUnseenProductsTrulyUnseen(t *testing.T) {
+	fx := buildFixture(t, 0.5)
+	seenSlots := map[int]bool{}
+	for _, ps := range fx.split.Seen {
+		seenSlots[ps.Slot] = true
+	}
+	for _, tp := range fx.tests[50] {
+		if tp.Unseen && seenSlots[tp.Slot] {
+			t.Fatalf("unseen product slot %d is a seen product", tp.Slot)
+		}
+		if !tp.Unseen && !seenSlots[tp.Slot] {
+			t.Fatalf("seen product slot %d not in seen selection", tp.Slot)
+		}
+	}
+}
+
+func TestMismatchedSelectionsRejected(t *testing.T) {
+	fx := buildFixture(t, 0.5)
+	bad := &Split{Seen: fx.split.Seen, Unseen: fx.split.Unseen[:len(fx.split.Unseen)-1]}
+	if _, err := BuildTestSets(bad, xrand.New(1).Stream("x")); err == nil {
+		t.Fatal("mismatched selections accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := buildFixture(t, 0.8)
+	b := buildFixture(t, 0.8)
+	for i := range a.split.Seen {
+		pa, pb := a.split.Seen[i], b.split.Seen[i]
+		if pa.Slot != pb.Slot || len(pa.Train) != len(pb.Train) {
+			t.Fatalf("split not deterministic at product %d", i)
+		}
+		for j := range pa.Test {
+			if pa.Test[j] != pb.Test[j] {
+				t.Fatalf("test offers differ at product %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package splitting
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TestProduct is one product contributing offers to a test set variant.
+type TestProduct struct {
+	Slot   int
+	Corner bool
+	// Unseen marks products whose offers never appear in any training or
+	// validation split.
+	Unseen bool
+	Offers []int
+}
+
+// UnseenPercentages are the three values of the unseen dimension.
+var UnseenPercentages = []int{0, 50, 100}
+
+// BuildTestSets materializes the unseen dimension (§3.5): the 0% set is the
+// seen test split, the 100% set replaces every product with one from the
+// unseen selection, and the 50% set systematically replaces half of the
+// products while preserving the corner-case ratio — corner products are
+// swapped in whole corner sets so that every replaced corner product keeps
+// at least four similar products in the test set.
+func BuildTestSets(split *Split, rng *rand.Rand) (map[int][]TestProduct, error) {
+	if len(split.Seen) != len(split.Unseen) {
+		return nil, fmt.Errorf("splitting: seen (%d) and unseen (%d) selections differ in size",
+			len(split.Seen), len(split.Unseen))
+	}
+	out := map[int][]TestProduct{}
+
+	// 0% unseen: the seen test split as-is.
+	var seenSet []TestProduct
+	for _, ps := range split.Seen {
+		seenSet = append(seenSet, TestProduct{Slot: ps.Slot, Corner: ps.Corner, Offers: ps.Test})
+	}
+	out[0] = seenSet
+
+	// 100% unseen: the full unseen selection.
+	var unseenSet []TestProduct
+	for _, up := range split.Unseen {
+		unseenSet = append(unseenSet, TestProduct{Slot: up.Slot, Corner: up.Corner, Unseen: true, Offers: up.Test})
+	}
+	out[100] = unseenSet
+
+	// 50% unseen: replace half the corner sets (size-matched) and half the
+	// random products.
+	half, err := buildHalfSeen(split, rng)
+	if err != nil {
+		return nil, err
+	}
+	out[50] = half
+	return out, nil
+}
+
+func buildHalfSeen(split *Split, rng *rand.Rand) ([]TestProduct, error) {
+	// Index corner sets on both sides.
+	collectSeen := func() []sortableSet {
+		byID := map[int][]int{}
+		for i, ps := range split.Seen {
+			if ps.Corner {
+				byID[ps.CornerSet] = append(byID[ps.CornerSet], i)
+			}
+		}
+		return sortSets(byID)
+	}
+	collectUnseen := func() []sortableSet {
+		byID := map[int][]int{}
+		for i, up := range split.Unseen {
+			if up.Corner {
+				byID[up.CornerSet] = append(byID[up.CornerSet], i)
+			}
+		}
+		return sortSets(byID)
+	}
+	seenSets := collectSeen()
+	unseenBySize := map[int][]sortableSet{}
+	for _, s := range collectUnseen() {
+		unseenBySize[len(s.members)] = append(unseenBySize[len(s.members)], s)
+	}
+	for size := range unseenBySize {
+		ss := unseenBySize[size]
+		rng.Shuffle(len(ss), func(i, j int) { ss[i], ss[j] = ss[j], ss[i] })
+	}
+
+	rng.Shuffle(len(seenSets), func(i, j int) { seenSets[i], seenSets[j] = seenSets[j], seenSets[i] })
+	replaceSets := len(seenSets) / 2
+	replacedSeen := map[int]bool{} // index into split.Seen
+	var replacements []TestProduct
+	replaced := 0
+	for _, s := range seenSets {
+		if replaced >= replaceSets {
+			break
+		}
+		pool := unseenBySize[len(s.members)]
+		if len(pool) == 0 {
+			continue // no size-matched unseen set; keep this seen set
+		}
+		u := pool[len(pool)-1]
+		unseenBySize[len(s.members)] = pool[:len(pool)-1]
+		for _, i := range s.members {
+			replacedSeen[i] = true
+		}
+		for _, i := range u.members {
+			up := split.Unseen[i]
+			replacements = append(replacements, TestProduct{Slot: up.Slot, Corner: true, Unseen: true, Offers: up.Test})
+		}
+		replaced++
+	}
+
+	// Random products: replace half, index-matched against the unseen
+	// selection's random products.
+	var seenRandom, unseenRandom []int
+	for i, ps := range split.Seen {
+		if !ps.Corner {
+			seenRandom = append(seenRandom, i)
+		}
+	}
+	for i, up := range split.Unseen {
+		if !up.Corner {
+			unseenRandom = append(unseenRandom, i)
+		}
+	}
+	rng.Shuffle(len(seenRandom), func(i, j int) { seenRandom[i], seenRandom[j] = seenRandom[j], seenRandom[i] })
+	rng.Shuffle(len(unseenRandom), func(i, j int) { unseenRandom[i], unseenRandom[j] = unseenRandom[j], unseenRandom[i] })
+	nRandom := len(seenRandom) / 2
+	if nRandom > len(unseenRandom) {
+		nRandom = len(unseenRandom)
+	}
+	for k := 0; k < nRandom; k++ {
+		replacedSeen[seenRandom[k]] = true
+		up := split.Unseen[unseenRandom[k]]
+		replacements = append(replacements, TestProduct{Slot: up.Slot, Corner: false, Unseen: true, Offers: up.Test})
+	}
+
+	var outSet []TestProduct
+	for i, ps := range split.Seen {
+		if replacedSeen[i] {
+			continue
+		}
+		outSet = append(outSet, TestProduct{Slot: ps.Slot, Corner: ps.Corner, Offers: ps.Test})
+	}
+	outSet = append(outSet, replacements...)
+	if len(outSet) != len(split.Seen) {
+		return nil, fmt.Errorf("splitting: half-seen set has %d products, want %d", len(outSet), len(split.Seen))
+	}
+	return outSet, nil
+}
+
+// sortableSet is one corner set: its id and the member indices into the
+// seen or unseen product list.
+type sortableSet struct {
+	id      int
+	members []int
+}
+
+func sortSets(byID map[int][]int) []sortableSet {
+	var out []sortableSet
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, sortableSet{id: id, members: byID[id]})
+	}
+	return out
+}
+
+// UnseenFraction reports the fraction of products in a test set marked
+// unseen, used by invariant checks.
+func UnseenFraction(tps []TestProduct) float64 {
+	if len(tps) == 0 {
+		return 0
+	}
+	n := 0
+	for _, tp := range tps {
+		if tp.Unseen {
+			n++
+		}
+	}
+	return float64(n) / float64(len(tps))
+}
+
+// CornerFraction reports the fraction of corner products in a test set.
+func CornerFraction(tps []TestProduct) float64 {
+	if len(tps) == 0 {
+		return 0
+	}
+	n := 0
+	for _, tp := range tps {
+		if tp.Corner {
+			n++
+		}
+	}
+	return float64(n) / float64(len(tps))
+}

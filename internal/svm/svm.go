@@ -1,0 +1,143 @@
+// Package svm implements a linear support vector machine trained with the
+// Pegasos primal sub-gradient algorithm, over sparse feature vectors. It is
+// the classifier behind the Word-(Co-)Occurrence baseline of §5.1
+// (substituting scikit-learn's LinearSVC), with grid search over the
+// regularization strength and a one-vs-rest wrapper for the multi-class
+// formulation.
+package svm
+
+import (
+	"math"
+	"math/rand"
+
+	"wdcproducts/internal/vector"
+)
+
+// Config holds the Pegasos hyperparameters.
+type Config struct {
+	// Lambda is the regularization strength (the grid-search knob).
+	Lambda float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+}
+
+// DefaultConfig returns a reasonable starting configuration.
+func DefaultConfig() Config { return Config{Lambda: 1e-4, Epochs: 12} }
+
+// Model is a trained linear SVM.
+type Model struct {
+	W    []float32
+	Bias float32
+}
+
+// Train fits a binary SVM on sparse features with labels y (true = +1).
+// dim is the feature dimensionality.
+func Train(xs []vector.Sparse, ys []bool, dim int, cfg Config, rng *rand.Rand) *Model {
+	m := &Model{W: make([]float32, dim)}
+	if len(xs) == 0 {
+		return m
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-4
+	}
+	t := 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(xs))
+		for _, i := range order {
+			eta := 1 / (cfg.Lambda * float64(t))
+			t++
+			y := -1.0
+			if ys[i] {
+				y = 1.0
+			}
+			margin := y * (m.score(xs[i]) + float64(m.Bias))
+			// Shrink weights (regularization).
+			shrink := float32(1 - eta*cfg.Lambda)
+			if shrink < 0 {
+				shrink = 0
+			}
+			vector.Scale(shrink, m.W)
+			if margin < 1 {
+				// Sub-gradient step on the hinge loss.
+				step := float32(eta * y)
+				for k, idx := range xs[i].Idx {
+					m.W[idx] += step * xs[i].Val[k]
+				}
+				m.Bias += step * 0.01 // unregularized, small-lr bias
+			}
+		}
+	}
+	return m
+}
+
+func (m *Model) score(x vector.Sparse) float64 {
+	var s float64
+	for k, idx := range x.Idx {
+		s += float64(m.W[idx]) * float64(x.Val[k])
+	}
+	return s
+}
+
+// Margin returns the signed distance-like score of x.
+func (m *Model) Margin(x vector.Sparse) float64 {
+	return m.score(x) + float64(m.Bias)
+}
+
+// Score returns a (0,1) confidence via a logistic squashing of the margin.
+// It is monotone in the margin, which is all threshold selection needs.
+func (m *Model) Score(x vector.Sparse) float64 {
+	return 1 / (1 + math.Exp(-m.Margin(x)))
+}
+
+// Predict returns the class of x.
+func (m *Model) Predict(x vector.Sparse) bool { return m.Margin(x) >= 0 }
+
+// GridSearch trains one model per lambda and returns the model maximizing
+// the score function on the validation set (the §5.1 "grid search over
+// various parameter combinations").
+func GridSearch(lambdas []float64, epochs int,
+	trainX []vector.Sparse, trainY []bool, dim int,
+	score func(*Model) float64, rng *rand.Rand) (*Model, float64) {
+	var best *Model
+	bestScore := math.Inf(-1)
+	for _, lambda := range lambdas {
+		m := Train(trainX, trainY, dim, Config{Lambda: lambda, Epochs: epochs}, rng)
+		if s := score(m); s > bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best, bestScore
+}
+
+// Multiclass is a one-vs-rest ensemble of binary SVMs.
+type Multiclass struct {
+	Models []*Model
+}
+
+// TrainMulticlass fits one binary SVM per class (one-vs-rest).
+func TrainMulticlass(xs []vector.Sparse, classes []int, numClasses, dim int,
+	cfg Config, rng *rand.Rand) *Multiclass {
+	mc := &Multiclass{Models: make([]*Model, numClasses)}
+	ys := make([]bool, len(xs))
+	for c := 0; c < numClasses; c++ {
+		for i, cl := range classes {
+			ys[i] = cl == c
+		}
+		mc.Models[c] = Train(xs, ys, dim, cfg, rng)
+	}
+	return mc
+}
+
+// Predict returns the class with the highest margin.
+func (mc *Multiclass) Predict(x vector.Sparse) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c, m := range mc.Models {
+		if s := m.Margin(x); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}

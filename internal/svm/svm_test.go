@@ -1,0 +1,144 @@
+package svm
+
+import (
+	"testing"
+
+	"wdcproducts/internal/vector"
+	"wdcproducts/internal/xrand"
+)
+
+// separableData builds a linearly separable sparse dataset: positives carry
+// features in [0,10), negatives in [10,20).
+func separableData(n int, rng interface{ Intn(int) int }) ([]vector.Sparse, []bool) {
+	var xs []vector.Sparse
+	var ys []bool
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		base := 0
+		if !pos {
+			base = 10
+		}
+		ids := []int32{int32(base + rng.Intn(10)), int32(base + rng.Intn(10)), int32(base + rng.Intn(10))}
+		xs = append(xs, vector.NewBinarySparse(ids))
+		ys = append(ys, pos)
+	}
+	return xs, ys
+}
+
+func TestSeparable(t *testing.T) {
+	rng := xrand.New(1).Stream("svm")
+	xs, ys := separableData(200, rng)
+	m := Train(xs, ys, 20, DefaultConfig(), rng)
+	correct := 0
+	for i := range xs {
+		if m.Predict(xs[i]) == ys[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.97 {
+		t.Fatalf("training accuracy = %.3f on separable data", acc)
+	}
+}
+
+func TestScoreMonotoneInMargin(t *testing.T) {
+	rng := xrand.New(2).Stream("svm")
+	xs, ys := separableData(100, rng)
+	m := Train(xs, ys, 20, DefaultConfig(), rng)
+	for i := range xs {
+		s := m.Score(xs[i])
+		if s < 0 || s > 1 {
+			t.Fatalf("Score out of range: %v", s)
+		}
+		if (m.Margin(xs[i]) >= 0) != (s >= 0.5) {
+			t.Fatal("Score and Margin disagree on sign")
+		}
+	}
+}
+
+func TestEmptyTraining(t *testing.T) {
+	m := Train(nil, nil, 5, DefaultConfig(), xrand.New(1).Stream("x"))
+	if m.Margin(vector.NewBinarySparse([]int32{1})) != 0 {
+		t.Fatal("empty-trained model should score 0")
+	}
+}
+
+func TestGridSearchPicksBest(t *testing.T) {
+	rng := xrand.New(3).Stream("svm")
+	xs, ys := separableData(200, rng)
+	valX, valY := separableData(60, rng)
+	acc := func(m *Model) float64 {
+		c := 0
+		for i := range valX {
+			if m.Predict(valX[i]) == valY[i] {
+				c++
+			}
+		}
+		return float64(c) / float64(len(valX))
+	}
+	m, score := GridSearch([]float64{1e-2, 1e-4, 1e-6}, 8, xs, ys, 20, acc, rng)
+	if m == nil {
+		t.Fatal("grid search returned nil")
+	}
+	if score < 0.95 {
+		t.Fatalf("grid search best accuracy = %.3f", score)
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := xrand.New(4).Stream("svm")
+	// Three classes with disjoint feature blocks.
+	var xs []vector.Sparse
+	var cls []int
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		base := int32(c * 8)
+		xs = append(xs, vector.NewBinarySparse([]int32{base + int32(rng.Intn(8)), base + int32(rng.Intn(8))}))
+		cls = append(cls, c)
+	}
+	mc := TrainMulticlass(xs, cls, 3, 24, DefaultConfig(), rng)
+	correct := 0
+	for i := range xs {
+		if mc.Predict(xs[i]) == cls[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.95 {
+		t.Fatalf("multiclass accuracy = %.3f", acc)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	train := func() *Model {
+		rng := xrand.New(9).Stream("svm")
+		xs, ys := separableData(100, rng)
+		return Train(xs, ys, 20, DefaultConfig(), rng)
+	}
+	a, b := train(), train()
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatalf("weights differ at %d", i)
+		}
+	}
+}
+
+func TestNoisyLabelsStillLearn(t *testing.T) {
+	rng := xrand.New(5).Stream("svm")
+	xs, ys := separableData(400, rng)
+	// Flip 10% of labels.
+	for i := 0; i < len(ys); i += 10 {
+		ys[i] = !ys[i]
+	}
+	m := Train(xs, ys, 20, DefaultConfig(), rng)
+	correct := 0
+	for i := range xs {
+		if i%10 == 0 {
+			continue // skip flipped
+		}
+		if m.Predict(xs[i]) == ys[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / (float64(len(xs)) * 0.9); acc < 0.9 {
+		t.Fatalf("accuracy under label noise = %.3f", acc)
+	}
+}

@@ -1,0 +1,140 @@
+// Package tables renders the reproduced paper tables as aligned ASCII text
+// and as CSV, so benchmark harness output can be diffed between runs.
+package tables
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned table with an optional title.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Rows shorter than the header are padded with empty
+// cells; longer rows extend the effective width.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row where each cell is rendered with fmt.Sprint.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) numCols() int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// String renders the table with padded columns, a header separator, and the
+// title (when set) on its own line.
+func (t *Table) String() string {
+	cols := t.numCols()
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		// Trim trailing spaces for clean diffs.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for i, w := range widths {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells containing
+// commas, quotes or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Pct formats a [0,1] fraction as the paper's percentage style (two
+// decimals, no % sign), e.g. 0.7248 -> "72.48".
+func Pct(v float64) string { return fmt.Sprintf("%.2f", v*100) }

@@ -1,0 +1,76 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("Table X", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("much-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Table X" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// The "value" column starts at the same offset in every row.
+	idx := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[4], "22"); got != idx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", idx, got, out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "f", "i", "s")
+	tb.AddRowf(0.12345, 7, "txt")
+	if tb.Rows[0][0] != "0.12" || tb.Rows[0][1] != "7" || tb.Rows[0][2] != "txt" {
+		t.Fatalf("AddRowf = %v", tb.Rows[0])
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra")
+	out := tb.String() // must not panic
+	if !strings.Contains(out, "extra") {
+		t.Error("wide row dropped")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow(`has "quote"`, "has,comma")
+	csv := tb.CSV()
+	want := "a,b\n\"has \"\"quote\"\"\",\"has,comma\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.7248) != "72.48" {
+		t.Fatalf("Pct = %q", Pct(0.7248))
+	}
+	if Pct(1) != "100.00" {
+		t.Fatalf("Pct(1) = %q", Pct(1))
+	}
+}

@@ -1,0 +1,227 @@
+// Package tokenize implements a byte-pair-encoding (BPE) subword tokenizer.
+//
+// Table 2 of the paper reports, per benchmark variant, how many tokens of
+// RoBERTa's ~50K vocabulary the datasets touch. RoBERTa's tokenizer is a
+// byte-level BPE; this package provides the trainable equivalent so the
+// profiling code can report the same statistic against a vocabulary trained
+// on the synthetic corpus.
+package tokenize
+
+import (
+	"sort"
+	"strings"
+
+	"wdcproducts/internal/textutil"
+)
+
+// endOfWord marks word boundaries inside the BPE symbol stream, mirroring
+// the "</w>" marker of the original BPE formulation.
+const endOfWord = "</w>"
+
+// BPE is a trained byte-pair encoder.
+type BPE struct {
+	merges []mergeRule
+	rank   map[[2]string]int
+	vocab  map[string]int // symbol -> id
+	ids    []string       // id -> symbol
+}
+
+type mergeRule struct {
+	a, b string
+}
+
+// Train learns numMerges merge rules from the given texts. Words are the
+// normalized tokens of textutil.Tokenize; each word is decomposed into
+// characters plus an end-of-word marker, and the most frequent adjacent
+// symbol pair is merged repeatedly.
+func Train(texts []string, numMerges int) *BPE {
+	wordFreq := make(map[string]int)
+	for _, t := range texts {
+		for _, w := range textutil.Tokenize(t) {
+			wordFreq[w]++
+		}
+	}
+	// Represent each distinct word as its current symbol sequence.
+	type entry struct {
+		syms []string
+		freq int
+	}
+	entries := make([]entry, 0, len(wordFreq))
+	words := make([]string, 0, len(wordFreq))
+	for w := range wordFreq {
+		words = append(words, w)
+	}
+	sort.Strings(words) // deterministic iteration
+	for _, w := range words {
+		syms := make([]string, 0, len(w)+1)
+		for _, r := range w {
+			syms = append(syms, string(r))
+		}
+		syms = append(syms, endOfWord)
+		entries = append(entries, entry{syms: syms, freq: wordFreq[w]})
+	}
+	b := &BPE{rank: make(map[[2]string]int)}
+	for iter := 0; iter < numMerges; iter++ {
+		// Count adjacent pairs.
+		pairFreq := make(map[[2]string]int)
+		for _, e := range entries {
+			for i := 0; i+1 < len(e.syms); i++ {
+				pairFreq[[2]string{e.syms[i], e.syms[i+1]}] += e.freq
+			}
+		}
+		if len(pairFreq) == 0 {
+			break
+		}
+		// Pick the most frequent pair, ties broken lexicographically for
+		// determinism.
+		var best [2]string
+		bestN := -1
+		for p, n := range pairFreq {
+			if n > bestN || (n == bestN && lessPair(p, best)) {
+				best, bestN = p, n
+			}
+		}
+		if bestN < 2 {
+			break // nothing worth merging
+		}
+		b.merges = append(b.merges, mergeRule{best[0], best[1]})
+		b.rank[best] = len(b.merges) - 1
+		merged := best[0] + best[1]
+		for ei := range entries {
+			e := &entries[ei]
+			out := e.syms[:0]
+			for i := 0; i < len(e.syms); i++ {
+				if i+1 < len(e.syms) && e.syms[i] == best[0] && e.syms[i+1] == best[1] {
+					out = append(out, merged)
+					i++
+				} else {
+					out = append(out, e.syms[i])
+				}
+			}
+			e.syms = out
+		}
+	}
+	// Build the vocabulary: all base characters seen plus all merge outputs.
+	b.vocab = make(map[string]int)
+	addSym := func(s string) {
+		if _, ok := b.vocab[s]; !ok {
+			b.vocab[s] = len(b.ids)
+			b.ids = append(b.ids, s)
+		}
+	}
+	base := make(map[string]bool)
+	for _, w := range words {
+		for _, r := range w {
+			base[string(r)] = true
+		}
+	}
+	baseSorted := make([]string, 0, len(base))
+	for s := range base {
+		baseSorted = append(baseSorted, s)
+	}
+	sort.Strings(baseSorted)
+	addSym(endOfWord)
+	for _, s := range baseSorted {
+		addSym(s)
+	}
+	for _, mr := range b.merges {
+		addSym(mr.a + mr.b)
+	}
+	return b
+}
+
+func lessPair(a, b [2]string) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// EncodeWord splits a single normalized word into BPE symbols by applying
+// the learned merges in rank order.
+func (b *BPE) EncodeWord(w string) []string {
+	syms := make([]string, 0, len(w)+1)
+	for _, r := range w {
+		syms = append(syms, string(r))
+	}
+	syms = append(syms, endOfWord)
+	for {
+		bestRank := -1
+		bestPos := -1
+		for i := 0; i+1 < len(syms); i++ {
+			if r, ok := b.rank[[2]string{syms[i], syms[i+1]}]; ok {
+				if bestRank == -1 || r < bestRank {
+					bestRank, bestPos = r, i
+				}
+			}
+		}
+		if bestPos == -1 {
+			break
+		}
+		merged := syms[bestPos] + syms[bestPos+1]
+		syms = append(syms[:bestPos], append([]string{merged}, syms[bestPos+2:]...)...)
+	}
+	return syms
+}
+
+// Encode tokenizes text into BPE symbols across all words.
+func (b *BPE) Encode(text string) []string {
+	var out []string
+	for _, w := range textutil.Tokenize(text) {
+		out = append(out, b.EncodeWord(w)...)
+	}
+	return out
+}
+
+// EncodeIDs tokenizes text into vocabulary ids; symbols outside the trained
+// vocabulary (unseen base characters) map to -1.
+func (b *BPE) EncodeIDs(text string) []int {
+	syms := b.Encode(text)
+	out := make([]int, len(syms))
+	for i, s := range syms {
+		if id, ok := b.vocab[s]; ok {
+			out[i] = id
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Decode reconstructs the normalized text from BPE symbols.
+func (b *BPE) Decode(syms []string) string {
+	var sb strings.Builder
+	for _, s := range syms {
+		if s == endOfWord {
+			sb.WriteByte(' ')
+			continue
+		}
+		if strings.HasSuffix(s, endOfWord) {
+			sb.WriteString(strings.TrimSuffix(s, endOfWord))
+			sb.WriteByte(' ')
+			continue
+		}
+		sb.WriteString(s)
+	}
+	return strings.TrimRight(sb.String(), " ")
+}
+
+// VocabSize returns the number of distinct symbols in the vocabulary.
+func (b *BPE) VocabSize() int { return len(b.ids) }
+
+// NumMerges returns the number of learned merge rules.
+func (b *BPE) NumMerges() int { return len(b.merges) }
+
+// CoveredTokens returns how many distinct vocabulary symbols the texts use,
+// the statistic of Table 2's "Tokens" column.
+func (b *BPE) CoveredTokens(texts []string) int {
+	used := make(map[string]bool)
+	for _, t := range texts {
+		for _, s := range b.Encode(t) {
+			if _, ok := b.vocab[s]; ok {
+				used[s] = true
+			}
+		}
+	}
+	return len(used)
+}

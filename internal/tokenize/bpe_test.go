@@ -1,0 +1,134 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wdcproducts/internal/textutil"
+)
+
+var trainTexts = []string{
+	"seagate barracuda internal hard drive",
+	"seagate barracuda internal hard drive 2tb",
+	"seagate firecuda internal hard drive 1tb",
+	"western digital blue internal hard drive",
+	"western digital black internal hard drive",
+	"nike running shoes lightweight",
+	"adidas running shoes lightweight mesh",
+	"running shoes for daily training",
+}
+
+func TestTrainAndEncode(t *testing.T) {
+	b := Train(trainTexts, 50)
+	if b.NumMerges() == 0 {
+		t.Fatal("no merges learned")
+	}
+	if b.VocabSize() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	syms := b.Encode("seagate internal hard drive")
+	if len(syms) == 0 {
+		t.Fatal("Encode returned nothing")
+	}
+	// Frequent words should compress below character count.
+	word := "internal"
+	enc := b.EncodeWord(word)
+	if len(enc) >= len(word)+1 {
+		t.Fatalf("frequent word not compressed: %v", enc)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := Train(trainTexts, 80)
+	for _, text := range trainTexts {
+		norm := strings.Join(textutil.Tokenize(text), " ")
+		got := b.Decode(b.Encode(text))
+		if got != norm {
+			t.Fatalf("round trip failed: %q -> %q", norm, got)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	b := Train(trainTexts, 60)
+	f := func(s string) bool {
+		if len(s) > 60 {
+			s = s[:60]
+		}
+		norm := strings.Join(textutil.Tokenize(s), " ")
+		return b.Decode(b.Encode(s)) == norm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeIDsInVocab(t *testing.T) {
+	b := Train(trainTexts, 40)
+	ids := b.EncodeIDs("seagate hard drive")
+	for _, id := range ids {
+		if id < 0 || id >= b.VocabSize() {
+			t.Fatalf("in-corpus text produced out-of-vocab id %d", id)
+		}
+	}
+	// Unseen base characters map to -1.
+	ids = b.EncodeIDs("日本")
+	found := false
+	for _, id := range ids {
+		if id == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unseen characters should yield -1 ids")
+	}
+}
+
+func TestCoveredTokens(t *testing.T) {
+	b := Train(trainTexts, 40)
+	full := b.CoveredTokens(trainTexts)
+	if full <= 0 || full > b.VocabSize() {
+		t.Fatalf("CoveredTokens(all) = %d, vocab %d", full, b.VocabSize())
+	}
+	sub := b.CoveredTokens(trainTexts[:1])
+	if sub > full {
+		t.Fatalf("subset coverage %d exceeds full coverage %d", sub, full)
+	}
+	if b.CoveredTokens(nil) != 0 {
+		t.Fatal("empty text coverage should be 0")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a := Train(trainTexts, 50)
+	b := Train(trainTexts, 50)
+	if a.NumMerges() != b.NumMerges() {
+		t.Fatalf("merge counts differ: %d vs %d", a.NumMerges(), b.NumMerges())
+	}
+	for i := range a.merges {
+		if a.merges[i] != b.merges[i] {
+			t.Fatalf("merge %d differs: %v vs %v", i, a.merges[i], b.merges[i])
+		}
+	}
+}
+
+func TestZeroMerges(t *testing.T) {
+	b := Train(trainTexts, 0)
+	if b.NumMerges() != 0 {
+		t.Fatal("zero-merge training learned merges")
+	}
+	// Encoding falls back to characters + end-of-word.
+	enc := b.EncodeWord("abc")
+	if len(enc) != 4 {
+		t.Fatalf("character fallback = %v", enc)
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	b := Train(nil, 10)
+	if b.NumMerges() != 0 {
+		t.Fatal("empty corpus learned merges")
+	}
+	_ = b.Encode("something")
+}

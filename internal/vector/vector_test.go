@@ -1,0 +1,177 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSparseDot(t *testing.T) {
+	a := NewSparseFromMap(map[int32]float32{0: 1, 3: 2, 7: 1})
+	b := NewSparseFromMap(map[int32]float32{3: 4, 7: 1, 9: 5})
+	if got := a.Dot(b); !approx(got, 9) {
+		t.Fatalf("Dot = %v, want 9", got)
+	}
+	if got := b.Dot(a); !approx(got, 9) {
+		t.Fatalf("Dot not symmetric: %v", got)
+	}
+}
+
+func TestSparseEmpty(t *testing.T) {
+	var empty Sparse
+	a := NewBinarySparse([]int32{1, 2})
+	if got := empty.Dot(a); got != 0 {
+		t.Fatalf("empty Dot = %v", got)
+	}
+	if got := empty.Cosine(a); got != 0 {
+		t.Fatalf("empty Cosine = %v", got)
+	}
+	if empty.NNZ() != 0 {
+		t.Fatal("empty NNZ != 0")
+	}
+}
+
+func TestNewBinarySparseDedup(t *testing.T) {
+	s := NewBinarySparse([]int32{5, 1, 5, 3, 1})
+	if s.NNZ() != 3 {
+		t.Fatalf("dedup failed: %v", s.Idx)
+	}
+	for i := 1; i < len(s.Idx); i++ {
+		if s.Idx[i-1] >= s.Idx[i] {
+			t.Fatalf("indices not sorted: %v", s.Idx)
+		}
+	}
+	if got := s.Norm(); !approx(got, math.Sqrt(3)) {
+		t.Fatalf("binary Norm = %v", got)
+	}
+}
+
+func TestSparseCosineSelf(t *testing.T) {
+	s := NewSparseFromMap(map[int32]float32{2: 1.5, 4: -0.5, 8: 3})
+	if got := s.Cosine(s); !approx(got, 1) {
+		t.Fatalf("self Cosine = %v, want 1", got)
+	}
+}
+
+func TestSparseOverlap(t *testing.T) {
+	a := NewBinarySparse([]int32{1, 2, 3, 4})
+	b := NewBinarySparse([]int32{3, 4, 5})
+	if got := a.Overlap(b); got != 2 {
+		t.Fatalf("Overlap = %d, want 2", got)
+	}
+}
+
+func TestDenseOps(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); !approx(got, 32) {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Norm([]float32{3, 4}); !approx(got, 5) {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := Cosine(a, a); !approx(got, 1) {
+		t.Fatalf("self Cosine = %v", got)
+	}
+	if got := Cosine([]float32{0, 0}, a); got != 0 {
+		t.Fatalf("zero Cosine = %v", got)
+	}
+	s := Sub(b, a)
+	if s[0] != 3 || s[1] != 3 || s[2] != 3 {
+		t.Fatalf("Sub = %v", s)
+	}
+	ad := AbsDiff(a, b)
+	if ad[0] != 3 || ad[2] != 3 {
+		t.Fatalf("AbsDiff = %v", ad)
+	}
+	h := Hadamard(a, b)
+	if h[0] != 4 || h[2] != 18 {
+		t.Fatalf("Hadamard = %v", h)
+	}
+	sum := Add(a, b)
+	if sum[0] != 5 || sum[2] != 9 {
+		t.Fatalf("Add = %v", sum)
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	y := []float32{1, 1}
+	Axpy(2, []float32{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Fatalf("Scale = %v", y)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float32{3, 4}
+	Normalize(x)
+	if math.Abs(Norm(x)-1) > 1e-6 {
+		t.Fatalf("Normalize norm = %v", Norm(x))
+	}
+	z := []float32{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("Normalize changed zero vector")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float32{{1, 2}, {3, 4}})
+	if m[0] != 2 || m[1] != 3 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if Mean(nil) != nil {
+		t.Fatal("Mean(nil) != nil")
+	}
+}
+
+// Property: sparse cosine is symmetric and within [-1, 1].
+func TestSparseCosineProperty(t *testing.T) {
+	f := func(am, bm map[int32]float32) bool {
+		sanitize := func(m map[int32]float32) map[int32]float32 {
+			out := make(map[int32]float32)
+			for k, v := range m {
+				if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) && v != 0 {
+					if k < 0 {
+						k = -k
+					}
+					out[k%1000] = v
+				}
+			}
+			return out
+		}
+		a := NewSparseFromMap(sanitize(am))
+		b := NewSparseFromMap(sanitize(bm))
+		c1, c2 := a.Cosine(b), b.Cosine(a)
+		if math.Abs(c1-c2) > 1e-6 {
+			return false
+		}
+		return c1 >= -1.0000001 && c1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overlap of binary vectors is bounded by min NNZ.
+func TestOverlapBoundProperty(t *testing.T) {
+	f := func(as, bs []int32) bool {
+		a := NewBinarySparse(as)
+		b := NewBinarySparse(bs)
+		ov := a.Overlap(b)
+		lim := a.NNZ()
+		if b.NNZ() < lim {
+			lim = b.NNZ()
+		}
+		return ov >= 0 && ov <= lim
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

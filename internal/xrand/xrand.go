@@ -1,0 +1,135 @@
+// Package xrand provides deterministic, splittable random number streams.
+//
+// Every stage of the WDC Products pipeline receives its own named stream
+// derived from a single master seed, so that a change in one stage (for
+// example drawing more similarity metrics during product selection) does not
+// perturb the randomness consumed by any other stage. This mirrors the
+// reproducibility guarantees of the original benchmark-generation code, which
+// fixes seeds per step.
+package xrand
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// splitmix64 advances the state and returns the next output of the
+// SplitMix64 generator. It is used only for deriving high-quality sub-seeds
+// from a master seed; the actual streams are stdlib math/rand generators.
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Source is a deterministic factory for named random streams.
+type Source struct {
+	seed uint64
+}
+
+// New returns a Source rooted at the given master seed.
+func New(seed int64) *Source {
+	return &Source{seed: uint64(seed)}
+}
+
+// Stream returns an independent *rand.Rand identified by name. Calling
+// Stream twice with the same name returns generators that produce identical
+// sequences; different names yield (statistically) independent sequences.
+func (s *Source) Stream(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	state := s.seed ^ h.Sum64()
+	_, out1 := splitmix64(state)
+	state2, out2 := splitmix64(state ^ 0xa0761d6478bd642f)
+	_ = state2
+	return rand.New(rand.NewSource(int64(out1 ^ out2<<1)))
+}
+
+// Split derives a child Source whose streams are independent from the
+// parent's. Useful for giving each benchmark variant its own seed universe.
+func (s *Source) Split(name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	_, out := splitmix64(s.seed ^ h.Sum64() ^ 0xe7037ed1a0b428db)
+	return &Source{seed: out}
+}
+
+// Seed returns the master seed of the source, for logging and manifests.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Perm returns a deterministic permutation of n elements from the named
+// stream. It is a convenience wrapper used by pipeline stages that shuffle
+// work lists.
+func (s *Source) Perm(name string, n int) []int {
+	return s.Stream(name).Perm(n)
+}
+
+// Shuffle shuffles the slice indices [0,n) in place using the named stream.
+func Shuffle(r *rand.Rand, n int, swap func(i, j int)) {
+	r.Shuffle(n, swap)
+}
+
+// Choice returns a uniformly random element index weighted by w (all weights
+// must be non-negative; if the total weight is zero the first index is
+// returned). It is used by the corpus generator for category/brand draws.
+func Choice(r *rand.Rand, w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return 0
+	}
+	t := r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if t < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Bool returns true with probability p on the given stream.
+func Bool(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// IntBetween returns a uniform integer in [lo, hi] inclusive. It panics when
+// hi < lo, which always indicates a programming error in the caller.
+func IntBetween(r *rand.Rand, lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntBetween with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0,n). When k >= n it returns a permutation of all n indices.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	if k >= n {
+		return r.Perm(n)
+	}
+	// Partial Fisher-Yates over an index array.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

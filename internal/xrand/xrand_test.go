@@ -1,0 +1,167 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	s := New(42)
+	a := s.Stream("selection")
+	b := s.Stream("selection")
+	for i := 0; i < 100; i++ {
+		if got, want := a.Int63(), b.Int63(); got != want {
+			t.Fatalf("same-name streams diverged at draw %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	s := New(42)
+	a := s.Stream("selection")
+	b := s.Stream("splitting")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 50 { // expectation is ~1, allow generous slack
+		t.Fatalf("different-name streams look correlated: %d/1000 equal draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(7)
+	c1 := s.Split("variant-a").Stream("x")
+	c2 := s.Split("variant-b").Stream("x")
+	if c1.Int63() == c2.Int63() && c1.Int63() == c2.Int63() {
+		t.Fatal("split sources produced identical streams")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1).Stream("x")
+	b := New(2).Stream("x")
+	diff := false
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different master seeds produced identical streams")
+	}
+}
+
+func TestChoiceBounds(t *testing.T) {
+	r := New(3).Stream("choice")
+	w := []float64{0.1, 0.0, 0.9}
+	counts := make([]int, 3)
+	for i := 0; i < 2000; i++ {
+		idx := Choice(r, w)
+		if idx < 0 || idx >= len(w) {
+			t.Fatalf("Choice returned out-of-range index %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[1])
+	}
+	if counts[2] < counts[0] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestChoiceZeroTotal(t *testing.T) {
+	r := New(3).Stream("choice")
+	if got := Choice(r, []float64{0, 0}); got != 0 {
+		t.Fatalf("zero-total Choice = %d, want 0", got)
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	r := New(5).Stream("ib")
+	for i := 0; i < 1000; i++ {
+		v := IntBetween(r, 3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("IntBetween out of range: %d", v)
+		}
+	}
+	if v := IntBetween(r, 4, 4); v != 4 {
+		t.Fatalf("degenerate IntBetween = %d, want 4", v)
+	}
+}
+
+func TestIntBetweenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntBetween(hi<lo) did not panic")
+		}
+	}()
+	IntBetween(New(1).Stream("p"), 5, 4)
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(9).Stream("swr")
+	got := SampleWithoutReplacement(r, 50, 10)
+	if len(got) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 50 {
+			t.Fatalf("sample value out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample value: %d", v)
+		}
+		seen[v] = true
+	}
+	// k >= n returns a full permutation.
+	all := SampleWithoutReplacement(r, 5, 10)
+	if len(all) != 5 {
+		t.Fatalf("over-sample size = %d, want 5", len(all))
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(11).Stream("bool")
+	for i := 0; i < 100; i++ {
+		if Bool(r, 0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !Bool(r, 1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+// Property: sampling k of n always yields k distinct in-range values.
+func TestSampleProperty(t *testing.T) {
+	r := New(13).Stream("prop")
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%64) + 1
+		k := int(k8 % 64)
+		got := SampleWithoutReplacement(r, n, k)
+		want := k
+		if k > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package wdcproducts is a from-scratch Go reproduction of "WDC Products:
+// A Multi-Dimensional Entity Matching Benchmark" (Peeters, Der & Bizer,
+// EDBT 2024): the full benchmark-creation pipeline over a synthetic
+// web-product corpus, the 27 pair-wise and 9 multi-class benchmark
+// variants, six matching systems, and the complete experimental harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// The quickest way in:
+//
+//	bench, err := wdcproducts.Build(wdcproducts.SmallScale(42))
+//	runner := wdcproducts.NewRunner(bench, 42)
+//	results, err := runner.RunPairwise(wdcproducts.ExperimentConfig{Repetitions: 1})
+//	fmt.Print(wdcproducts.Table3(results, nil))
+//
+// See DESIGN.md for the system inventory and the substitutions standing in
+// for web-scale data and GPU-trained transformer matchers, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package wdcproducts
+
+import (
+	"wdcproducts/internal/core"
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/experiments"
+	"wdcproducts/internal/labelcheck"
+	"wdcproducts/internal/matchers"
+	"wdcproducts/internal/profilestats"
+	"wdcproducts/internal/tables"
+	"wdcproducts/internal/tokenize"
+	"wdcproducts/internal/xrand"
+)
+
+// Core benchmark types, re-exported for consumers of the public API.
+type (
+	// Benchmark is the assembled multi-dimensional benchmark.
+	Benchmark = core.Benchmark
+	// BuildConfig parameterizes a benchmark build.
+	BuildConfig = core.BuildConfig
+	// VariantKey addresses one of the 27 pair-wise variants.
+	VariantKey = core.VariantKey
+	// Pair is one labeled offer pair.
+	Pair = core.Pair
+	// MultiExample is one multi-class example.
+	MultiExample = core.MultiExample
+	// DevSize is the development-set-size dimension.
+	DevSize = core.DevSize
+	// CornerRatio is the corner-case percentage dimension.
+	CornerRatio = core.CornerRatio
+	// Unseen is the unseen-products percentage of a test set.
+	Unseen = core.Unseen
+	// Corpus is the synthetic product corpus a benchmark was built from.
+	Corpus = corpus.Corpus
+)
+
+// Dimension values, re-exported.
+const (
+	Small  = core.Small
+	Medium = core.Medium
+	Large  = core.Large
+)
+
+// Experiment harness types, re-exported.
+type (
+	// Runner trains and evaluates matching systems on a benchmark.
+	Runner = experiments.Runner
+	// ExperimentConfig controls repetitions and system selection.
+	ExperimentConfig = experiments.Config
+	// Results holds experiment outcomes.
+	Results = experiments.Results
+	// PairMatcher is a pair-wise matching system.
+	PairMatcher = matchers.PairMatcher
+	// MultiMatcher is a multi-class matching system.
+	MultiMatcher = matchers.MultiMatcher
+	// MatcherData is the offer view handed to matchers.
+	MatcherData = matchers.Data
+	// Table is a renderable result table.
+	Table = tables.Table
+)
+
+// DefaultScale returns the paper-scale build configuration (500 products
+// per set; the recorded experiment scale).
+func DefaultScale(seed int64) BuildConfig { return core.DefaultBuildConfig(seed) }
+
+// SmallScale returns the reduced configuration used by the benchmarks and
+// examples (120 products per set).
+func SmallScale(seed int64) BuildConfig { return core.SmallBuildConfig(seed) }
+
+// TinyScale returns the unit-test configuration (40 products per set).
+func TinyScale(seed int64) BuildConfig { return core.TinyBuildConfig(seed) }
+
+// Build runs the full §3 pipeline and assembles the benchmark.
+func Build(cfg BuildConfig) (*Benchmark, error) { return core.Build(cfg) }
+
+// BuildWithCorpus is Build but also returns the cleansed corpus whose
+// ground truth the label-quality study audits against.
+func BuildWithCorpus(cfg BuildConfig) (*Benchmark, *Corpus, error) {
+	return core.BuildWithCorpus(cfg)
+}
+
+// Save writes a benchmark to a directory (JSONL datasets + manifest).
+func Save(b *Benchmark, dir string) error { return core.Save(b, dir) }
+
+// Load reads a benchmark saved by Save.
+func Load(dir string) (*Benchmark, error) { return core.Load(dir) }
+
+// Validate checks the benchmark's structural invariants (no split leakage,
+// label consistency, unseen fractions).
+func Validate(b *Benchmark) error { return core.Validate(b) }
+
+// NewRunner trains the shared text encoder and binds it to the benchmark.
+func NewRunner(b *Benchmark, seed int64) *Runner {
+	return experiments.NewRunner(b, embed.DefaultConfig(), seed)
+}
+
+// NewPairMatcher constructs one of the six §5.1 systems by name:
+// "Word-Cooc", "Magellan", "RoBERTa", "Ditto", "HierGAT", "R-SupCon".
+func NewPairMatcher(name string) (PairMatcher, error) {
+	return experiments.NewPairMatcher(name)
+}
+
+// NewMultiMatcher constructs a multi-class system by name: "Word-Occ",
+// "RoBERTa", "R-SupCon".
+func NewMultiMatcher(name string) (MultiMatcher, error) {
+	return experiments.NewMultiMatcher(name)
+}
+
+// PairSystems lists the pair-wise systems in the paper's column order.
+func PairSystems() []string { return append([]string(nil), experiments.PairSystems...) }
+
+// Table renderers, re-exported.
+var (
+	Table3  = experiments.Table3
+	Table4  = experiments.Table4
+	Table5  = experiments.Table5
+	Figure4 = experiments.Figure4
+	Figure5 = experiments.Figure5
+	Figure6 = experiments.Figure6
+)
+
+// Table1 renders the split-size statistics of the benchmark.
+func Table1(b *Benchmark) *Table { return profilestats.Table1(b) }
+
+// Table2 renders the attribute density/length/vocabulary profile; it
+// trains the BPE tokenizer it needs.
+func Table2(b *Benchmark) *Table {
+	return profilestats.Table2(b, profilestats.TrainBPE(b, 1200))
+}
+
+// Table6 renders the benchmark-landscape comparison including the
+// generated benchmark's own profile row.
+func Table6(b *Benchmark) *Table { return profilestats.Table6(b) }
+
+// Figure3 renders the cluster-size/split distribution for one ratio.
+func Figure3(b *Benchmark, cc CornerRatio) *Table { return profilestats.Figure3(b, cc) }
+
+// LabelQuality runs the §4 label-quality study (simulated expert
+// annotators; noise estimate + Cohen's kappa).
+func LabelQuality(b *Benchmark, c *Corpus, seed int64) (*labelcheck.Result, error) {
+	return labelcheck.Run(b, c, labelcheck.DefaultConfig(), xrand.New(seed))
+}
+
+// LabelQualityResult is the outcome of the §4 study.
+type LabelQualityResult = labelcheck.Result
+
+// BPE is the trainable byte-pair tokenizer used by Table 2's token column.
+type BPE = tokenize.BPE
+
+// TrainBPE exposes the profiling tokenizer for callers that render Table 2
+// repeatedly.
+func TrainBPE(b *Benchmark, merges int) *BPE {
+	return profilestats.TrainBPE(b, merges)
+}
+
+// Table2With renders the attribute profile with a caller-provided
+// tokenizer, avoiding the per-call BPE training of Table2.
+func Table2With(b *Benchmark, bpe *BPE) *Table {
+	return profilestats.Table2(b, bpe)
+}

@@ -1,0 +1,98 @@
+package wdcproducts_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"wdcproducts"
+	"wdcproducts/internal/matchers"
+)
+
+// The root tests exercise the public facade end-to-end; the heavy fixtures
+// are shared with bench_test.go through setup().
+
+func TestFacadeBuildValidateRoundTrip(t *testing.T) {
+	b := testFixture(t)
+	if err := wdcproducts.Validate(b); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "wdcfacade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := wdcproducts.Save(b, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := wdcproducts.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Offers) != len(b.Offers) {
+		t.Fatalf("round trip lost offers: %d vs %d", len(loaded.Offers), len(b.Offers))
+	}
+}
+
+// testFixture reuses the bench fixture so the tiny benchmark is built once
+// per `go test .` invocation.
+func testFixture(t *testing.T) *wdcproducts.Benchmark {
+	t.Helper()
+	ensureBuild(t)
+	return benchB
+}
+
+func TestFacadeMatcherTraining(t *testing.T) {
+	b := testFixture(t)
+	m, err := wdcproducts.NewPairMatcher("Magellan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrainPairs(runner.Data, b.TrainPairs(50, wdcproducts.Small),
+		b.ValPairs(50, wdcproducts.Small), 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := matchers.EvaluatePairs(m, runner.Data, b.TestPairs(50, 0))
+	if counts.Total() == 0 {
+		t.Fatal("no pairs evaluated")
+	}
+}
+
+func TestFacadeProfilingTables(t *testing.T) {
+	b := testFixture(t)
+	for name, s := range map[string]string{
+		"table1":  wdcproducts.Table1(b).String(),
+		"table6":  wdcproducts.Table6(b).String(),
+		"figure3": wdcproducts.Figure3(b, 80).String(),
+	} {
+		if len(strings.TrimSpace(s)) == 0 {
+			t.Fatalf("%s rendered empty", name)
+		}
+	}
+}
+
+func TestFacadeLabelQuality(t *testing.T) {
+	b := testFixture(t)
+	res, err := wdcproducts.LabelQuality(b, benchC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kappa <= 0 || res.SampledPairs == 0 {
+		t.Fatalf("label quality degenerate: %+v", res)
+	}
+}
+
+func TestFacadeSystemLists(t *testing.T) {
+	systems := wdcproducts.PairSystems()
+	if len(systems) != 6 {
+		t.Fatalf("PairSystems = %v", systems)
+	}
+	for _, s := range systems {
+		if _, err := wdcproducts.NewPairMatcher(s); err != nil {
+			t.Fatalf("constructor for %s failed: %v", s, err)
+		}
+	}
+	if _, err := wdcproducts.NewPairMatcher("bogus"); err == nil {
+		t.Fatal("bogus system accepted")
+	}
+}
