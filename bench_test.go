@@ -12,8 +12,10 @@ package wdcproducts_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"wdcproducts"
 	"wdcproducts/internal/blocking"
@@ -226,6 +228,66 @@ func BenchmarkLabelQuality_Kappa(b *testing.B) {
 			res.SampledPairs, res.NoiseEstimate[0]*100, res.NoiseEstimate[1]*100, res.Kappa))
 	}
 	b.ReportMetric(kappa, "kappa")
+}
+
+// --- Parallel harness benches ----------------------------------------------
+
+// benchMatrixSystems is the system subset the harness benches train: one
+// representative of each matcher family (SVM, forest, MLP) keeps a full
+// 27-variant matrix affordable per iteration.
+var benchMatrixSystems = []string{"Word-Cooc", "Magellan", "RoBERTa"}
+
+// runMatrix runs one pair-wise experiment matrix at the given worker
+// count on the shared tiny benchmark.
+func runMatrix(b *testing.B, workers int) {
+	b.Helper()
+	cfg := wdcproducts.ExperimentConfig{
+		Repetitions: 1, Seed: 42, Workers: workers, Systems: benchMatrixSystems,
+	}
+	if _, err := runner.RunPairwise(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExperimentMatrix_Serial measures the Workers: 1 path — the
+// pre-refactor behaviour of the harness.
+func BenchmarkExperimentMatrix_Serial(b *testing.B) {
+	setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runMatrix(b, 1)
+	}
+}
+
+// BenchmarkExperimentMatrix_Parallel measures the default Workers: 0
+// (NumCPU) path over the same matrix.
+func BenchmarkExperimentMatrix_Parallel(b *testing.B) {
+	setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runMatrix(b, 0)
+	}
+}
+
+// BenchmarkExperimentMatrix_Speedup times both paths back to back in each
+// iteration and reports the wall-clock speedup and the core count it was
+// achieved on (1.0 is the expected floor on a single-core machine).
+func BenchmarkExperimentMatrix_Speedup(b *testing.B) {
+	setup(b)
+	var serial, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		runMatrix(b, 1)
+		serial += time.Since(t0)
+		t1 := time.Now()
+		runMatrix(b, 0)
+		par += time.Since(t1)
+	}
+	if par > 0 {
+		b.ReportMetric(float64(serial)/float64(par), "serial/parallel-speedup")
+	}
+	b.ReportMetric(float64(runtime.NumCPU()), "cores")
 }
 
 // --- Ablation benches (DESIGN.md §5) ---------------------------------------

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	wdceval [-scale small] [-seed 42] [-reps 3] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6]
+//	wdceval [-scale small] [-seed 42] [-reps 3] [-workers 0] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6]
+//
+// -workers spreads the independent training cells across CPUs (0 = all
+// cores, 1 = serial); results are identical at any worker count.
 package main
 
 import (
@@ -22,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "master random seed")
 	scale := flag.String("scale", "small", "default|small|tiny")
 	reps := flag.Int("reps", 1, "training repetitions per cell (the paper uses 3)")
+	workers := flag.Int("workers", 0, "concurrent training cells (0 = NumCPU, 1 = serial; results identical)")
 	systemsFlag := flag.String("systems", "", "comma-separated system subset (default: all)")
 	table := flag.Int("table", 0, "print only table 3, 4 or 5")
 	figure := flag.Int("figure", 0, "print only figure 4, 5 or 6")
@@ -45,7 +49,7 @@ func main() {
 	}
 	runner := wdcproducts.NewRunner(b, *seed)
 
-	ecfg := wdcproducts.ExperimentConfig{Repetitions: *reps, Seed: *seed}
+	ecfg := wdcproducts.ExperimentConfig{Repetitions: *reps, Seed: *seed, Workers: *workers}
 	if !*quiet {
 		ecfg.Progress = os.Stderr
 	}

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	wdcprofile [-dir ./benchmark | -scale small -seed 42] [-table 1|2|6] [-figure 3] [-labels]
+//	wdcprofile [-dir ./benchmark | -scale small -seed 42] [-table 1|2|6] [-figure 3] [-labels] [-workers 0]
 //
 // Without -dir the benchmark is built in-process at the requested scale
 // (the label study requires in-process building, since it audits against
-// the generator's ground truth).
+// the generator's ground truth). The profiling artifacts are independent
+// computations; -workers renders them concurrently (0 = all cores,
+// 1 = serial) with output order unchanged.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"log"
 
 	"wdcproducts"
+	"wdcproducts/internal/parallel"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 	table := flag.Int("table", 0, "print table 1, 2 or 6 (0 = all)")
 	figure := flag.Int("figure", 0, "print figure 3")
 	labels := flag.Bool("labels", false, "run the label-quality study (in-process builds only)")
+	workers := flag.Int("workers", 0, "concurrent artifact renders (0 = NumCPU, 1 = serial; output identical)")
 	flag.Parse()
 
 	var (
@@ -54,33 +58,54 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Each requested artifact is an independent computation; render them
+	// across the worker pool and print in the fixed artifact order.
 	all := *table == 0 && *figure == 0 && !*labels
+	var renders []func() (string, error)
 	if *table == 1 || all {
-		fmt.Println(wdcproducts.Table1(b))
+		renders = append(renders, func() (string, error) { return wdcproducts.Table1(b).String(), nil })
 	}
 	if *table == 2 || all {
-		fmt.Println(wdcproducts.Table2(b))
+		renders = append(renders, func() (string, error) { return wdcproducts.Table2(b).String(), nil })
 	}
 	if *table == 6 || all {
-		fmt.Println(wdcproducts.Table6(b))
+		renders = append(renders, func() (string, error) { return wdcproducts.Table6(b).String(), nil })
 	}
 	if *figure == 3 || all {
 		for _, cc := range []wdcproducts.CornerRatio{80, 50, 20} {
-			fmt.Println(wdcproducts.Figure3(b, cc))
+			renders = append(renders, func() (string, error) { return wdcproducts.Figure3(b, cc).String(), nil })
 		}
 	}
 	if *labels || all {
-		if c == nil {
-			log.Fatal("label study needs an in-process build (omit -dir)")
-		}
-		res, err := wdcproducts.LabelQuality(b, c, *seed)
+		// The nil-corpus check lives inside the render so that in "all"
+		// mode with -dir the other artifacts still print before the label
+		// study fails (it is the last task; the ordered collector emits
+		// every earlier render first).
+		renders = append(renders, func() (string, error) {
+			if c == nil {
+				return "", fmt.Errorf("label study needs an in-process build (omit -dir)")
+			}
+			res, err := wdcproducts.LabelQuality(b, c, *seed)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Label-quality study (§4): %d pairs sampled (%d pos / %d neg)\n"+
+				"  noise estimate: annotator1=%.2f%% annotator2=%.2f%%\n"+
+				"  Cohen's kappa:  %.2f",
+				res.SampledPairs, res.Positives, res.Negatives,
+				res.NoiseEstimate[0]*100, res.NoiseEstimate[1]*100, res.Kappa), nil
+		})
+	}
+	out := make([]string, len(renders))
+	err = parallel.Run(len(renders), *workers, func(i int) error {
+		s, err := renders[i]()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("Label-quality study (§4): %d pairs sampled (%d pos / %d neg)\n",
-			res.SampledPairs, res.Positives, res.Negatives)
-		fmt.Printf("  noise estimate: annotator1=%.2f%% annotator2=%.2f%%\n",
-			res.NoiseEstimate[0]*100, res.NoiseEstimate[1]*100)
-		fmt.Printf("  Cohen's kappa:  %.2f\n", res.Kappa)
+		out[i] = s
+		return nil
+	}, func(i int) { fmt.Println(out[i]) })
+	if err != nil {
+		log.Fatal(err)
 	}
 }

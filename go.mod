@@ -1,0 +1,3 @@
+module wdcproducts
+
+go 1.24

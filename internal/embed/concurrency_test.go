@@ -1,0 +1,112 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/xrand"
+)
+
+// TestCachedMetricConcurrent hammers one CachedMetric from many
+// goroutines over an overlapping title set and requires every observed
+// similarity to equal the uncached Metric value exactly. Run with -race:
+// the memo map is the shared state the parallel pipeline leans on.
+func TestCachedMetricConcurrent(t *testing.T) {
+	titles := make([]string, 12)
+	for i := range titles {
+		titles[i] = fmt.Sprintf("globex drive %d ssd 1tb nvme gen%d", i, i%3)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	m := Train(titles, cfg, xrand.New(7).Stream("cached-metric"))
+
+	want := make(map[[2]int]float64)
+	plain := m.Metric()
+	for a := range titles {
+		for b := range titles {
+			want[[2]int{a, b}] = plain.Sim(titles[a], titles[b])
+		}
+	}
+
+	cached := m.CachedMetric()
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 4*len(titles)*len(titles); k++ {
+				a := (g + k) % len(titles)
+				b := (g*3 + k*7) % len(titles)
+				got := cached.Sim(titles[a], titles[b])
+				if got != want[[2]int{a, b}] {
+					errs <- fmt.Errorf("sim(%d,%d) = %v, want %v", a, b, got, want[[2]int{a, b}])
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestModelConcurrentReads covers the trained model's read paths
+// (Encode, WordVec, TokenIDF, Similarity) under concurrency — the shared
+// encoder every experiment worker reads through matchers.Data.
+func TestModelConcurrentReads(t *testing.T) {
+	titles := []string{
+		"initech keyboard k120 wired",
+		"initech keyboard k380 wireless multi device",
+		"hooli monitor 27in 4k uhd",
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	m := Train(titles, cfg, xrand.New(9).Stream("reads"))
+
+	wantEnc := m.Encode(titles[0])
+	wantSim := m.Similarity(titles[0], titles[1])
+	wantIDF := m.TokenIDF("keyboard")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				enc := m.Encode(titles[0])
+				for d, v := range enc {
+					if v != wantEnc[d] {
+						errs <- fmt.Errorf("Encode diverged at dim %d", d)
+						return
+					}
+				}
+				if s := m.Similarity(titles[0], titles[1]); s != wantSim || math.IsNaN(s) {
+					errs <- fmt.Errorf("Similarity diverged: %v vs %v", s, wantSim)
+					return
+				}
+				if idf := m.TokenIDF("keyboard"); idf != wantIDF {
+					errs <- fmt.Errorf("TokenIDF diverged: %v vs %v", idf, wantIDF)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

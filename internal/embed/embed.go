@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"wdcproducts/internal/simlib"
 	"wdcproducts/internal/textutil"
@@ -361,16 +362,19 @@ func (m *Model) Metric() simlib.Metric {
 // CachedMetric is like Metric but memoizes Encode per distinct string.
 // Corner-case selection and pair generation score the same titles millions
 // of times; the cache turns each into a single dot product. The cache is
-// not safe for concurrent use, matching the single-threaded pipeline.
+// safe for concurrent use (a read-mostly sync.Map keyed by title). Today's
+// only caller is the single-threaded build pipeline, so the safety is
+// precautionary — it exists so pipeline stages can be parallelized without
+// revisiting this memo. Encode is deterministic, so even callers racing on
+// a cold entry observe identical values regardless of interleaving.
 func (m *Model) CachedMetric() simlib.Metric {
-	cache := make(map[string][]float32)
+	var cache sync.Map // string -> []float32
 	enc := func(s string) []float32 {
-		if v, ok := cache[s]; ok {
-			return v
+		if v, ok := cache.Load(s); ok {
+			return v.([]float32)
 		}
-		v := m.Encode(s)
-		cache[s] = v
-		return v
+		v, _ := cache.LoadOrStore(s, m.Encode(s))
+		return v.([]float32)
 	}
 	return simlib.Func{MetricName: "embedding", F: func(a, b string) float64 {
 		c := vector.Cosine(enc(a), enc(b))

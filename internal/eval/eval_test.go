@@ -219,6 +219,33 @@ func TestMeanStd(t *testing.T) {
 	}
 }
 
+func TestMeanStdEdgeCases(t *testing.T) {
+	// Empty (non-nil) slice behaves like nil.
+	if m, s := MeanStd([]float64{}); m != 0 || s != 0 {
+		t.Fatalf("empty slice MeanStd = %v, %v, want 0, 0", m, s)
+	}
+	// A single value is its own mean with zero spread — the 1-repetition
+	// experiment case, where F1Std must be exactly 0.
+	if m, s := MeanStd([]float64{0.8125}); m != 0.8125 || s != 0 {
+		t.Fatalf("single-value MeanStd = %v, %v, want 0.8125, 0", m, s)
+	}
+	// Identical values: mean exact, std exactly 0 (no float drift).
+	if m, s := MeanStd([]float64{0.25, 0.25, 0.25}); m != 0.25 || s != 0 {
+		t.Fatalf("constant MeanStd = %v, %v, want 0.25, 0", m, s)
+	}
+	// NaN propagates to both outputs rather than being silently absorbed:
+	// a poisoned repetition score must be visible in the averaged cell.
+	m, s := MeanStd([]float64{0.5, math.NaN()})
+	if !math.IsNaN(m) || !math.IsNaN(s) {
+		t.Fatalf("NaN input gave MeanStd = %v, %v, want NaN, NaN", m, s)
+	}
+	// Infinities poison the spread the same way.
+	m, s = MeanStd([]float64{1, math.Inf(1)})
+	if !math.IsInf(m, 1) || !math.IsNaN(s) {
+		t.Fatalf("Inf input gave MeanStd = %v, %v, want +Inf, NaN", m, s)
+	}
+}
+
 func TestPRFString(t *testing.T) {
 	p := PRF{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3.0}
 	if got := p.String(); got != "P=50.00 R=25.00 F1=33.33" {

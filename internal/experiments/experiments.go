@@ -3,6 +3,17 @@
 // and renders the paper's result tables — Table 3 (pair-wise F1), Table 4
 // (precision/recall of the neural systems), Table 5 (multi-class micro-F1)
 // — and the Figure 4/5/6 dimension slices.
+//
+// The (system, ratio, dev size) training cells of the evaluation matrix
+// are independent, so the harness dispatches them across a worker pool
+// sized by Config.Workers (default runtime.NumCPU(); 1 reproduces the
+// serial path). Results are deterministic at any worker count: every RNG
+// stream is keyed to its cell (seed = Config.Seed + rep*7919, split by
+// system name) rather than to execution order, the shared matchers.Data
+// caches are filled behind per-offer sync.Once guards with values that are
+// pure functions of the trained encoder, and cells are reassembled — and
+// progress lines emitted — in the canonical enumeration order. Running
+// with Workers: 4 therefore produces byte-identical tables to Workers: 1.
 package experiments
 
 import (
@@ -14,6 +25,7 @@ import (
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/eval"
 	"wdcproducts/internal/matchers"
+	"wdcproducts/internal/parallel"
 	"wdcproducts/internal/xrand"
 )
 
@@ -69,8 +81,13 @@ type Config struct {
 	Systems []string
 	// Seed drives repetition seeds.
 	Seed int64
-	// Progress, when non-nil, receives one line per trained cell.
+	// Progress, when non-nil, receives one line per trained cell, in the
+	// canonical cell order regardless of Workers.
 	Progress io.Writer
+	// Workers is the number of training cells processed concurrently.
+	// 0 selects runtime.NumCPU(); 1 is the serial path. Results are
+	// identical for every value (see the package comment).
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's protocol.
@@ -137,9 +154,32 @@ func NewRunner(b *core.Benchmark, embedCfg embed.Config, seed int64) *Runner {
 	return &Runner{B: b, Data: matchers.NewData(b.Offers, model)}
 }
 
+// cellTask is one independent (system, ratio, dev size) training cell of
+// the evaluation matrix, in canonical enumeration order.
+type cellTask struct {
+	name string
+	cc   core.CornerRatio
+	dev  core.DevSize
+}
+
+// enumerateCells lists the matrix cells in the paper's canonical order:
+// systems in column order, ratios 80/50/20, dev sizes small/medium/large.
+func enumerateCells(systems []string) []cellTask {
+	var tasks []cellTask
+	for _, name := range systems {
+		for _, cc := range core.CornerRatios() {
+			for _, dev := range core.DevSizes() {
+				tasks = append(tasks, cellTask{name: name, cc: cc, dev: dev})
+			}
+		}
+	}
+	return tasks
+}
+
 // RunPairwise trains every selected system on every (ratio, dev) variant
 // and evaluates each trained model on the three unseen test sets,
-// averaging over repetitions.
+// averaging over repetitions. Cells are trained concurrently on
+// cfg.Workers goroutines and reassembled in canonical order.
 func (r *Runner) RunPairwise(cfg Config) (*Results, error) {
 	if cfg.Repetitions <= 0 {
 		cfg.Repetitions = 1
@@ -148,20 +188,30 @@ func (r *Runner) RunPairwise(cfg Config) (*Results, error) {
 	if systems == nil {
 		systems = PairSystems
 	}
-	res := &Results{}
-	for _, name := range systems {
-		for _, cc := range core.CornerRatios() {
-			for _, dev := range core.DevSizes() {
-				cells, err := r.runPairCell(name, cc, dev, cfg)
-				if err != nil {
-					return nil, err
-				}
-				res.Pair = append(res.Pair, cells...)
-				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress, "trained %s cc%d %s\n", name, cc, dev)
-				}
-			}
+	tasks := enumerateCells(systems)
+	cells := make([][]PairCell, len(tasks))
+	var done func(int)
+	if cfg.Progress != nil {
+		done = func(i int) {
+			t := tasks[i]
+			fmt.Fprintf(cfg.Progress, "trained %s cc%d %s\n", t.name, t.cc, t.dev)
 		}
+	}
+	err := parallel.Run(len(tasks), cfg.Workers, func(i int) error {
+		t := tasks[i]
+		cs, err := r.runPairCell(t.name, t.cc, t.dev, cfg)
+		if err != nil {
+			return err
+		}
+		cells[i] = cs
+		return nil
+	}, done)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{}
+	for _, cs := range cells {
+		res.Pair = append(res.Pair, cs...)
 	}
 	return res, nil
 }
@@ -207,7 +257,9 @@ func (r *Runner) runPairCell(name string, cc core.CornerRatio, dev core.DevSize,
 	return out, nil
 }
 
-// RunMulti trains the multi-class systems over the 9 variants.
+// RunMulti trains the multi-class systems over the 9 variants. Like
+// RunPairwise, the cells run concurrently on cfg.Workers goroutines and
+// are reassembled in canonical order.
 func (r *Runner) RunMulti(cfg Config) (*Results, error) {
 	if cfg.Repetitions <= 0 {
 		cfg.Repetitions = 1
@@ -216,34 +268,50 @@ func (r *Runner) RunMulti(cfg Config) (*Results, error) {
 	if systems == nil {
 		systems = MultiSystems
 	}
-	res := &Results{}
-	for _, name := range systems {
-		for _, cc := range core.CornerRatios() {
-			rd := r.B.Ratios[cc]
-			n := r.B.NumClasses(cc)
-			for _, dev := range core.DevSizes() {
-				var f1s []float64
-				for rep := 0; rep < cfg.Repetitions; rep++ {
-					m, err := NewMultiMatcher(name)
-					if err != nil {
-						return nil, err
-					}
-					seed := cfg.Seed + int64(rep)*7919
-					if err := m.TrainMulti(r.Data, rd.MultiTrain[dev], rd.MultiVal, n, seed); err != nil {
-						return nil, fmt.Errorf("%s cc%d %s: %w", name, cc, dev, err)
-					}
-					counts := matchers.EvaluateMulti(m, r.Data, rd.MultiTest, n)
-					f1s = append(f1s, counts.MicroF1())
-				}
-				mean, std := eval.MeanStd(f1s)
-				res.Multi = append(res.Multi, MultiCell{System: name, Corner: cc, Dev: dev, MicroF1: mean, F1Std: std})
-				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress, "trained multi %s cc%d %s\n", name, cc, dev)
-				}
-			}
+	tasks := enumerateCells(systems)
+	cells := make([]MultiCell, len(tasks))
+	var done func(int)
+	if cfg.Progress != nil {
+		done = func(i int) {
+			t := tasks[i]
+			fmt.Fprintf(cfg.Progress, "trained multi %s cc%d %s\n", t.name, t.cc, t.dev)
 		}
 	}
-	return res, nil
+	err := parallel.Run(len(tasks), cfg.Workers, func(i int) error {
+		t := tasks[i]
+		cell, err := r.runMultiCell(t.name, t.cc, t.dev, cfg)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	}, done)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{Multi: cells}, nil
+}
+
+// runMultiCell trains one multi-class (system, ratio, dev) cell with
+// repetitions and returns its averaged micro-F1.
+func (r *Runner) runMultiCell(name string, cc core.CornerRatio, dev core.DevSize, cfg Config) (MultiCell, error) {
+	rd := r.B.Ratios[cc]
+	n := r.B.NumClasses(cc)
+	var f1s []float64
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		m, err := NewMultiMatcher(name)
+		if err != nil {
+			return MultiCell{}, err
+		}
+		seed := cfg.Seed + int64(rep)*7919
+		if err := m.TrainMulti(r.Data, rd.MultiTrain[dev], rd.MultiVal, n, seed); err != nil {
+			return MultiCell{}, fmt.Errorf("%s cc%d %s: %w", name, cc, dev, err)
+		}
+		counts := matchers.EvaluateMulti(m, r.Data, rd.MultiTest, n)
+		f1s = append(f1s, counts.MicroF1())
+	}
+	mean, std := eval.MeanStd(f1s)
+	return MultiCell{System: name, Corner: cc, Dev: dev, MicroF1: mean, F1Std: std}, nil
 }
 
 // sortPairCells orders cells in the paper's Table 3 row order.

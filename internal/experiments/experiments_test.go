@@ -18,7 +18,9 @@ var (
 )
 
 // sharedRunner builds one tiny benchmark and runs a 1-repetition
-// experiment across all systems, reused by every test here.
+// experiment across all systems, reused by every test here. It runs with
+// Workers: 1 so it doubles as the serial baseline the parallel
+// equivalence tests compare against.
 func sharedRunner(t *testing.T) (*Runner, *Results, *Results) {
 	t.Helper()
 	runnerOnce.Do(func() {
@@ -30,13 +32,13 @@ func sharedRunner(t *testing.T) (*Runner, *Results, *Results) {
 		cfg := embed.DefaultConfig()
 		cfg.Epochs = 3
 		runner = NewRunner(b, cfg, 11)
-		res, err := runner.RunPairwise(Config{Repetitions: 1, Seed: 5})
+		res, err := runner.RunPairwise(Config{Repetitions: 1, Seed: 5, Workers: 1})
 		if err != nil {
 			runnerErr = err
 			return
 		}
 		runnerRes = res
-		mres, err := runner.RunMulti(Config{Repetitions: 1, Seed: 5})
+		mres, err := runner.RunMulti(Config{Repetitions: 1, Seed: 5, Workers: 1})
 		if err != nil {
 			runnerErr = err
 			return

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// comparePair requires two runs to agree on every pair cell, bit for bit.
+func comparePair(t *testing.T, serial, par *Results) {
+	t.Helper()
+	if len(serial.Pair) != len(par.Pair) {
+		t.Fatalf("pair cell counts differ: %d vs %d", len(serial.Pair), len(par.Pair))
+	}
+	for i := range serial.Pair {
+		if serial.Pair[i] != par.Pair[i] {
+			t.Fatalf("pair cell %d differs:\n serial: %+v\n parallel: %+v", i, serial.Pair[i], par.Pair[i])
+		}
+	}
+}
+
+// compareMulti requires two runs to agree on every multi-class cell.
+func compareMulti(t *testing.T, serial, par *Results) {
+	t.Helper()
+	if len(serial.Multi) != len(par.Multi) {
+		t.Fatalf("multi cell counts differ: %d vs %d", len(serial.Multi), len(par.Multi))
+	}
+	for i := range serial.Multi {
+		if serial.Multi[i] != par.Multi[i] {
+			t.Fatalf("multi cell %d differs:\n serial: %+v\n parallel: %+v", i, serial.Multi[i], par.Multi[i])
+		}
+	}
+}
+
+// TestParallelSerialEquivalence is the determinism guarantee of the
+// package comment, checked directly: Workers: 1 and Workers: 4 must
+// produce identical Results — every PairCell and MultiCell equal,
+// including F1Std (two repetitions, so the std is non-trivial). A subset
+// of systems keeps the four runs affordable; the full matrix is covered
+// by TestParallelFullMatrixEquivalence.
+func TestParallelSerialEquivalence(t *testing.T) {
+	r, _, _ := sharedRunner(t)
+
+	pairCfg := Config{Repetitions: 2, Seed: 5, Systems: []string{"Word-Cooc", "RoBERTa", "Ditto"}}
+	pairCfg.Workers = 1
+	serial, err := r.RunPairwise(pairCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairCfg.Workers = 4
+	par, err := r.RunPairwise(pairCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePair(t, serial, par)
+
+	multiCfg := Config{Repetitions: 2, Seed: 5, Systems: []string{"Word-Occ", "RoBERTa"}}
+	multiCfg.Workers = 1
+	mserial, err := r.RunMulti(multiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiCfg.Workers = 4
+	mpar, err := r.RunMulti(multiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMulti(t, mserial, mpar)
+}
+
+// TestParallelFullMatrixEquivalence reruns the full tiny matrix — all
+// systems, all 27 pair-wise and 9 multi-class variants — with Workers: 4
+// and requires the result to be identical to the shared Workers: 1
+// baseline run.
+func TestParallelFullMatrixEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix parallel rerun skipped in -short mode")
+	}
+	r, serialPair, serialMulti := sharedRunner(t)
+	cfg := Config{Repetitions: 1, Seed: 5, Workers: 4}
+	par, err := r.RunPairwise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePair(t, serialPair, par)
+	mpar, err := r.RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMulti(t, serialMulti, mpar)
+}
+
+// TestParallelProgressOrdered checks the collector contract: progress
+// lines arrive in canonical cell order even at a worker count that
+// guarantees out-of-order completion.
+func TestParallelProgressOrdered(t *testing.T) {
+	r, _, _ := sharedRunner(t)
+	var serialBuf, parBuf bytes.Buffer
+	cfg := Config{Repetitions: 1, Seed: 5, Systems: []string{"Word-Cooc", "Magellan"}}
+	cfg.Workers, cfg.Progress = 1, &serialBuf
+	if _, err := r.RunPairwise(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers, cfg.Progress = 6, &parBuf
+	if _, err := r.RunPairwise(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if serialBuf.String() != parBuf.String() {
+		t.Fatalf("progress output differs:\n serial:\n%s\n parallel:\n%s", serialBuf.String(), parBuf.String())
+	}
+	if serialBuf.Len() == 0 {
+		t.Fatal("no progress lines emitted")
+	}
+}
+
+// TestWorkersDefaultMatchesSerial pins the Workers: 0 (NumCPU) default to
+// the serial baseline on a fast system, so the default path is covered on
+// any machine shape.
+func TestWorkersDefaultMatchesSerial(t *testing.T) {
+	r, _, _ := sharedRunner(t)
+	cfg := Config{Repetitions: 1, Seed: 5, Systems: []string{"Word-Cooc"}}
+	cfg.Workers = 1
+	serial, err := r.RunPairwise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 0
+	def, err := r.RunPairwise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePair(t, serial, def)
+}

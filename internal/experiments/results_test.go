@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"wdcproducts/internal/core"
+)
+
+// TestResultsCellLookupMisses covers the nil-returning miss paths of the
+// cell lookups the aggregation and rendering code leans on.
+func TestResultsCellLookupMisses(t *testing.T) {
+	v := core.VariantKey{Corner: 80, Dev: core.Medium, Unseen: 0}
+	res := &Results{
+		Pair:  []PairCell{{System: "Word-Cooc", Variant: v}},
+		Multi: []MultiCell{{System: "R-SupCon", Corner: 50, Dev: core.Large}},
+	}
+
+	// Empty results: every lookup misses.
+	empty := &Results{}
+	if empty.PairCellFor("Word-Cooc", v) != nil {
+		t.Fatal("PairCellFor on empty results should be nil")
+	}
+	if empty.MultiCellFor("R-SupCon", 50, core.Large) != nil {
+		t.Fatal("MultiCellFor on empty results should be nil")
+	}
+
+	// Wrong system.
+	if res.PairCellFor("Magellan", v) != nil {
+		t.Fatal("PairCellFor should miss on an absent system")
+	}
+	if res.MultiCellFor("Word-Occ", 50, core.Large) != nil {
+		t.Fatal("MultiCellFor should miss on an absent system")
+	}
+
+	// Right system, wrong variant coordinates.
+	other := v
+	other.Unseen = 100
+	if res.PairCellFor("Word-Cooc", other) != nil {
+		t.Fatal("PairCellFor should miss on an absent variant")
+	}
+	if res.MultiCellFor("R-SupCon", 20, core.Large) != nil {
+		t.Fatal("MultiCellFor should miss on an absent corner ratio")
+	}
+	if res.MultiCellFor("R-SupCon", 50, core.Small) != nil {
+		t.Fatal("MultiCellFor should miss on an absent dev size")
+	}
+
+	// Hits still resolve to the stored cells.
+	if c := res.PairCellFor("Word-Cooc", v); c == nil || c.System != "Word-Cooc" {
+		t.Fatalf("PairCellFor hit failed: %+v", c)
+	}
+	if c := res.MultiCellFor("R-SupCon", 50, core.Large); c == nil || c.System != "R-SupCon" {
+		t.Fatalf("MultiCellFor hit failed: %+v", c)
+	}
+}

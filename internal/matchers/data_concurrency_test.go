@@ -1,0 +1,120 @@
+package matchers
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+// hammerOffers builds a small offer set with a trained encoder for the
+// cache-hammering tests.
+func hammerOffers(t *testing.T) ([]schemaorg.Offer, *embed.Model) {
+	t.Helper()
+	offers := make([]schemaorg.Offer, 24)
+	titles := make([]string, len(offers))
+	for i := range offers {
+		titles[i] = fmt.Sprintf("acme ultrabook %d pro 15in 512gb model ab-%d", i%7, i)
+		offers[i] = schemaorg.Offer{Title: titles[i], Brand: "acme", Price: "199.99"}
+	}
+	cfg := embed.DefaultConfig()
+	cfg.Epochs = 1
+	model := embed.Train(titles, cfg, xrand.New(3).Stream("hammer"))
+	return offers, model
+}
+
+// TestDataConcurrentCaches hammers every lazy Data cache from many
+// goroutines at once and requires (a) no race-detector report and (b)
+// that every goroutine observes values identical to a serially warmed
+// reference. Run with -race to make (a) meaningful.
+func TestDataConcurrentCaches(t *testing.T) {
+	offers, model := hammerOffers(t)
+
+	// Serial reference, warmed on a private Data.
+	ref := NewData(offers, model)
+	refTokens := make([][]string, len(offers))
+	refSets := make([]map[string]bool, len(offers))
+	refEnc := make([][]float32, len(offers))
+	refVecs := make([][][]float32, len(offers))
+	for i := range offers {
+		refTokens[i] = ref.Tokens(i)
+		refSets[i] = ref.TokenSet(i)
+		refEnc[i] = ref.Encoding(i)
+		refVecs[i] = ref.TokenVecs(i)
+	}
+
+	d := NewData(offers, model)
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Stagger starting offsets so goroutines race on different
+			// slots in different orders.
+			for k := 0; k < 3*len(offers); k++ {
+				i := (g*5 + k) % len(offers)
+				if got := d.Tokens(i); !reflect.DeepEqual(got, refTokens[i]) {
+					errs <- fmt.Errorf("offer %d: tokens diverged: %v vs %v", i, got, refTokens[i])
+					return
+				}
+				if got := d.TokenSet(i); !reflect.DeepEqual(got, refSets[i]) {
+					errs <- fmt.Errorf("offer %d: token set diverged", i)
+					return
+				}
+				if got := d.Encoding(i); !reflect.DeepEqual(got, refEnc[i]) {
+					errs <- fmt.Errorf("offer %d: encoding diverged", i)
+					return
+				}
+				if got := d.TokenVecs(i); !reflect.DeepEqual(got, refVecs[i]) {
+					errs <- fmt.Errorf("offer %d: token vecs diverged", i)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDataCacheStability checks that concurrent fills settle on a single
+// cached value: after the hammer, repeated reads return the same slices.
+func TestDataCacheStability(t *testing.T) {
+	offers, model := hammerOffers(t)
+	d := NewData(offers, model)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range offers {
+				d.Tokens(i)
+				d.TokenSet(i)
+				d.Encoding(i)
+				d.TokenVecs(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range offers {
+		// Cached pointers must be stable once filled: two reads return the
+		// identical backing data, not re-computed copies.
+		if len(d.Tokens(i)) > 0 && &d.Tokens(i)[0] != &d.Tokens(i)[0] {
+			t.Fatalf("offer %d: tokens recomputed after fill", i)
+		}
+		if len(d.Encoding(i)) > 0 && &d.Encoding(i)[0] != &d.Encoding(i)[0] {
+			t.Fatalf("offer %d: encoding recomputed after fill", i)
+		}
+	}
+}

@@ -6,6 +6,8 @@
 package matchers
 
 import (
+	"sync"
+
 	"wdcproducts/internal/core"
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/eval"
@@ -15,7 +17,12 @@ import (
 
 // Data is the shared view of the benchmark's offers handed to matchers,
 // with lazy caches for the representations several matchers recompute
-// (token sets, embedding vectors, per-token embedding matrices).
+// (token sets, embedding vectors, per-token embedding matrices). All
+// methods are safe for concurrent use: each cache slot is filled at most
+// once behind a per-offer sync.Once, so the parallel experiment runner can
+// share one Data across workers. The cached values are deterministic
+// functions of the offer and the trained encoder, so fill order never
+// affects results.
 type Data struct {
 	Offers []schemaorg.Offer
 	// Embed is the encoder pretrained on the corpus titles (the
@@ -23,21 +30,31 @@ type Data struct {
 	// use symbolic matchers.
 	Embed *embed.Model
 
-	tokenSets []map[string]bool
-	tokens    [][]string
-	encodings [][]float32
-	tokenVecs [][][]float32
+	caches []offerCache
+}
+
+// offerCache holds the lazily computed representations of one offer, each
+// guarded by its own Once so independent representations never contend.
+type offerCache struct {
+	tokensOnce sync.Once
+	tokens     []string
+
+	setOnce  sync.Once
+	tokenSet map[string]bool
+
+	encOnce  sync.Once
+	encoding []float32
+
+	vecOnce   sync.Once
+	tokenVecs [][]float32
 }
 
 // NewData wraps the benchmark offers.
 func NewData(offers []schemaorg.Offer, model *embed.Model) *Data {
 	return &Data{
-		Offers:    offers,
-		Embed:     model,
-		tokenSets: make([]map[string]bool, len(offers)),
-		tokens:    make([][]string, len(offers)),
-		encodings: make([][]float32, len(offers)),
-		tokenVecs: make([][][]float32, len(offers)),
+		Offers: offers,
+		Embed:  model,
+		caches: make([]offerCache, len(offers)),
 	}
 }
 
@@ -46,40 +63,44 @@ func (d *Data) Title(i int) string { return d.Offers[i].Title }
 
 // Tokens returns the cached normalized title tokens of offer i.
 func (d *Data) Tokens(i int) []string {
-	if d.tokens[i] == nil {
+	c := &d.caches[i]
+	c.tokensOnce.Do(func() {
 		t := textutil.Tokenize(d.Offers[i].Title)
 		if t == nil {
 			t = []string{}
 		}
-		d.tokens[i] = t
-	}
-	return d.tokens[i]
+		c.tokens = t
+	})
+	return c.tokens
 }
 
 // TokenSet returns the cached title token set of offer i.
 func (d *Data) TokenSet(i int) map[string]bool {
-	if d.tokenSets[i] == nil {
+	c := &d.caches[i]
+	c.setOnce.Do(func() {
 		set := make(map[string]bool)
 		for _, t := range d.Tokens(i) {
 			set[t] = true
 		}
-		d.tokenSets[i] = set
-	}
-	return d.tokenSets[i]
+		c.tokenSet = set
+	})
+	return c.tokenSet
 }
 
 // Encoding returns the cached title embedding of offer i.
 func (d *Data) Encoding(i int) []float32 {
-	if d.encodings[i] == nil {
-		d.encodings[i] = d.Embed.Encode(d.Offers[i].Title)
-	}
-	return d.encodings[i]
+	c := &d.caches[i]
+	c.encOnce.Do(func() {
+		c.encoding = d.Embed.Encode(d.Offers[i].Title)
+	})
+	return c.encoding
 }
 
 // TokenVecs returns the cached per-token embedding vectors of offer i's
 // title (capped at 14 tokens; titles have a median of ~8 words).
 func (d *Data) TokenVecs(i int) [][]float32 {
-	if d.tokenVecs[i] == nil {
+	c := &d.caches[i]
+	c.vecOnce.Do(func() {
 		toks := d.Tokens(i)
 		if len(toks) > 14 {
 			toks = toks[:14]
@@ -88,9 +109,9 @@ func (d *Data) TokenVecs(i int) [][]float32 {
 		for k, t := range toks {
 			vecs[k] = d.Embed.WordVec(t)
 		}
-		d.tokenVecs[i] = vecs
-	}
-	return d.tokenVecs[i]
+		c.tokenVecs = vecs
+	})
+	return c.tokenVecs
 }
 
 // PairMatcher is a trained pair-wise matching system.

@@ -1,0 +1,118 @@
+// Package parallel provides the deterministic worker pool used by the
+// experiment harness and the profiling command to fan independent tasks
+// out across CPUs without giving up reproducible output.
+//
+// Tasks are identified by their index in a fixed enumeration. Workers pull
+// indices from an atomic counter, so scheduling is nondeterministic, but
+// callers write results into index-addressed slots and the completion
+// callback is serialized by a collector into ascending index order —
+// identical to what a serial loop would produce. Determinism therefore
+// rests on each task being a pure function of its index, which the
+// experiment harness guarantees by keying every RNG stream to the task
+// cell rather than to execution order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean runtime.NumCPU(),
+// anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Run executes fn(i) for every i in [0,n) across at most workers
+// goroutines (workers <= 0 selects runtime.NumCPU(); 1 runs the plain
+// serial loop on the calling goroutine).
+//
+// done, when non-nil, is called exactly once per successful task in
+// strictly ascending index order — out-of-order completions are held back
+// by a collector until every earlier task has been emitted, so progress
+// output reads identically at any worker count. done runs on a single
+// goroutine and needs no synchronization of its own.
+//
+// On failure Run returns the error of the lowest-index failing task (the
+// same error a serial loop would surface, since each task's outcome is
+// deterministic), stops handing out new tasks, and suppresses done for
+// every index at or beyond the failure.
+func Run(n, workers int, fn func(i int) error, done func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+			if done != nil {
+				done(i)
+			}
+		}
+		return nil
+	}
+
+	var (
+		next        int64 = -1
+		stop        atomic.Bool
+		errs        = make([]error, n)
+		completions = make(chan int, n)
+		wg          sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+				completions <- i
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	// Collector: replay completions in ascending index order, halting
+	// emission at the first failed index (matching serial semantics, where
+	// nothing after an error runs).
+	completed := make(map[int]bool, n)
+	emit, halted := 0, false
+	for i := range completions {
+		completed[i] = true
+		for !halted && completed[emit] {
+			delete(completed, emit)
+			if errs[emit] != nil {
+				halted = true
+				break
+			}
+			if done != nil {
+				done(emit)
+			}
+			emit++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		n := 50
+		hits := make([]int32, n)
+		err := Run(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunDoneOrdered(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		n := 40
+		var order []int
+		err := Run(n, workers, func(i int) error { return nil }, func(i int) {
+			order = append(order, i)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != n {
+			t.Fatalf("workers=%d: done called %d times, want %d", workers, len(order), n)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("workers=%d: done out of order at %d: %v", workers, i, order[:i+1])
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	want := errors.New("boom-7")
+	for _, workers := range []int{1, 4} {
+		err := Run(30, workers, func(i int) error {
+			switch i {
+			case 7:
+				return want
+			case 19:
+				return errors.New("boom-19")
+			}
+			return nil
+		}, nil)
+		if !errors.Is(err, want) {
+			t.Fatalf("workers=%d: err = %v, want boom-7", workers, err)
+		}
+	}
+}
+
+func TestRunDoneStopsAtError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var order []int
+		boom := fmt.Errorf("boom")
+		err := Run(20, workers, func(i int) error {
+			if i == 5 {
+				return boom
+			}
+			return nil
+		}, func(i int) {
+			order = append(order, i)
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for _, v := range order {
+			if v >= 5 {
+				t.Fatalf("workers=%d: done emitted for index %d past the error", workers, v)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndWorkerClamp(t *testing.T) {
+	if err := Run(0, 4, func(int) error { return errors.New("never") }, nil); err != nil {
+		t.Fatalf("n=0 run errored: %v", err)
+	}
+	// More workers than tasks must still complete every task exactly once.
+	var count int32
+	if err := Run(3, 64, func(int) error { atomic.AddInt32(&count, 1); return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Fatal("Workers(<=0) must resolve to at least one worker")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5) changed an explicit value")
+	}
+}

@@ -10,6 +10,11 @@ import (
 // Cosine, Dice and Generalized Jaccard from py_stringmatching plus a
 // fastText embedding metric; the embedding metric is injected by the caller
 // (internal/embed provides it) to keep this package dependency-free.
+//
+// Registry carries mutable state (its rng and draw counters) and is not
+// safe for concurrent use. That is fine: it is only driven by the
+// single-threaded §3 build pipeline — the parallel experiment harness
+// never touches it, and the individual metrics it hands out are stateless.
 type Registry struct {
 	metrics []Metric
 	rng     *rand.Rand

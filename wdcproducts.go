@@ -63,7 +63,9 @@ const (
 type (
 	// Runner trains and evaluates matching systems on a benchmark.
 	Runner = experiments.Runner
-	// ExperimentConfig controls repetitions and system selection.
+	// ExperimentConfig controls repetitions, system selection and the
+	// worker count of the parallel harness (results are identical at any
+	// Workers value).
 	ExperimentConfig = experiments.Config
 	// Results holds experiment outcomes.
 	Results = experiments.Results
