@@ -1,0 +1,38 @@
+# Build / test / benchmark entry points for the WDC Products reproduction.
+
+GO ?= go
+
+# The perf-trajectory benchmarks recorded in BENCH_2.json: the end-to-end
+# pipeline build, the corner-selection microbenchmarks (string entry point
+# and prepared steady state), and the sigmoid lookup-table comparison.
+BENCH_OUT ?= BENCH_2.json
+BENCH_NOTE ?= prepared-corpus similarity engine (PR 2); pre-refactor baselines: Figure2 1892498695 ns/op 11490018 allocs/op, corner-selection 1247538 ns/op 9956 allocs/op
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/experiments ./internal/matchers ./internal/embed ./internal/parallel
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates $(BENCH_OUT) from the perf-trajectory benchmarks with
+# allocation stats. Iteration-pinned benchtimes keep the expensive pipeline
+# bench affordable. The runs are collected into a temp file with && so a
+# failing benchmark fails the target (and the CI job) instead of being
+# swallowed by the pipe into benchjson.
+bench:
+	@tmp=$$(mktemp); \
+	( $(GO) test -run '^$$' -bench 'BenchmarkFigure2_PipelineSteps' -benchmem -benchtime 3x . && \
+	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
+	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
+	status=$$?; cat "$$tmp"; \
+	if [ $$status -ne 0 ]; then rm -f "$$tmp"; exit $$status; fi; \
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -note '$(BENCH_NOTE)' < "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status

@@ -139,12 +139,17 @@ func BenchmarkTable6_BenchmarkComparison(b *testing.B) {
 func BenchmarkFigure1_ExamplePairs(b *testing.B) {
 	setup(b)
 	pairs := benchB.TestPairs(80, 0)
+	scorer, err := wdcproducts.NewTitleScorer(benchB, "jaccard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// The Figure 1 artifact: hardest positive and hardest negative.
 		var hardPos, hardNeg wdcproducts.Pair
 		hardPosSim, hardNegSim := 2.0, -1.0
 		for _, p := range pairs {
-			s := simlib.Jaccard(benchB.Offer(p.A).Title, benchB.Offer(p.B).Title)
+			s := scorer.MustSim("jaccard", p.A, p.B)
 			if p.Match && s < hardPosSim {
 				hardPos, hardPosSim = p, s
 			}
@@ -299,12 +304,16 @@ func BenchmarkAblation_SingleMetricSelection(b *testing.B) {
 	setup(b)
 	// The fixture benchmark used the alternating registry. Measure how well
 	// a pure-cosine thresholder solves its cc=80% test set.
-	cosine := simlib.MetricCosine()
+	scorer, err := wdcproducts.NewTitleScorer(benchB, "cosine")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	solve := func(pairs []wdcproducts.Pair) float64 {
 		scores := make([]float64, len(pairs))
 		labels := make([]bool, len(pairs))
 		for i, p := range pairs {
-			scores[i] = cosine.Sim(benchB.Offer(p.A).Title, benchB.Offer(p.B).Title)
+			scores[i] = scorer.MustSim("cosine", p.A, p.B)
 			labels[i] = p.Match
 		}
 		return bestF1(scores, labels)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"wdcproducts"
 )
@@ -23,7 +25,21 @@ func main() {
 	seed := flag.Int64("seed", 42, "master random seed")
 	scale := flag.String("scale", "small", "benchmark scale: default (paper, 500 products/set), small (120), tiny (40)")
 	verbose := flag.Bool("v", false, "print per-stage pipeline statistics (Figure 2)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the build to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the build) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var cfg wdcproducts.BuildConfig
 	switch *scale {
@@ -46,6 +62,17 @@ func main() {
 	}
 	if err := wdcproducts.Save(b, *out); err != nil {
 		log.Fatalf("save: %v", err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // materialize accurate live-heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		f.Close()
 	}
 	fmt.Printf("benchmark written to %s (%d offers, %d ratios, seed %d)\n",
 		*out, len(b.Offers), len(b.Ratios), b.Seed)

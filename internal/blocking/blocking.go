@@ -13,7 +13,7 @@ import (
 
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/schemaorg"
-	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/simlib"
 	"wdcproducts/internal/vector"
 )
 
@@ -51,11 +51,14 @@ func NewTokenBlocker() *TokenBlocker { return &TokenBlocker{MinShared: 2, MaxTok
 // Name implements Blocker.
 func (t *TokenBlocker) Name() string { return "token-blocking" }
 
-// Candidates implements Blocker.
+// Candidates implements Blocker. Titles are interned once into a prepared
+// corpus and the inverted index runs on token IDs, so repeated titles and
+// repeated tokens cost nothing beyond their first sighting.
 func (t *TokenBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
-	inv := map[string][]int{}
+	prep := simlib.NewPrepared()
+	inv := map[int32][]int{}
 	for _, i := range idxs {
-		for tok := range textutil.TokenSet(offers[i].Title) {
+		for _, tok := range prep.TokenSet(prep.Intern(offers[i].Title)) {
 			inv[tok] = append(inv[tok], i)
 		}
 	}
@@ -95,36 +98,35 @@ func NewEmbeddingBlocker(model *embed.Model, k int) *EmbeddingBlocker {
 // Name implements Blocker.
 func (e *EmbeddingBlocker) Name() string { return "embedding-knn" }
 
-// Candidates implements Blocker.
+// Candidates implements Blocker. Titles are interned so each distinct
+// title is tokenized and encoded exactly once, and the per-offer neighbour
+// search keeps a bounded top-K heap instead of sorting the full scored
+// list — O(n log K) per offer instead of O(n log n).
 func (e *EmbeddingBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
-	encs := make([][]float32, len(idxs))
+	prep := simlib.NewPrepared()
+	tids := make([]int, len(idxs))
 	for k, i := range idxs {
-		encs[k] = e.Model.Encode(offers[i].Title)
+		tids[k] = prep.Intern(offers[i].Title)
+	}
+	encByTitle := make([][]float32, prep.Len())
+	encs := make([][]float32, len(idxs))
+	for k, tid := range tids {
+		if encByTitle[tid] == nil {
+			encByTitle[tid] = e.Model.EncodeTokens(prep.Tokens(tid))
+		}
+		encs[k] = encByTitle[tid]
 	}
 	set := map[CandidatePair]bool{}
-	type scored struct {
-		pos int
-		sim float64
-	}
+	heap := make(topKHeap, 0, e.K)
 	for a := range idxs {
-		var nn []scored
+		heap = heap[:0]
 		for b := range idxs {
 			if a == b {
 				continue
 			}
-			nn = append(nn, scored{b, vector.Cosine(encs[a], encs[b])})
+			heap.offer(scoredPos{b, vector.Cosine(encs[a], encs[b])}, e.K)
 		}
-		sort.Slice(nn, func(x, y int) bool {
-			if nn[x].sim != nn[y].sim {
-				return nn[x].sim > nn[y].sim
-			}
-			return nn[x].pos < nn[y].pos
-		})
-		k := e.K
-		if k > len(nn) {
-			k = len(nn)
-		}
-		for _, s := range nn[:k] {
+		for _, s := range heap {
 			set[orderedPair(idxs[a], idxs[s.pos])] = true
 		}
 	}
@@ -134,6 +136,70 @@ func (e *EmbeddingBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []Ca
 	}
 	sortPairs(out)
 	return out
+}
+
+// scoredPos is one neighbour candidate of the embedding blocker.
+type scoredPos struct {
+	pos int
+	sim float64
+}
+
+// topKHeap keeps the K best neighbours by (similarity descending, position
+// ascending), with the worst of the kept elements at the root so it can be
+// evicted in O(log K). The kept set is exactly the first K elements of the
+// full descending sort, so swapping the sort for the heap cannot change
+// blocker output.
+type topKHeap []scoredPos
+
+// worse reports whether x ranks strictly below y.
+func worse(x, y scoredPos) bool {
+	if x.sim != y.sim {
+		return x.sim < y.sim
+	}
+	return x.pos > y.pos
+}
+
+// offer inserts c if the heap holds fewer than k elements or c beats the
+// current worst element.
+func (h *topKHeap) offer(c scoredPos, k int) {
+	if k <= 0 {
+		return
+	}
+	if len(*h) < k {
+		*h = append(*h, c)
+		// Sift up.
+		i := len(*h) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse((*h)[i], (*h)[parent]) {
+				break
+			}
+			(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+			i = parent
+		}
+		return
+	}
+	if !worse((*h)[0], c) {
+		return
+	}
+	(*h)[0] = c
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(*h) && worse((*h)[l], (*h)[min]) {
+			min = l
+		}
+		if r < len(*h) && worse((*h)[r], (*h)[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		(*h)[i], (*h)[min] = (*h)[min], (*h)[i]
+		i = min
+	}
 }
 
 // Metrics are the standard blocking quality measures.

@@ -1,0 +1,49 @@
+package blocking
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current blocker output")
+
+// TestGoldenCandidates pins the exact candidate sets both blockers propose
+// on the tiny-benchmark fixture. Recorded before the prepared-corpus
+// rewrite of the token blocker and the top-K heap rewrite of the embedding
+// blocker; both must reproduce it byte for byte.
+func TestGoldenCandidates(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	var sb strings.Builder
+	dump := func(name string, cands []CandidatePair) {
+		fmt.Fprintf(&sb, "%s %d\n", name, len(cands))
+		for _, p := range cands {
+			fmt.Fprintf(&sb, "%d %d\n", p.A, p.B)
+		}
+	}
+	dump("token", NewTokenBlocker().Candidates(offers, idxs))
+	for _, k := range []int{2, 8, 16} {
+		dump(fmt.Sprintf("embedding-k%d", k), NewEmbeddingBlocker(model, k).Candidates(offers, idxs))
+	}
+	path := filepath.Join("testdata", "candidates_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("candidates differ from golden %s", path)
+	}
+}

@@ -114,6 +114,21 @@ func BuildWithCorpus(cfg BuildConfig) (*Benchmark, *corpus.Corpus, error) {
 	}
 	reg := simlib.NewRegistry(src.Stream("registry"), metrics...)
 
+	// Prepared similarity corpus: every cleansed offer title and every
+	// cluster medoid is interned exactly once, and all quadratic scoring
+	// below — selection, splitting, pair generation — runs on interned IDs
+	// through the prepared registry.
+	prep := simlib.NewPrepared()
+	titleIDs := make([]int, len(clean.Offers))
+	for i := range clean.Offers {
+		titleIDs[i] = prep.Intern(clean.Offers[i].Title)
+	}
+	repIDs := make([]int, len(g.Clusters))
+	for s := range g.Clusters {
+		repIDs[s] = prep.Intern(g.Clusters[s].RepTitle)
+	}
+	preg := reg.Prepare(prep)
+
 	b := &Benchmark{
 		Seed:   cfg.Seed,
 		Offers: clean.Offers,
@@ -140,9 +155,10 @@ func BuildWithCorpus(cfg BuildConfig) (*Benchmark, *corpus.Corpus, error) {
 		UnseenPoolCluster: unseenPool,
 	}
 
-	title := func(idx int) string { return clean.Offers[idx].Title }
+	titleID := func(idx int) int { return titleIDs[idx] }
+	repID := func(slot int) int { return repIDs[slot] }
 	for _, ratio := range cfg.Ratios {
-		rd, err := buildRatio(g, ratio, cfg, reg, src, title)
+		rd, err := buildRatio(g, ratio, cfg, preg, src, titleID, repID)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: ratio %d: %w", ratio, err)
 		}
@@ -152,16 +168,18 @@ func BuildWithCorpus(cfg BuildConfig) (*Benchmark, *corpus.Corpus, error) {
 	return b, clean, nil
 }
 
-// buildRatio runs §3.4-§3.6 for one corner-case ratio.
+// buildRatio runs §3.4-§3.6 for one corner-case ratio on the shared
+// prepared similarity corpus.
 func buildRatio(g *grouping.Grouping, ratio CornerRatio, cfg BuildConfig,
-	reg *simlib.Registry, src *xrand.Source, title func(int) string) (*RatioData, error) {
+	reg *simlib.PreparedRegistry, src *xrand.Source,
+	titleID func(int) int, repID func(int) int) (*RatioData, error) {
 	selCfg := selection.Config{
 		Count:          cfg.ProductsPerSet,
 		CornerRatio:    float64(ratio) / 100,
 		SimilarPerSeed: cfg.SimilarPerSeed,
 	}
-	seenSel, err := selection.Select(g, g.SeenGroups, selCfg, nil,
-		reg, src.Stream(fmt.Sprintf("select-seen-%d", ratio)))
+	seenSel, err := selection.SelectPrepared(g, g.SeenGroups, selCfg, nil,
+		reg, repID, src.Stream(fmt.Sprintf("select-seen-%d", ratio)))
 	if err != nil {
 		return nil, fmt.Errorf("seen selection: %w", err)
 	}
@@ -169,14 +187,14 @@ func buildRatio(g *grouping.Grouping, ratio CornerRatio, cfg BuildConfig,
 	for _, p := range seenSel.Products {
 		exclude[p.Slot] = true
 	}
-	unseenSel, err := selection.Select(g, g.UnseenGroups, selCfg, exclude,
-		reg, src.Stream(fmt.Sprintf("select-unseen-%d", ratio)))
+	unseenSel, err := selection.SelectPrepared(g, g.UnseenGroups, selCfg, exclude,
+		reg, repID, src.Stream(fmt.Sprintf("select-unseen-%d", ratio)))
 	if err != nil {
 		return nil, fmt.Errorf("unseen selection: %w", err)
 	}
 
-	split, err := splitting.SplitOffers(g, seenSel, unseenSel, cfg.Splitting,
-		reg, src.Stream(fmt.Sprintf("split-%d", ratio)))
+	split, err := splitting.SplitOffersPrepared(g, seenSel, unseenSel, cfg.Splitting,
+		reg, titleID, src.Stream(fmt.Sprintf("split-%d", ratio)))
 	if err != nil {
 		return nil, fmt.Errorf("splitting: %w", err)
 	}
@@ -214,9 +232,9 @@ func buildRatio(g *grouping.Grouping, ratio CornerRatio, cfg BuildConfig,
 			trainMembers = append(trainMembers, pairgen.Member{Product: class, Offers: trainOffers(ci, dev)})
 			valMembers = append(valMembers, pairgen.Member{Product: class, Offers: ci.Val})
 		}
-		rd.Train[dev] = pairgen.Generate(trainMembers, pgCfg, title, reg,
+		rd.Train[dev] = pairgen.GeneratePrepared(trainMembers, pgCfg, titleID, reg,
 			src.Stream(fmt.Sprintf("pairs-train-%d-%s", ratio, dev)))
-		rd.Val[dev] = pairgen.Generate(valMembers, pgCfg, title, reg,
+		rd.Val[dev] = pairgen.GeneratePrepared(valMembers, pgCfg, titleID, reg,
 			src.Stream(fmt.Sprintf("pairs-val-%d-%s", ratio, dev)))
 	}
 
@@ -233,7 +251,7 @@ func buildRatio(g *grouping.Grouping, ratio CornerRatio, cfg BuildConfig,
 			// safe pair-generation product ids.
 			members = append(members, pairgen.Member{Product: tp.Slot, Offers: tp.Offers})
 		}
-		rd.Test[un] = pairgen.Generate(members, pairgen.ConfigForDevSize("large"), title, reg,
+		rd.Test[un] = pairgen.GeneratePrepared(members, pairgen.ConfigForDevSize("large"), titleID, reg,
 			src.Stream(fmt.Sprintf("pairs-test-%d-%d", ratio, un)))
 	}
 

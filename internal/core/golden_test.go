@@ -1,0 +1,153 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current pipeline output")
+
+// digestBenchmark writes every deterministic output of a build — selection
+// results (classes and their split assignments), test products, all 27
+// pair-wise datasets, all multi-class datasets, and the pipeline stats —
+// into a canonical byte stream and returns its SHA-256. Any change to
+// selection, splitting, or pair generation shows up here.
+func digestBenchmark(b *Benchmark) string {
+	h := sha256.New()
+	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	w("seed %d offers %d\n", b.Seed, len(b.Offers))
+	s := b.Stats
+	w("stats %d %d %d %d %d %d %d %d %d %d\n",
+		s.CorpusProducts, s.PagesGenerated, s.OffersExtracted, s.OffersClustered,
+		s.RawClusters, s.OffersCleansed, s.DBSCANGroups, s.AvoidedGroups,
+		s.SeenPoolClusters, s.UnseenPoolCluster)
+	names := make([]string, 0, len(s.MetricDraws))
+	for name := range s.MetricDraws {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w("draws %s %d\n", name, s.MetricDraws[name])
+	}
+	ints := func(tag string, xs []int) {
+		w("%s", tag)
+		for _, x := range xs {
+			w(" %d", x)
+		}
+		w("\n")
+	}
+	pairs := func(tag string, ps []Pair) {
+		w("%s %d\n", tag, len(ps))
+		for _, p := range ps {
+			w("%d %d %v %d %d\n", p.A, p.B, p.Match, p.ProdA, p.ProdB)
+		}
+	}
+	for _, cc := range CornerRatios() {
+		rd := b.Ratios[cc]
+		w("ratio %d classes %d\n", cc, len(rd.Classes))
+		for i, ci := range rd.Classes {
+			w("class %d slot %d corner %v\n", i, ci.Slot, ci.Corner)
+			ints("train", ci.Train)
+			ints("medium", ci.TrainMedium)
+			ints("small", ci.TrainSmall)
+			ints("val", ci.Val)
+			ints("test", ci.Test)
+		}
+		for _, un := range UnseenFractions() {
+			w("testproducts %d\n", un)
+			for _, tp := range rd.TestProducts[un] {
+				w("tp %d %v %v", tp.Slot, tp.Corner, tp.Unseen)
+				ints("", tp.Offers)
+			}
+		}
+		for _, dev := range DevSizes() {
+			pairs(fmt.Sprintf("train-%s", dev), rd.Train[dev])
+			pairs(fmt.Sprintf("val-%s", dev), rd.Val[dev])
+		}
+		for _, un := range UnseenFractions() {
+			pairs(fmt.Sprintf("test-%d", un), rd.Test[un])
+		}
+		for _, dev := range DevSizes() {
+			w("multitrain %s %d\n", dev, len(rd.MultiTrain[dev]))
+			for _, e := range rd.MultiTrain[dev] {
+				w("%d %d\n", e.Offer, e.Class)
+			}
+		}
+		w("multival %d multitest %d\n", len(rd.MultiVal), len(rd.MultiTest))
+		for _, e := range rd.MultiVal {
+			w("%d %d\n", e.Offer, e.Class)
+		}
+		for _, e := range rd.MultiTest {
+			w("%d %d\n", e.Offer, e.Class)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestGoldenBuildDigest pins the byte-exact output of the full §3 pipeline,
+// with and without the embedding metric in the §3.4 registry. The fixture
+// was recorded before the prepared-corpus scoring engine landed; it is the
+// refactor's equivalence contract. Regenerate with `go test -run Golden
+// -update ./internal/core` only for deliberate output-changing work.
+func TestGoldenBuildDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden digest builds two tiny benchmarks")
+	}
+	got := map[string]string{}
+	b := tinyBenchmark(t)
+	got["tiny-symbolic-42"] = digestBenchmark(b)
+
+	cfgE := TinyBuildConfig(42)
+	cfgE.UseEmbeddingMetric = true
+	be, err := Build(cfgE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got["tiny-embedding-42"] = digestBenchmark(be)
+
+	path := filepath.Join("testdata", "golden_build_digests.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, digest := range want {
+		if got[name] != digest {
+			t.Errorf("%s: pipeline output changed: digest %s, golden %s", name, got[name], digest)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: no golden digest recorded (run with -update)", name)
+		}
+	}
+}

@@ -50,18 +50,41 @@ func DefaultConfig() Config {
 	}
 }
 
-// Model is a trained embedding model.
+// Model is a trained embedding model. The vector tables are stored as
+// contiguous row-major matrices (row length cfg.Dim) rather than slices of
+// slices: one allocation each, cache-friendly row access, and no pointer
+// chasing in the SGNS inner loop.
 type Model struct {
-	cfg        Config
-	vocab      map[string]int
-	words      []string
-	in         [][]float32 // input vectors (word identity)
-	grams      [][]float32 // hashed subword vectors
-	out        [][]float32 // output (context) vectors
-	counts     []int
-	totalCount int
-	negTbl     []int32
-	trained    bool
+	cfg   Config
+	vocab map[string]int
+	words []string
+	in    []float32 // input vectors (word identity), len(words) x Dim
+	grams []float32 // hashed subword vectors, Buckets x Dim
+	out   []float32 // output (context) vectors, len(words) x Dim
+	// wordBuckets holds each vocabulary word's subword bucket ids, computed
+	// once at vocabulary build instead of re-hashing the word's n-grams on
+	// every SGNS step.
+	wordBuckets [][]int32
+	counts      []int
+	totalCount  int
+	negTbl      []int32
+	trained     bool
+}
+
+// inVec/outVec/gramVec return the matrix row of a word or bucket id.
+func (m *Model) inVec(i int) []float32 {
+	d := m.cfg.Dim
+	return m.in[i*d : i*d+d]
+}
+
+func (m *Model) outVec(i int) []float32 {
+	d := m.cfg.Dim
+	return m.out[i*d : i*d+d]
+}
+
+func (m *Model) gramVec(i int) []float32 {
+	d := m.cfg.Dim
+	return m.grams[i*d : i*d+d]
 }
 
 // Train fits an embedding model on the given texts (titles). The rng drives
@@ -97,24 +120,24 @@ func Train(texts []string, cfg Config, rng *rand.Rand) *Model {
 		m.counts[i] = freq[w]
 		m.totalCount += freq[w]
 	}
-	// Initialize vectors.
-	initVec := func(n int, scale float32) [][]float32 {
-		vs := make([][]float32, n)
+	// Precompute each word's subword buckets once; the SGNS loop hits them
+	// on every step.
+	m.wordBuckets = make([][]int32, len(m.words))
+	for i, w := range m.words {
+		m.wordBuckets[i] = m.gramBuckets(w)
+	}
+	// Initialize vectors. The rng fill order (row by row) matches the
+	// previous slice-of-slices layout, so training stays byte-identical.
+	initVec := func(n int, scale float32) []float32 {
+		vs := make([]float32, n*cfg.Dim)
 		for i := range vs {
-			v := make([]float32, cfg.Dim)
-			for d := range v {
-				v[d] = (rng.Float32() - 0.5) * scale / float32(cfg.Dim)
-			}
-			vs[i] = v
+			vs[i] = (rng.Float32() - 0.5) * scale / float32(cfg.Dim)
 		}
 		return vs
 	}
 	m.in = initVec(len(m.words), 2)
 	m.grams = initVec(cfg.Buckets, 2)
-	m.out = make([][]float32, len(m.words))
-	for i := range m.out {
-		m.out[i] = make([]float32, cfg.Dim)
-	}
+	m.out = make([]float32, len(m.words)*cfg.Dim)
 	m.buildNegativeTable()
 	m.train(corpus, rng)
 	m.trained = true
@@ -145,7 +168,48 @@ func (m *Model) buildNegativeTable() {
 	}
 }
 
+// sigmoidTableSize is the number of lookup entries spanning [-8, 8]. At 512
+// entries the linear interpolation error stays below 2e-5, far under the SGD
+// noise floor, while removing math.Exp from the innermost training step.
+const sigmoidTableSize = 512
+
+// sigmoidTable holds sigmoidExact sampled at the 512 interval endpoints
+// (index i maps to x = -8 + 16*i/(sigmoidTableSize-1)).
+var sigmoidTable = func() [sigmoidTableSize]float64 {
+	var t [sigmoidTableSize]float64
+	for i := range t {
+		x := -8 + 16*float64(i)/float64(sigmoidTableSize-1)
+		t[i] = sigmoidExact(x)
+	}
+	return t
+}()
+
+// sigmoid is the table-interpolated logistic function used by the SGNS
+// training loop. Clamping matches sigmoidExact: exactly 1 above 8, exactly
+// 0 below -8, and NaN propagated (a diverged dot product must degrade the
+// model the way the math.Exp version did, not panic on table indexing).
 func sigmoid(x float64) float64 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	if math.IsNaN(x) {
+		return x
+	}
+	pos := (x + 8) / 16 * float64(sigmoidTableSize-1)
+	i := int(pos)
+	if i >= sigmoidTableSize-1 {
+		return sigmoidTable[sigmoidTableSize-1]
+	}
+	frac := pos - float64(i)
+	return sigmoidTable[i] + frac*(sigmoidTable[i+1]-sigmoidTable[i])
+}
+
+// sigmoidExact is the reference logistic function the lookup table samples;
+// kept for the accuracy test and the speed benchmark.
+func sigmoidExact(x float64) float64 {
 	if x > 8 {
 		return 1
 	}
@@ -179,6 +243,7 @@ func (m *Model) train(corpus [][]string, rng *rand.Rand) {
 	steps := 0
 	totalSteps := m.cfg.Epochs * len(encoded)
 	grad := make([]float32, m.cfg.Dim)
+	cvec := make([]float32, m.cfg.Dim)
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		order := rng.Perm(len(encoded))
 		for _, ri := range order {
@@ -197,7 +262,7 @@ func (m *Model) train(corpus [][]string, rng *rand.Rand) {
 				if hi >= len(row) {
 					hi = len(row) - 1
 				}
-				cvec := m.composedVecMutable(int(center))
+				m.composeInto(cvec, int(center))
 				for cpos := lo; cpos <= hi; cpos++ {
 					if cpos == pos {
 						continue
@@ -228,7 +293,7 @@ func (m *Model) train(corpus [][]string, rng *rand.Rand) {
 // sgnsStep performs one logistic step against output vector of word o with
 // target t (1 positive, 0 negative), accumulating the input-side gradient.
 func (m *Model) sgnsStep(cvec []float32, o int, t float64, lr float64, grad []float32) {
-	ovec := m.out[o]
+	ovec := m.outVec(o)
 	g := (t - sigmoid(vector.Dot(cvec, ovec))) * lr
 	gf := float32(g)
 	for d := range cvec {
@@ -237,42 +302,42 @@ func (m *Model) sgnsStep(cvec []float32, o int, t float64, lr float64, grad []fl
 	}
 }
 
-// composedVecMutable returns the current composed (word + subword mean)
-// vector for a word id. The result is a fresh slice.
-func (m *Model) composedVecMutable(id int) []float32 {
-	v := make([]float32, m.cfg.Dim)
-	copy(v, m.in[id])
-	buckets := m.gramBuckets(m.words[id])
-	if len(buckets) == 0 {
-		return v
-	}
-	inv := 1 / float32(len(buckets))
-	for _, b := range buckets {
-		vector.Axpy(inv, m.grams[b], v)
-	}
-	return v
-}
-
-// applyInputGrad distributes the input-side gradient across the word vector
-// and its subword buckets (fastText-style shared update).
-func (m *Model) applyInputGrad(id int, grad []float32) {
-	vector.Axpy(1, grad, m.in[id])
-	buckets := m.gramBuckets(m.words[id])
+// composeInto writes the current composed (word + subword mean) vector of a
+// word id into dst, which must have length Dim.
+func (m *Model) composeInto(dst []float32, id int) {
+	copy(dst, m.inVec(id))
+	buckets := m.wordBuckets[id]
 	if len(buckets) == 0 {
 		return
 	}
 	inv := 1 / float32(len(buckets))
 	for _, b := range buckets {
-		vector.Axpy(inv, grad, m.grams[b])
+		vector.Axpy(inv, m.gramVec(int(b)), dst)
 	}
 }
 
-// gramBuckets hashes the char n-grams of w into bucket ids.
-func (m *Model) gramBuckets(w string) []int {
-	var out []int
+// applyInputGrad distributes the input-side gradient across the word vector
+// and its subword buckets (fastText-style shared update).
+func (m *Model) applyInputGrad(id int, grad []float32) {
+	vector.Axpy(1, grad, m.inVec(id))
+	buckets := m.wordBuckets[id]
+	if len(buckets) == 0 {
+		return
+	}
+	inv := 1 / float32(len(buckets))
+	for _, b := range buckets {
+		vector.Axpy(inv, grad, m.gramVec(int(b)))
+	}
+}
+
+// gramBuckets hashes the char n-grams of w into bucket ids. Vocabulary
+// words get this precomputed into wordBuckets at build time; only
+// out-of-vocabulary lookups hash on the fly.
+func (m *Model) gramBuckets(w string) []int32 {
+	var out []int32
 	for n := m.cfg.MinN; n <= m.cfg.MaxN; n++ {
 		for _, g := range textutil.CharNGrams(w, n) {
-			out = append(out, int(fnv32(g)%uint32(m.cfg.Buckets)))
+			out = append(out, int32(fnv32(g)%uint32(m.cfg.Buckets)))
 		}
 	}
 	return out
@@ -291,17 +356,18 @@ func fnv32(s string) uint32 {
 // are represented purely by their subword buckets, which is what lets the
 // embedding metric generalize to unseen model numbers.
 func (m *Model) WordVec(w string) []float32 {
-	if id, ok := m.vocab[w]; ok {
-		return m.composedVecMutable(id)
-	}
 	v := make([]float32, m.cfg.Dim)
+	if id, ok := m.vocab[w]; ok {
+		m.composeInto(v, id)
+		return v
+	}
 	buckets := m.gramBuckets(w)
 	if len(buckets) == 0 {
 		return v
 	}
 	inv := 1 / float32(len(buckets))
 	for _, b := range buckets {
-		vector.Axpy(inv, m.grams[b], v)
+		vector.Axpy(inv, m.gramVec(int(b)), v)
 	}
 	return v
 }
@@ -313,7 +379,13 @@ func (m *Model) WordVec(w string) []float32 {
 // and category words, which is essential for separating corner-case
 // sibling products.
 func (m *Model) Encode(text string) []float32 {
-	toks := textutil.Tokenize(text)
+	return m.EncodeTokens(textutil.Tokenize(text))
+}
+
+// EncodeTokens is Encode over a pre-tokenized title, the entry point for
+// prepared-corpus callers that interned the token list once. Like Encode
+// it only reads model state, so it is safe for concurrent use.
+func (m *Model) EncodeTokens(toks []string) []float32 {
 	v := make([]float32, m.cfg.Dim)
 	if len(toks) == 0 {
 		return v
@@ -354,9 +426,24 @@ func (m *Model) Similarity(a, b string) float64 {
 }
 
 // Metric adapts the model to the simlib.Metric interface for registration
-// in the corner-case selection registry.
+// in the corner-case selection registry. The returned metric binds to a
+// prepared title corpus via simlib.PrepareMetric.
 func (m *Model) Metric() simlib.Metric {
-	return simlib.Func{MetricName: "embedding", F: m.Similarity}
+	return modelMetric{model: m}
+}
+
+// modelMetric is the uncached string adapter.
+type modelMetric struct {
+	model *Model
+}
+
+func (mm modelMetric) Name() string { return "embedding" }
+
+func (mm modelMetric) Sim(a, b string) float64 { return mm.model.Similarity(a, b) }
+
+// Prepare implements simlib.MetricPreparer.
+func (mm modelMetric) Prepare(p *simlib.Prepared) simlib.PreparedMetric {
+	return &preparedEmbedding{model: mm.model, p: p}
 }
 
 // CachedMetric is like Metric but memoizes Encode per distinct string.
@@ -368,18 +455,65 @@ func (m *Model) Metric() simlib.Metric {
 // revisiting this memo. Encode is deterministic, so even callers racing on
 // a cold entry observe identical values regardless of interleaving.
 func (m *Model) CachedMetric() simlib.Metric {
-	var cache sync.Map // string -> []float32
-	enc := func(s string) []float32 {
-		if v, ok := cache.Load(s); ok {
-			return v.([]float32)
-		}
-		v, _ := cache.LoadOrStore(s, m.Encode(s))
+	return &cachedMetric{model: m}
+}
+
+type cachedMetric struct {
+	model *Model
+	cache sync.Map // string -> []float32
+}
+
+func (c *cachedMetric) Name() string { return "embedding" }
+
+func (c *cachedMetric) Sim(a, b string) float64 {
+	s := vector.Cosine(c.enc(a), c.enc(b))
+	return (s + 1) / 2
+}
+
+func (c *cachedMetric) enc(s string) []float32 {
+	if v, ok := c.cache.Load(s); ok {
 		return v.([]float32)
 	}
-	return simlib.Func{MetricName: "embedding", F: func(a, b string) float64 {
-		c := vector.Cosine(enc(a), enc(b))
-		return (c + 1) / 2
-	}}
+	v, _ := c.cache.LoadOrStore(s, c.model.Encode(s))
+	return v.([]float32)
+}
+
+// Prepare implements simlib.MetricPreparer: the prepared variant encodes
+// each interned title at most once into a dense ID-indexed cache, so the
+// per-string hash probes of the sync.Map path disappear from the scoring
+// loop entirely.
+func (c *cachedMetric) Prepare(p *simlib.Prepared) simlib.PreparedMetric {
+	return &preparedEmbedding{model: c.model, p: p}
+}
+
+// preparedEmbedding scores interned title IDs on lazily computed
+// encodings. Like every PreparedMetric it is single-goroutine state; the
+// parallel experiment harness keeps using CachedMetric.
+type preparedEmbedding struct {
+	model *Model
+	p     *simlib.Prepared
+	enc   [][]float32
+}
+
+func (pe *preparedEmbedding) Name() string { return "embedding" }
+
+func (pe *preparedEmbedding) SimIDs(i, j int) float64 {
+	s := vector.Cosine(pe.encode(i), pe.encode(j))
+	return (s + 1) / 2
+}
+
+func (pe *preparedEmbedding) encode(i int) []float32 {
+	if i >= len(pe.enc) {
+		grown := make([][]float32, pe.p.Len())
+		copy(grown, pe.enc)
+		pe.enc = grown
+	}
+	if v := pe.enc[i]; v != nil {
+		return v
+	}
+	v := pe.model.EncodeTokens(pe.p.Tokens(i))
+	pe.enc[i] = v
+	return v
 }
 
 // Dim returns the embedding dimension.

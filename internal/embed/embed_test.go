@@ -5,6 +5,8 @@ import (
 	"math"
 	"testing"
 
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/textutil"
 	"wdcproducts/internal/vector"
 	"wdcproducts/internal/xrand"
 )
@@ -132,6 +134,52 @@ func TestDeterminism(t *testing.T) {
 	for i := range va {
 		if va[i] != vb[i] {
 			t.Fatalf("training not deterministic at dim %d: %v vs %v", i, va[i], vb[i])
+		}
+	}
+}
+
+// TestPreparedEmbeddingMatchesStringMetric extends the prepared-vs-string
+// equivalence property to the embedding metric: the prepared variant's
+// lazily cached per-ID encodings must reproduce the string metric's scores
+// exactly, for both the cached and uncached adapters.
+func TestPreparedEmbeddingMatchesStringMetric(t *testing.T) {
+	m := trainTest(t)
+	titles := append(syntheticTitles(),
+		"", "  ", "unseen-model-xyz 9tb", "nike pegasus größe 44",
+		"dup dup dup", "dup dup dup")
+	for _, adapter := range []simlib.Metric{m.Metric(), m.CachedMetric()} {
+		prep := simlib.NewPrepared()
+		ids := make([]int, len(titles))
+		for i, s := range titles {
+			ids[i] = prep.Intern(s)
+		}
+		pm := simlib.PrepareMetric(adapter, prep)
+		if pm.Name() != "embedding" {
+			t.Fatalf("prepared name = %q", pm.Name())
+		}
+		for i := range titles {
+			for j := range titles {
+				got := pm.SimIDs(ids[i], ids[j])
+				want := adapter.Sim(titles[i], titles[j])
+				if got != want {
+					t.Fatalf("SimIDs(%q, %q) = %v, Sim = %v", titles[i], titles[j], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeTokensMatchesEncode pins the contract prepared callers rely
+// on: encoding a pre-tokenized title equals encoding its string.
+func TestEncodeTokensMatchesEncode(t *testing.T) {
+	m := trainTest(t)
+	for _, s := range []string{"", "seagate internal 2tb", "unseen-word kaffee 北京"} {
+		a := m.Encode(s)
+		b := m.EncodeTokens(textutil.Tokenize(s))
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("EncodeTokens(%q) differs at dim %d: %v vs %v", s, d, a[d], b[d])
+			}
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package embed
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSigmoidTableAccuracy sweeps the table-interpolated sigmoid against the
+// exact logistic across and beyond the clamped range.
+func TestSigmoidTableAccuracy(t *testing.T) {
+	const maxErr = 2e-5
+	for x := -10.0; x <= 10.0; x += 0.001 {
+		got, want := sigmoid(x), sigmoidExact(x)
+		if err := math.Abs(got - want); err > maxErr {
+			t.Fatalf("sigmoid(%v) = %v, exact %v, err %v > %v", x, got, want, err, maxErr)
+		}
+	}
+}
+
+// TestSigmoidClampingSemantics pins the exact clamp values at the ±8
+// boundary, which must match the pre-table implementation bit for bit.
+func TestSigmoidClampingSemantics(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{8.0001, 1},
+		{100, 1},
+		{math.Inf(1), 1},
+		{-8.0001, 0},
+		{-100, 0},
+		{math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := sigmoid(c.x); got != c.want {
+			t.Errorf("sigmoid(%v) = %v, want exactly %v", c.x, got, c.want)
+		}
+	}
+	// NaN propagates like the math.Exp version instead of panicking on the
+	// table index.
+	if got := sigmoid(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("sigmoid(NaN) = %v, want NaN", got)
+	}
+	// Range and monotonicity inside the clamp window.
+	prev := -1.0
+	for x := -8.0; x <= 8.0; x += 0.01 {
+		s := sigmoid(x)
+		if s < 0 || s > 1 {
+			t.Fatalf("sigmoid(%v) = %v out of [0,1]", x, s)
+		}
+		if s < prev {
+			t.Fatalf("sigmoid not monotonic at %v: %v < %v", x, s, prev)
+		}
+		prev = s
+	}
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-9 {
+		t.Errorf("sigmoid(0) = %v, want 0.5", s)
+	}
+}
+
+var sinkF float64
+
+// BenchmarkSigmoidTable / BenchmarkSigmoidExact compare the lookup table
+// against the math.Exp version over the argument range the SGNS loop sees.
+func BenchmarkSigmoidTable(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		x := float64(i%1600)/100 - 8
+		s += sigmoid(x)
+	}
+	sinkF = s
+}
+
+func BenchmarkSigmoidExact(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		x := float64(i%1600)/100 - 8
+		s += sigmoidExact(x)
+	}
+	sinkF = s
+}

@@ -1,0 +1,46 @@
+package labelcheck
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wdcproducts/internal/xrand"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current study output")
+
+// TestGoldenStudy pins the exact §4 study outcome on the tiny benchmark.
+// The annotator error draws depend on the "hard pair" classification, which
+// scores titles with Jaccard — so the fixture catches any drift in the
+// prepared-ID rewrite of the sampler's similarity scoring.
+func TestGoldenStudy(t *testing.T) {
+	b, c := fixture(t)
+	res, err := Run(b, c, DefaultConfig(), xrand.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("sampled %d pos %d neg %d noise %.6f %.6f kappa %.6f\n",
+		res.SampledPairs, res.Positives, res.Negatives,
+		res.NoiseEstimate[0], res.NoiseEstimate[1], res.Kappa)
+	path := filepath.Join("testdata", "study_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("study output differs from golden:\ngot:  %swant: %s", got, want)
+	}
+}

@@ -72,6 +72,12 @@ func Run(b *core.Benchmark, c *corpus.Corpus, cfg Config, src *xrand.Source) (*R
 	}
 	rng := src.Stream("labelcheck")
 	res := &Result{}
+	// Hard-pair classification scores sampled titles with Jaccard on the
+	// prepared-corpus engine: each distinct title is interned (tokenized)
+	// at most once across the whole study.
+	prep := simlib.NewPrepared()
+	jaccard := simlib.PrepareMetric(simlib.MetricJaccard(), prep)
+	titleID := func(offer int) int { return prep.Intern(b.Offers[offer].Title) }
 	var ann1, ann2 []string
 	judge := func(trueMatch bool, hard bool, r *rand.Rand) string {
 		err := cfg.BaseError
@@ -103,7 +109,7 @@ func Run(b *core.Benchmark, c *corpus.Corpus, cfg Config, src *xrand.Source) (*R
 					continue
 				}
 				trueMatch := ta == tb
-				sim := simlib.Jaccard(b.Offers[p.A].Title, b.Offers[p.B].Title)
+				sim := jaccard.SimIDs(titleID(p.A), titleID(p.B))
 				hard := (p.Match && sim < cfg.HardSimilarityBand) || (!p.Match && sim >= cfg.HardSimilarityBand)
 				l1 := judge(trueMatch, hard, rng)
 				l2 := judge(trueMatch, hard, rng)

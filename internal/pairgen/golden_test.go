@@ -1,0 +1,55 @@
+package pairgen
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current pair generation output")
+
+// TestGoldenPairs pins the exact §3.6 pair sets generated on the fixture
+// members for every dev-size configuration. Recorded before the
+// prepared-corpus scoring engine landed; the refactor must reproduce it
+// byte for byte, including pair order and metric draw counts.
+func TestGoldenPairs(t *testing.T) {
+	var sb strings.Builder
+	for _, devSize := range []string{"small", "medium", "large"} {
+		members, title := fixtureMembers()
+		src := xrand.New(42)
+		reg := simlib.NewRegistry(src.Stream("golden-reg"), simlib.DefaultMetrics()...)
+		pairs := Generate(members, ConfigForDevSize(devSize), title, reg, src.Stream("golden-pairs"))
+		fmt.Fprintf(&sb, "dev %s pairs %d\n", devSize, len(pairs))
+		for _, p := range pairs {
+			fmt.Fprintf(&sb, "%d %d %v %d %d\n", p.A, p.B, p.Match, p.ProdA, p.ProdB)
+		}
+		counts := reg.DrawCounts()
+		for _, m := range simlib.DefaultMetrics() {
+			fmt.Fprintf(&sb, "draws %s %d\n", m.Name(), counts[m.Name()])
+		}
+	}
+	path := filepath.Join("testdata", "pairs_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("output differs from golden %s;\ngot:\n%s\nwant:\n%s", path, sb.String(), want)
+	}
+}

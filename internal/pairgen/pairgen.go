@@ -11,7 +11,6 @@ import (
 	"sort"
 
 	"wdcproducts/internal/simlib"
-	"wdcproducts/internal/textutil"
 )
 
 // Member is one product's offer list within a split set.
@@ -60,12 +59,27 @@ func ConfigForDevSize(devSize string) Config {
 
 // Generate builds the pair set for one split. The title function maps an
 // offer index to its title text; the registry supplies alternating metrics
-// for the corner-negative search.
+// for the corner-negative search. Titles are interned into a private
+// prepared corpus; pipelines that generate many splits over the same
+// offers share one corpus through GeneratePrepared.
 func Generate(members []Member, cfg Config, title func(int) string,
 	reg *simlib.Registry, rng *rand.Rand) []Pair {
+	prep := simlib.NewPrepared()
+	titleID := func(i int) int { return prep.Intern(title(i)) }
+	return GeneratePrepared(members, cfg, titleID, reg.Prepare(prep), rng)
+}
+
+// GeneratePrepared is Generate on the prepared-corpus similarity engine:
+// titleID maps an offer index to its title's interned ID in the corpus the
+// registry was bound to. The inverted candidate index and all corner-
+// negative scoring run on interned token IDs, byte-identical to the string
+// path.
+func GeneratePrepared(members []Member, cfg Config, titleID func(int) int,
+	reg *simlib.PreparedRegistry, rng *rand.Rand) []Pair {
 	if cfg.MaxCandidates <= 0 {
 		cfg.MaxCandidates = 120
 	}
+	corpus := reg.Corpus()
 	var pairs []Pair
 	seen := map[[2]int]bool{}
 	addPair := func(a, b int, match bool, pa, pb int) bool {
@@ -98,26 +112,20 @@ func Generate(members []Member, cfg Config, title func(int) string,
 	type entry struct {
 		offer   int
 		product int
+		titleID int
 	}
 	var all []entry
 	for _, m := range members {
 		for _, o := range m.Offers {
-			all = append(all, entry{o, m.Product})
+			all = append(all, entry{o, m.Product, titleID(o)})
 		}
 	}
-	// Inverted index: token -> entry positions.
-	inv := map[string][]int32{}
-	tokens := make([][]string, len(all))
+	// Inverted index: interned token ID -> entry positions.
+	inv := map[int32][]int32{}
 	for i, e := range all {
-		ts := textutil.Tokenize(title(e.offer))
-		uniq := make(map[string]bool, len(ts))
-		for _, tok := range ts {
-			if !uniq[tok] {
-				uniq[tok] = true
-				inv[tok] = append(inv[tok], int32(i))
-			}
+		for _, tok := range corpus.TokenSet(e.titleID) {
+			inv[tok] = append(inv[tok], int32(i))
 		}
-		tokens[i] = ts
 	}
 
 	sharedCounts := make([]int16, len(all))
@@ -125,7 +133,7 @@ func Generate(members []Member, cfg Config, title func(int) string,
 	for i, e := range all {
 		// Candidate generation by shared-token count.
 		touched = touched[:0]
-		for tok := range uniqueTokens(tokens[i]) {
+		for _, tok := range corpus.TokenSet(e.titleID) {
 			for _, j := range inv[tok] {
 				if int(j) == i || all[j].product == e.product {
 					continue
@@ -169,7 +177,6 @@ func Generate(members []Member, cfg Config, title func(int) string,
 		// Corner negatives: for each of K picks, draw a metric and take the
 		// most similar unused candidate. If the pair already exists (e.g.
 		// as a mirror), the next most similar is taken instead (§3.6).
-		titleI := title(e.offer)
 		usedHere := map[int]bool{}
 		for k := 0; k < cfg.CornerNegatives && len(cands) > 0; k++ {
 			metric := reg.Draw()
@@ -178,7 +185,7 @@ func Generate(members []Member, cfg Config, title func(int) string,
 				if usedHere[int(j)] {
 					continue
 				}
-				s := metric.Sim(titleI, title(all[j].offer))
+				s := metric.SimIDs(e.titleID, all[j].titleID)
 				if s > bestScore || (s == bestScore && (best == -1 || j < best)) {
 					best, bestScore = j, s
 				}
@@ -209,14 +216,6 @@ func Generate(members []Member, cfg Config, title func(int) string,
 		}
 	}
 	return pairs
-}
-
-func uniqueTokens(ts []string) map[string]bool {
-	m := make(map[string]bool, len(ts))
-	for _, t := range ts {
-		m[t] = true
-	}
-	return m
 }
 
 // Stats summarizes a pair set (the Table 1 columns).

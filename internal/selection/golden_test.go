@@ -1,0 +1,71 @@
+package selection
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wdcproducts/internal/simlib"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current selection output")
+
+// TestGoldenSelection pins the exact product sets §3.4 selects on the tiny
+// corpus at every corner-case ratio. Recorded before the prepared-corpus
+// scoring engine landed; the refactor must reproduce it byte for byte.
+func TestGoldenSelection(t *testing.T) {
+	var sb strings.Builder
+	for _, ratio := range []float64{0.8, 0.5, 0.2} {
+		g, reg, src := setup(t)
+		cfg := Config{Count: 40, CornerRatio: ratio, SimilarPerSeed: 4}
+		sel, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("golden-sel"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "ratio %.1f corner %d\n", ratio, sel.CornerCount)
+		for _, p := range sel.Products {
+			fmt.Fprintf(&sb, "%d %v %d\n", p.Slot, p.Corner, p.CornerSet)
+		}
+	}
+	compareGolden(t, filepath.Join("testdata", "select_golden.txt"), sb.String())
+}
+
+// TestGoldenSelectionMetricDraws additionally pins the per-metric draw
+// counters, so a change in registry draw order cannot hide behind an
+// accidentally identical product set.
+func TestGoldenSelectionMetricDraws(t *testing.T) {
+	g, reg, src := setup(t)
+	cfg := Config{Count: 40, CornerRatio: 0.8, SimilarPerSeed: 4}
+	if _, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("golden-draws")); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, m := range []simlib.Metric{simlib.MetricCosine(), simlib.MetricDice(), simlib.MetricGeneralizedJaccard()} {
+		fmt.Fprintf(&sb, "%s %d\n", m.Name(), reg.DrawCounts()[m.Name()])
+	}
+	compareGolden(t, filepath.Join("testdata", "select_draws_golden.txt"), sb.String())
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from golden %s;\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}

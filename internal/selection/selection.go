@@ -71,8 +71,23 @@ func (s *Selection) Slots() []int {
 // grouping.UnseenGroups). The exclude set prevents reuse of slots already
 // claimed by another selection (the seen and unseen sets of one ratio must
 // be disjoint).
+//
+// Select interns the pool's representative titles into a private prepared
+// corpus; pipelines that score the same titles across several selections
+// share one corpus through SelectPrepared instead.
 func Select(g *grouping.Grouping, pool map[int][]int, cfg Config, exclude map[int]bool,
 	reg *simlib.Registry, rng *rand.Rand) (*Selection, error) {
+	prep := simlib.NewPrepared()
+	repID := func(slot int) int { return prep.Intern(g.Clusters[slot].RepTitle) }
+	return SelectPrepared(g, pool, cfg, exclude, reg.Prepare(prep), repID, rng)
+}
+
+// SelectPrepared is Select on the prepared-corpus similarity engine: repID
+// maps a cluster slot to its representative title's interned ID in the
+// corpus the registry was bound to. All similarity search runs on interned
+// representations, with results byte-identical to the string path.
+func SelectPrepared(g *grouping.Grouping, pool map[int][]int, cfg Config, exclude map[int]bool,
+	reg *simlib.PreparedRegistry, repID func(slot int) int, rng *rand.Rand) (*Selection, error) {
 	if cfg.Count <= 0 {
 		return nil, fmt.Errorf("selection: non-positive count %d", cfg.Count)
 	}
@@ -131,7 +146,7 @@ func Select(g *grouping.Grouping, pool map[int][]int, cfg Config, exclude map[in
 			}
 			// Random seed cluster within the group.
 			seedSlot := cands[rng.Intn(len(cands))]
-			seedTitle := g.Clusters[seedSlot].RepTitle
+			seedID := repID(seedSlot)
 			members := []int{seedSlot}
 			used[seedSlot] = true
 			// Pick the most similar remaining candidates, drawing a fresh
@@ -144,8 +159,8 @@ func Select(g *grouping.Grouping, pool map[int][]int, cfg Config, exclude map[in
 				metric := reg.Draw()
 				best, bestScore := -1, -1.0
 				for _, slot := range cands {
-					s := metric.Sim(seedTitle, g.Clusters[slot].RepTitle)
-					if s > bestScore || (s == bestScore && slot < best) {
+					s := metric.SimIDs(seedID, repID(slot))
+					if s > bestScore || (s == bestScore && (best == -1 || slot < best)) {
 						best, bestScore = slot, s
 					}
 				}

@@ -1,0 +1,64 @@
+package selection
+
+import (
+	"testing"
+
+	"wdcproducts/internal/cleanse"
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/grouping"
+	"wdcproducts/internal/langid"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+func benchGrouping(b *testing.B) *grouping.Grouping {
+	b.Helper()
+	src := xrand.New(2024)
+	raw := corpus.Generate(corpus.TinyConfig(), src.Split("corpus"))
+	clean, _ := cleanse.Run(raw, cleanse.DefaultConfig(), langid.New())
+	g, err := grouping.Run(clean, grouping.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSelect_CornerSearch measures one full §3.4 corner-case selection
+// over the tiny corpus — the quadratic similarity-search loop that used to
+// dominate the pipeline build. This entry point interns the pool's titles
+// per call, so it includes the one-time preparation cost.
+func BenchmarkSelect_CornerSearch(b *testing.B) {
+	g := benchGrouping(b)
+	src := xrand.New(2024)
+	cfg := Config{Count: 40, CornerRatio: 0.8, SimilarPerSeed: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := simlib.NewRegistry(src.Stream("registry"), simlib.DefaultMetrics()...)
+		if _, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectPrepared_CornerSearch measures the steady-state prepared
+// path the pipeline build runs: the corpus is interned once up front (as
+// core.Build does) and each selection scores interned IDs only.
+func BenchmarkSelectPrepared_CornerSearch(b *testing.B) {
+	g := benchGrouping(b)
+	src := xrand.New(2024)
+	prep := simlib.NewPrepared()
+	repIDs := make([]int, len(g.Clusters))
+	for s := range g.Clusters {
+		repIDs[s] = prep.Intern(g.Clusters[s].RepTitle)
+	}
+	cfg := Config{Count: 40, CornerRatio: 0.8, SimilarPerSeed: 4}
+	repID := func(slot int) int { return repIDs[slot] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := simlib.NewRegistry(src.Stream("registry"), simlib.DefaultMetrics()...)
+		preg := reg.Prepare(prep)
+		if _, err := SelectPrepared(g, g.SeenGroups, cfg, nil, preg, repID, src.Stream("sel")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

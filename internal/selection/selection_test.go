@@ -201,6 +201,33 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestConstantMetricTieBreak regresses the first-candidate tie-break guard:
+// with a metric whose constant score equals the -1 search sentinel, the old
+// `slot < best` comparison against best == -1 rejected every candidate and
+// emitted corrupt -1 slots. The guard must fall back to the lowest slot.
+func TestConstantMetricTieBreak(t *testing.T) {
+	for _, constant := range []float64{-1.0, 0.0, 0.5} {
+		g, _, src := setup(t)
+		reg := simlib.NewRegistry(src.Stream("const-reg"),
+			simlib.Func{MetricName: "constant", F: func(a, b string) float64 { return constant }})
+		cfg := Config{Count: 20, CornerRatio: 0.5, SimilarPerSeed: 4}
+		sel, err := Select(g, g.SeenGroups, cfg, nil, reg, src.Stream("sel-const"))
+		if err != nil {
+			t.Fatalf("constant %v: %v", constant, err)
+		}
+		seen := map[int]bool{}
+		for _, p := range sel.Products {
+			if p.Slot < 0 || p.Slot >= len(g.Clusters) {
+				t.Fatalf("constant %v: corrupt slot %d selected", constant, p.Slot)
+			}
+			if seen[p.Slot] {
+				t.Fatalf("constant %v: slot %d selected twice", constant, p.Slot)
+			}
+			seen[p.Slot] = true
+		}
+	}
+}
+
 func TestUnseenPoolSelection(t *testing.T) {
 	g, reg, src := setup(t)
 	cfg := Config{Count: 40, CornerRatio: 0.8, SimilarPerSeed: 4}

@@ -40,11 +40,49 @@ func DefaultMetrics() []Metric {
 }
 
 // Draw returns a uniformly random metric from the registry.
-func (r *Registry) Draw() Metric {
-	m := r.metrics[r.rng.Intn(len(r.metrics))]
-	r.drawCounts[m.Name()]++
-	return m
+func (r *Registry) Draw() Metric { return r.metrics[r.drawIndex()] }
+
+// drawIndex advances the alternation rng and the draw counters and returns
+// the drawn metric's index. Draw and PreparedRegistry.Draw both route
+// through it, so a registry can serve string and prepared consumers with a
+// single draw stream.
+func (r *Registry) drawIndex() int {
+	i := r.rng.Intn(len(r.metrics))
+	r.drawCounts[r.metrics[i].Name()]++
+	return i
 }
+
+// Prepare binds every registered metric to the prepared corpus p and
+// returns a PreparedRegistry whose draws advance this registry's rng and
+// counters. Draw sequences are therefore identical whether a pipeline
+// stage consumes string metrics or prepared ones, which is what keeps the
+// prepared rewrite byte-compatible with the original pipeline.
+func (r *Registry) Prepare(p *Prepared) *PreparedRegistry {
+	pr := &PreparedRegistry{reg: r, corpus: p, prepared: make([]PreparedMetric, len(r.metrics))}
+	for i, m := range r.metrics {
+		pr.prepared[i] = PrepareMetric(m, p)
+	}
+	return pr
+}
+
+// PreparedRegistry hands out prepared variants of a Registry's metrics,
+// mirroring its draw stream. Like Registry it is not safe for concurrent
+// use.
+type PreparedRegistry struct {
+	reg      *Registry
+	corpus   *Prepared
+	prepared []PreparedMetric
+}
+
+// Draw returns a uniformly random prepared metric, advancing the exact
+// same rng and draw counters as the underlying Registry's Draw.
+func (pr *PreparedRegistry) Draw() PreparedMetric { return pr.prepared[pr.reg.drawIndex()] }
+
+// Corpus returns the prepared corpus the registry's metrics are bound to.
+func (pr *PreparedRegistry) Corpus() *Prepared { return pr.corpus }
+
+// Registry returns the underlying string-metric registry.
+func (pr *PreparedRegistry) Registry() *Registry { return pr.reg }
 
 // Metrics returns the registered metrics in registration order.
 func (r *Registry) Metrics() []Metric { return r.metrics }

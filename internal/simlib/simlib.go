@@ -7,6 +7,11 @@
 // selection randomly alternates among several qualitatively different
 // metrics so that the resulting benchmark cannot be solved by a matcher
 // built on any single one of them.
+//
+// For bulk scoring the package provides a prepared-corpus engine (see
+// Prepared): titles are interned once into precomputed representations and
+// metrics bound via PrepareMetric score interned IDs with zero per-call
+// tokenization, producing bit-identical results to the string path.
 package simlib
 
 import (
@@ -43,11 +48,16 @@ func (f Func) Sim(a, b string) float64 { return f.F(a, b) }
 // Levenshtein returns the normalized Levenshtein similarity
 // 1 - dist/max(len(a), len(b)) over runes.
 func Levenshtein(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	return levenshteinRunes([]rune(a), []rune(b), nil, nil)
+}
+
+// levenshteinRunes is the rune-slice core of Levenshtein. prev/cur are
+// optional scratch rows the prepared variant reuses across calls.
+func levenshteinRunes(ra, rb []rune, prev, cur []int) float64 {
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
-	d := levDistance(ra, rb)
+	d := levDistance(ra, rb, prev, cur)
 	m := len(ra)
 	if len(rb) > m {
 		m = len(rb)
@@ -55,15 +65,19 @@ func Levenshtein(a, b string) float64 {
 	return 1 - float64(d)/float64(m)
 }
 
-func levDistance(a, b []rune) int {
+func levDistance(a, b []rune, prev, cur []int) int {
 	if len(a) == 0 {
 		return len(b)
 	}
 	if len(b) == 0 {
 		return len(a)
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	if cap(prev) < len(b)+1 || cap(cur) < len(b)+1 {
+		prev = make([]int, len(b)+1)
+		cur = make([]int, len(b)+1)
+	} else {
+		prev, cur = prev[:len(b)+1], cur[:len(b)+1]
+	}
 	for j := range prev {
 		prev[j] = j
 	}
@@ -93,7 +107,12 @@ func min3(a, b, c int) int {
 
 // Jaro returns the Jaro similarity over runes.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	return jaroRunes([]rune(a), []rune(b))
+}
+
+// jaroRunes is the rune-slice core of Jaro, shared with the prepared-corpus
+// variants so both paths produce bit-identical scores.
+func jaroRunes(ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -156,9 +175,13 @@ func Jaro(a, b string) float64 {
 // JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
 // scale of 0.1 and a maximum prefix of 4.
 func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
+	return jaroWinklerRunes([]rune(a), []rune(b))
+}
+
+// jaroWinklerRunes is the rune-slice core of JaroWinkler.
+func jaroWinklerRunes(ra, rb []rune) float64 {
+	j := jaroRunes(ra, rb)
 	prefix := 0
-	ra, rb := []rune(a), []rune(b)
 	for prefix < 4 && prefix < len(ra) && prefix < len(rb) && ra[prefix] == rb[prefix] {
 		prefix++
 	}
@@ -273,10 +296,17 @@ func generalizedJaccard(a, b string, threshold float64) float64 {
 			}
 		}
 	}
-	// Greedy best-first matching.
+	return greedyTokenMatch(cands, len(ta), len(tb), make([]bool, len(ta)), make([]bool, len(tb)))
+}
+
+// greedyTokenMatch is the matching core of GeneralizedJaccard: candidates
+// are greedily matched best-first and the score is
+// sum(sims)/(na+nb-matches). usedA/usedB are caller-provided scratch (the
+// prepared variant reuses them across calls); they must be zeroed and have
+// lengths na and nb. Shared by the string and prepared paths so both
+// produce bit-identical scores.
+func greedyTokenMatch(cands []tokenPair, na, nb int, usedA, usedB []bool) float64 {
 	sortCands(cands)
-	usedA := make([]bool, len(ta))
-	usedB := make([]bool, len(tb))
 	sum := 0.0
 	matches := 0
 	for _, c := range cands {
@@ -288,7 +318,7 @@ func generalizedJaccard(a, b string, threshold float64) float64 {
 		sum += c.sim
 		matches++
 	}
-	return sum / float64(len(ta)+len(tb)-matches)
+	return sum / float64(na+nb-matches)
 }
 
 type tokenPair struct {
@@ -384,22 +414,5 @@ func ExactMatch(a, b string) float64 {
 	return 0
 }
 
-// Named metric constructors used by the Registry and by Magellan features.
-
-// MetricCosine is the py_stringmatching Cosine token metric.
-func MetricCosine() Metric { return Func{"cosine", CosineTokens} }
-
-// MetricDice is the py_stringmatching Dice token metric.
-func MetricDice() Metric { return Func{"dice", Dice} }
-
-// MetricGeneralizedJaccard is the py_stringmatching GeneralizedJaccard.
-func MetricGeneralizedJaccard() Metric { return Func{"generalized_jaccard", GeneralizedJaccard} }
-
-// MetricJaccard is the plain token Jaccard metric.
-func MetricJaccard() Metric { return Func{"jaccard", Jaccard} }
-
-// MetricLevenshtein is the normalized Levenshtein metric.
-func MetricLevenshtein() Metric { return Func{"levenshtein", Levenshtein} }
-
-// MetricJaroWinkler is the Jaro-Winkler metric.
-func MetricJaroWinkler() Metric { return Func{"jaro_winkler", JaroWinkler} }
+// The named metric constructors used by the Registry and by Magellan
+// features live in prepared.go next to their interned-ID implementations.

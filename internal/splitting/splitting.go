@@ -82,8 +82,21 @@ type Split struct {
 }
 
 // SplitOffers assigns offers for every selected seen and unseen product.
+// It interns the offers' titles into a private prepared corpus; pipelines
+// sharing one corpus across stages call SplitOffersPrepared.
 func SplitOffers(g *grouping.Grouping, seen, unseen *selection.Selection, cfg Config,
 	reg *simlib.Registry, rng *rand.Rand) (*Split, error) {
+	prep := simlib.NewPrepared()
+	titleID := func(idx int) int { return prep.Intern(g.Corpus.Offers[idx].Title) }
+	return SplitOffersPrepared(g, seen, unseen, cfg, reg.Prepare(prep), titleID, rng)
+}
+
+// SplitOffersPrepared is SplitOffers on the prepared-corpus similarity
+// engine: titleID maps an offer index to its title's interned ID in the
+// corpus the registry was bound to. Results are byte-identical to the
+// string path.
+func SplitOffersPrepared(g *grouping.Grouping, seen, unseen *selection.Selection, cfg Config,
+	reg *simlib.PreparedRegistry, titleID func(idx int) int, rng *rand.Rand) (*Split, error) {
 	out := &Split{}
 	for _, sp := range seen.Products {
 		ci := &g.Clusters[sp.Slot]
@@ -97,9 +110,8 @@ func SplitOffers(g *grouping.Grouping, seen, unseen *selection.Selection, cfg Co
 			sort.Ints(offers)
 		}
 		ps := ProductSplit{Slot: sp.Slot, Corner: sp.Corner, CornerSet: sp.CornerSet}
-		title := func(idx int) string { return g.Corpus.Offers[idx].Title }
 		if sp.Corner {
-			test, val, train := cornerSplit(offers, title, cfg, reg, rng)
+			test, val, train := cornerSplit(offers, titleID, cfg, reg, rng)
 			ps.Test, ps.Val, ps.Train = test, val, train
 		} else {
 			shuffled := append([]int(nil), offers...)
@@ -108,7 +120,7 @@ func SplitOffers(g *grouping.Grouping, seen, unseen *selection.Selection, cfg Co
 			ps.Val = sortedCopy(shuffled[cfg.TestOffers : cfg.TestOffers+cfg.ValOffers])
 			ps.Train = sortedCopy(shuffled[cfg.TestOffers+cfg.ValOffers:])
 		}
-		ps.TrainMedium, ps.TrainSmall = devSubsets(ps.Train, sp.Corner, title, cfg, reg, rng)
+		ps.TrainMedium, ps.TrainSmall = devSubsets(ps.Train, sp.Corner, titleID, cfg, reg, rng)
 		out.Seen = append(out.Seen, ps)
 	}
 	for _, sp := range unseen.Products {
@@ -132,8 +144,8 @@ func SplitOffers(g *grouping.Grouping, seen, unseen *selection.Selection, cfg Co
 // pairs by increasing similarity (one metric drawn per product), slice the
 // most-dissimilar fraction, and draw two disjoint pairs from it for test
 // and validation.
-func cornerSplit(offers []int, title func(int) string, cfg Config,
-	reg *simlib.Registry, rng *rand.Rand) (test, val, train []int) {
+func cornerSplit(offers []int, titleID func(int) int, cfg Config,
+	reg *simlib.PreparedRegistry, rng *rand.Rand) (test, val, train []int) {
 	metric := reg.Draw()
 	type scored struct {
 		a, b int
@@ -142,7 +154,7 @@ func cornerSplit(offers []int, title func(int) string, cfg Config,
 	var pairs []scored
 	for i := 0; i < len(offers); i++ {
 		for j := i + 1; j < len(offers); j++ {
-			pairs = append(pairs, scored{offers[i], offers[j], metric.Sim(title(offers[i]), title(offers[j]))})
+			pairs = append(pairs, scored{offers[i], offers[j], metric.SimIDs(titleID(offers[i]), titleID(offers[j]))})
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
@@ -197,8 +209,8 @@ func cornerSplit(offers []int, title func(int) string, cfg Config,
 // devSubsets derives the medium (3-offer) and small (2-offer) training
 // subsets. For corner products the most mutually dissimilar offers are
 // chosen so that small/medium positive pairs remain corner-cases.
-func devSubsets(train []int, corner bool, title func(int) string, cfg Config,
-	reg *simlib.Registry, rng *rand.Rand) (medium, small []int) {
+func devSubsets(train []int, corner bool, titleID func(int) int, cfg Config,
+	reg *simlib.PreparedRegistry, rng *rand.Rand) (medium, small []int) {
 	if len(train) <= cfg.MediumTrainOffers {
 		medium = sortedCopy(train)
 	} else if corner {
@@ -208,7 +220,7 @@ func devSubsets(train []int, corner bool, title func(int) string, cfg Config,
 		bestA, bestB, bestSim := train[0], train[1], 2.0
 		for i := 0; i < len(train); i++ {
 			for j := i + 1; j < len(train); j++ {
-				s := metric.Sim(title(train[i]), title(train[j]))
+				s := metric.SimIDs(titleID(train[i]), titleID(train[j]))
 				if s < bestSim {
 					bestA, bestB, bestSim = train[i], train[j], s
 				}
@@ -223,7 +235,7 @@ func devSubsets(train []int, corner bool, title func(int) string, cfg Config,
 				}
 				maxSim := 0.0
 				for _, m := range medium {
-					if s := metric.Sim(title(o), title(m)); s > maxSim {
+					if s := metric.SimIDs(titleID(o), titleID(m)); s > maxSim {
 						maxSim = s
 					}
 				}
@@ -247,7 +259,7 @@ func devSubsets(train []int, corner bool, title func(int) string, cfg Config,
 		bestA, bestB, bestSim := medium[0], medium[1], 2.0
 		for i := 0; i < len(medium); i++ {
 			for j := i + 1; j < len(medium); j++ {
-				s := metric.Sim(title(medium[i]), title(medium[j]))
+				s := metric.SimIDs(titleID(medium[i]), titleID(medium[j]))
 				if s < bestSim {
 					bestA, bestB, bestSim = medium[i], medium[j], s
 				}

@@ -17,50 +17,59 @@ import (
 // characters '.', '-', '/' inside tokens because they carry model-number
 // information such as "wd10ezex-08wn4a0"), and splits on whitespace.
 func Tokenize(s string) []string {
-	if s == "" {
-		return nil
+	var out []string
+	EachToken(s, func(t string) { out = append(out, t) })
+	return out
+}
+
+// EachToken streams the tokens of s to fn in order, with the exact token
+// semantics of Tokenize but without materializing an intermediate
+// normalized copy of s or a fields slice. It is the allocation-frugal
+// primitive the prepared-corpus interning layer is built on.
+func EachToken(s string, fn func(token string)) {
+	var buf []rune
+	flush := func() {
+		// Equivalent of strings.Trim(token, ".-/") on the buffered runes.
+		lo, hi := 0, len(buf)
+		for lo < hi && isJoiner(buf[lo]) {
+			lo++
+		}
+		for hi > lo && isJoiner(buf[hi-1]) {
+			hi--
+		}
+		if hi > lo {
+			fn(string(buf[lo:hi]))
+		}
+		buf = buf[:0]
 	}
-	var b strings.Builder
-	b.Grow(len(s))
 	for _, r := range s {
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-		case r == '.' || r == '-' || r == '/':
-			b.WriteRune(r)
+			buf = append(buf, unicode.ToLower(r))
+		case isJoiner(r):
+			buf = append(buf, r)
 		default:
-			b.WriteByte(' ')
+			flush()
 		}
 	}
-	fields := strings.Fields(b.String())
-	out := fields[:0]
-	for _, f := range fields {
-		f = strings.Trim(f, ".-/")
-		if f != "" {
-			out = append(out, f)
-		}
-	}
-	if len(out) == 0 {
-		return nil
-	}
-	return out
+	flush()
 }
+
+// isJoiner reports whether r is kept inside tokens but trimmed from their
+// edges ('.', '-', '/', the model-number joiners).
+func isJoiner(r rune) bool { return r == '.' || r == '-' || r == '/' }
 
 // TokenSet returns the set of distinct tokens of s.
 func TokenSet(s string) map[string]bool {
 	set := make(map[string]bool)
-	for _, t := range Tokenize(s) {
-		set[t] = true
-	}
+	EachToken(s, func(t string) { set[t] = true })
 	return set
 }
 
 // TokenCounts returns a bag-of-words count map for s.
 func TokenCounts(s string) map[string]int {
 	counts := make(map[string]int)
-	for _, t := range Tokenize(s) {
-		counts[t]++
-	}
+	EachToken(s, func(t string) { counts[t]++ })
 	return counts
 }
 

@@ -154,6 +154,38 @@ func TestCharNGramsCount(t *testing.T) {
 	}
 }
 
+// TestEachTokenMatchesTokenize is the property the streaming tokenizer
+// must uphold: EachToken emits exactly the Tokenize token sequence (which
+// is itself pinned by the reference-semantics tests above) for arbitrary
+// input, including unicode, joiners-only tokens, and empty strings.
+func TestEachTokenMatchesTokenize(t *testing.T) {
+	check := func(s string) bool {
+		var streamed []string
+		EachToken(s, func(tok string) { streamed = append(streamed, tok) })
+		direct := Tokenize(s)
+		if len(streamed) != len(direct) {
+			return false
+		}
+		for i := range direct {
+			if streamed[i] != direct[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range []string{
+		"", " ", "...", "-./-", "Seagate BarraCuda 2TB (ST2000DM008)",
+		"wd10ezex-08wn4a0", "a/b/c", "ñandú 北京 DÉJÀ-vu", "🎧 x 🎧", ".lead trail.",
+	} {
+		if !check(s) {
+			t.Fatalf("EachToken diverged from Tokenize on %q", s)
+		}
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIsNumber(t *testing.T) {
 	if !isNumber("3.5") || !isNumber("1000") || isNumber("") || isNumber("1.2.3") || isNumber("x1") {
 		t.Fatal("isNumber misclassified")
