@@ -2,13 +2,16 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_2.json: the end-to-end
-# pipeline build, the corner-selection microbenchmarks (string entry point
-# and prepared steady state), and the sigmoid lookup-table comparison.
-BENCH_OUT ?= BENCH_2.json
-BENCH_NOTE ?= prepared-corpus similarity engine (PR 2); pre-refactor baselines: Figure2 1892498695 ns/op 11490018 allocs/op, corner-selection 1247538 ns/op 9956 allocs/op
+# The perf-trajectory benchmarks recorded in BENCH_3.json: the end-to-end
+# pipeline build, the corner-selection microbenchmarks, the sigmoid
+# lookup-table comparison, and the PR 3 blocking-scale benches comparing
+# exhaustive embedding kNN against MinHash-LSH and HNSW candidate
+# generation (ns/offer, pairs, completeness, recall of the exhaustive
+# pair set).
+BENCH_OUT ?= BENCH_3.json
+BENCH_NOTE ?= sublinear blocking: MinHash-LSH + HNSW (PR 3); exhaustive embedding-knn baseline scales ns/offer linearly with corpus size, minhash-lsh and hnsw-knn stay near-flat at >=0.9 exhaustive-recall
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet docs bench
 
 build:
 	$(GO) build ./...
@@ -22,6 +25,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+# docs fails when gofmt disagrees with any tracked Go file or when an
+# exported identifier in the documented packages lacks a doc comment.
+docs:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt -l:"; echo "$$fmt"; exit 1; fi
+	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/simlib
+
 # bench regenerates $(BENCH_OUT) from the perf-trajectory benchmarks with
 # allocation stats. Iteration-pinned benchtimes keep the expensive pipeline
 # bench affordable. The runs are collected into a temp file with && so a
@@ -30,6 +39,7 @@ vet:
 bench:
 	@tmp=$$(mktemp); \
 	( $(GO) test -run '^$$' -bench 'BenchmarkFigure2_PipelineSteps' -benchmem -benchtime 3x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBlockingScale' -benchmem -benchtime 2x . && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
 	status=$$?; cat "$$tmp"; \

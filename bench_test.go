@@ -20,6 +20,7 @@ import (
 	"wdcproducts"
 	"wdcproducts/internal/blocking"
 	"wdcproducts/internal/core"
+	"wdcproducts/internal/embed"
 	"wdcproducts/internal/matchers"
 	"wdcproducts/internal/pairgen"
 	"wdcproducts/internal/simlib"
@@ -416,6 +417,153 @@ func BenchmarkExtension_Blocking(b *testing.B) {
 	printTable("blocking", fmt.Sprintf(
 		"Blocking extension: %d candidates, completeness %.1f%%, reduction %.1f%%",
 		m.Candidates, m.PairCompleteness*100, m.ReductionRatio*100))
+}
+
+// --- Sublinear blocking benches (§6, PR 3) ---------------------------------
+
+// The blocking-scale benches compare candidate-generation cost as the
+// offer universe grows: the exhaustive embedding blocker scores every pair
+// (ns/offer grows linearly with n), while MinHash-LSH and HNSW stay
+// sublinear (ns/offer roughly flat, up to collision and log factors). Each
+// sub-bench reports ns/offer plus the quality metrics of the produced
+// candidate set; the kNN blockers additionally report how much of the
+// exhaustive embedding blocker's pair set they recover at the same K.
+
+// blockKNN is the per-offer neighbour budget shared by the embedding and
+// HNSW blockers, so their rows are directly comparable.
+const blockKNN = 6
+
+var (
+	blockOnce  sync.Once
+	blockModel *embed.Model
+
+	exhaustiveMu    sync.Mutex
+	exhaustiveCache = map[int][]blocking.CandidatePair{}
+)
+
+// blockingBenchSetup trains the one title encoder the embedding-space
+// blockers share.
+func blockingBenchSetup(b *testing.B) {
+	b.Helper()
+	ensureBuild(b)
+	blockOnce.Do(func() {
+		titles := make([]string, len(benchB.Offers))
+		for i := range benchB.Offers {
+			titles[i] = benchB.Offers[i].Title
+		}
+		blockModel = embed.Train(titles, embed.DefaultConfig(), xrand.New(42).Stream("block-embed"))
+	})
+}
+
+// blockingSizes are the offer-universe sizes of the scaling sub-benches:
+// quarter, half, and the full tiny-benchmark corpus.
+func blockingSizes() []int {
+	n := len(benchB.Offers)
+	return []int{n / 4, n / 2, n}
+}
+
+// exhaustivePairs returns (and caches) the exhaustive embedding blocker's
+// candidate set over the first n offers — the reference the approximate
+// blockers' recall is measured against.
+func exhaustivePairs(n int) []blocking.CandidatePair {
+	exhaustiveMu.Lock()
+	defer exhaustiveMu.Unlock()
+	if cands, ok := exhaustiveCache[n]; ok {
+		return cands
+	}
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	cands := blocking.NewEmbeddingBlocker(blockModel, blockKNN).Candidates(benchB.Offers, idxs)
+	exhaustiveCache[n] = cands
+	return cands
+}
+
+// pairRecall is the fraction of want-pairs present in got.
+func pairRecall(got, want []blocking.CandidatePair) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := make(map[blocking.CandidatePair]bool, len(got))
+	for _, p := range got {
+		set[p] = true
+	}
+	hit := 0
+	for _, p := range want {
+		if set[p] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// benchBlockerAt measures one blocker over the first n offers, reporting
+// ns/offer, candidate count, completeness against the corpus cluster
+// ground truth, reduction ratio, and (when vsExhaustive) recall of the
+// exhaustive embedding blocker's pairs.
+func benchBlockerAt(b *testing.B, mk func() blocking.Blocker, n int, vsExhaustive bool) {
+	b.Helper()
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	truth := func(x, y int) bool {
+		return benchB.Offers[x].ClusterID == benchB.Offers[y].ClusterID
+	}
+	var cands []blocking.CandidatePair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands = mk().Candidates(benchB.Offers, idxs)
+	}
+	b.StopTimer()
+	m := blocking.Evaluate(cands, idxs, truth)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/offer")
+	b.ReportMetric(float64(m.Candidates), "pairs")
+	b.ReportMetric(m.PairCompleteness*100, "pair-completeness")
+	b.ReportMetric(m.ReductionRatio*100, "reduction-ratio")
+	if vsExhaustive {
+		b.ReportMetric(pairRecall(cands, exhaustivePairs(n))*100, "exhaustive-recall")
+	}
+}
+
+// BenchmarkBlockingScale_EmbeddingExhaustive is the baseline: exhaustive
+// per-offer top-K scoring, quadratic in the universe size.
+func BenchmarkBlockingScale_EmbeddingExhaustive(b *testing.B) {
+	blockingBenchSetup(b)
+	for _, n := range blockingSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchBlockerAt(b, func() blocking.Blocker {
+				return blocking.NewEmbeddingBlocker(blockModel, blockKNN)
+			}, n, false)
+		})
+	}
+}
+
+// BenchmarkBlockingScale_MinHashLSH measures banded MinHash-LSH candidate
+// generation over the title token sets.
+func BenchmarkBlockingScale_MinHashLSH(b *testing.B) {
+	blockingBenchSetup(b)
+	for _, n := range blockingSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchBlockerAt(b, func() blocking.Blocker {
+				return blocking.NewMinHashBlocker()
+			}, n, true)
+		})
+	}
+}
+
+// BenchmarkBlockingScale_HNSW measures approximate embedding kNN blocking
+// through the HNSW graph, at the same K as the exhaustive baseline.
+func BenchmarkBlockingScale_HNSW(b *testing.B) {
+	blockingBenchSetup(b)
+	for _, n := range blockingSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchBlockerAt(b, func() blocking.Blocker {
+				return blocking.NewHNSWBlocker(blockModel, blockKNN)
+			}, n, true)
+		})
+	}
 }
 
 // --- helpers ---------------------------------------------------------------

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	wdceval [-scale small] [-seed 42] [-reps 3] [-workers 0] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6]
+//	wdceval [-scale small] [-seed 42] [-reps 3] [-workers 0] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6] [-blocking token,embedding,minhash,hnsw]
 //
 // -workers spreads the independent training cells across CPUs (0 = all
 // cores, 1 = serial); results are identical at any worker count.
+//
+// -blocking runs the §6 blocking study instead of the training matrix: it
+// evaluates the named blockers ("all" selects every strategy) on the
+// cc=50% seen test offers and prints candidates, pair completeness,
+// reduction ratio and wall time per blocker.
 package main
 
 import (
@@ -29,6 +34,8 @@ func main() {
 	systemsFlag := flag.String("systems", "", "comma-separated system subset (default: all)")
 	table := flag.Int("table", 0, "print only table 3, 4 or 5")
 	figure := flag.Int("figure", 0, "print only figure 4, 5 or 6")
+	blockingFlag := flag.String("blocking", "",
+		"run the §6 blocking study over the named blockers (comma-separated token|embedding|minhash|hnsw, or 'all') instead of the training matrix")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -47,6 +54,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *blockingFlag != "" {
+		t, err := wdcproducts.BlockingReport(b, wdcproducts.ParseBlockerNames(*blockingFlag), *seed, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(t)
+		return
+	}
+
 	runner := wdcproducts.NewRunner(b, *seed)
 
 	ecfg := wdcproducts.ExperimentConfig{Repetitions: *reps, Seed: *seed, Workers: *workers}

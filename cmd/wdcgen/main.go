@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v]
+//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v] [-blockers token,minhash,hnsw]
+//
+// -blockers additionally runs the named §6 blocking strategies ("all"
+// selects every one) over the generated benchmark's cc=50% seen test
+// offers and prints their candidate counts, pair completeness and
+// reduction ratios — a quick read on how blockable the generated
+// benchmark is.
 package main
 
 import (
@@ -27,6 +33,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-stage pipeline statistics (Figure 2)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the build to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the build) to this file")
+	blockers := flag.String("blockers", "",
+		"also print the §6 blocking report for these blockers (comma-separated token|embedding|minhash|hnsw, or 'all')")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -88,5 +96,12 @@ func main() {
 		fmt.Printf("  dbscan groups         %d (%d avoided by curation)\n", s.DBSCANGroups, s.AvoidedGroups)
 		fmt.Printf("  pools seen/unseen     %d / %d clusters\n", s.SeenPoolClusters, s.UnseenPoolCluster)
 		fmt.Printf("  metric draws          %v\n", s.MetricDraws)
+	}
+	if *blockers != "" {
+		t, err := wdcproducts.BlockingReport(b, wdcproducts.ParseBlockerNames(*blockers), *seed, 0)
+		if err != nil {
+			log.Fatalf("blocking report: %v", err)
+		}
+		fmt.Printf("\n%s", t)
 	}
 }

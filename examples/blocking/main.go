@@ -1,13 +1,17 @@
 // Blocking: the §6 extension. Before pair-wise matching can run at scale,
 // a blocker must prune the quadratic pair space without losing true
-// matches. This example compares token blocking against embedding
-// nearest-neighbour blocking on benchmark offers, reporting pair
-// completeness (match recall) and reduction ratio.
+// matches. This example compares four blockers on benchmark offers — the
+// exhaustive pair (token blocking, embedding nearest-neighbour blocking)
+// against their sublinear counterparts (MinHash-LSH banding over token
+// sets, HNSW approximate nearest neighbours over the same embeddings) —
+// reporting pair completeness (match recall), reduction ratio and wall
+// time per blocker.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"wdcproducts"
 	"wdcproducts/internal/blocking"
@@ -44,17 +48,32 @@ func main() {
 	blockers := []blocking.Blocker{
 		blocking.NewTokenBlocker(),
 		blocking.NewEmbeddingBlocker(model, 6),
+		blocking.NewMinHashBlocker(),
+		blocking.NewHNSWBlocker(model, 6),
 	}
 	total := len(idxs) * (len(idxs) - 1) / 2
 	fmt.Printf("blocking %d offers (%d possible pairs):\n\n", len(idxs), total)
-	fmt.Printf("%-18s %12s %18s %16s\n", "blocker", "candidates", "pair completeness", "reduction ratio")
+	fmt.Printf("%-18s %12s %18s %16s %10s\n",
+		"blocker", "candidates", "pair completeness", "reduction ratio", "ms")
 	for _, bl := range blockers {
+		start := time.Now()
 		cands := bl.Candidates(bench.Offers, idxs)
+		elapsed := time.Since(start)
 		m := blocking.Evaluate(cands, idxs, truth)
-		fmt.Printf("%-18s %12d %17.2f%% %15.2f%%\n",
-			bl.Name(), m.Candidates, m.PairCompleteness*100, m.ReductionRatio*100)
+		fmt.Printf("%-18s %12d %17.2f%% %15.2f%% %10.1f\n",
+			bl.Name(), m.Candidates, m.PairCompleteness*100, m.ReductionRatio*100,
+			float64(elapsed.Microseconds())/1000)
 	}
 	fmt.Println("\nA good blocker keeps pair completeness near 100% while pruning most of")
-	fmt.Println("the pair space; the corpus behind WDC Products is sized for exactly this")
-	fmt.Println("kind of experiment (the paper derives the SC-Block benchmark from it).")
+	fmt.Println("the pair space. The minhash-lsh and hnsw-knn rows approximate their")
+	fmt.Println("exhaustive counterparts sublinearly: candidate generation cost grows")
+	fmt.Println("with the offers and their collisions, not with the quadratic pair space")
+	fmt.Println("(the paper derives the SC-Block benchmark from this corpus).")
+
+	// The same comparison is available without touching internal packages:
+	// wdcproducts.BlockingReport renders it as a table (training its own
+	// encoder), and the CLIs expose it as `wdceval -blocking all` and
+	// `wdcgen -blockers all`.
+	fmt.Println("\n(also available as wdcproducts.BlockingReport and the -blocking /")
+	fmt.Println(" -blockers flags of wdceval and wdcgen)")
 }

@@ -47,3 +47,43 @@ func TestGoldenCandidates(t *testing.T) {
 		t.Errorf("candidates differ from golden %s", path)
 	}
 }
+
+// TestGoldenSublinearCandidates pins the exact candidate sets of the
+// MinHash-LSH and HNSW blockers on the same fixture. Their indexes are
+// randomized but seeded through internal/xrand, so the sets must be
+// byte-stable across runs and worker counts. (Like the embedding rows of
+// the existing golden, the HNSW set depends on float accumulation order
+// in the encoder, so the fixture is pinned per platform, not across
+// architectures that fuse multiply-adds.)
+func TestGoldenSublinearCandidates(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	var sb strings.Builder
+	dump := func(name string, cands []CandidatePair) {
+		fmt.Fprintf(&sb, "%s %d\n", name, len(cands))
+		for _, p := range cands {
+			fmt.Fprintf(&sb, "%d %d\n", p.A, p.B)
+		}
+	}
+	dump("minhash", NewMinHashBlocker().Candidates(offers, idxs))
+	for _, k := range []int{2, 8} {
+		dump(fmt.Sprintf("hnsw-k%d", k), NewHNSWBlocker(model, k).Candidates(offers, idxs))
+	}
+	path := filepath.Join("testdata", "sublinear_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("candidates differ from golden %s", path)
+	}
+}

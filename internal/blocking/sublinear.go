@@ -1,0 +1,165 @@
+// Sublinear candidate generation: the MinHash-LSH and HNSW blockers.
+//
+// Both follow the same shape: intern the offers' titles into a
+// simlib.Prepared corpus (so duplicate titles are represented once), run a
+// sublinear index over the distinct titles — banded MinHash over token
+// sets for MinHashBlocker, an HNSW graph over embedding vectors for
+// HNSWBlocker — and expand the resulting title pairs back to offer pairs.
+// Offers sharing an identical title are always paired with each other: an
+// exact duplicate is the strongest possible candidate and must never be
+// lost to indexing approximation.
+
+package blocking
+
+import (
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/hnsw"
+	"wdcproducts/internal/lsh"
+	"wdcproducts/internal/parallel"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/xrand"
+)
+
+// titleGroups interns the titles of the selected offers and returns the
+// prepared corpus together with, for every distinct title ID, the offer
+// indices carrying that title (in idxs order).
+func titleGroups(offers []schemaorg.Offer, idxs []int) (*simlib.Prepared, [][]int) {
+	prep := simlib.NewPrepared()
+	var groups [][]int
+	for _, i := range idxs {
+		tid := prep.Intern(offers[i].Title)
+		if tid == len(groups) {
+			groups = append(groups, nil)
+		}
+		groups[tid] = append(groups[tid], i)
+	}
+	return prep, groups
+}
+
+// expandTitlePairs converts title-level candidate pairs into offer-level
+// candidate pairs: the cross product of the two title groups for each
+// proposed title pair, plus the full clique inside every title group
+// (identical titles are always candidates). The result is sorted and
+// deduplicated.
+func expandTitlePairs(groups [][]int, titlePairs [][2]int) []CandidatePair {
+	set := map[CandidatePair]bool{}
+	for _, members := range groups {
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				set[orderedPair(members[x], members[y])] = true
+			}
+		}
+	}
+	for _, tp := range titlePairs {
+		for _, a := range groups[tp[0]] {
+			for _, b := range groups[tp[1]] {
+				set[orderedPair(a, b)] = true
+			}
+		}
+	}
+	out := make([]CandidatePair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
+}
+
+// MinHashBlocker proposes pairs of offers whose title token sets collide
+// in at least one band of a MinHash-LSH index — an approximation of "token
+// Jaccard above Config.Threshold()" that never enumerates the quadratic
+// pair space. Candidate sets are deterministic for a fixed Seed.
+type MinHashBlocker struct {
+	// Config sizes the LSH index (bands x rows and the construction worker
+	// pool).
+	Config lsh.Config
+	// Seed roots the xrand stream the hash family is drawn from.
+	Seed int64
+}
+
+// NewMinHashBlocker returns the standard blocking configuration: 48 bands
+// of 2 rows (candidate threshold ~ Jaccard 0.14), seed 1. The threshold is
+// deliberately far below lsh.DefaultConfig's near-duplicate setting: the
+// benchmark's corner-case positives are hard matches with little token
+// overlap, and the low threshold is what keeps pair completeness near 100%
+// while still pruning the bulk of the pair space.
+func NewMinHashBlocker() *MinHashBlocker {
+	return &MinHashBlocker{Config: lsh.Config{Bands: 48, Rows: 2, Workers: 0}, Seed: 1}
+}
+
+// Name implements Blocker.
+func (m *MinHashBlocker) Name() string { return "minhash-lsh" }
+
+// Candidates implements Blocker. Each distinct title is signed once;
+// signature computation fans out across the configured worker pool.
+func (m *MinHashBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
+	prep, groups := titleGroups(offers, idxs)
+	sets := make([][]int32, prep.Len())
+	for t := range sets {
+		sets[t] = prep.TokenSet(t)
+	}
+	ix := lsh.NewIndex(m.Config, xrand.New(m.Seed).Stream("minhash-lsh"))
+	ix.Build(sets)
+	return expandTitlePairs(groups, ix.CandidatePairs())
+}
+
+// HNSWBlocker proposes, for each offer, the offers carrying its K
+// approximately nearest distinct titles in the embedding space, found
+// through an HNSW graph instead of the exhaustive scan of
+// EmbeddingBlocker. Candidate sets are deterministic for a fixed Seed.
+type HNSWBlocker struct {
+	// Model encodes titles into the embedding space (shared with
+	// EmbeddingBlocker so the two search the same geometry).
+	Model *embed.Model
+	// K is the number of nearest distinct titles retrieved per title.
+	K int
+	// Config sizes the HNSW graph (M, ef bounds, construction batching and
+	// the worker pool).
+	Config hnsw.Config
+	// Seed roots the xrand stream behind the graph's level draws.
+	Seed int64
+}
+
+// NewHNSWBlocker wraps a trained embedding model with the default graph
+// configuration and seed 1.
+func NewHNSWBlocker(model *embed.Model, k int) *HNSWBlocker {
+	return &HNSWBlocker{Model: model, K: k, Config: hnsw.DefaultConfig(), Seed: 1}
+}
+
+// Name implements Blocker.
+func (h *HNSWBlocker) Name() string { return "hnsw-knn" }
+
+// Candidates implements Blocker. Encoding, graph construction and the
+// per-title queries all run across the configured worker pool; results are
+// identical at any worker count.
+func (h *HNSWBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
+	prep, groups := titleGroups(offers, idxs)
+	vecs := make([][]float32, prep.Len())
+	parallel.Run(prep.Len(), h.Config.Workers, func(t int) error {
+		vecs[t] = h.Model.EncodeTokens(prep.Tokens(t))
+		return nil
+	}, nil)
+	g := hnsw.Build(vecs, h.Config, xrand.New(h.Seed).Stream("hnsw-knn"))
+	neighbours := make([][]hnsw.Result, prep.Len())
+	parallel.Run(prep.Len(), h.Config.Workers, func(t int) error {
+		// K+1 because the title's own vector is its nearest neighbour.
+		neighbours[t] = g.Search(vecs[t], h.K+1)
+		return nil
+	}, nil)
+	var titlePairs [][2]int
+	for t := range neighbours {
+		taken := 0
+		for _, r := range neighbours[t] {
+			if r.ID == t {
+				continue
+			}
+			if taken == h.K {
+				break
+			}
+			taken++
+			titlePairs = append(titlePairs, [2]int{t, r.ID})
+		}
+	}
+	return expandTitlePairs(groups, titlePairs)
+}

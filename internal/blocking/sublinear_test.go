@@ -1,0 +1,184 @@
+package blocking
+
+import (
+	"testing"
+
+	"wdcproducts/internal/schemaorg"
+)
+
+// pairUniverse returns the set of all unordered pairs over idxs — the
+// exhaustive universe every blocker's candidates must come from.
+func pairUniverse(idxs []int) map[CandidatePair]bool {
+	u := map[CandidatePair]bool{}
+	for x := 0; x < len(idxs); x++ {
+		for y := x + 1; y < len(idxs); y++ {
+			u[orderedPair(idxs[x], idxs[y])] = true
+		}
+	}
+	return u
+}
+
+func pairSet(cands []CandidatePair) map[CandidatePair]bool {
+	s := make(map[CandidatePair]bool, len(cands))
+	for _, p := range cands {
+		s[p] = true
+	}
+	return s
+}
+
+// overlapRecall is the fraction of want-pairs present in got.
+func overlapRecall(got map[CandidatePair]bool, want []CandidatePair) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, p := range want {
+		if got[p] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// TestSublinearCandidatesAreSubsetOfUniverse is the containment property:
+// every pair a sublinear blocker proposes must be a valid unordered pair
+// of the offered indices — no invented, reversed or self pairs.
+func TestSublinearCandidatesAreSubsetOfUniverse(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	universe := pairUniverse(idxs)
+	for _, bl := range []Blocker{NewMinHashBlocker(), NewHNSWBlocker(model, 6)} {
+		cands := bl.Candidates(offers, idxs)
+		seen := map[CandidatePair]bool{}
+		for _, p := range cands {
+			if !universe[p] {
+				t.Fatalf("%s proposed pair %+v outside the pair universe", bl.Name(), p)
+			}
+			if seen[p] {
+				t.Fatalf("%s proposed duplicate pair %+v", bl.Name(), p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestMinHashBlockerQuality pins the recall floor of the LSH blocker on
+// the seed-corpus fixture: the default 48x2 banding admits pairs down to
+// roughly Jaccard 0.14, low enough that even the corner-case positives
+// (hard matches with little token overlap) must survive banding.
+func TestMinHashBlockerQuality(t *testing.T) {
+	offers, idxs, truth := fixture(t)
+	m := Evaluate(NewMinHashBlocker().Candidates(offers, idxs), idxs, truth)
+	if m.TrueMatches == 0 {
+		t.Fatal("fixture has no true matches")
+	}
+	t.Logf("minhash-lsh: %d candidates, completeness %.3f, reduction %.3f",
+		m.Candidates, m.PairCompleteness, m.ReductionRatio)
+	if m.PairCompleteness < 0.9 {
+		t.Fatalf("minhash-lsh recall = %.3f, want >= 0.9", m.PairCompleteness)
+	}
+	if m.ReductionRatio < 0.3 {
+		t.Fatalf("minhash-lsh reduction = %.3f (no pruning)", m.ReductionRatio)
+	}
+}
+
+// TestHNSWBlockerQuality pins the recall floors of the HNSW blocker: both
+// against ground truth and against the exhaustive EmbeddingBlocker whose
+// geometry it approximates (>= 0.9 of its pairs at equal K).
+func TestHNSWBlockerQuality(t *testing.T) {
+	offers, idxs, truth := fixture(t)
+	const k = 8
+	cands := NewHNSWBlocker(model, k).Candidates(offers, idxs)
+	m := Evaluate(cands, idxs, truth)
+	t.Logf("hnsw-knn: %d candidates, completeness %.3f, reduction %.3f",
+		m.Candidates, m.PairCompleteness, m.ReductionRatio)
+	if m.PairCompleteness < 0.8 {
+		t.Fatalf("hnsw-knn recall = %.3f, want >= 0.8", m.PairCompleteness)
+	}
+
+	exhaustive := NewEmbeddingBlocker(model, k).Candidates(offers, idxs)
+	recall := overlapRecall(pairSet(cands), exhaustive)
+	t.Logf("hnsw-knn recall of exhaustive embedding-knn pairs: %.3f", recall)
+	if recall < 0.9 {
+		t.Fatalf("hnsw-knn covers only %.3f of exhaustive knn pairs, want >= 0.9", recall)
+	}
+}
+
+// TestSublinearBlockersDeterministic re-runs both blockers — at different
+// worker counts for the parallel construction paths — and requires
+// byte-identical candidate sets.
+func TestSublinearBlockersDeterministic(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	run := func(workers int) ([]CandidatePair, []CandidatePair) {
+		mh := NewMinHashBlocker()
+		mh.Config.Workers = workers
+		hb := NewHNSWBlocker(model, 6)
+		hb.Config.Workers = workers
+		return mh.Candidates(offers, idxs), hb.Candidates(offers, idxs)
+	}
+	mh1, hn1 := run(1)
+	mh8, hn8 := run(8)
+	for name, pair := range map[string][2][]CandidatePair{
+		"minhash-lsh": {mh1, mh8},
+		"hnsw-knn":    {hn1, hn8},
+	} {
+		a, b := pair[0], pair[1]
+		if len(a) != len(b) {
+			t.Fatalf("%s: worker count changed candidate count: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: pair %d differs: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestIdenticalTitlesAlwaysPaired: offers with byte-identical titles must
+// be candidates under both sublinear blockers regardless of index
+// randomness.
+func TestIdenticalTitlesAlwaysPaired(t *testing.T) {
+	offers := []schemaorg.Offer{
+		{Title: "acme widget pro 3000 silver"},
+		{Title: "totally different product name"},
+		{Title: "acme widget pro 3000 silver"},
+		{Title: "another unrelated thing entirely"},
+	}
+	idxs := []int{0, 1, 2, 3}
+	want := CandidatePair{A: 0, B: 2}
+	for _, bl := range []Blocker{NewMinHashBlocker(), NewHNSWBlocker(model, 1)} {
+		if !pairSet(bl.Candidates(offers, idxs))[want] {
+			t.Fatalf("%s did not pair identical titles", bl.Name())
+		}
+	}
+}
+
+// --- Evaluate edge cases ----------------------------------------------------
+
+func TestEvaluateNoPositives(t *testing.T) {
+	idxs := []int{0, 1, 2, 3}
+	never := func(a, b int) bool { return false }
+	m := Evaluate([]CandidatePair{{A: 0, B: 1}}, idxs, never)
+	if m.TrueMatches != 0 || m.CoveredMatches != 0 {
+		t.Fatalf("no-positive truth produced matches: %+v", m)
+	}
+	if m.PairCompleteness != 0 {
+		t.Fatalf("pair completeness with no positives = %v, want 0 (not NaN)", m.PairCompleteness)
+	}
+	if m.Candidates != 1 {
+		t.Fatalf("candidates = %d", m.Candidates)
+	}
+}
+
+func TestEvaluateEmptyIndexSet(t *testing.T) {
+	m := Evaluate(nil, nil, func(a, b int) bool { return true })
+	if m.PairCompleteness != 0 || m.ReductionRatio != 0 || m.TrueMatches != 0 {
+		t.Fatalf("empty index set metrics = %+v", m)
+	}
+}
+
+func TestEvaluateSingleOffer(t *testing.T) {
+	m := Evaluate(nil, []int{7}, func(a, b int) bool { return true })
+	if m.TrueMatches != 0 || m.ReductionRatio != 0 {
+		t.Fatalf("single-offer metrics = %+v", m)
+	}
+}

@@ -1,0 +1,192 @@
+package hnsw
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wdcproducts/internal/vector"
+	"wdcproducts/internal/xrand"
+)
+
+// randomVecs draws n random unit-ish vectors of the given dimension.
+func randomVecs(rng *rand.Rand, n, dim int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// bruteKNN returns the exact top-k neighbour ids of q by cosine
+// similarity, ties broken by ascending id — the ground truth Search
+// approximates.
+func bruteKNN(vecs [][]float32, q []float32, k int) []int {
+	type sc struct {
+		id  int
+		sim float64
+	}
+	all := make([]sc, len(vecs))
+	for i, v := range vecs {
+		all[i] = sc{i, vector.Cosine(q, v)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].sim != all[b].sim {
+			return all[a].sim > all[b].sim
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	ids := make([]int, k)
+	for i := 0; i < k; i++ {
+		ids[i] = all[i].id
+	}
+	return ids
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	g := Build(nil, DefaultConfig(), xrand.New(1).Stream("hnsw"))
+	if got := g.Search([]float32{1, 0}, 3); got != nil {
+		t.Fatalf("empty graph returned %v", got)
+	}
+	g = Build([][]float32{{1, 0}}, DefaultConfig(), xrand.New(1).Stream("hnsw"))
+	res := g.Search([]float32{1, 0}, 3)
+	if len(res) != 1 || res[0].ID != 0 {
+		t.Fatalf("single-node graph returned %v", res)
+	}
+	if res[0].Sim < 0.999 {
+		t.Fatalf("self similarity = %v", res[0].Sim)
+	}
+}
+
+func TestBuildRejectsM1(t *testing.T) {
+	// M=1 would make the level multiplier 1/ln(1) = +Inf; the config
+	// check must reject it before the level draws overflow.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with M=1 did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.M = 1
+	Build([][]float32{{1, 0}}, cfg, xrand.New(1).Stream("hnsw"))
+}
+
+func TestSearchRecallAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	vecs := randomVecs(rng, 600, 16)
+	g := Build(vecs, DefaultConfig(), xrand.New(17).Stream("hnsw"))
+	const k = 10
+	hits, total := 0, 0
+	for qi := 0; qi < 60; qi++ {
+		q := vecs[qi*10]
+		exact := map[int]bool{}
+		for _, id := range bruteKNN(vecs, q, k) {
+			exact[id] = true
+		}
+		for _, r := range g.SearchEf(q, k, 96) {
+			if exact[r.ID] {
+				hits++
+			}
+		}
+		total += k
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.9 {
+		t.Fatalf("recall@%d vs brute force = %.3f, want >= 0.9", k, recall)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := randomVecs(rng, 300, 12)
+	build := func(workers, batch int) *Graph {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.BatchSize = batch
+		return Build(vecs, cfg, xrand.New(99).Stream("hnsw"))
+	}
+	a, b := build(1, 64), build(8, 64)
+	if a.entry != b.entry || a.maxLevel != b.maxLevel {
+		t.Fatalf("entry/maxLevel differ: (%d,%d) vs (%d,%d)", a.entry, a.maxLevel, b.entry, b.maxLevel)
+	}
+	for i := range a.links {
+		if len(a.links[i]) != len(b.links[i]) {
+			t.Fatalf("node %d level count differs", i)
+		}
+		for l := range a.links[i] {
+			if len(a.links[i][l]) != len(b.links[i][l]) {
+				t.Fatalf("node %d level %d neighbour count differs", i, l)
+			}
+			for k := range a.links[i][l] {
+				if a.links[i][l][k] != b.links[i][l][k] {
+					t.Fatalf("node %d level %d neighbour %d differs: %d vs %d",
+						i, l, k, a.links[i][l][k], b.links[i][l][k])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchResultsOrderedAndUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vecs := randomVecs(rng, 200, 8)
+	g := Build(vecs, DefaultConfig(), xrand.New(7).Stream("hnsw"))
+	res := g.Search(vecs[0], 15)
+	if len(res) != 15 {
+		t.Fatalf("got %d results, want 15", len(res))
+	}
+	seen := map[int]bool{}
+	for i, r := range res {
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+		if i > 0 {
+			prev := res[i-1]
+			if r.Sim > prev.Sim || (r.Sim == prev.Sim && r.ID < prev.ID) {
+				t.Fatalf("results out of order at %d: %+v after %+v", i, r, prev)
+			}
+		}
+	}
+	if res[0].ID != 0 {
+		t.Fatalf("query vector's own id not first: %+v", res[0])
+	}
+}
+
+func TestNeighbourBudgetsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecs := randomVecs(rng, 400, 8)
+	cfg := DefaultConfig()
+	g := Build(vecs, cfg, xrand.New(11).Stream("hnsw"))
+	for i := range g.links {
+		for l, ns := range g.links[i] {
+			if len(ns) > g.maxConn(l) {
+				t.Fatalf("node %d level %d has %d neighbours, budget %d", i, l, len(ns), g.maxConn(l))
+			}
+		}
+	}
+}
+
+func TestDuplicateVectors(t *testing.T) {
+	// Duplicate vectors (distance 0 ties) must not break determinism or
+	// search; ties resolve by ascending id.
+	base := []float32{1, 2, 3, 4}
+	vecs := [][]float32{base, base, base, {4, 3, 2, 1}, base}
+	g := Build(vecs, DefaultConfig(), xrand.New(5).Stream("hnsw"))
+	res := g.Search(base, 4)
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, want := range []int{0, 1, 2, 4} {
+		if res[i].ID != want {
+			t.Fatalf("result %d = %+v, want id %d", i, res[i], want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package lsh implements MinHash signatures and banded locality-sensitive
+// hashing over the interned sorted token sets of a simlib.Prepared corpus.
+//
+// It is the first of the two sublinear candidate-generation engines behind
+// the §6 blocking extension: instead of scoring every offer against every
+// other offer, each title's token set is condensed into a short MinHash
+// signature whose per-position collision probability equals the Jaccard
+// similarity of the underlying sets. Cutting the signature into bands and
+// bucketing titles by band value then surfaces exactly the pairs whose
+// estimated Jaccard clears the band threshold (1/Bands)^(1/Rows), without
+// ever enumerating the quadratic pair space.
+//
+// All hash parameters are drawn from a caller-provided random stream
+// (internal/xrand), so index contents — and therefore candidate sets — are
+// byte-stable across runs and worker counts and can be golden-tested.
+package lsh
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"wdcproducts/internal/parallel"
+)
+
+// mersennePrime61 is the modulus of the universal hash family: 2^61 - 1,
+// large enough that distinct 32-bit token IDs never collide before the
+// multiply-add step.
+const mersennePrime61 = (1 << 61) - 1
+
+// Config sizes a MinHash-LSH index. The candidate threshold — the Jaccard
+// similarity at which a pair has a 50% chance of sharing at least one band
+// bucket — is approximately (1/Bands)^(1/Rows); more bands with fewer rows
+// lowers the threshold (higher recall, more candidates) and vice versa.
+type Config struct {
+	// Bands is the number of signature bands; each band is bucketed
+	// independently and any shared bucket makes a pair a candidate.
+	Bands int
+	// Rows is the number of MinHash values per band. The full signature
+	// holds Bands*Rows values.
+	Rows int
+	// Workers bounds the goroutines used for signature computation during
+	// Build (<= 0 selects runtime.NumCPU(); results are identical at any
+	// value).
+	Workers int
+}
+
+// DefaultConfig returns the standard blocking configuration: 16 bands of 4
+// rows (64 hashes), a candidate threshold of roughly Jaccard 0.5 — tuned
+// for near-duplicate product titles.
+func DefaultConfig() Config { return Config{Bands: 16, Rows: 4, Workers: 0} }
+
+// NumHashes returns the signature length Bands*Rows.
+func (c Config) NumHashes() int { return c.Bands * c.Rows }
+
+// Threshold returns the approximate Jaccard similarity at which a pair
+// becomes more likely than not to be proposed: (1/Bands)^(1/Rows).
+func (c Config) Threshold() float64 {
+	if c.Bands <= 0 || c.Rows <= 0 {
+		return 1
+	}
+	return math.Pow(1/float64(c.Bands), 1/float64(c.Rows))
+}
+
+// Signer computes MinHash signatures with a fixed family of universal hash
+// functions h_i(x) = (a_i*x + b_i) mod (2^61-1). The parameters are drawn
+// once from the provided stream, so two Signers built from identically
+// seeded streams produce identical signatures.
+type Signer struct {
+	a, b []uint64
+}
+
+// NewSigner draws a deterministic family of numHashes universal hash
+// functions from rng.
+func NewSigner(numHashes int, rng *rand.Rand) *Signer {
+	s := &Signer{a: make([]uint64, numHashes), b: make([]uint64, numHashes)}
+	for i := 0; i < numHashes; i++ {
+		// a must be non-zero for the family to be universal.
+		s.a[i] = uint64(rng.Int63n(mersennePrime61-1)) + 1
+		s.b[i] = uint64(rng.Int63n(mersennePrime61))
+	}
+	return s
+}
+
+// NumHashes returns the signature length this signer produces.
+func (s *Signer) NumHashes() int { return len(s.a) }
+
+// Signature computes the MinHash signature of a token-ID set into dst
+// (allocating when dst is too small) and returns it. The empty set hashes
+// to an all-max signature that collides only with other empty sets.
+func (s *Signer) Signature(set []int32, dst []uint64) []uint64 {
+	n := len(s.a)
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = ^uint64(0)
+	}
+	for _, tok := range set {
+		x := uint64(uint32(tok))
+		for i := 0; i < n; i++ {
+			h := mulmod61(s.a[i], x) + s.b[i]
+			if h >= mersennePrime61 {
+				h -= mersennePrime61
+			}
+			if h < dst[i] {
+				dst[i] = h
+			}
+		}
+	}
+	return dst
+}
+
+// mulmod61 returns a*x mod 2^61-1 without overflow, using the Mersenne
+// reduction (hi<<3 | lo-fold) on the 128-bit product.
+func mulmod61(a, x uint64) uint64 {
+	hi, lo := bits.Mul64(a, x)
+	// 2^64 = 8 * 2^61, so the product is hi*2^64 + lo =
+	// (hi*8 + lo>>61)*2^61 + (lo & mask); fold the 2^61 multiples once,
+	// then correct the at-most-one remaining wrap.
+	folded := (hi << 3) | (lo >> 61)
+	r := (lo & mersennePrime61) + folded%mersennePrime61
+	if r >= mersennePrime61 {
+		r -= mersennePrime61
+	}
+	return r
+}
+
+// EstimateJaccard returns the fraction of positions on which two
+// signatures agree — an unbiased estimate of the Jaccard similarity of the
+// underlying sets.
+func EstimateJaccard(a, b []uint64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// Index is a banded LSH index over a fixed collection of token sets. Build
+// it once with Build, then read candidate pairs with CandidatePairs or
+// probe single sets with Query.
+type Index struct {
+	cfg    Config
+	signer *Signer
+	sigs   [][]uint64
+	// buckets[band] maps a band hash to the member set indices that share
+	// it, in ascending index order (workers write signatures into
+	// index-addressed slots; bucketing itself is a serial pass).
+	buckets []map[uint64][]int32
+}
+
+// NewIndex returns an empty index whose hash family is drawn from rng.
+func NewIndex(cfg Config, rng *rand.Rand) *Index {
+	if cfg.Bands <= 0 || cfg.Rows <= 0 {
+		panic("lsh: Config.Bands and Config.Rows must be positive")
+	}
+	return &Index{cfg: cfg, signer: NewSigner(cfg.NumHashes(), rng)}
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Len returns the number of indexed sets.
+func (ix *Index) Len() int { return len(ix.sigs) }
+
+// Build indexes the given token-ID sets. Signature computation — the only
+// superlinear-cost step — fans out across the configured worker pool;
+// workers write into per-set slots so the result is identical at any
+// worker count. Build replaces any previously indexed sets.
+func (ix *Index) Build(sets [][]int32) {
+	ix.sigs = make([][]uint64, len(sets))
+	parallel.Run(len(sets), ix.cfg.Workers, func(i int) error {
+		ix.sigs[i] = ix.signer.Signature(sets[i], nil)
+		return nil
+	}, nil)
+	ix.buckets = make([]map[uint64][]int32, ix.cfg.Bands)
+	for band := 0; band < ix.cfg.Bands; band++ {
+		m := make(map[uint64][]int32, len(sets))
+		for i, sig := range ix.sigs {
+			key := bandKey(sig, band, ix.cfg.Rows)
+			m[key] = append(m[key], int32(i))
+		}
+		ix.buckets[band] = m
+	}
+}
+
+// bandKey hashes one band of a signature (FNV-1a over the row values).
+func bandKey(sig []uint64, band, rows int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(band)*prime64
+	for _, v := range sig[band*rows : (band+1)*rows] {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// Signature returns the stored signature of set i. The slice is shared
+// storage; callers must not modify it.
+func (ix *Index) Signature(i int) []uint64 { return ix.sigs[i] }
+
+// CandidatePairs returns every unordered pair of indexed sets that shares
+// at least one band bucket, sorted lexicographically and deduplicated. The
+// cost is proportional to the number of colliding pairs, not to the full
+// quadratic pair space.
+func (ix *Index) CandidatePairs() [][2]int {
+	seen := make(map[uint64]struct{})
+	var out [][2]int
+	for _, bandBuckets := range ix.buckets {
+		for _, members := range bandBuckets {
+			for x := 0; x < len(members); x++ {
+				for y := x + 1; y < len(members); y++ {
+					a, b := int(members[x]), int(members[y])
+					key := uint64(uint32(a))<<32 | uint64(uint32(b))
+					if _, dup := seen[key]; dup {
+						continue
+					}
+					seen[key] = struct{}{}
+					out = append(out, [2]int{a, b})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Query returns the indices of indexed sets sharing at least one band
+// bucket with the given (not necessarily indexed) set, in ascending order.
+func (ix *Index) Query(set []int32) []int {
+	sig := ix.signer.Signature(set, nil)
+	seen := make(map[int32]struct{})
+	var out []int
+	for band := 0; band < ix.cfg.Bands; band++ {
+		key := bandKey(sig, band, ix.cfg.Rows)
+		for _, m := range ix.buckets[band][key] {
+			if _, dup := seen[m]; dup {
+				continue
+			}
+			seen[m] = struct{}{}
+			out = append(out, int(m))
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,200 @@
+package lsh
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wdcproducts/internal/xrand"
+)
+
+// randomSet draws a sorted unique token-ID set of the given size from a
+// universe of u tokens.
+func randomSet(rng *rand.Rand, size, u int) []int32 {
+	seen := map[int32]struct{}{}
+	for len(seen) < size {
+		seen[int32(rng.Intn(u))] = struct{}{}
+	}
+	out := make([]int32, 0, size)
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// jaccard is the exact Jaccard similarity of two sorted sets.
+func jaccard(a, b []int32) float64 {
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	set := []int32{3, 17, 99, 512}
+	s1 := NewSigner(64, xrand.New(7).Stream("lsh"))
+	s2 := NewSigner(64, xrand.New(7).Stream("lsh"))
+	a := s1.Signature(set, nil)
+	b := s2.Signature(set, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signatures differ at position %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSignatureEstimatesJaccard(t *testing.T) {
+	// MinHash collision probability per position equals Jaccard; with 256
+	// hashes the estimate should land within ±0.12 of the exact value.
+	rng := rand.New(rand.NewSource(5))
+	signer := NewSigner(256, xrand.New(5).Stream("lsh"))
+	for trial := 0; trial < 20; trial++ {
+		a := randomSet(rng, 30, 200)
+		b := randomSet(rng, 30, 200)
+		est := EstimateJaccard(signer.Signature(a, nil), signer.Signature(b, nil))
+		exact := jaccard(a, b)
+		if d := est - exact; d < -0.12 || d > 0.12 {
+			t.Fatalf("trial %d: estimate %.3f vs exact %.3f", trial, est, exact)
+		}
+	}
+}
+
+func TestIdenticalSetsAlwaysCandidates(t *testing.T) {
+	set := []int32{1, 2, 3, 4, 5}
+	ix := NewIndex(DefaultConfig(), xrand.New(1).Stream("lsh"))
+	ix.Build([][]int32{set, {100, 200, 300}, append([]int32(nil), set...)})
+	pairs := ix.CandidatePairs()
+	found := false
+	for _, p := range pairs {
+		if p == [2]int{0, 2} {
+			found = true
+		}
+		if p[0] >= p[1] {
+			t.Fatalf("unordered pair %v", p)
+		}
+	}
+	if !found {
+		t.Fatal("identical sets were not proposed as a candidate pair")
+	}
+}
+
+func TestBuildWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sets := make([][]int32, 120)
+	for i := range sets {
+		sets[i] = randomSet(rng, 5+rng.Intn(10), 300)
+	}
+	candidates := func(workers int) [][2]int {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		ix := NewIndex(cfg, xrand.New(3).Stream("lsh"))
+		ix.Build(sets)
+		return ix.CandidatePairs()
+	}
+	serial, par := candidates(1), candidates(8)
+	if len(serial) != len(par) {
+		t.Fatalf("worker count changed candidate count: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestHighSimilarityPairsRecalled(t *testing.T) {
+	// Pairs well above the band threshold must be proposed with near
+	// certainty: build 40 base sets plus a 90%-overlapping twin for each.
+	rng := rand.New(rand.NewSource(23))
+	var sets [][]int32
+	for i := 0; i < 40; i++ {
+		base := randomSet(rng, 20, 4000)
+		twin := append([]int32(nil), base[:18]...)
+		twin = append(twin, int32(4000+2*i), int32(4001+2*i))
+		sort.Slice(twin, func(a, b int) bool { return twin[a] < twin[b] })
+		sets = append(sets, base, twin)
+	}
+	ix := NewIndex(DefaultConfig(), xrand.New(9).Stream("lsh"))
+	ix.Build(sets)
+	got := map[[2]int]bool{}
+	for _, p := range ix.CandidatePairs() {
+		got[p] = true
+	}
+	recalled := 0
+	for i := 0; i < 40; i++ {
+		if got[[2]int{2 * i, 2*i + 1}] {
+			recalled++
+		}
+	}
+	if recalled < 38 {
+		t.Fatalf("only %d/40 high-similarity twins recalled", recalled)
+	}
+}
+
+func TestQueryMatchesCandidatePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sets := make([][]int32, 60)
+	for i := range sets {
+		sets[i] = randomSet(rng, 8, 100)
+	}
+	ix := NewIndex(DefaultConfig(), xrand.New(13).Stream("lsh"))
+	ix.Build(sets)
+	pairsOf := map[int]map[int]bool{}
+	for _, p := range ix.CandidatePairs() {
+		for _, side := range []int{0, 1} {
+			a, b := p[side], p[1-side]
+			if pairsOf[a] == nil {
+				pairsOf[a] = map[int]bool{}
+			}
+			pairsOf[a][b] = true
+		}
+	}
+	for i, set := range sets {
+		for _, j := range ix.Query(set) {
+			if j == i {
+				continue
+			}
+			if !pairsOf[i][j] {
+				t.Fatalf("Query(%d) returned %d but CandidatePairs does not contain the pair", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptySets(t *testing.T) {
+	ix := NewIndex(DefaultConfig(), xrand.New(2).Stream("lsh"))
+	ix.Build([][]int32{{}, {1, 2}, {}})
+	got := map[[2]int]bool{}
+	for _, p := range ix.CandidatePairs() {
+		got[p] = true
+	}
+	if !got[[2]int{0, 2}] {
+		t.Fatal("two empty sets should collide (identical all-max signatures)")
+	}
+	if got[[2]int{0, 1}] || got[[2]int{1, 2}] {
+		t.Fatal("empty set collided with a non-empty set")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	cfg := Config{Bands: 16, Rows: 4}
+	th := cfg.Threshold()
+	if th < 0.49 || th > 0.51 {
+		t.Fatalf("16x4 threshold = %.3f, want ~0.5", th)
+	}
+}

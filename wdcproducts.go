@@ -19,7 +19,10 @@ package wdcproducts
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
+	"wdcproducts/internal/blocking"
 	"wdcproducts/internal/core"
 	"wdcproducts/internal/corpus"
 	"wdcproducts/internal/embed"
@@ -242,4 +245,98 @@ func (ts *TitleScorer) MustSim(metric string, a, b int) float64 {
 		panic(err)
 	}
 	return s
+}
+
+// BlockerNames lists the §6 blocking strategies BlockingReport accepts, in
+// report order: the two exhaustive blockers ("token", "embedding") and the
+// two sublinear ones ("minhash" — banded MinHash-LSH over title token
+// sets, "hnsw" — approximate embedding nearest neighbours through an HNSW
+// graph).
+func BlockerNames() []string { return []string{"token", "embedding", "minhash", "hnsw"} }
+
+// ParseBlockerNames parses a CLI blocker-list flag for BlockingReport:
+// "all" (or the empty string) selects every strategy, anything else is a
+// comma-separated subset of BlockerNames. Validation of the individual
+// names happens in BlockingReport.
+func ParseBlockerNames(s string) []string {
+	if s == "" || s == "all" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// BlockingReport runs the named blockers (nil or empty selects all of
+// BlockerNames) over the cc=50% seen test offers of b and tabulates
+// candidate count, pair completeness (recall of true matches), reduction
+// ratio (fraction of the quadratic pair space pruned) and wall time.
+// Ground truth is the test product each offer belongs to. The embedding
+// and HNSW blockers share one title encoder trained from the given seed,
+// so their rows compare the same geometry searched exhaustively vs
+// approximately. workers bounds the goroutines of the sublinear blockers'
+// index construction and queries (<= 0 selects all cores; it only affects
+// the wall-time column — blocker output is deterministic for a fixed seed
+// at any worker count).
+func BlockingReport(b *Benchmark, names []string, seed int64, workers int) (*Table, error) {
+	if len(names) == 0 {
+		names = BlockerNames()
+	}
+	rd := b.Ratios[50]
+	if rd == nil || len(rd.TestProducts) == 0 {
+		return nil, fmt.Errorf("wdcproducts: benchmark has no cc=50%% test split for the blocking report")
+	}
+	productOf := map[int]int{}
+	var idxs []int
+	for _, tp := range rd.TestProducts[0] {
+		for _, o := range tp.Offers {
+			productOf[o] = tp.Slot
+			idxs = append(idxs, o)
+		}
+	}
+	truth := func(x, y int) bool { return productOf[x] == productOf[y] }
+
+	// The per-offer neighbour budget of the two kNN blockers.
+	const knnK = 6
+	var model *embed.Model
+	for _, n := range names {
+		if n == "embedding" || n == "hnsw" {
+			titles := make([]string, len(b.Offers))
+			for i := range b.Offers {
+				titles[i] = b.Offers[i].Title
+			}
+			model = embed.Train(titles, embed.DefaultConfig(), xrand.New(seed).Stream("embed"))
+			break
+		}
+	}
+
+	t := tables.New(
+		fmt.Sprintf("Blocking (§6): %d offers, %d possible pairs",
+			len(idxs), len(idxs)*(len(idxs)-1)/2),
+		"blocker", "candidates", "pair completeness", "reduction ratio", "ms")
+	for _, name := range names {
+		var bl blocking.Blocker
+		switch name {
+		case "token":
+			bl = blocking.NewTokenBlocker()
+		case "embedding":
+			bl = blocking.NewEmbeddingBlocker(model, knnK)
+		case "minhash":
+			mh := blocking.NewMinHashBlocker()
+			mh.Config.Workers = workers
+			bl = mh
+		case "hnsw":
+			hb := blocking.NewHNSWBlocker(model, knnK)
+			hb.Config.Workers = workers
+			bl = hb
+		default:
+			return nil, fmt.Errorf("wdcproducts: unknown blocker %q (valid: %s)",
+				name, strings.Join(BlockerNames(), ", "))
+		}
+		start := time.Now()
+		cands := bl.Candidates(b.Offers, idxs)
+		elapsed := time.Since(start)
+		m := blocking.Evaluate(cands, idxs, truth)
+		t.AddRow(bl.Name(), fmt.Sprint(m.Candidates), tables.Pct(m.PairCompleteness),
+			tables.Pct(m.ReductionRatio), fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000))
+	}
+	return t, nil
 }

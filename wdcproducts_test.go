@@ -96,3 +96,27 @@ func TestFacadeSystemLists(t *testing.T) {
 		t.Fatal("bogus system accepted")
 	}
 }
+
+func TestFacadeBlockingReport(t *testing.T) {
+	ensureBuild(t)
+	// token + minhash avoid encoder training, keeping the facade test fast.
+	table, err := wdcproducts.BlockingReport(benchB, []string{"token", "minhash"}, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2:\n%s", len(table.Rows), table)
+	}
+	if table.Rows[0][0] != "token-blocking" || table.Rows[1][0] != "minhash-lsh" {
+		t.Fatalf("unexpected blocker rows:\n%s", table)
+	}
+	if _, err := wdcproducts.BlockingReport(benchB, []string{"bogus"}, 42, 1); err == nil {
+		t.Fatal("unknown blocker name did not error")
+	}
+	if got := wdcproducts.ParseBlockerNames("all"); got != nil {
+		t.Fatalf("ParseBlockerNames(all) = %v, want nil", got)
+	}
+	if got := wdcproducts.ParseBlockerNames("token,hnsw"); len(got) != 2 || got[0] != "token" || got[1] != "hnsw" {
+		t.Fatalf("ParseBlockerNames(token,hnsw) = %v", got)
+	}
+}
