@@ -2,16 +2,21 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_3.json: the end-to-end
+# The perf-trajectory benchmarks recorded in BENCH_4.json: the end-to-end
 # pipeline build, the corner-selection microbenchmarks, the sigmoid
-# lookup-table comparison, and the PR 3 blocking-scale benches comparing
-# exhaustive embedding kNN against MinHash-LSH and HNSW candidate
-# generation (ns/offer, pairs, completeness, recall of the exhaustive
-# pair set).
-BENCH_OUT ?= BENCH_3.json
-BENCH_NOTE ?= sublinear blocking: MinHash-LSH + HNSW (PR 3); exhaustive embedding-knn baseline scales ns/offer linearly with corpus size, minhash-lsh and hnsw-knn stay near-flat at >=0.9 exhaustive-recall
+# lookup-table comparison, the blocking-scale benches (now including the
+# IVF blocker next to exhaustive embedding kNN, MinHash-LSH and HNSW), and
+# the PR 4 index-reuse benches separating one-off build cost from
+# steady-state per-query cost (build-ms / query-cold-ms / query-ms /
+# rebuild-ms / reuse-speedup).
+BENCH_OUT ?= BENCH_4.json
+BENCH_NOTE ?= reusable blocking indexes (PR 4): build-once/query-per-split across minhash-lsh, embedding-knn, hnsw-knn and the new ivf-knn; steady-state split queries run 104x-3757x below rebuild-per-call at n=2563, ivf-knn holds >=0.999 exhaustive-recall at under half the per-offer cost of exhaustive scanning
 
-.PHONY: build test race vet docs bench
+# Coverage floor (percent of statements) enforced over the blocking stack
+# by `make cover`.
+COVER_FLOOR ?= 85
+
+.PHONY: build test race vet docs bench cover fuzz
 
 build:
 	$(GO) build ./...
@@ -20,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/experiments ./internal/matchers ./internal/embed ./internal/parallel
+	$(GO) test -race -short ./internal/experiments ./internal/matchers ./internal/embed ./internal/parallel ./internal/blocking
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +34,27 @@ vet:
 # exported identifier in the documented packages lacks a doc comment.
 docs:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt -l:"; echo "$$fmt"; exit 1; fi
-	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/simlib
+	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/simlib
+
+# cover enforces a statement-coverage floor over the blocking stack (the
+# packages the reusable-index layer lives in). The floor guards the reuse
+# and incremental-insertion property tests from silently rotting.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "blocking-stack coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# fuzz runs the short seed-corpus fuzz sessions CI runs: signature
+# computation in internal/lsh and the BPE tokenizer in internal/tokenize.
+# Each -fuzz invocation must match exactly one target, hence one run per
+# fuzzer.
+fuzz:
+	$(GO) test ./internal/lsh -run '^$$' -fuzz '^FuzzSignature$$' -fuzztime 30s
+	$(GO) test ./internal/lsh -run '^$$' -fuzz '^FuzzIndexQuery$$' -fuzztime 30s
+	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPEEncode$$' -fuzztime 30s
+	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPETrain$$' -fuzztime 30s
 
 # bench regenerates $(BENCH_OUT) from the perf-trajectory benchmarks with
 # allocation stats. Iteration-pinned benchtimes keep the expensive pipeline
@@ -40,6 +65,7 @@ bench:
 	@tmp=$$(mktemp); \
 	( $(GO) test -run '^$$' -bench 'BenchmarkFigure2_PipelineSteps' -benchmem -benchtime 3x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBlockingScale' -benchmem -benchtime 2x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBlockingReuse' -benchmem -benchtime 3x . && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
 	status=$$?; cat "$$tmp"; \

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wdceval [-scale small] [-seed 42] [-reps 3] [-workers 0] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6] [-blocking token,embedding,minhash,hnsw]
+//	wdceval [-scale small] [-seed 42] [-reps 3] [-workers 0] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6] [-blocking token,embedding,minhash,hnsw,ivf] [-blockscale]
 //
 // -workers spreads the independent training cells across CPUs (0 = all
 // cores, 1 = serial); results are identical at any worker count.
@@ -12,7 +12,13 @@
 // -blocking runs the §6 blocking study instead of the training matrix: it
 // evaluates the named blockers ("all" selects every strategy) on the
 // cc=50% seen test offers and prints candidates, pair completeness,
-// reduction ratio and wall time per blocker.
+// reduction ratio and build/query wall time per blocker.
+//
+// -blockscale runs the study the way it scales: each blocker's index is
+// built once over the union of every test split's offers and then queried
+// per (corner ratio, unseen fraction) split — combine with -scale default
+// to drive it at the paper's corpus size, where rebuild-per-call costs
+// minutes and the reused indexes stay interactive.
 package main
 
 import (
@@ -35,7 +41,9 @@ func main() {
 	table := flag.Int("table", 0, "print only table 3, 4 or 5")
 	figure := flag.Int("figure", 0, "print only figure 4, 5 or 6")
 	blockingFlag := flag.String("blocking", "",
-		"run the §6 blocking study over the named blockers (comma-separated token|embedding|minhash|hnsw, or 'all') instead of the training matrix")
+		"run the §6 blocking study over the named blockers (comma-separated token|embedding|minhash|hnsw|ivf, or 'all') instead of the training matrix")
+	blockScale := flag.Bool("blockscale", false,
+		"run the build-once/query-per-split blocking study over every test split (uses the -blocking blocker list, default all)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -55,8 +63,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *blockingFlag != "" {
-		t, err := wdcproducts.BlockingReport(b, wdcproducts.ParseBlockerNames(*blockingFlag), *seed, *workers)
+	if *blockingFlag != "" || *blockScale {
+		names := wdcproducts.ParseBlockerNames(*blockingFlag)
+		var t *wdcproducts.Table
+		if *blockScale {
+			t, err = wdcproducts.BlockingScaleReport(b, names, *seed, *workers)
+		} else {
+			t, err = wdcproducts.BlockingReport(b, names, *seed, *workers)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v] [-blockers token,minhash,hnsw]
+//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v] [-blockers token,minhash,hnsw,ivf] [-blockscale]
 //
 // -blockers additionally runs the named §6 blocking strategies ("all"
 // selects every one) over the generated benchmark's cc=50% seen test
 // offers and prints their candidate counts, pair completeness and
 // reduction ratios — a quick read on how blockable the generated
-// benchmark is.
+// benchmark is. -blockscale switches that report to the
+// build-once/query-per-split form: one index per blocker over the union of
+// every test split, queried per (corner ratio, unseen fraction) split,
+// which is the §6 study shape at -scale default (paper) size.
 package main
 
 import (
@@ -34,7 +37,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the build to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the build) to this file")
 	blockers := flag.String("blockers", "",
-		"also print the §6 blocking report for these blockers (comma-separated token|embedding|minhash|hnsw, or 'all')")
+		"also print the §6 blocking report for these blockers (comma-separated token|embedding|minhash|hnsw|ivf, or 'all')")
+	blockScale := flag.Bool("blockscale", false,
+		"print the build-once/query-per-split blocking study over every test split (uses the -blockers list, default all)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -97,8 +102,14 @@ func main() {
 		fmt.Printf("  pools seen/unseen     %d / %d clusters\n", s.SeenPoolClusters, s.UnseenPoolCluster)
 		fmt.Printf("  metric draws          %v\n", s.MetricDraws)
 	}
-	if *blockers != "" {
-		t, err := wdcproducts.BlockingReport(b, wdcproducts.ParseBlockerNames(*blockers), *seed, 0)
+	if *blockers != "" || *blockScale {
+		names := wdcproducts.ParseBlockerNames(*blockers)
+		var t *wdcproducts.Table
+		if *blockScale {
+			t, err = wdcproducts.BlockingScaleReport(b, names, *seed, 0)
+		} else {
+			t, err = wdcproducts.BlockingReport(b, names, *seed, 0)
+		}
 		if err != nil {
 			log.Fatalf("blocking report: %v", err)
 		}

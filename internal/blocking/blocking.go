@@ -14,7 +14,6 @@ import (
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/schemaorg"
 	"wdcproducts/internal/simlib"
-	"wdcproducts/internal/vector"
 )
 
 // CandidatePair is an unordered offer-index pair proposed by a blocker.
@@ -88,6 +87,12 @@ func (t *TokenBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []Candid
 type EmbeddingBlocker struct {
 	Model *embed.Model
 	K     int
+	// Workers bounds the goroutines encoding titles and materializing
+	// neighbour lists (<= 0 selects all cores; results are identical at any
+	// value).
+	Workers int
+
+	cache indexCache
 }
 
 // NewEmbeddingBlocker wraps a trained embedding model.
@@ -98,44 +103,20 @@ func NewEmbeddingBlocker(model *embed.Model, k int) *EmbeddingBlocker {
 // Name implements Blocker.
 func (e *EmbeddingBlocker) Name() string { return "embedding-knn" }
 
-// Candidates implements Blocker. Titles are interned so each distinct
-// title is tokenized and encoded exactly once, and the per-offer neighbour
-// search keeps a bounded top-K heap instead of sorting the full scored
-// list — O(n log K) per offer instead of O(n log n).
+// BuildIndex implements IndexedBlocker.
+func (e *EmbeddingBlocker) BuildIndex(offers []schemaorg.Offer, idxs []int) Index {
+	return BuildEmbeddingIndex(offers, idxs, e.Model, e.K, e.Workers)
+}
+
+// Candidates implements Blocker through the cached index. Titles are
+// interned so each distinct title is tokenized and encoded exactly once,
+// and the per-offer neighbour search keeps a bounded top-K heap instead of
+// sorting the full scored list — O(n log K) per offer instead of
+// O(n log n).
 func (e *EmbeddingBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
-	prep := simlib.NewPrepared()
-	tids := make([]int, len(idxs))
-	for k, i := range idxs {
-		tids[k] = prep.Intern(offers[i].Title)
-	}
-	encByTitle := make([][]float32, prep.Len())
-	encs := make([][]float32, len(idxs))
-	for k, tid := range tids {
-		if encByTitle[tid] == nil {
-			encByTitle[tid] = e.Model.EncodeTokens(prep.Tokens(tid))
-		}
-		encs[k] = encByTitle[tid]
-	}
-	set := map[CandidatePair]bool{}
-	heap := make(topKHeap, 0, e.K)
-	for a := range idxs {
-		heap = heap[:0]
-		for b := range idxs {
-			if a == b {
-				continue
-			}
-			heap.offer(scoredPos{b, vector.Cosine(encs[a], encs[b])}, e.K)
-		}
-		for _, s := range heap {
-			set[orderedPair(idxs[a], idxs[s.pos])] = true
-		}
-	}
-	out := make([]CandidatePair, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sortPairs(out)
-	return out
+	fp := corpusFingerprint(offers, idxs, uint64(e.K), modelWord(e.Model))
+	ix := e.cache.get(fp, func() Index { return e.BuildIndex(offers, idxs) })
+	return ix.Candidates(idxs)
 }
 
 // scoredPos is one neighbour candidate of the embedding blocker.

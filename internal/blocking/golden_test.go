@@ -48,6 +48,42 @@ func TestGoldenCandidates(t *testing.T) {
 	}
 }
 
+// TestGoldenIVFCandidates pins the exact candidate sets of the IVF blocker
+// on the same fixture, alongside sublinear_golden.txt. The quantizer
+// seeding is drawn from internal/xrand, so the sets are byte-stable across
+// runs and worker counts (like the other embedding-space rows, pinned per
+// platform: the encoder's float accumulation order is architecture-
+// sensitive).
+func TestGoldenIVFCandidates(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	var sb strings.Builder
+	for _, k := range []int{2, 8} {
+		cands := NewIVFBlocker(model, k).Candidates(offers, idxs)
+		fmt.Fprintf(&sb, "ivf-k%d %d\n", k, len(cands))
+		for _, p := range cands {
+			fmt.Fprintf(&sb, "%d %d\n", p.A, p.B)
+		}
+	}
+	path := filepath.Join("testdata", "ivf_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("candidates differ from golden %s", path)
+	}
+}
+
 // TestGoldenSublinearCandidates pins the exact candidate sets of the
 // MinHash-LSH and HNSW blockers on the same fixture. Their indexes are
 // randomized but seeded through internal/xrand, so the sets must be

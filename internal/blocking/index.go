@@ -1,0 +1,273 @@
+// The reusable-index layer: every sublinear blocker is a thin adapter over
+// an Index that is built once per offer corpus and queried per split.
+//
+// The §6 study evaluates each blocker on many splits (three corner-case
+// ratios times three unseen fractions, times seeds), and before this layer
+// existed each Candidates call re-interned the titles and rebuilt the whole
+// index — the dominant cost at paper scale. An Index separates the two
+// phases: Build pays interning, encoding and index construction exactly
+// once, Add extends the index incrementally as new offers stream in, and
+// Candidates answers any number of split queries against the frozen
+// structure. Collision and neighbour structure is a property of the indexed
+// corpus: querying a subset restricts the pair set to offers inside it
+// without recomputing anything, and querying the full build universe
+// reproduces the rebuild-per-call candidate set byte for byte (property-
+// tested in index_test.go, pinned by the golden fixtures).
+
+package blocking
+
+import (
+	"hash/fnv"
+	"reflect"
+	"sync"
+
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/parallel"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/simlib"
+)
+
+// Index is a blocking index built once over an offer corpus and queried
+// per split. Implementations are safe for concurrent Candidates calls as
+// long as no Add is in flight.
+type Index interface {
+	// Name identifies the blocking strategy (matches the blocker's Name).
+	Name() string
+	// Len returns the number of indexed offers.
+	Len() int
+	// Add indexes further offers incrementally. Offers already indexed are
+	// ignored, so Add(union) and Add of each piece agree.
+	Add(offers []schemaorg.Offer, idxs []int)
+	// Candidates returns the candidate pairs among the given offer indices,
+	// every one of which must be indexed. Neighbour and collision structure
+	// is computed over the full indexed corpus; the query only restricts
+	// which pairs are reported.
+	Candidates(queryIdxs []int) []CandidatePair
+}
+
+// IndexedBlocker is a Blocker whose index can be split from its queries:
+// BuildIndex returns a fresh reusable Index over the given offers, and
+// Candidates remains the one-shot convenience path (internally served by a
+// cached index keyed by corpus fingerprint).
+type IndexedBlocker interface {
+	Blocker
+	BuildIndex(offers []schemaorg.Offer, idxs []int) Index
+}
+
+// indexedCorpus is the title bookkeeping shared by every Index: offer
+// titles interned once into a prepared corpus, plus the offer groups
+// carrying each distinct title.
+type indexedCorpus struct {
+	prep    *simlib.Prepared
+	groups  [][]int     // title id -> indexed offer idxs carrying it
+	titleOf map[int]int // offer idx -> title id
+}
+
+func newIndexedCorpus() *indexedCorpus {
+	return &indexedCorpus{prep: simlib.NewPrepared(), titleOf: map[int]int{}}
+}
+
+// add interns the titles of the offers at idxs (skipping already-indexed
+// offers) and returns the ids of titles seen for the first time, in
+// interning order — the engines index exactly those.
+func (c *indexedCorpus) add(offers []schemaorg.Offer, idxs []int) []int {
+	var newTitles []int
+	for _, i := range idxs {
+		if _, dup := c.titleOf[i]; dup {
+			continue
+		}
+		tid := c.prep.Intern(offers[i].Title)
+		if tid == len(c.groups) {
+			c.groups = append(c.groups, nil)
+			newTitles = append(newTitles, tid)
+		}
+		c.titleOf[i] = tid
+		c.groups[tid] = append(c.groups[tid], i)
+	}
+	return newTitles
+}
+
+// len returns the number of indexed offers.
+func (c *indexedCorpus) len() int { return len(c.titleOf) }
+
+// queryView is a split query resolved against an indexed corpus: the
+// distinct title ids the split touches (slots in first-appearance order)
+// and, per slot, the split's offers carrying that title. For a query over
+// the full build universe in build order, slots coincide with title ids and
+// the groups equal the corpus groups — which is what makes full-universe
+// queries byte-identical to the legacy rebuild-per-call path.
+type queryView struct {
+	titles []int       // slot -> title id
+	slotOf map[int]int // title id -> slot
+	groups [][]int     // slot -> query offer idxs carrying the title
+}
+
+// view resolves queryIdxs; it panics if an offer was never indexed, since
+// silently dropping it would under-report candidates.
+func (c *indexedCorpus) view(queryIdxs []int) *queryView {
+	v := &queryView{slotOf: make(map[int]int, len(queryIdxs))}
+	for _, i := range queryIdxs {
+		tid, ok := c.titleOf[i]
+		if !ok {
+			panic("blocking: Candidates query includes an offer that was never indexed")
+		}
+		slot, ok := v.slotOf[tid]
+		if !ok {
+			slot = len(v.titles)
+			v.slotOf[tid] = slot
+			v.titles = append(v.titles, tid)
+			v.groups = append(v.groups, nil)
+		}
+		v.groups[slot] = append(v.groups[slot], i)
+	}
+	return v
+}
+
+// knnCandidates implements the split-query semantics shared by the
+// title-level kNN indexes (HNSW, IVF): every query title consumes its
+// K-neighbour budget from its ranked neighbour list (computed over the
+// full indexed corpus, own title included), pairs whose partner falls
+// outside the query are dropped rather than refilled, and identical-title
+// offers inside the query are always paired. neighbourIDs(tid) must be
+// idempotent and safe for concurrent calls — the first pass materializes
+// the lists across the worker pool.
+func (c *indexedCorpus) knnCandidates(queryIdxs []int, k, workers int, neighbourIDs func(tid int) []int32) []CandidatePair {
+	v := c.view(queryIdxs)
+	parallel.Run(len(v.titles), workers, func(s int) error {
+		neighbourIDs(v.titles[s])
+		return nil
+	}, nil)
+	var titlePairs [][2]int
+	for s, tid := range v.titles {
+		taken := 0
+		for _, rid := range neighbourIDs(tid) {
+			if int(rid) == tid {
+				continue
+			}
+			if taken == k {
+				break
+			}
+			taken++
+			if ns, ok := v.slotOf[int(rid)]; ok {
+				titlePairs = append(titlePairs, [2]int{s, ns})
+			}
+		}
+	}
+	return expandTitlePairs(v.groups, titlePairs)
+}
+
+// modelWord is the fingerprint word of an embedding model: its pointer
+// identity. A cached index keeps its model reachable, so while a cache
+// entry is alive an equal pointer can only mean the same live model —
+// swapping a blocker's Model field therefore always misses the cache.
+func modelWord(m *embed.Model) uint64 {
+	if m == nil {
+		return 0
+	}
+	return uint64(reflect.ValueOf(m).Pointer())
+}
+
+// corpusFingerprint hashes the offer universe a blocker was asked to block
+// — the idxs and their title bytes — together with the configuration words
+// that shape index contents. Two Candidates calls with equal fingerprints
+// can share one index; worker counts are deliberately excluded because
+// they never change blocker output.
+func corpusFingerprint(offers []schemaorg.Offer, idxs []int, cfgWords ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(w uint64) {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(w >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	for _, w := range cfgWords {
+		word(w)
+	}
+	word(uint64(len(idxs)))
+	for _, i := range idxs {
+		word(uint64(i))
+		h.Write([]byte(offers[i].Title))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// maxQueryMemo bounds the per-index query-result cache; the §6 study asks
+// for nine splits per corpus, so the bound is generous, and on overflow
+// the whole cache is dropped rather than tracking recency.
+const maxQueryMemo = 64
+
+// queryFingerprint hashes a query's offer-index set.
+func queryFingerprint(queryIdxs []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, i := range queryIdxs {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(uint64(i) >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// queryMemo caches candidate sets per query fingerprint. An index is
+// frozen between Adds, so a query is a pure function of the query set and
+// repeated split queries — the §6 study runs every split once per seed and
+// repetition — collapse to a lookup and a defensive copy. Indexes reset
+// the memo on Add. Concurrent lookups are safe; a cache miss may be
+// computed by several goroutines at once, which is harmless because the
+// computation is deterministic.
+type queryMemo struct {
+	mu sync.RWMutex
+	m  map[uint64][]CandidatePair
+}
+
+// get returns the cached candidates for the query, computing and caching
+// them on miss. The caller always receives a fresh copy.
+func (qm *queryMemo) get(queryIdxs []int, compute func() []CandidatePair) []CandidatePair {
+	fp := queryFingerprint(queryIdxs)
+	qm.mu.RLock()
+	cached, ok := qm.m[fp]
+	qm.mu.RUnlock()
+	if !ok {
+		cached = compute()
+		qm.mu.Lock()
+		if qm.m == nil || len(qm.m) >= maxQueryMemo {
+			qm.m = make(map[uint64][]CandidatePair, 16)
+		}
+		qm.m[fp] = cached
+		qm.mu.Unlock()
+	}
+	return append([]CandidatePair(nil), cached...)
+}
+
+// reset discards the cached results (called on Add).
+func (qm *queryMemo) reset() {
+	qm.mu.Lock()
+	qm.m = nil
+	qm.mu.Unlock()
+}
+
+// indexCache memoizes the last index an adapter blocker built, keyed by
+// corpus fingerprint: repeated Candidates calls over the same universe
+// (different seeds, repeated reports) reuse the index and pay only the
+// query. It deliberately holds a single entry — blockers iterate one
+// corpus at a time, and a deeper cache would pin large indexes alive.
+type indexCache struct {
+	mu sync.Mutex
+	fp uint64
+	ix Index
+}
+
+// get returns the cached index for fingerprint fp, building and caching a
+// fresh one on miss.
+func (c *indexCache) get(fp uint64, build func() Index) Index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ix == nil || c.fp != fp {
+		c.ix = build()
+		c.fp = fp
+	}
+	return c.ix
+}

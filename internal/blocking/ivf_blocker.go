@@ -1,0 +1,143 @@
+// IVFIndex / IVFBlocker: partition-based approximate kNN blocking over
+// title embeddings through the internal/ivf inverted-file index — the
+// coarse-quantizer alternative to the HNSW graph. Build cost is one
+// k-means fit plus a linear assignment pass (no graph), queries probe the
+// nprobe nearest lists; prefer it over HNSW when indexes are rebuilt often
+// or when predictable memory matters more than the last points of recall.
+
+package blocking
+
+import (
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/ivf"
+	"wdcproducts/internal/parallel"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+// IVFIndex is a reusable approximate-kNN index over distinct title
+// embeddings, backed by an incrementally growable inverted-file index.
+type IVFIndex struct {
+	corpus *indexedCorpus
+	model  *embed.Model
+	k      int
+	cfg    ivf.Config
+	ix     *ivf.Index
+	vecs   [][]float32 // title id -> encoding
+	memo   *memoSlots[int32]
+	memoQ  queryMemo
+}
+
+// BuildIVFIndex interns the titles of the offers at idxs, encodes each
+// distinct title once, and fits the IVF coarse quantizer over the
+// encodings. Encoding and assignment fan out across cfg.Workers; index
+// contents are identical at any worker count for a fixed seed. k is the
+// neighbour budget per distinct title at query time.
+func BuildIVFIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k int, cfg ivf.Config, seed int64) *IVFIndex {
+	x := &IVFIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg}
+	x.corpus.add(offers, idxs)
+	x.vecs = make([][]float32, x.corpus.prep.Len())
+	parallel.Run(len(x.vecs), cfg.Workers, func(t int) error {
+		x.vecs[t] = model.EncodeTokens(x.corpus.prep.Tokens(t))
+		return nil
+	}, nil)
+	x.ix = ivf.Build(x.vecs, cfg, xrand.New(seed).Stream("ivf-knn"))
+	x.memo = newMemoSlots[int32](len(x.vecs))
+	return x
+}
+
+// Name implements Index.
+func (x *IVFIndex) Name() string { return "ivf-knn" }
+
+// Len implements Index.
+func (x *IVFIndex) Len() int { return x.corpus.len() }
+
+// Add implements Index: new distinct titles are encoded and assigned to
+// their inverted list. The coarse quantizer is fixed at Build, so the
+// grown index is identical to a fresh Build over the union whenever the
+// original build covered the quantizer's training prefix (see
+// ivf.Config.TrainSize). Neighbour memos are discarded.
+func (x *IVFIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	before := x.corpus.len()
+	newTitles := x.corpus.add(offers, idxs)
+	if x.corpus.len() != before {
+		x.memoQ.reset()
+	}
+	if len(newTitles) == 0 {
+		return
+	}
+	for _, tid := range newTitles {
+		vec := x.model.EncodeTokens(x.corpus.prep.Tokens(tid))
+		x.vecs = append(x.vecs, vec)
+		x.ix.Add(vec)
+	}
+	x.memo = newMemoSlots[int32](len(x.vecs))
+}
+
+// neighbours returns title tid's memoized ranked neighbour ids (top k+1
+// because the title's own vector is its nearest neighbour — guaranteed
+// found, since a vector always lands in its own list).
+func (x *IVFIndex) neighbours(tid int) []int32 {
+	return x.memo.get(tid, func() []int32 {
+		res := x.ix.Search(x.vecs[tid], x.k+1)
+		ids := make([]int32, len(res))
+		for i, r := range res {
+			ids[i] = int32(r.ID)
+		}
+		return ids
+	})
+}
+
+// Candidates implements Index with the shared title-level kNN split
+// semantics of knnCandidates; repeated queries of the same split are
+// served from the query memo.
+func (x *IVFIndex) Candidates(queryIdxs []int) []CandidatePair {
+	return x.memoQ.get(queryIdxs, func() []CandidatePair {
+		return x.corpus.knnCandidates(queryIdxs, x.k, x.cfg.Workers, x.neighbours)
+	})
+}
+
+// IVFBlocker proposes, for each offer, the offers carrying its K
+// approximately nearest distinct titles, found by probing an inverted-file
+// (IVF) index instead of walking an HNSW graph. Candidate sets are
+// deterministic for a fixed Seed.
+type IVFBlocker struct {
+	// Model encodes titles into the embedding space (shared with
+	// EmbeddingBlocker and HNSWBlocker so all three search the same
+	// geometry).
+	Model *embed.Model
+	// K is the number of nearest distinct titles retrieved per title.
+	K int
+	// Config sizes the IVF index (nlist/nprobe, the quantizer training
+	// prefix, and the worker pool).
+	Config ivf.Config
+	// Seed roots the xrand stream behind the quantizer seeding.
+	Seed int64
+
+	cache indexCache
+}
+
+// NewIVFBlocker wraps a trained embedding model with the default IVF
+// configuration and seed 1.
+func NewIVFBlocker(model *embed.Model, k int) *IVFBlocker {
+	return &IVFBlocker{Model: model, K: k, Config: ivf.DefaultConfig(), Seed: 1}
+}
+
+// Name implements Blocker.
+func (b *IVFBlocker) Name() string { return "ivf-knn" }
+
+// BuildIndex implements IndexedBlocker.
+func (b *IVFBlocker) BuildIndex(offers []schemaorg.Offer, idxs []int) Index {
+	return BuildIVFIndex(offers, idxs, b.Model, b.K, b.Config, b.Seed)
+}
+
+// Candidates implements Blocker through the cached index: repeated calls
+// over the same corpus reuse the built quantizer and lists.
+func (b *IVFBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
+	fp := corpusFingerprint(offers, idxs,
+		uint64(b.K), uint64(b.Config.NLists), uint64(b.Config.NProbe),
+		uint64(b.Config.TrainSize), uint64(b.Config.Iters), uint64(b.Seed),
+		modelWord(b.Model))
+	ix := b.cache.get(fp, func() Index { return b.BuildIndex(offers, idxs) })
+	return ix.Candidates(idxs)
+}

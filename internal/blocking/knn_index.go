@@ -1,0 +1,254 @@
+// The two embedding-space indexes: HNSWIndex (approximate kNN through the
+// small-world graph) and EmbeddingIndex (exact kNN by exhaustive scan).
+// Both encode each distinct title once at Build/Add time and materialize
+// per-node neighbour lists lazily, at most once per node, so the first
+// query after a build pays the searches and every later query is a filter
+// over frozen lists. Add invalidates the memo wholesale: a new node can be
+// a nearer neighbour of any existing one.
+
+package blocking
+
+import (
+	"sync"
+
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/hnsw"
+	"wdcproducts/internal/parallel"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/vector"
+	"wdcproducts/internal/xrand"
+)
+
+// memoSlots lazily materializes one value per slot, each computed at most
+// once. Concurrent readers of the same slot are serialized by its
+// sync.Once, which is what keeps concurrent Candidates calls race-free.
+type memoSlots[T any] struct {
+	once []sync.Once
+	res  [][]T
+}
+
+func newMemoSlots[T any](n int) *memoSlots[T] {
+	return &memoSlots[T]{once: make([]sync.Once, n), res: make([][]T, n)}
+}
+
+func (m *memoSlots[T]) get(i int, compute func() []T) []T {
+	m.once[i].Do(func() { m.res[i] = compute() })
+	return m.res[i]
+}
+
+// HNSWIndex is a reusable approximate-kNN index over distinct title
+// embeddings, backed by an incrementally growable HNSW graph.
+type HNSWIndex struct {
+	corpus *indexedCorpus
+	model  *embed.Model
+	k      int
+	cfg    hnsw.Config
+	graph  *hnsw.Graph
+	vecs   [][]float32 // title id -> encoding
+	memo   *memoSlots[int32]
+	memoQ  queryMemo
+}
+
+// BuildHNSWIndex interns the titles of the offers at idxs, encodes each
+// distinct title once, and builds the HNSW graph over the encodings.
+// Encoding and construction fan out across cfg.Workers; the graph is
+// byte-identical at any worker count for a fixed seed. k is the neighbour
+// budget per distinct title at query time.
+func BuildHNSWIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k int, cfg hnsw.Config, seed int64) *HNSWIndex {
+	h := &HNSWIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg}
+	h.corpus.add(offers, idxs)
+	h.vecs = make([][]float32, h.corpus.prep.Len())
+	parallel.Run(len(h.vecs), cfg.Workers, func(t int) error {
+		h.vecs[t] = model.EncodeTokens(h.corpus.prep.Tokens(t))
+		return nil
+	}, nil)
+	h.graph = hnsw.Build(h.vecs, cfg, xrand.New(seed).Stream("hnsw-knn"))
+	h.memo = newMemoSlots[int32](len(h.vecs))
+	return h
+}
+
+// Name implements Index.
+func (h *HNSWIndex) Name() string { return "hnsw-knn" }
+
+// Len implements Index.
+func (h *HNSWIndex) Len() int { return h.corpus.len() }
+
+// Add implements Index: new distinct titles are encoded and inserted into
+// the graph with hnsw's batch-faithful incremental insertion, so the grown
+// graph — and therefore every candidate set — is identical to a fresh
+// Build over the union. Neighbour memos are discarded: the new nodes may
+// appear in anyone's top-K.
+func (h *HNSWIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	before := h.corpus.len()
+	newTitles := h.corpus.add(offers, idxs)
+	if h.corpus.len() != before {
+		h.memoQ.reset()
+	}
+	if len(newTitles) == 0 {
+		return
+	}
+	for _, tid := range newTitles {
+		vec := h.model.EncodeTokens(h.corpus.prep.Tokens(tid))
+		h.vecs = append(h.vecs, vec)
+		h.graph.Add(vec)
+	}
+	h.memo = newMemoSlots[int32](len(h.vecs))
+}
+
+// neighbours returns title tid's memoized ranked neighbour ids (top k+1
+// because the title's own vector is its nearest neighbour).
+func (h *HNSWIndex) neighbours(tid int) []int32 {
+	return h.memo.get(tid, func() []int32 {
+		res := h.graph.Search(h.vecs[tid], h.k+1)
+		ids := make([]int32, len(res))
+		for i, r := range res {
+			ids[i] = int32(r.ID)
+		}
+		return ids
+	})
+}
+
+// Candidates implements Index with the shared title-level kNN split
+// semantics of knnCandidates; repeated queries of the same split are
+// served from the query memo.
+func (h *HNSWIndex) Candidates(queryIdxs []int) []CandidatePair {
+	return h.memoQ.get(queryIdxs, func() []CandidatePair {
+		return h.corpus.knnCandidates(queryIdxs, h.k, h.cfg.Workers, h.neighbours)
+	})
+}
+
+// EmbeddingIndex is the reusable form of the exhaustive embedding blocker:
+// exact per-offer top-K neighbour lists over the indexed offers,
+// materialized lazily one offer at a time. It preserves the legacy
+// blocker's per-offer (not per-title) semantics — duplicate titles occupy
+// one slot each and can fill a neighbour budget — so full-universe queries
+// are byte-identical to EmbeddingBlocker.Candidates.
+type EmbeddingIndex struct {
+	corpus  *indexedCorpus
+	model   *embed.Model
+	k       int
+	workers int
+	order   []int       // slot -> offer idx, in indexing order
+	slotOf  map[int]int // offer idx -> slot
+	vecs    [][]float32 // slot -> encoding (shared per distinct title)
+	memo    *memoSlots[int32]
+	memoQ   queryMemo
+}
+
+// BuildEmbeddingIndex interns and encodes each distinct title once and
+// indexes the offers at idxs in order. workers bounds the encoding and
+// neighbour-materialization goroutines (<= 0 selects all cores).
+func BuildEmbeddingIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k, workers int) *EmbeddingIndex {
+	e := &EmbeddingIndex{
+		corpus: newIndexedCorpus(), model: model, k: k, workers: workers,
+		slotOf: make(map[int]int, len(idxs)),
+	}
+	e.corpus.add(offers, idxs)
+	titleVecs := make([][]float32, e.corpus.prep.Len())
+	parallel.Run(len(titleVecs), workers, func(t int) error {
+		titleVecs[t] = model.EncodeTokens(e.corpus.prep.Tokens(t))
+		return nil
+	}, nil)
+	for _, i := range idxs {
+		if _, dup := e.slotOf[i]; dup {
+			continue
+		}
+		e.slotOf[i] = len(e.order)
+		e.order = append(e.order, i)
+		e.vecs = append(e.vecs, titleVecs[e.corpus.titleOf[i]])
+	}
+	e.memo = newMemoSlots[int32](len(e.order))
+	return e
+}
+
+// Name implements Index.
+func (e *EmbeddingIndex) Name() string { return "embedding-knn" }
+
+// Len implements Index.
+func (e *EmbeddingIndex) Len() int { return len(e.order) }
+
+// Add implements Index: new offers are appended in idxs order (new
+// distinct titles are encoded once) and the neighbour memo is discarded.
+func (e *EmbeddingIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	newTitles := e.corpus.add(offers, idxs)
+	grown := false
+	titleVecs := map[int][]float32{}
+	for _, tid := range newTitles {
+		titleVecs[tid] = e.model.EncodeTokens(e.corpus.prep.Tokens(tid))
+	}
+	for _, i := range idxs {
+		if _, dup := e.slotOf[i]; dup {
+			continue
+		}
+		tid := e.corpus.titleOf[i]
+		vec, ok := titleVecs[tid]
+		if !ok {
+			// The title was already indexed under another offer: reuse its
+			// encoding through that offer's slot.
+			vec = e.vecs[e.slotOf[e.corpus.groups[tid][0]]]
+		}
+		e.slotOf[i] = len(e.order)
+		e.order = append(e.order, i)
+		e.vecs = append(e.vecs, vec)
+		grown = true
+	}
+	if grown {
+		e.memo = newMemoSlots[int32](len(e.order))
+		e.memoQ.reset()
+	}
+}
+
+// neighbourSlots returns slot a's memoized top-K neighbour slots (exact,
+// by cosine similarity descending with ties broken by ascending slot).
+func (e *EmbeddingIndex) neighbourSlots(a int) []int32 {
+	return e.memo.get(a, func() []int32 {
+		heap := make(topKHeap, 0, e.k)
+		for b := range e.vecs {
+			if b == a {
+				continue
+			}
+			heap.offer(scoredPos{b, vector.Cosine(e.vecs[a], e.vecs[b])}, e.k)
+		}
+		out := make([]int32, len(heap))
+		for i, s := range heap {
+			out[i] = int32(s.pos)
+		}
+		return out
+	})
+}
+
+// Candidates implements Index: each query offer contributes its exact
+// top-K neighbours among all indexed offers, restricted to neighbours
+// inside the query.
+func (e *EmbeddingIndex) Candidates(queryIdxs []int) []CandidatePair {
+	return e.memoQ.get(queryIdxs, func() []CandidatePair {
+		slots := make([]int, len(queryIdxs))
+		inQuery := make(map[int32]bool, len(queryIdxs))
+		for q, i := range queryIdxs {
+			s, ok := e.slotOf[i]
+			if !ok {
+				panic("blocking: Candidates query includes an offer that was never indexed")
+			}
+			slots[q] = s
+			inQuery[int32(s)] = true
+		}
+		parallel.Run(len(slots), e.workers, func(q int) error {
+			e.neighbourSlots(slots[q])
+			return nil
+		}, nil)
+		set := map[CandidatePair]bool{}
+		for _, s := range slots {
+			for _, nb := range e.neighbourSlots(s) {
+				if inQuery[nb] {
+					set[orderedPair(e.order[s], e.order[nb])] = true
+				}
+			}
+		}
+		out := make([]CandidatePair, 0, len(set))
+		for p := range set {
+			out = append(out, p)
+		}
+		sortPairs(out)
+		return out
+	})
+}

@@ -1,0 +1,71 @@
+// MinHashIndex: the reusable form of the MinHash-LSH blocker. Signatures
+// and band buckets are computed once per distinct title at Build (or Add)
+// time; a split query is one pass over the buckets restricted to the
+// split's titles — a band collision is a pairwise property, so the
+// restriction is exact, not approximate.
+
+package blocking
+
+import (
+	"wdcproducts/internal/lsh"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+// MinHashIndex is a reusable banded MinHash-LSH index over offer titles.
+type MinHashIndex struct {
+	corpus *indexedCorpus
+	ix     *lsh.Index
+	memoQ  queryMemo
+}
+
+// BuildMinHashIndex interns the titles of the offers at idxs and builds
+// the banded LSH index over their distinct token sets. Signature
+// computation fans out across cfg.Workers; the index contents are
+// identical at any worker count for a fixed seed.
+func BuildMinHashIndex(offers []schemaorg.Offer, idxs []int, cfg lsh.Config, seed int64) *MinHashIndex {
+	m := &MinHashIndex{
+		corpus: newIndexedCorpus(),
+		ix:     lsh.NewIndex(cfg, xrand.New(seed).Stream("minhash-lsh")),
+	}
+	m.corpus.add(offers, idxs)
+	sets := make([][]int32, m.corpus.prep.Len())
+	for t := range sets {
+		sets[t] = m.corpus.prep.TokenSet(t)
+	}
+	m.ix.Build(sets)
+	return m
+}
+
+// Name implements Index.
+func (m *MinHashIndex) Name() string { return "minhash-lsh" }
+
+// Len implements Index.
+func (m *MinHashIndex) Len() int { return m.corpus.len() }
+
+// Add implements Index: new distinct titles are signed and bucketed
+// incrementally; the result is identical to a fresh Build over the union.
+func (m *MinHashIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	newTitles := m.corpus.add(offers, idxs)
+	for _, tid := range newTitles {
+		m.ix.Add(m.corpus.prep.TokenSet(tid))
+	}
+	m.memoQ.reset()
+}
+
+// Candidates implements Index: titles of the query offers that share at
+// least one band bucket are expanded to offer pairs, plus the clique of
+// every identical-title group inside the query. Repeated queries of the
+// same split are served from the query memo.
+func (m *MinHashIndex) Candidates(queryIdxs []int) []CandidatePair {
+	return m.memoQ.get(queryIdxs, func() []CandidatePair {
+		v := m.corpus.view(queryIdxs)
+		include := func(t int) bool { _, ok := v.slotOf[t]; return ok }
+		titlePairs := m.ix.CandidatePairsAmong(include)
+		slotPairs := make([][2]int, len(titlePairs))
+		for i, tp := range titlePairs {
+			slotPairs[i] = [2]int{v.slotOf[tp[0]], v.slotOf[tp[1]]}
+		}
+		return expandTitlePairs(v.groups, slotPairs)
+	})
+}

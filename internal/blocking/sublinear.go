@@ -8,6 +8,12 @@
 // Offers sharing an identical title are always paired with each other: an
 // exact duplicate is the strongest possible candidate and must never be
 // lost to indexing approximation.
+//
+// Since the reusable-index layer (index.go) the blockers are thin
+// adapters: Candidates is served by a cached Index keyed by corpus
+// fingerprint, so repeated calls over the same offer universe rebuild
+// nothing, and BuildIndex hands out a fresh index for callers that manage
+// reuse themselves (the §6 build-once/query-per-split study).
 
 package blocking
 
@@ -15,27 +21,8 @@ import (
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/hnsw"
 	"wdcproducts/internal/lsh"
-	"wdcproducts/internal/parallel"
 	"wdcproducts/internal/schemaorg"
-	"wdcproducts/internal/simlib"
-	"wdcproducts/internal/xrand"
 )
-
-// titleGroups interns the titles of the selected offers and returns the
-// prepared corpus together with, for every distinct title ID, the offer
-// indices carrying that title (in idxs order).
-func titleGroups(offers []schemaorg.Offer, idxs []int) (*simlib.Prepared, [][]int) {
-	prep := simlib.NewPrepared()
-	var groups [][]int
-	for _, i := range idxs {
-		tid := prep.Intern(offers[i].Title)
-		if tid == len(groups) {
-			groups = append(groups, nil)
-		}
-		groups[tid] = append(groups[tid], i)
-	}
-	return prep, groups
-}
 
 // expandTitlePairs converts title-level candidate pairs into offer-level
 // candidate pairs: the cross product of the two title groups for each
@@ -76,6 +63,8 @@ type MinHashBlocker struct {
 	Config lsh.Config
 	// Seed roots the xrand stream the hash family is drawn from.
 	Seed int64
+
+	cache indexCache
 }
 
 // NewMinHashBlocker returns the standard blocking configuration: 48 bands
@@ -91,17 +80,19 @@ func NewMinHashBlocker() *MinHashBlocker {
 // Name implements Blocker.
 func (m *MinHashBlocker) Name() string { return "minhash-lsh" }
 
-// Candidates implements Blocker. Each distinct title is signed once;
-// signature computation fans out across the configured worker pool.
+// BuildIndex implements IndexedBlocker.
+func (m *MinHashBlocker) BuildIndex(offers []schemaorg.Offer, idxs []int) Index {
+	return BuildMinHashIndex(offers, idxs, m.Config, m.Seed)
+}
+
+// Candidates implements Blocker through the cached index. Each distinct
+// title is signed once; signature computation fans out across the
+// configured worker pool.
 func (m *MinHashBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
-	prep, groups := titleGroups(offers, idxs)
-	sets := make([][]int32, prep.Len())
-	for t := range sets {
-		sets[t] = prep.TokenSet(t)
-	}
-	ix := lsh.NewIndex(m.Config, xrand.New(m.Seed).Stream("minhash-lsh"))
-	ix.Build(sets)
-	return expandTitlePairs(groups, ix.CandidatePairs())
+	fp := corpusFingerprint(offers, idxs,
+		uint64(m.Config.Bands), uint64(m.Config.Rows), uint64(m.Seed))
+	ix := m.cache.get(fp, func() Index { return m.BuildIndex(offers, idxs) })
+	return ix.Candidates(idxs)
 }
 
 // HNSWBlocker proposes, for each offer, the offers carrying its K
@@ -119,6 +110,8 @@ type HNSWBlocker struct {
 	Config hnsw.Config
 	// Seed roots the xrand stream behind the graph's level draws.
 	Seed int64
+
+	cache indexCache
 }
 
 // NewHNSWBlocker wraps a trained embedding model with the default graph
@@ -130,36 +123,19 @@ func NewHNSWBlocker(model *embed.Model, k int) *HNSWBlocker {
 // Name implements Blocker.
 func (h *HNSWBlocker) Name() string { return "hnsw-knn" }
 
-// Candidates implements Blocker. Encoding, graph construction and the
-// per-title queries all run across the configured worker pool; results are
-// identical at any worker count.
+// BuildIndex implements IndexedBlocker.
+func (h *HNSWBlocker) BuildIndex(offers []schemaorg.Offer, idxs []int) Index {
+	return BuildHNSWIndex(offers, idxs, h.Model, h.K, h.Config, h.Seed)
+}
+
+// Candidates implements Blocker through the cached index. Encoding, graph
+// construction and the per-title queries all run across the configured
+// worker pool; results are identical at any worker count.
 func (h *HNSWBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []CandidatePair {
-	prep, groups := titleGroups(offers, idxs)
-	vecs := make([][]float32, prep.Len())
-	parallel.Run(prep.Len(), h.Config.Workers, func(t int) error {
-		vecs[t] = h.Model.EncodeTokens(prep.Tokens(t))
-		return nil
-	}, nil)
-	g := hnsw.Build(vecs, h.Config, xrand.New(h.Seed).Stream("hnsw-knn"))
-	neighbours := make([][]hnsw.Result, prep.Len())
-	parallel.Run(prep.Len(), h.Config.Workers, func(t int) error {
-		// K+1 because the title's own vector is its nearest neighbour.
-		neighbours[t] = g.Search(vecs[t], h.K+1)
-		return nil
-	}, nil)
-	var titlePairs [][2]int
-	for t := range neighbours {
-		taken := 0
-		for _, r := range neighbours[t] {
-			if r.ID == t {
-				continue
-			}
-			if taken == h.K {
-				break
-			}
-			taken++
-			titlePairs = append(titlePairs, [2]int{t, r.ID})
-		}
-	}
-	return expandTitlePairs(groups, titlePairs)
+	fp := corpusFingerprint(offers, idxs,
+		uint64(h.K), uint64(h.Config.M), uint64(h.Config.EfConstruction),
+		uint64(h.Config.EfSearch), uint64(h.Config.BatchSize), uint64(h.Seed),
+		modelWord(h.Model))
+	ix := h.cache.get(fp, func() Index { return h.BuildIndex(offers, idxs) })
+	return ix.Candidates(idxs)
 }

@@ -3,8 +3,8 @@ package experiments
 import "wdcproducts/internal/core"
 
 // Paper reference values, transcribed from Tables 3 and 5 of Peeters, Der
-// & Bizer (EDBT 2024). They are used by EXPERIMENTS.md generation to print
-// paper-vs-measured comparisons and by the shape checks that verify the
+// & Bizer (EDBT 2024). They are used to print paper-vs-measured
+// comparisons and by the shape checks that verify the
 // reproduction preserves the paper's qualitative findings. All values are
 // F1 percentages.
 

@@ -65,8 +65,9 @@ type Result struct {
 	Sim float64
 }
 
-// Graph is an immutable built HNSW index. Search is read-only and safe for
-// concurrent use by multiple goroutines.
+// Graph is a built HNSW index. It can be grown incrementally with Add;
+// between mutations Search is read-only and safe for concurrent use by
+// multiple goroutines.
 type Graph struct {
 	cfg      Config
 	dim      int
@@ -75,6 +76,28 @@ type Graph struct {
 	links    [][][]int32 // [node][level] -> neighbour ids
 	entry    int
 	maxLevel int
+
+	// Incremental-insertion state: the level-draw stream and the entry
+	// point/top level as of the current batch's start. Add replays the exact
+	// batched construction of Build — a node's insertion searches see only
+	// nodes from before its batch — so Build(prefix) followed by Adds is
+	// byte-identical to one Build over the concatenation.
+	rng        *rand.Rand
+	batchEntry int
+	batchMax   int
+	// shadow holds, per (node, level) touched by the current batch's linking,
+	// a copy of the pre-batch neighbour list. Insertion searches read through
+	// it so that Add sees exactly the frozen snapshot Build's parallel search
+	// phase saw, even though earlier Adds of the same batch have already
+	// appended backlinks to (and possibly pruned) pre-batch nodes.
+	shadow map[uint64][]int32
+}
+
+// shadowKey packs a (node, level) pair into one shadow-map key. Levels are
+// exponentially distributed with multiplier 1/ln(M), so they never approach
+// the 16-bit budget.
+func shadowKey(n int32, level int) uint64 {
+	return uint64(uint32(n))<<16 | uint64(uint16(level))
 }
 
 // scored is a candidate node with its distance to the current query.
@@ -102,7 +125,7 @@ func Build(vecs [][]float32, cfg Config, rng *rand.Rand) *Graph {
 	if cfg.M < 2 || cfg.EfConstruction <= 0 || cfg.BatchSize <= 0 {
 		panic("hnsw: Config.M must be >= 2 and EfConstruction/BatchSize positive")
 	}
-	g := &Graph{cfg: cfg, entry: -1, maxLevel: -1}
+	g := &Graph{cfg: cfg, entry: -1, maxLevel: -1, rng: rng, batchEntry: -1, batchMax: -1}
 	if len(vecs) == 0 {
 		return g
 	}
@@ -134,6 +157,8 @@ func Build(vecs [][]float32, cfg Config, rng *rand.Rand) *Graph {
 		// Parallel phase: search the frozen snapshot (nodes [0,start)) for
 		// each batch node's per-level neighbour candidates.
 		frozenEntry, frozenMax := g.entry, g.maxLevel
+		g.batchEntry, g.batchMax = frozenEntry, frozenMax
+		g.shadow = nil
 		parallel.Run(end-start, cfg.Workers, func(k int) error {
 			i := start + k
 			cands[i] = g.insertCandidates(i, frozenEntry, frozenMax, start)
@@ -151,6 +176,43 @@ func Build(vecs [][]float32, cfg Config, rng *rand.Rand) *Graph {
 		}
 	}
 	return g
+}
+
+// Add inserts one vector incrementally and returns its node id. The
+// insertion replays Build's batched construction exactly: the candidate
+// searches run against the graph as of the node's batch start (a new batch
+// begins at every BatchSize-th node), the level is drawn from the same
+// stream Build draws from, and linking sees the already-inserted
+// batch-mates. Build(prefix) followed by Add of each remaining vector is
+// therefore byte-identical to a single Build over the full input,
+// regardless of where the prefix ends.
+//
+// Add is not safe for concurrent use with itself or with Search.
+func (g *Graph) Add(vec []float32) int {
+	i := len(g.vecs)
+	if i == 0 {
+		g.dim = len(vec)
+	} else if len(vec) != g.dim {
+		panic("hnsw: added vector dimension does not match the indexed vectors")
+	}
+	batchStart := i - i%g.cfg.BatchSize
+	if i == batchStart {
+		// A new batch begins here: freeze the snapshot Add searches against,
+		// exactly as Build does at the top of each batch loop.
+		g.batchEntry, g.batchMax = g.entry, g.maxLevel
+		g.shadow = nil
+	}
+	mL := 1 / math.Log(float64(g.cfg.M))
+	g.vecs = append(g.vecs, normalize(vec))
+	g.levels = append(g.levels, int(math.Floor(-math.Log(1-g.rng.Float64())*mL)))
+	g.links = append(g.links, make([][]int32, g.levels[i]+1))
+	cands := g.insertCandidates(i, g.batchEntry, g.batchMax, batchStart)
+	g.link(i, cands, batchStart)
+	if g.levels[i] > g.maxLevel {
+		g.maxLevel = g.levels[i]
+		g.entry = i
+	}
+	return i
 }
 
 // insertCandidates runs the standard HNSW insertion search for node i
@@ -199,6 +261,7 @@ func (g *Graph) link(i int, cands [][]scored, batchStart int) {
 		}
 		pool = g.selectNeighbors(pool, g.maxConn(l))
 		for _, n := range pool {
+			g.saveShadow(n.id, l, batchStart)
 			g.links[i][l] = append(g.links[i][l], n.id)
 			g.links[n.id][l] = append(g.links[n.id][l], int32(i))
 			if len(g.links[n.id][l]) > g.maxConn(l) {
@@ -206,6 +269,37 @@ func (g *Graph) link(i int, cands [][]scored, batchStart int) {
 			}
 		}
 	}
+}
+
+// saveShadow records a copy of node n's level-l neighbour list before its
+// first modification in the current batch, so later insertion searches of
+// the same batch still see the frozen pre-batch state. Nodes inside the
+// batch need no shadow: insertion searches never traverse them.
+func (g *Graph) saveShadow(n int32, l, batchStart int) {
+	if int(n) >= batchStart {
+		return
+	}
+	key := shadowKey(n, l)
+	if _, ok := g.shadow[key]; ok {
+		return
+	}
+	if g.shadow == nil {
+		g.shadow = map[uint64][]int32{}
+	}
+	g.shadow[key] = append([]int32(nil), g.links[n][l]...)
+}
+
+// linksAt returns node id's level-l neighbour list as an insertion search
+// must see it: reads with frozen < Len go through the current batch's
+// shadow copies, while full-graph reads (queries, frozen == Len) always see
+// the live lists.
+func (g *Graph) linksAt(id int32, level, frozen int) []int32 {
+	if frozen < len(g.vecs) && g.shadow != nil {
+		if ls, ok := g.shadow[shadowKey(id, level)]; ok {
+			return ls
+		}
+	}
+	return g.links[id][level]
 }
 
 // selectNeighbors is the diversity heuristic of the HNSW paper (Alg. 4): a
@@ -278,7 +372,7 @@ func (g *Graph) prune(n, l int) {
 func (g *Graph) greedyStep(q []float32, ep scored, level, frozen int) scored {
 	for {
 		improved := false
-		for _, n := range g.links[ep.id][level] {
+		for _, n := range g.linksAt(ep.id, level, frozen) {
 			if int(n) >= frozen {
 				continue
 			}
@@ -313,7 +407,7 @@ func (g *Graph) searchLayer(q []float32, eps []scored, ef, level, frozen int) []
 		if res.len() >= ef && closer(res.top(), c) {
 			break
 		}
-		for _, n := range g.links[c.id][level] {
+		for _, n := range g.linksAt(c.id, level, frozen) {
 			if int(n) >= frozen {
 				continue
 			}

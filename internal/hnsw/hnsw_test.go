@@ -190,3 +190,76 @@ func TestDuplicateVectors(t *testing.T) {
 		}
 	}
 }
+
+// TestAddMatchesBuild: a graph grown with Add — from empty or from a
+// Build over any prefix, aligned with a batch boundary or not — must be
+// byte-identical to one Build over the full input: same levels, same
+// links, same entry point. This is the property the reusable blocking
+// indexes stand on.
+func TestAddMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vecs := randomVecs(rng, 150, 12)
+	cfg := Config{M: 4, EfConstruction: 24, EfSearch: 16, BatchSize: 16, Workers: 1}
+	full := Build(vecs, cfg, xrand.New(11).Stream("hnsw"))
+	for _, cut := range []int{0, 1, 16, 23, 149, len(vecs)} {
+		grown := Build(vecs[:cut], cfg, xrand.New(11).Stream("hnsw"))
+		for _, v := range vecs[cut:] {
+			grown.Add(v)
+		}
+		if grown.Len() != full.Len() {
+			t.Fatalf("cut %d: Len = %d, want %d", cut, grown.Len(), full.Len())
+		}
+		if grown.entry != full.entry || grown.maxLevel != full.maxLevel {
+			t.Fatalf("cut %d: entry/maxLevel = %d/%d, want %d/%d",
+				cut, grown.entry, grown.maxLevel, full.entry, full.maxLevel)
+		}
+		for i := range vecs {
+			if grown.levels[i] != full.levels[i] {
+				t.Fatalf("cut %d: node %d level %d, want %d", cut, i, grown.levels[i], full.levels[i])
+			}
+			for l := 0; l <= full.levels[i]; l++ {
+				a, b := grown.links[i][l], full.links[i][l]
+				if len(a) != len(b) {
+					t.Fatalf("cut %d: node %d level %d has %d links, want %d (%v vs %v)",
+						cut, i, l, len(a), len(b), a, b)
+				}
+				for p := range a {
+					if a[p] != b[p] {
+						t.Fatalf("cut %d: node %d level %d link %d = %d, want %d",
+							cut, i, l, p, a[p], b[p])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddFromEmptyGraph: a graph assembled purely by Add supports search
+// like a built one.
+func TestAddFromEmptyGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vecs := randomVecs(rng, 40, 8)
+	g := Build(nil, DefaultConfig(), xrand.New(2).Stream("hnsw"))
+	for _, v := range vecs {
+		g.Add(v)
+	}
+	if g.Len() != len(vecs) {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	res := g.Search(vecs[7], 5)
+	if len(res) != 5 || res[0].ID != 7 {
+		t.Fatalf("self search = %+v", res)
+	}
+}
+
+// TestAddDimensionMismatchPanics pins the Add guard.
+func TestAddDimensionMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Build(randomVecs(rng, 4, 8), DefaultConfig(), xrand.New(2).Stream("hnsw"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	g.Add(make([]float32, 5))
+}

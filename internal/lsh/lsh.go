@@ -144,9 +144,11 @@ func EstimateJaccard(a, b []uint64) float64 {
 	return float64(eq) / float64(len(a))
 }
 
-// Index is a banded LSH index over a fixed collection of token sets. Build
-// it once with Build, then read candidate pairs with CandidatePairs or
-// probe single sets with Query.
+// Index is a banded LSH index over a collection of token sets. Build it
+// once with Build (or grow it one set at a time with Add), then read
+// candidate pairs with CandidatePairs / CandidatePairsAmong or probe
+// single sets with Query. Reads are safe for concurrent use as long as no
+// Build or Add is in flight.
 type Index struct {
 	cfg    Config
 	signer *Signer
@@ -192,6 +194,27 @@ func (ix *Index) Build(sets [][]int32) {
 	}
 }
 
+// Add indexes one more token set incrementally and returns its index.
+// Because bucket member lists are append-only and ordered by index, a
+// sequence of Adds produces an index byte-identical to one Build over the
+// concatenated sets.
+func (ix *Index) Add(set []int32) int {
+	if ix.buckets == nil {
+		ix.buckets = make([]map[uint64][]int32, ix.cfg.Bands)
+		for band := range ix.buckets {
+			ix.buckets[band] = map[uint64][]int32{}
+		}
+	}
+	i := len(ix.sigs)
+	sig := ix.signer.Signature(set, nil)
+	ix.sigs = append(ix.sigs, sig)
+	for band := 0; band < ix.cfg.Bands; band++ {
+		key := bandKey(sig, band, ix.cfg.Rows)
+		ix.buckets[band][key] = append(ix.buckets[band][key], int32(i))
+	}
+	return i
+}
+
 // bandKey hashes one band of a signature (FNV-1a over the row values).
 func bandKey(sig []uint64, band, rows int) uint64 {
 	const (
@@ -216,13 +239,27 @@ func (ix *Index) Signature(i int) []uint64 { return ix.sigs[i] }
 // at least one band bucket, sorted lexicographically and deduplicated. The
 // cost is proportional to the number of colliding pairs, not to the full
 // quadratic pair space.
-func (ix *Index) CandidatePairs() [][2]int {
+func (ix *Index) CandidatePairs() [][2]int { return ix.CandidatePairsAmong(nil) }
+
+// CandidatePairsAmong is CandidatePairs restricted to the member sets for
+// which include returns true (nil includes every set). Because a band
+// collision is a pairwise property — independent of what else is indexed —
+// the result equals what CandidatePairs would return on an index holding
+// only the included sets, which is what makes one corpus-wide index
+// queryable per split.
+func (ix *Index) CandidatePairsAmong(include func(i int) bool) [][2]int {
 	seen := make(map[uint64]struct{})
 	var out [][2]int
 	for _, bandBuckets := range ix.buckets {
 		for _, members := range bandBuckets {
 			for x := 0; x < len(members); x++ {
+				if include != nil && !include(int(members[x])) {
+					continue
+				}
 				for y := x + 1; y < len(members); y++ {
+					if include != nil && !include(int(members[y])) {
+						continue
+					}
 					a, b := int(members[x]), int(members[y])
 					key := uint64(uint32(a))<<32 | uint64(uint32(b))
 					if _, dup := seen[key]; dup {

@@ -198,3 +198,73 @@ func TestThreshold(t *testing.T) {
 		t.Fatalf("16x4 threshold = %.3f, want ~0.5", th)
 	}
 }
+
+// TestAddMatchesBuild: an index grown one set at a time — from empty or
+// from a Build over a prefix — must be indistinguishable from one Build
+// over the full collection, signature by signature and pair by pair.
+func TestAddMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sets := make([][]int32, 60)
+	for i := range sets {
+		sets[i] = randomSet(rng, 4+rng.Intn(8), 120)
+	}
+	cfg := Config{Bands: 12, Rows: 2, Workers: 1}
+	full := NewIndex(cfg, xrand.New(9).Stream("minhash-lsh"))
+	full.Build(sets)
+	for _, cut := range []int{0, 1, 17, len(sets)} {
+		grown := NewIndex(cfg, xrand.New(9).Stream("minhash-lsh"))
+		grown.Build(sets[:cut])
+		for _, s := range sets[cut:] {
+			grown.Add(s)
+		}
+		if grown.Len() != full.Len() {
+			t.Fatalf("cut %d: Len = %d, want %d", cut, grown.Len(), full.Len())
+		}
+		for i := 0; i < full.Len(); i++ {
+			a, b := grown.Signature(i), full.Signature(i)
+			for p := range a {
+				if a[p] != b[p] {
+					t.Fatalf("cut %d: signature %d differs at position %d", cut, i, p)
+				}
+			}
+		}
+		gp, fp := grown.CandidatePairs(), full.CandidatePairs()
+		if len(gp) != len(fp) {
+			t.Fatalf("cut %d: %d pairs grown vs %d built", cut, len(gp), len(fp))
+		}
+		for i := range gp {
+			if gp[i] != fp[i] {
+				t.Fatalf("cut %d: pair %d differs: %v vs %v", cut, i, gp[i], fp[i])
+			}
+		}
+	}
+}
+
+// TestCandidatePairsAmongRestriction: restricting the pair scan to a
+// subset must equal filtering the full pair set — a band collision is a
+// pairwise property, independent of what else is indexed.
+func TestCandidatePairsAmongRestriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sets := make([][]int32, 80)
+	for i := range sets {
+		sets[i] = randomSet(rng, 5, 60)
+	}
+	ix := NewIndex(Config{Bands: 16, Rows: 2, Workers: 1}, xrand.New(3).Stream("minhash-lsh"))
+	ix.Build(sets)
+	member := func(i int) bool { return i%3 != 0 }
+	var want [][2]int
+	for _, p := range ix.CandidatePairs() {
+		if member(p[0]) && member(p[1]) {
+			want = append(want, p)
+		}
+	}
+	got := ix.CandidatePairsAmong(member)
+	if len(got) != len(want) {
+		t.Fatalf("restricted scan found %d pairs, filtered full scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -2,7 +2,7 @@
 // the paper — Word-(Co-)Occurrence, Magellan, RoBERTa, Ditto, HierGAT and
 // R-SupCon — against a common interface, with the transformer systems
 // replaced by CPU-trainable substitutes built on the pretrained embedding
-// model (see DESIGN.md for the substitution rationale).
+// model (see docs/architecture.md for the substitution rationale).
 package matchers
 
 import (

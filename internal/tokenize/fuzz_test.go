@@ -1,0 +1,101 @@
+package tokenize
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/textutil"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzBPE  *BPE
+)
+
+// fuzzTokenizer trains one small shared BPE for the fuzz targets — the
+// fuzzer mutates inputs, not the training corpus.
+func fuzzTokenizer() *BPE {
+	fuzzOnce.Do(func() {
+		fuzzBPE = Train([]string{
+			"acme widget pro 3000 silver edition",
+			"acme widget pro 3000 gold edition",
+			"cordless drill 18v battery pack",
+			"usb c charging cable 2m braided",
+			"wireless noise cancelling headphones",
+		}, 60)
+	})
+	return fuzzBPE
+}
+
+// FuzzBPEEncode drives Encode/EncodeIDs/Decode with arbitrary text,
+// pinning the invariants no input may break: no panics, Decode inverts
+// Encode back to the normalized token stream, every symbol of a word ends
+// exactly one word (the end-of-word marker survives merging), and
+// EncodeIDs stays within [-1, VocabSize).
+func FuzzBPEEncode(f *testing.F) {
+	f.Add("acme widget pro 3000 silver")
+	f.Add("")
+	f.Add("ACME   Widget\t3000!!!")
+	f.Add("unicode tïtlé ß∂ƒ 製品 ☃")
+	f.Add("\x00\xff\xfe broken utf8 \x80")
+	f.Fuzz(func(t *testing.T, text string) {
+		b := fuzzTokenizer()
+		words := textutil.Tokenize(text)
+		syms := b.Encode(text)
+		// Decode must reconstruct the normalized word stream exactly.
+		if got, want := b.Decode(syms), strings.Join(words, " "); got != want {
+			t.Fatalf("Decode(Encode(%q)) = %q, want %q", text, got, want)
+		}
+		// Each word contributes exactly one end-of-word marker.
+		endings := 0
+		for _, s := range syms {
+			if s == endOfWord || strings.HasSuffix(s, endOfWord) {
+				endings++
+			}
+		}
+		if endings != len(words) {
+			t.Fatalf("%d end-of-word symbols for %d words in %q", endings, len(words), text)
+		}
+		ids := b.EncodeIDs(text)
+		if len(ids) != len(syms) {
+			t.Fatalf("EncodeIDs length %d, Encode length %d", len(ids), len(syms))
+		}
+		for i, id := range ids {
+			if id < -1 || id >= b.VocabSize() {
+				t.Fatalf("id %d at position %d outside [-1, %d)", id, i, b.VocabSize())
+			}
+		}
+		// Per-word encoding must agree with the stream encoding.
+		var perWord []string
+		for _, w := range words {
+			perWord = append(perWord, b.EncodeWord(w)...)
+		}
+		if len(perWord) != len(syms) {
+			t.Fatalf("per-word encoding length %d, stream %d", len(perWord), len(syms))
+		}
+		for i := range syms {
+			if perWord[i] != syms[i] {
+				t.Fatalf("per-word symbol %d = %q, stream %q", i, perWord[i], syms[i])
+			}
+		}
+	})
+}
+
+// FuzzBPETrain drives training itself with an arbitrary (tiny) corpus and
+// merge budget: training must not panic, and the resulting tokenizer must
+// round-trip its own corpus.
+func FuzzBPETrain(f *testing.F) {
+	f.Add("one two three", "two three four", uint8(10))
+	f.Add("", "", uint8(0))
+	f.Add("aaaa aaaa aaaa", "aa", uint8(200))
+	f.Fuzz(func(t *testing.T, t1, t2 string, merges uint8) {
+		b := Train([]string{t1, t2}, int(merges))
+		for _, text := range []string{t1, t2} {
+			want := strings.Join(textutil.Tokenize(text), " ")
+			if got := b.Decode(b.Encode(text)); got != want {
+				t.Fatalf("round trip of %q = %q, want %q", text, got, want)
+			}
+		}
+	})
+}

@@ -12,9 +12,10 @@
 //	results, err := runner.RunPairwise(wdcproducts.ExperimentConfig{Repetitions: 1})
 //	fmt.Print(wdcproducts.Table3(results, nil))
 //
-// See DESIGN.md for the system inventory and the substitutions standing in
-// for web-scale data and GPU-trained transformer matchers, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// See docs/architecture.md for the pipeline walkthrough, the per-package
+// tour and the substitutions standing in for web-scale data and
+// GPU-trained transformer matchers, and docs/blocking.md for the §6
+// blocking extension (strategies, parameters and measured results).
 package wdcproducts
 
 import (
@@ -249,10 +250,11 @@ func (ts *TitleScorer) MustSim(metric string, a, b int) float64 {
 
 // BlockerNames lists the §6 blocking strategies BlockingReport accepts, in
 // report order: the two exhaustive blockers ("token", "embedding") and the
-// two sublinear ones ("minhash" — banded MinHash-LSH over title token
+// three sublinear ones ("minhash" — banded MinHash-LSH over title token
 // sets, "hnsw" — approximate embedding nearest neighbours through an HNSW
-// graph).
-func BlockerNames() []string { return []string{"token", "embedding", "minhash", "hnsw"} }
+// graph, "ivf" — the same neighbours through an inverted-file index with a
+// k-means coarse quantizer).
+func BlockerNames() []string { return []string{"token", "embedding", "minhash", "hnsw", "ivf"} }
 
 // ParseBlockerNames parses a CLI blocker-list flag for BlockingReport:
 // "all" (or the empty string) selects every strategy, anything else is a
@@ -265,78 +267,219 @@ func ParseBlockerNames(s string) []string {
 	return strings.Split(s, ",")
 }
 
-// BlockingReport runs the named blockers (nil or empty selects all of
-// BlockerNames) over the cc=50% seen test offers of b and tabulates
-// candidate count, pair completeness (recall of true matches), reduction
-// ratio (fraction of the quadratic pair space pruned) and wall time.
-// Ground truth is the test product each offer belongs to. The embedding
-// and HNSW blockers share one title encoder trained from the given seed,
-// so their rows compare the same geometry searched exhaustively vs
-// approximately. workers bounds the goroutines of the sublinear blockers'
-// index construction and queries (<= 0 selects all cores; it only affects
-// the wall-time column — blocker output is deterministic for a fixed seed
-// at any worker count).
-func BlockingReport(b *Benchmark, names []string, seed int64, workers int) (*Table, error) {
-	if len(names) == 0 {
-		names = BlockerNames()
+// blockKNNBudget is the per-title neighbour budget shared by the
+// embedding-space blockers, so their report rows compare the same K.
+const blockKNNBudget = 6
+
+// blockerNeedsModel reports whether the named blocker searches the title
+// embedding space and therefore needs the trained encoder — the single
+// list blockerModel and newBlocker both consult.
+func blockerNeedsModel(name string) bool {
+	switch name {
+	case "embedding", "hnsw", "ivf":
+		return true
 	}
-	rd := b.Ratios[50]
-	if rd == nil || len(rd.TestProducts) == 0 {
-		return nil, fmt.Errorf("wdcproducts: benchmark has no cc=50%% test split for the blocking report")
+	return false
+}
+
+// newBlocker constructs the named §6 blocker. The embedding-space blockers
+// (blockerNeedsModel) require a trained title encoder.
+func newBlocker(name string, model *embed.Model, workers int) (blocking.Blocker, error) {
+	switch name {
+	case "token":
+		return blocking.NewTokenBlocker(), nil
+	case "embedding":
+		eb := blocking.NewEmbeddingBlocker(model, blockKNNBudget)
+		eb.Workers = workers
+		return eb, nil
+	case "minhash":
+		mh := blocking.NewMinHashBlocker()
+		mh.Config.Workers = workers
+		return mh, nil
+	case "hnsw":
+		hb := blocking.NewHNSWBlocker(model, blockKNNBudget)
+		hb.Config.Workers = workers
+		return hb, nil
+	case "ivf":
+		ib := blocking.NewIVFBlocker(model, blockKNNBudget)
+		ib.Config.Workers = workers
+		return ib, nil
+	default:
+		return nil, fmt.Errorf("wdcproducts: unknown blocker %q (valid: %s)",
+			name, strings.Join(BlockerNames(), ", "))
+	}
+}
+
+// blockerModel trains the shared title encoder when any of the names needs
+// the embedding space, so the exhaustive, HNSW and IVF rows compare the
+// same geometry.
+func blockerModel(b *Benchmark, names []string, seed int64) *embed.Model {
+	for _, n := range names {
+		if blockerNeedsModel(n) {
+			titles := make([]string, len(b.Offers))
+			for i := range b.Offers {
+				titles[i] = b.Offers[i].Title
+			}
+			return embed.Train(titles, embed.DefaultConfig(), xrand.New(seed).Stream("embed"))
+		}
+	}
+	return nil
+}
+
+// blockingSplit is one test split's offer universe and ground truth.
+type blockingSplit struct {
+	label string
+	idxs  []int
+	truth func(a, b int) bool
+}
+
+// testSplit collects one (corner ratio, unseen fraction) test split; truth
+// is the test product each offer belongs to.
+func testSplit(b *Benchmark, cc CornerRatio, un Unseen) *blockingSplit {
+	rd := b.Ratios[cc]
+	if rd == nil {
+		return nil
+	}
+	tps, ok := rd.TestProducts[un]
+	if !ok || len(tps) == 0 {
+		return nil
 	}
 	productOf := map[int]int{}
 	var idxs []int
-	for _, tp := range rd.TestProducts[0] {
+	for _, tp := range tps {
 		for _, o := range tp.Offers {
 			productOf[o] = tp.Slot
 			idxs = append(idxs, o)
 		}
 	}
-	truth := func(x, y int) bool { return productOf[x] == productOf[y] }
-
-	// The per-offer neighbour budget of the two kNN blockers.
-	const knnK = 6
-	var model *embed.Model
-	for _, n := range names {
-		if n == "embedding" || n == "hnsw" {
-			titles := make([]string, len(b.Offers))
-			for i := range b.Offers {
-				titles[i] = b.Offers[i].Title
-			}
-			model = embed.Train(titles, embed.DefaultConfig(), xrand.New(seed).Stream("embed"))
-			break
-		}
+	return &blockingSplit{
+		label: fmt.Sprintf("cc=%d%%/unseen=%d%%", cc, un),
+		idxs:  idxs,
+		truth: func(x, y int) bool { return productOf[x] == productOf[y] },
 	}
+}
 
+// BlockingReport runs the named blockers (nil or empty selects all of
+// BlockerNames) over the cc=50% seen test offers of b and tabulates
+// candidate count, pair completeness (recall of true matches), reduction
+// ratio (fraction of the quadratic pair space pruned) and wall time, with
+// index construction and querying timed separately for the blockers that
+// support reusable indexes (build ms "-" marks the purely exhaustive
+// token blocker). Ground truth is the test product each offer belongs to.
+// The embedding-space blockers share one title encoder trained from the
+// given seed, so their rows compare the same geometry searched
+// exhaustively vs approximately. workers bounds the goroutines of index
+// construction and queries (<= 0 selects all cores; it only affects the
+// timing columns — blocker output is deterministic for a fixed seed at any
+// worker count).
+func BlockingReport(b *Benchmark, names []string, seed int64, workers int) (*Table, error) {
+	if len(names) == 0 {
+		names = BlockerNames()
+	}
+	split := testSplit(b, 50, 0)
+	if split == nil {
+		return nil, fmt.Errorf("wdcproducts: benchmark has no cc=50%% test split for the blocking report")
+	}
+	model := blockerModel(b, names, seed)
 	t := tables.New(
 		fmt.Sprintf("Blocking (§6): %d offers, %d possible pairs",
-			len(idxs), len(idxs)*(len(idxs)-1)/2),
-		"blocker", "candidates", "pair completeness", "reduction ratio", "ms")
+			len(split.idxs), len(split.idxs)*(len(split.idxs)-1)/2),
+		"blocker", "candidates", "pair completeness", "reduction ratio", "build ms", "query ms")
 	for _, name := range names {
-		var bl blocking.Blocker
-		switch name {
-		case "token":
-			bl = blocking.NewTokenBlocker()
-		case "embedding":
-			bl = blocking.NewEmbeddingBlocker(model, knnK)
-		case "minhash":
-			mh := blocking.NewMinHashBlocker()
-			mh.Config.Workers = workers
-			bl = mh
-		case "hnsw":
-			hb := blocking.NewHNSWBlocker(model, knnK)
-			hb.Config.Workers = workers
-			bl = hb
-		default:
-			return nil, fmt.Errorf("wdcproducts: unknown blocker %q (valid: %s)",
-				name, strings.Join(BlockerNames(), ", "))
+		bl, err := newBlocker(name, model, workers)
+		if err != nil {
+			return nil, err
 		}
+		var cands []blocking.CandidatePair
+		buildMS := "-"
 		start := time.Now()
-		cands := bl.Candidates(b.Offers, idxs)
-		elapsed := time.Since(start)
-		m := blocking.Evaluate(cands, idxs, truth)
+		if ib, ok := bl.(blocking.IndexedBlocker); ok {
+			ix := ib.BuildIndex(b.Offers, split.idxs)
+			buildMS = msSince(start)
+			start = time.Now()
+			cands = ix.Candidates(split.idxs)
+		} else {
+			cands = bl.Candidates(b.Offers, split.idxs)
+		}
+		queryMS := msSince(start)
+		m := blocking.Evaluate(cands, split.idxs, split.truth)
 		t.AddRow(bl.Name(), fmt.Sprint(m.Candidates), tables.Pct(m.PairCompleteness),
-			tables.Pct(m.ReductionRatio), fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000))
+			tables.Pct(m.ReductionRatio), buildMS, queryMS)
 	}
 	return t, nil
+}
+
+// BlockingScaleReport drives the §6 study the way it runs at paper scale:
+// for each named blocker (nil or empty selects all of BlockerNames), one
+// index is built over the union of every test split's offers — across all
+// corner-case ratios and unseen fractions — and then each split is a
+// query against that index. The table reports, per blocker, the one-off
+// build row (offers indexed, wall time) followed by one row per split
+// (candidates, pair completeness, reduction ratio, query wall time). The
+// token blocker has no reusable index and re-runs per split, which is
+// exactly the rebuild-per-call cost the reusable indexes avoid. The first
+// query of a kNN blocker materializes neighbour lists for the titles it
+// touches; later splits reuse them, so query times amortize the way the
+// full study does. workers bounds construction and query goroutines
+// (<= 0 selects all cores).
+func BlockingScaleReport(b *Benchmark, names []string, seed int64, workers int) (*Table, error) {
+	if len(names) == 0 {
+		names = BlockerNames()
+	}
+	var splits []*blockingSplit
+	seen := map[int]bool{}
+	var union []int
+	for _, cc := range core.CornerRatios() {
+		for _, un := range core.UnseenFractions() {
+			s := testSplit(b, cc, un)
+			if s == nil {
+				continue
+			}
+			splits = append(splits, s)
+			for _, i := range s.idxs {
+				if !seen[i] {
+					seen[i] = true
+					union = append(union, i)
+				}
+			}
+		}
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("wdcproducts: benchmark has no test splits for the blocking study")
+	}
+	model := blockerModel(b, names, seed)
+	t := tables.New(
+		fmt.Sprintf("Blocking at scale (§6): index built once over %d offers, queried per split", len(union)),
+		"blocker", "split", "offers", "candidates", "pair completeness", "reduction ratio", "ms")
+	for _, name := range names {
+		bl, err := newBlocker(name, model, workers)
+		if err != nil {
+			return nil, err
+		}
+		var ix blocking.Index
+		if ib, ok := bl.(blocking.IndexedBlocker); ok {
+			start := time.Now()
+			ix = ib.BuildIndex(b.Offers, union)
+			t.AddRow(bl.Name(), "build", fmt.Sprint(len(union)), "-", "-", "-", msSince(start))
+		}
+		for _, s := range splits {
+			var cands []blocking.CandidatePair
+			start := time.Now()
+			if ix != nil {
+				cands = ix.Candidates(s.idxs)
+			} else {
+				cands = bl.Candidates(b.Offers, s.idxs)
+			}
+			elapsed := msSince(start)
+			m := blocking.Evaluate(cands, s.idxs, s.truth)
+			t.AddRow(bl.Name(), s.label, fmt.Sprint(len(s.idxs)), fmt.Sprint(m.Candidates),
+				tables.Pct(m.PairCompleteness), tables.Pct(m.ReductionRatio), elapsed)
+		}
+	}
+	return t, nil
+}
+
+// msSince renders the elapsed wall time since start in milliseconds.
+func msSince(start time.Time) string {
+	return fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/1000)
 }

@@ -119,4 +119,31 @@ func TestFacadeBlockingReport(t *testing.T) {
 	if got := wdcproducts.ParseBlockerNames("token,hnsw"); len(got) != 2 || got[0] != "token" || got[1] != "hnsw" {
 		t.Fatalf("ParseBlockerNames(token,hnsw) = %v", got)
 	}
+	names := wdcproducts.BlockerNames()
+	if names[len(names)-1] != "ivf" {
+		t.Fatalf("BlockerNames = %v, want ivf last", names)
+	}
+}
+
+func TestFacadeBlockingScaleReport(t *testing.T) {
+	ensureBuild(t)
+	// token + minhash avoid encoder training, keeping the facade test fast.
+	table, err := wdcproducts.BlockingScaleReport(benchB, []string{"token", "minhash"}, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 corner ratios x 3 unseen fractions = 9 split rows per blocker, plus
+	// one build row for the index-backed minhash blocker.
+	if len(table.Rows) != 19 {
+		t.Fatalf("got %d rows, want 19:\n%s", len(table.Rows), table)
+	}
+	if table.Rows[0][0] != "token-blocking" || table.Rows[9][0] != "minhash-lsh" {
+		t.Fatalf("unexpected blocker rows:\n%s", table)
+	}
+	if table.Rows[9][1] != "build" {
+		t.Fatalf("minhash rows do not start with a build row:\n%s", table)
+	}
+	if _, err := wdcproducts.BlockingScaleReport(benchB, []string{"bogus"}, 42, 1); err == nil {
+		t.Fatal("unknown blocker name did not error")
+	}
 }
