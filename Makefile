@@ -2,19 +2,22 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_4.json: the end-to-end
+# The perf-trajectory benchmarks recorded in BENCH_5.json: the end-to-end
 # pipeline build, the corner-selection microbenchmarks, the sigmoid
-# lookup-table comparison, the blocking-scale benches (now including the
-# IVF blocker next to exhaustive embedding kNN, MinHash-LSH and HNSW), and
-# the PR 4 index-reuse benches separating one-off build cost from
-# steady-state per-query cost (build-ms / query-cold-ms / query-ms /
-# rebuild-ms / reuse-speedup).
-BENCH_OUT ?= BENCH_4.json
-BENCH_NOTE ?= reusable blocking indexes (PR 4): build-once/query-per-split across minhash-lsh, embedding-knn, hnsw-knn and the new ivf-knn; steady-state split queries run 104x-3757x below rebuild-per-call at n=2563, ivf-knn holds >=0.999 exhaustive-recall at under half the per-offer cost of exhaustive scanning
+# lookup-table comparison, the blocking-scale and index-reuse benches, and
+# the PR 5 matcher-in-the-loop study bench linking blocker pair
+# completeness to the end-to-end pipeline F1 of matchers trained on
+# candidate-restricted pair sets.
+BENCH_OUT ?= BENCH_5.json
+BENCH_NOTE ?= matcher-in-the-loop blocking (PR 5): matchers trained on candidate-restricted train/val/test pair sets, blocker-missed matches counted as pipeline FNs; on the tiny fixture minhash-lsh keeps 87.5% pair completeness at 88% reduction and costs the Word-Cooc pipeline ~7 F1 points against the unblocked baseline
 
 # Coverage floor (percent of statements) enforced over the blocking stack
 # by `make cover`.
 COVER_FLOOR ?= 85
+
+# Coverage artifacts land in an ignored build directory instead of
+# littering the repo root.
+BUILD_DIR ?= build
 
 .PHONY: build test race vet docs bench cover fuzz
 
@@ -38,10 +41,12 @@ docs:
 
 # cover enforces a statement-coverage floor over the blocking stack (the
 # packages the reusable-index layer lives in). The floor guards the reuse
-# and incremental-insertion property tests from silently rotting.
+# and incremental-insertion property tests from silently rotting. The
+# profile is written to $(BUILD_DIR)/cover.out, which is gitignored.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	@mkdir -p $(BUILD_DIR)
+	$(GO) test -coverprofile=$(BUILD_DIR)/cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf
+	@total=$$($(GO) tool cover -func=$(BUILD_DIR)/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "blocking-stack coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
@@ -66,6 +71,7 @@ bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkFigure2_PipelineSteps' -benchmem -benchtime 3x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBlockingScale' -benchmem -benchtime 2x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBlockingReuse' -benchmem -benchtime 3x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMatcherBlocking' -benchmem -benchtime 1x . && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
 	status=$$?; cat "$$tmp"; \

@@ -672,6 +672,48 @@ func BenchmarkBlockingReuse_IVF(b *testing.B) {
 	}
 }
 
+// --- Matcher-in-the-loop blocking bench (§6, PR 5) ---------------------------
+
+// BenchmarkMatcherBlocking measures the matcher-in-the-loop study: per
+// iteration it runs the full MatcherBlockingReport pipeline — reusable
+// index per blocker, candidate-restricted train/val/test pair sets,
+// matcher training on the restricted data — for the token and MinHash
+// blockers, and reports the headline numbers the study exists to link:
+// MinHash's pair completeness next to the end-to-end pipeline F1 of the
+// Word-Cooc matcher trained on its candidates, and the unblocked
+// baseline F1 the blocked pipeline is read against.
+func BenchmarkMatcherBlocking(b *testing.B) {
+	setup(b)
+	var table *wdcproducts.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = wdcproducts.MatcherBlockingReport(benchB,
+			[]string{"token", "minhash"}, []string{"Word-Cooc", "Magellan"}, 42, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("matchblock", table.String())
+	}
+	b.StopTimer()
+	pct := func(row []string, col int) float64 {
+		var v float64
+		fmt.Sscanf(row[col], "%f", &v)
+		return v
+	}
+	for _, row := range table.Rows {
+		if row[4] != "Word-Cooc" {
+			continue
+		}
+		switch row[0] {
+		case wdcproducts.NoBlockingBaseline:
+			b.ReportMetric(pct(row, 10), "baseline-F1")
+		case "minhash-lsh":
+			b.ReportMetric(pct(row, 2), "minhash-completeness")
+			b.ReportMetric(pct(row, 10), "minhash-pipeline-F1")
+		}
+	}
+}
+
 // --- helpers ---------------------------------------------------------------
 
 func cellF1(b *testing.B, system string, cc wdcproducts.CornerRatio, dev wdcproducts.DevSize, un wdcproducts.Unseen) float64 {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wdceval [-scale small] [-seed 42] [-reps 3] [-workers 0] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6] [-blocking token,embedding,minhash,hnsw,ivf] [-blockscale]
+//	wdceval [-scale small] [-seed 42] [-reps 3] [-workers 0] [-systems Word-Cooc,R-SupCon] [-table 3|4|5] [-figure 4|5|6] [-blocking token,embedding,minhash,hnsw,ivf] [-blockscale] [-matchblock]
 //
 // -workers spreads the independent training cells across CPUs (0 = all
 // cores, 1 = serial); results are identical at any worker count.
@@ -19,6 +19,15 @@
 // per (corner ratio, unseen fraction) split — combine with -scale default
 // to drive it at the paper's corpus size, where rebuild-per-call costs
 // minutes and the reused indexes stay interactive.
+//
+// -matchblock runs the matcher-in-the-loop study: the named blockers'
+// candidates restrict the cc=50%/medium train/validation/test pair sets,
+// the -systems matchers (default Word-Cooc, Magellan, RoBERTa) are trained
+// on the restricted data, and the table pairs each blocker's completeness
+// and reduction with the end-to-end pipeline P/R/F1 — blocker-missed
+// matches count as false negatives, and an unblocked baseline row anchors
+// the comparison. The table carries no timing columns and is byte-identical
+// at any -workers value.
 package main
 
 import (
@@ -30,6 +39,24 @@ import (
 
 	"wdcproducts"
 )
+
+// splitList parses a comma-separated flag value: elements are trimmed of
+// whitespace, empty elements (doubled or trailing commas) are dropped, and
+// duplicates collapse to their first occurrence. An empty result is nil
+// (= the flag's default selection).
+func splitList(s string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		v := strings.TrimSpace(part)
+		if v == "" || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,6 +71,8 @@ func main() {
 		"run the §6 blocking study over the named blockers (comma-separated token|embedding|minhash|hnsw|ivf, or 'all') instead of the training matrix")
 	blockScale := flag.Bool("blockscale", false,
 		"run the build-once/query-per-split blocking study over every test split (uses the -blocking blocker list, default all)")
+	matchBlock := flag.Bool("matchblock", false,
+		"run the matcher-in-the-loop blocking study: train the -systems matchers on each blocker's candidate-restricted pair sets and report downstream P/R/F1 next to completeness/reduction (uses the -blocking blocker list, default all)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -63,12 +92,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *blockingFlag != "" || *blockScale {
+	if *blockingFlag != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockingFlag)
 		var t *wdcproducts.Table
-		if *blockScale {
+		switch {
+		case *matchBlock:
+			t, err = wdcproducts.MatcherBlockingReport(b, names, splitList(*systemsFlag), *seed, *reps, *workers)
+		case *blockScale:
 			t, err = wdcproducts.BlockingScaleReport(b, names, *seed, *workers)
-		} else {
+		default:
 			t, err = wdcproducts.BlockingReport(b, names, *seed, *workers)
 		}
 		if err != nil {
@@ -84,9 +116,7 @@ func main() {
 	if !*quiet {
 		ecfg.Progress = os.Stderr
 	}
-	if *systemsFlag != "" {
-		ecfg.Systems = strings.Split(*systemsFlag, ",")
-	}
+	ecfg.Systems = splitList(*systemsFlag)
 
 	wantPair := *table == 0 || *table == 3 || *table == 4 || *figure != 0
 	wantMulti := *table == 0 || *table == 5

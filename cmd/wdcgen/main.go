@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v] [-blockers token,minhash,hnsw,ivf] [-blockscale]
+//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v] [-blockers token,minhash,hnsw,ivf] [-blockscale] [-matchblock]
 //
 // -blockers additionally runs the named §6 blocking strategies ("all"
 // selects every one) over the generated benchmark's cc=50% seen test
@@ -14,7 +14,11 @@
 // benchmark is. -blockscale switches that report to the
 // build-once/query-per-split form: one index per blocker over the union of
 // every test split, queried per (corner ratio, unseen fraction) split,
-// which is the §6 study shape at -scale default (paper) size.
+// which is the §6 study shape at -scale default (paper) size. -matchblock
+// switches it to the matcher-in-the-loop form instead: matchers trained on
+// each blocker's candidate-restricted pair sets, downstream P/R/F1
+// reported next to completeness/reduction with blocker-missed matches
+// counted as false negatives.
 package main
 
 import (
@@ -40,6 +44,8 @@ func main() {
 		"also print the §6 blocking report for these blockers (comma-separated token|embedding|minhash|hnsw|ivf, or 'all')")
 	blockScale := flag.Bool("blockscale", false,
 		"print the build-once/query-per-split blocking study over every test split (uses the -blockers list, default all)")
+	matchBlock := flag.Bool("matchblock", false,
+		"print the matcher-in-the-loop blocking study: downstream matcher P/R/F1 on each blocker's candidate-restricted pair sets (uses the -blockers list, default all)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -102,12 +108,15 @@ func main() {
 		fmt.Printf("  pools seen/unseen     %d / %d clusters\n", s.SeenPoolClusters, s.UnseenPoolCluster)
 		fmt.Printf("  metric draws          %v\n", s.MetricDraws)
 	}
-	if *blockers != "" || *blockScale {
+	if *blockers != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockers)
 		var t *wdcproducts.Table
-		if *blockScale {
+		switch {
+		case *matchBlock:
+			t, err = wdcproducts.MatcherBlockingReport(b, names, nil, *seed, 1, 0)
+		case *blockScale:
 			t, err = wdcproducts.BlockingScaleReport(b, names, *seed, 0)
-		} else {
+		default:
 			t, err = wdcproducts.BlockingReport(b, names, *seed, 0)
 		}
 		if err != nil {

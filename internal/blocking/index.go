@@ -17,6 +17,7 @@
 package blocking
 
 import (
+	"fmt"
 	"hash/fnv"
 	"reflect"
 	"sync"
@@ -52,6 +53,38 @@ type Index interface {
 type IndexedBlocker interface {
 	Blocker
 	BuildIndex(offers []schemaorg.Offer, idxs []int) Index
+}
+
+// UnindexedQueryError reports a Candidates query containing an offer index
+// that was never indexed. Inside the package it travels as a panic — a
+// query outside the indexed universe is an invariant violation on the
+// internal paths, which always query what they built — and QueryCandidates
+// converts it to a returned error for callers (the wdcproducts facade and
+// the CLIs) whose query sets come from user input.
+type UnindexedQueryError struct {
+	// Offer is the first offending offer index of the query.
+	Offer int
+}
+
+// Error implements error.
+func (e *UnindexedQueryError) Error() string {
+	return fmt.Sprintf("blocking: Candidates query includes offer %d, which was never indexed", e.Offer)
+}
+
+// QueryCandidates runs ix.Candidates(queryIdxs) and converts the
+// unindexed-offer invariant panic into a returned *UnindexedQueryError.
+// Any other panic propagates unchanged.
+func QueryCandidates(ix Index, queryIdxs []int) (cands []CandidatePair, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			qe, ok := r.(*UnindexedQueryError)
+			if !ok {
+				panic(r)
+			}
+			cands, err = nil, qe
+		}
+	}()
+	return ix.Candidates(queryIdxs), nil
 }
 
 // indexedCorpus is the title bookkeeping shared by every Index: offer
@@ -102,14 +135,16 @@ type queryView struct {
 	groups [][]int     // slot -> query offer idxs carrying the title
 }
 
-// view resolves queryIdxs; it panics if an offer was never indexed, since
-// silently dropping it would under-report candidates.
+// view resolves queryIdxs; it panics with an *UnindexedQueryError if an
+// offer was never indexed, since silently dropping it would under-report
+// candidates. Callers that cannot guarantee the invariant convert the
+// panic to an error through QueryCandidates.
 func (c *indexedCorpus) view(queryIdxs []int) *queryView {
 	v := &queryView{slotOf: make(map[int]int, len(queryIdxs))}
 	for _, i := range queryIdxs {
 		tid, ok := c.titleOf[i]
 		if !ok {
-			panic("blocking: Candidates query includes an offer that was never indexed")
+			panic(&UnindexedQueryError{Offer: i})
 		}
 		slot, ok := v.slotOf[tid]
 		if !ok {

@@ -227,7 +227,7 @@ func (e *EmbeddingIndex) Candidates(queryIdxs []int) []CandidatePair {
 		for q, i := range queryIdxs {
 			s, ok := e.slotOf[i]
 			if !ok {
-				panic("blocking: Candidates query includes an offer that was never indexed")
+				panic(&UnindexedQueryError{Offer: i})
 			}
 			slots[q] = s
 			inQuery[int32(s)] = true

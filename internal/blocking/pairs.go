@@ -1,0 +1,99 @@
+// Candidate-set → pair-set adapters: the bridge between §6 blocking and
+// the §5 matcher datasets. A blocker proposes candidate offer pairs; the
+// benchmark's train/validation/test sets are labeled offer pairs. The
+// matcher-in-the-loop study restricts each pair set to the pairs the
+// blocker actually proposed — the data a real pipeline would label, train
+// and predict on — and accounts for the true matches the blocker missed,
+// which become false negatives of the end-to-end pipeline no matter how
+// good the matcher is.
+
+package blocking
+
+import (
+	"wdcproducts/internal/pairgen"
+)
+
+// PairFilter is a candidate set in queryable form: membership of an
+// unordered offer pair in O(1).
+type PairFilter struct {
+	set map[CandidatePair]bool
+}
+
+// NewPairFilter indexes a candidate set for membership queries.
+func NewPairFilter(cands []CandidatePair) *PairFilter {
+	f := &PairFilter{set: make(map[CandidatePair]bool, len(cands))}
+	for _, p := range cands {
+		f.set[p] = true
+	}
+	return f
+}
+
+// Contains reports whether the unordered pair (a, b) is a candidate.
+func (f *PairFilter) Contains(a, b int) bool { return f.set[orderedPair(a, b)] }
+
+// Len returns the number of distinct candidate pairs.
+func (f *PairFilter) Len() int { return len(f.set) }
+
+// RestrictedPairs is a labeled pair set filtered through a blocker's
+// candidate set, with the bookkeeping the pipeline metrics need.
+type RestrictedPairs struct {
+	// Kept are the pairs the blocker proposed, in the original order.
+	Kept []pairgen.Pair
+	// Total is the size of the unrestricted pair set.
+	Total int
+	// MissedMatches counts the true matches absent from the candidate set.
+	// On a test set these are unrecoverable pipeline false negatives; on a
+	// training set they are positives the matcher never learns from.
+	MissedMatches int
+	// DroppedNonMatches counts the negatives the blocker pruned — the
+	// labeling and scoring effort blocking saves.
+	DroppedNonMatches int
+}
+
+// KeptMatches returns the number of true matches that survived blocking.
+func (r *RestrictedPairs) KeptMatches() int {
+	n := 0
+	for _, p := range r.Kept {
+		if p.Match {
+			n++
+		}
+	}
+	return n
+}
+
+// RestrictPairs filters a labeled pair set through a candidate filter:
+// pairs the blocker proposed are kept, dropped true matches and dropped
+// non-matches are counted. Order of the kept pairs follows the input, so
+// the restriction is deterministic.
+func RestrictPairs(pairs []pairgen.Pair, f *PairFilter) RestrictedPairs {
+	r := RestrictedPairs{Total: len(pairs)}
+	for _, p := range pairs {
+		if f.Contains(p.A, p.B) {
+			r.Kept = append(r.Kept, p)
+			continue
+		}
+		if p.Match {
+			r.MissedMatches++
+		} else {
+			r.DroppedNonMatches++
+		}
+	}
+	return r
+}
+
+// PairUniverse returns the distinct offer indices referenced by a pair
+// set, in first-appearance order — the offer universe a blocker must be
+// queried with to cover every pair of the set.
+func PairUniverse(pairs []pairgen.Pair) []int {
+	seen := map[int]bool{}
+	var idxs []int
+	for _, p := range pairs {
+		for _, i := range []int{p.A, p.B} {
+			if !seen[i] {
+				seen[i] = true
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	return idxs
+}

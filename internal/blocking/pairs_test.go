@@ -1,0 +1,127 @@
+package blocking
+
+import (
+	"errors"
+	"testing"
+
+	"wdcproducts/internal/pairgen"
+)
+
+func TestRestrictPairs(t *testing.T) {
+	f := NewPairFilter([]CandidatePair{{1, 2}, {3, 4}, {5, 6}})
+	if f.Len() != 3 {
+		t.Fatalf("filter Len = %d", f.Len())
+	}
+	if !f.Contains(2, 1) {
+		t.Fatal("Contains must be order-insensitive")
+	}
+	pairs := []pairgen.Pair{
+		{A: 1, B: 2, Match: true},  // kept match
+		{A: 3, B: 4, Match: false}, // kept non-match
+		{A: 1, B: 6, Match: true},  // missed match
+		{A: 2, B: 3, Match: false}, // dropped non-match
+		{A: 5, B: 6, Match: true},  // kept match
+	}
+	r := RestrictPairs(pairs, f)
+	if r.Total != 5 {
+		t.Fatalf("Total = %d", r.Total)
+	}
+	if len(r.Kept) != 3 || r.Kept[0].B != 2 || r.Kept[1].B != 4 || r.Kept[2].B != 6 {
+		t.Fatalf("Kept = %+v", r.Kept)
+	}
+	if r.MissedMatches != 1 || r.DroppedNonMatches != 1 {
+		t.Fatalf("missed = %d dropped = %d", r.MissedMatches, r.DroppedNonMatches)
+	}
+	if r.KeptMatches() != 2 {
+		t.Fatalf("KeptMatches = %d", r.KeptMatches())
+	}
+}
+
+// TestRestrictPairsZeroCoverage is the degenerate blocker case: a candidate
+// set covering no pair at all. Everything is dropped, every true match is
+// missed, and the restriction must not error or panic — the study runner
+// turns this into an untrained pipeline cell with recall 0.
+func TestRestrictPairsZeroCoverage(t *testing.T) {
+	empty := NewPairFilter(nil)
+	pairs := []pairgen.Pair{
+		{A: 1, B: 2, Match: true},
+		{A: 3, B: 4, Match: false},
+		{A: 5, B: 6, Match: true},
+	}
+	r := RestrictPairs(pairs, empty)
+	if len(r.Kept) != 0 || r.KeptMatches() != 0 {
+		t.Fatalf("zero-coverage kept %d pairs", len(r.Kept))
+	}
+	if r.MissedMatches != 2 || r.DroppedNonMatches != 1 {
+		t.Fatalf("missed = %d dropped = %d", r.MissedMatches, r.DroppedNonMatches)
+	}
+}
+
+func TestPairUniverse(t *testing.T) {
+	pairs := []pairgen.Pair{
+		{A: 4, B: 2}, {A: 2, B: 9}, {A: 4, B: 9},
+	}
+	got := PairUniverse(pairs)
+	want := []int{4, 2, 9}
+	if len(got) != len(want) {
+		t.Fatalf("PairUniverse = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PairUniverse = %v, want %v (first-appearance order)", got, want)
+		}
+	}
+	if PairUniverse(nil) != nil {
+		t.Fatal("empty pair set should yield an empty universe")
+	}
+}
+
+// TestUnindexedQueryPanics pins the internal invariant path: querying an
+// Index directly with an offer outside the build universe panics with the
+// typed error value.
+func TestUnindexedQueryPanics(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	outside := -1
+	for _, bl := range indexedBlockers(1) {
+		ix := bl.BuildIndex(offers, idxs)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: un-indexed query did not panic", ix.Name())
+				}
+				qe, ok := r.(*UnindexedQueryError)
+				if !ok {
+					t.Fatalf("%s: panic value %T, want *UnindexedQueryError", ix.Name(), r)
+				}
+				if qe.Offer != outside {
+					t.Fatalf("%s: error names offer %d, want %d", ix.Name(), qe.Offer, outside)
+				}
+			}()
+			ix.Candidates(append(append([]int(nil), idxs...), outside))
+		}()
+	}
+}
+
+// TestQueryCandidatesConvertsPanic pins the boundary conversion: the same
+// invalid query through QueryCandidates returns an error instead of
+// panicking, and a valid query round-trips the candidate set unchanged.
+func TestQueryCandidatesConvertsPanic(t *testing.T) {
+	offers, idxs, _ := fixture(t)
+	for _, bl := range indexedBlockers(1) {
+		ix := bl.BuildIndex(offers, idxs)
+		if _, err := QueryCandidates(ix, []int{-1}); err == nil {
+			t.Fatalf("%s: un-indexed query did not error", ix.Name())
+		} else {
+			var qe *UnindexedQueryError
+			if !errors.As(err, &qe) {
+				t.Fatalf("%s: error %T, want *UnindexedQueryError", ix.Name(), err)
+			}
+		}
+		got, err := QueryCandidates(ix, idxs)
+		if err != nil {
+			t.Fatalf("%s: valid query errored: %v", ix.Name(), err)
+		}
+		samePairs(t, ix.Name(), got, ix.Candidates(idxs))
+	}
+}

@@ -8,6 +8,7 @@ package eval
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // BinaryCounts accumulates a 2x2 confusion matrix for the positive class.
@@ -28,6 +29,12 @@ func (c *BinaryCounts) Add(predicted, actual bool) {
 		c.TN++
 	}
 }
+
+// AddMissedPositives records n positives that never reached the classifier
+// — typically true matches a blocker failed to propose as candidates. They
+// count as false negatives, so pipeline precision/recall/F1 reflect the
+// blocker's misses instead of silently evaluating only the pairs it kept.
+func (c *BinaryCounts) AddMissedPositives(n int) { c.FN += n }
 
 // Total returns the number of recorded observations.
 func (c *BinaryCounts) Total() int { return c.TP + c.FP + c.TN + c.FN }
@@ -93,19 +100,48 @@ func EvaluateBinary(scores []float64, labels []bool, threshold float64) BinaryCo
 	return c
 }
 
-// BestF1Threshold sweeps candidate thresholds (the distinct score values)
-// and returns the threshold maximizing F1 together with the achieved
-// counts. This mirrors the "Top-F1" protocol: matchers are compared at
-// their best operating point on the validation set.
+// maxThresholdSweep bounds the candidate thresholds BestF1Threshold
+// evaluates, keeping the sweep O(maxThresholdSweep * n) after the sort.
+const maxThresholdSweep = 101
+
+// BestF1Threshold sweeps candidate thresholds and returns the threshold
+// maximizing F1 together with the achieved counts. This mirrors the
+// "Top-F1" protocol: matchers are compared at their best operating point
+// on the validation set.
+//
+// Candidates are quantiles of the observed score distribution, not a fixed
+// grid: the classifier `score >= t` only changes predictions at actual
+// score values, so sweeping score quantiles covers every achievable
+// operating point regardless of the score range — probabilities in [0,1]
+// and raw margins or logits alike. With at most maxThresholdSweep distinct
+// scores the sweep is exhaustive; above that, evenly spaced quantiles of
+// the sorted scores are evaluated.
 func BestF1Threshold(scores []float64, labels []bool) (float64, BinaryCounts) {
 	if len(scores) == 0 {
 		return 0.5, BinaryCounts{}
 	}
-	bestT, bestF1 := 0.5, -1.0
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	// Distinct score values, ascending.
+	distinct := sorted[:1]
+	for _, s := range sorted[1:] {
+		if s != distinct[len(distinct)-1] {
+			distinct = append(distinct, s)
+		}
+	}
+	candidates := distinct
+	if len(distinct) > maxThresholdSweep {
+		candidates = make([]float64, 0, maxThresholdSweep)
+		for step := 0; step < maxThresholdSweep; step++ {
+			q := distinct[step*(len(distinct)-1)/(maxThresholdSweep-1)]
+			if len(candidates) == 0 || q != candidates[len(candidates)-1] {
+				candidates = append(candidates, q)
+			}
+		}
+	}
+	bestT, bestF1 := candidates[0], -1.0
 	var bestC BinaryCounts
-	// Candidate thresholds: 101 quantile points keeps the sweep O(101*n).
-	for step := 0; step <= 100; step++ {
-		t := float64(step) / 100
+	for _, t := range candidates {
 		c := EvaluateBinary(scores, labels, t)
 		if f := c.F1(); f > bestF1 {
 			bestF1, bestT, bestC = f, t, c

@@ -73,6 +73,74 @@ func TestBestF1Threshold(t *testing.T) {
 	}
 }
 
+// TestBestF1ThresholdOutOfRangeScores is the regression test for the
+// quantile sweep: raw margins and logits fall outside [0,1], where the old
+// fixed 0-1 grid had at most two useless operating points (everything
+// positive / everything negative). The sweep must find the separating
+// threshold wherever the scores live.
+func TestBestF1ThresholdOutOfRangeScores(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float64
+		labels []bool
+	}{
+		{"raw margins", []float64{4.2, 3.7, -2.1, -5.0}, []bool{true, true, false, false}},
+		{"all above one", []float64{9.5, 8.0, 3.0, 2.5}, []bool{true, true, false, false}},
+		{"all negative", []float64{-1.0, -1.5, -7.0, -9.0}, []bool{true, true, false, false}},
+	}
+	for _, tc := range cases {
+		th, c := BestF1Threshold(tc.scores, tc.labels)
+		if !approx(c.F1(), 1) {
+			t.Errorf("%s: best F1 = %v, want 1 (threshold %v)", tc.name, c.F1(), th)
+		}
+		// The returned threshold must actually achieve the returned counts.
+		if got := EvaluateBinary(tc.scores, tc.labels, th); got != c {
+			t.Errorf("%s: threshold %v re-evaluates to %+v, sweep reported %+v", tc.name, th, got, c)
+		}
+	}
+}
+
+// TestBestF1ThresholdManyDistinctScores covers the quantile-sampled branch
+// (more distinct scores than the sweep bound): the sampled sweep may land a
+// few scores off the exact boundary, but it must stay within a quantile
+// step of the optimum and the returned threshold must reproduce its counts.
+func TestBestF1ThresholdManyDistinctScores(t *testing.T) {
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 400; i++ {
+		s := float64(i) - 200 // distinct raw scores in [-200, 199]
+		scores = append(scores, s)
+		labels = append(labels, s >= -3)
+	}
+	th, c := BestF1Threshold(scores, labels)
+	if c.F1() < 0.98 {
+		t.Fatalf("best F1 = %v at threshold %v, want >= 0.98", c.F1(), th)
+	}
+	if th < -210 || th > 199 {
+		t.Fatalf("threshold %v outside the score range", th)
+	}
+	if got := EvaluateBinary(scores, labels, th); got != c {
+		t.Fatalf("threshold %v re-evaluates to %+v, sweep reported %+v", th, got, c)
+	}
+}
+
+func TestAddMissedPositives(t *testing.T) {
+	var c BinaryCounts
+	c.Add(true, true)  // TP
+	c.Add(false, true) // FN
+	c.AddMissedPositives(2)
+	if c.FN != 3 || c.TP != 1 {
+		t.Fatalf("counts after AddMissedPositives = %+v", c)
+	}
+	if !approx(c.Recall(), 0.25) {
+		t.Fatalf("recall = %v, want 0.25", c.Recall())
+	}
+	// Precision is unaffected: the missed positives were never predicted.
+	if !approx(c.Precision(), 1) {
+		t.Fatalf("precision = %v, want 1", c.Precision())
+	}
+}
+
 func TestBestF1NeverWorseThanFixed(t *testing.T) {
 	f := func(raw []float64, seed uint8) bool {
 		if len(raw) == 0 {

@@ -1,0 +1,141 @@
+// The matcher-in-the-loop blocking study: §6 measured blockers by pair
+// completeness and reduction ratio; this runner measures what those points
+// of blocker recall are worth downstream. Each blocker's candidate set is
+// turned into restricted train/validation/test pair sets (the data a real
+// pipeline would label and score — Wang et al.'s benchmark re-construction
+// angle), the §5 matchers are trained on the restricted data, and the
+// reported P/R/F1 is the end-to-end pipeline's: true matches the blocker
+// never proposed count as false negatives no matter how good the matcher.
+
+package experiments
+
+import (
+	"fmt"
+
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/eval"
+	"wdcproducts/internal/matchers"
+	"wdcproducts/internal/parallel"
+)
+
+// MatcherBlockingSystems lists the systems the matcher-in-the-loop study
+// trains by default: the two symbolic baselines and the embedding matcher,
+// one representative per §5.1 matcher family.
+var MatcherBlockingSystems = []string{"Word-Cooc", "Magellan", "RoBERTa"}
+
+// MatcherBlockingTask is one blocker's restricted datasets, prepared by
+// the caller (the wdcproducts facade queries each blocker's reusable index
+// over the train/validation/test offer universes and restricts the pair
+// sets through blocking.RestrictPairs).
+type MatcherBlockingTask struct {
+	// Blocker names the strategy the datasets came from.
+	Blocker string
+	// Blocking holds the blocker's §6 quality metrics on the test split
+	// (pair completeness, reduction ratio, candidate count).
+	Blocking blocking.Metrics
+	// Train, Val and Test are the restricted pair sets with their
+	// missed-match bookkeeping.
+	Train, Val, Test blocking.RestrictedPairs
+}
+
+// MatcherBlockingCell is one (blocker, system) end-to-end pipeline result.
+type MatcherBlockingCell struct {
+	Blocker string
+	System  string
+	// Blocking repeats the task's blocker metrics so each row carries the
+	// completeness/reduction context its P/R/F1 is paired with.
+	Blocking blocking.Metrics
+	// Pair-set bookkeeping: kept/total sizes and the missed true matches.
+	TrainKept, TrainTotal, TrainMissedMatches int
+	TestKept, TestTotal, TestMissedMatches    int
+	// Trained is false when the restricted training set lacked a positive
+	// or a negative pair — the pipeline cannot learn to match, and the cell
+	// reports the degenerate pipeline metrics (recall 0) without training.
+	Trained bool
+	// PRF is the averaged end-to-end pipeline precision/recall/F1 on the
+	// restricted test set with blocker-missed matches counted as FNs.
+	eval.PRF
+	F1Std float64
+}
+
+// RunMatcherBlocking trains cfg.Systems (default MatcherBlockingSystems)
+// on every task's restricted datasets and returns the (blocker, system)
+// cells in canonical order: tasks in the given order, systems within each
+// task. Cells are independent and run across cfg.Workers goroutines;
+// results are byte-identical at any worker count (cell seeds are keyed to
+// the repetition, not to execution order, exactly like RunPairwise).
+func (r *Runner) RunMatcherBlocking(tasks []MatcherBlockingTask, cfg Config) ([]MatcherBlockingCell, error) {
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 1
+	}
+	systems := cfg.Systems
+	if systems == nil {
+		systems = MatcherBlockingSystems
+	}
+	cells := make([]MatcherBlockingCell, len(tasks)*len(systems))
+	var done func(int)
+	if cfg.Progress != nil {
+		done = func(i int) {
+			fmt.Fprintf(cfg.Progress, "matchblock %s %s\n",
+				tasks[i/len(systems)].Blocker, systems[i%len(systems)])
+		}
+	}
+	err := parallel.Run(len(cells), cfg.Workers, func(i int) error {
+		task := tasks[i/len(systems)]
+		cell, err := r.runMatcherBlockingCell(task, systems[i%len(systems)], cfg)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	}, done)
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// runMatcherBlockingCell trains one system on one blocker's restricted
+// datasets with repetitions and returns the averaged pipeline cell.
+func (r *Runner) runMatcherBlockingCell(task MatcherBlockingTask, system string, cfg Config) (MatcherBlockingCell, error) {
+	cell := MatcherBlockingCell{
+		Blocker:            task.Blocker,
+		System:             system,
+		Blocking:           task.Blocking,
+		TrainKept:          len(task.Train.Kept),
+		TrainTotal:         task.Train.Total,
+		TrainMissedMatches: task.Train.MissedMatches,
+		TestKept:           len(task.Test.Kept),
+		TestTotal:          task.Test.Total,
+		TestMissedMatches:  task.Test.MissedMatches,
+	}
+	keptMatches := task.Train.KeptMatches()
+	if keptMatches == 0 || keptMatches == len(task.Train.Kept) {
+		// The blocker left no positive (or no negative) training pairs: the
+		// pipeline cannot fit a matcher. Every kept and missed test match is
+		// a false negative; precision and F1 are 0 by convention.
+		return cell, nil
+	}
+	var ps, rs, f1s []float64
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		m, err := NewPairMatcher(system)
+		if err != nil {
+			return MatcherBlockingCell{}, err
+		}
+		seed := cfg.Seed + int64(rep)*7919
+		if err := m.TrainPairs(r.Data, task.Train.Kept, task.Val.Kept, seed); err != nil {
+			return MatcherBlockingCell{}, fmt.Errorf("%s on %s candidates: %w", system, task.Blocker, err)
+		}
+		counts := matchers.EvaluatePairsBlocked(m, r.Data, task.Test.Kept, task.Test.MissedMatches)
+		ps = append(ps, counts.Precision())
+		rs = append(rs, counts.Recall())
+		f1s = append(f1s, counts.F1())
+	}
+	pm, _ := eval.MeanStd(ps)
+	rm, _ := eval.MeanStd(rs)
+	fm, fs := eval.MeanStd(f1s)
+	cell.Trained = true
+	cell.PRF = eval.PRF{Precision: pm, Recall: rm, F1: fm}
+	cell.F1Std = fs
+	return cell, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/core"
+)
+
+// matchblockTasks builds two study tasks from the shared tiny benchmark's
+// cc=50/medium datasets: a full-coverage task (every pair kept — the
+// no-blocking shape) and a token-blocked task with a real candidate
+// restriction.
+func matchblockTasks(t *testing.T) (*Runner, []MatcherBlockingTask) {
+	t.Helper()
+	r, _, _ := sharedRunner(t)
+	b := r.B
+	train, val, test := b.TrainPairs(50, core.Medium), b.ValPairs(50, core.Medium), b.TestPairs(50, 0)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatal("fixture benchmark has empty cc=50/medium pair sets")
+	}
+	full := func(pairs []core.Pair) blocking.RestrictedPairs {
+		return blocking.RestrictedPairs{Kept: pairs, Total: len(pairs)}
+	}
+	tb := blocking.NewTokenBlocker()
+	restrict := func(pairs []core.Pair) blocking.RestrictedPairs {
+		u := blocking.PairUniverse(pairs)
+		return blocking.RestrictPairs(pairs, blocking.NewPairFilter(tb.Candidates(b.Offers, u)))
+	}
+	tasks := []MatcherBlockingTask{
+		{
+			Blocker:  "full",
+			Blocking: blocking.Metrics{PairCompleteness: 1, ReductionRatio: 0},
+			Train:    full(train), Val: full(val), Test: full(test),
+		},
+		{
+			Blocker: "token-blocking",
+			Train:   restrict(train), Val: restrict(val), Test: restrict(test),
+		},
+	}
+	return r, tasks
+}
+
+func countMatches(pairs []core.Pair) int {
+	n := 0
+	for _, p := range pairs {
+		if p.Match {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRunMatcherBlockingPipeline checks the end-to-end accounting of the
+// study runner on a full-coverage and a token-blocked task: cells arrive
+// in canonical (task, system) order, trained cells carry pipeline metrics,
+// and missed matches reappear as the gap between matcher and pipeline
+// recall.
+func TestRunMatcherBlockingPipeline(t *testing.T) {
+	r, tasks := matchblockTasks(t)
+	systems := []string{"Word-Cooc", "Magellan"}
+	cells, err := r.RunMatcherBlocking(tasks, Config{Seed: 5, Workers: 1, Systems: systems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(tasks)*len(systems) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(tasks)*len(systems))
+	}
+	for i, c := range cells {
+		wantBlocker := tasks[i/len(systems)].Blocker
+		wantSystem := systems[i%len(systems)]
+		if c.Blocker != wantBlocker || c.System != wantSystem {
+			t.Fatalf("cell %d = (%s, %s), want (%s, %s)", i, c.Blocker, c.System, wantBlocker, wantSystem)
+		}
+		if !c.Trained {
+			t.Fatalf("cell %s/%s untrained on a set with positives and negatives", c.Blocker, c.System)
+		}
+		if c.F1 < 0 || c.F1 > 1 || c.Precision < 0 || c.Precision > 1 {
+			t.Fatalf("cell %s/%s metrics out of range: %+v", c.Blocker, c.System, c.PRF)
+		}
+	}
+	// The full-coverage task keeps everything.
+	if c := cells[0]; c.TestKept != c.TestTotal || c.TestMissedMatches != 0 {
+		t.Fatalf("full-coverage cell dropped pairs: %+v", c)
+	}
+	// The token-blocked task must report the restriction it evaluated.
+	blocked := cells[len(systems)]
+	if blocked.TestKept+blocked.TestMissedMatches > blocked.TestTotal {
+		t.Fatalf("blocked cell bookkeeping inconsistent: %+v", blocked)
+	}
+}
+
+// TestRunMatcherBlockingZeroCoverage is the edge case of a blocker whose
+// candidates cover zero true matches: no training positives survive, so
+// the pipeline cell must come back untrained with recall 0 and every test
+// match counted as a missed FN — not an error, not a panic.
+func TestRunMatcherBlockingZeroCoverage(t *testing.T) {
+	r, _, _ := sharedRunner(t)
+	b := r.B
+	train, val, test := b.TrainPairs(50, core.Medium), b.ValPairs(50, core.Medium), b.TestPairs(50, 0)
+	empty := blocking.NewPairFilter(nil)
+	task := MatcherBlockingTask{
+		Blocker: "zero-coverage",
+		Train:   blocking.RestrictPairs(train, empty),
+		Val:     blocking.RestrictPairs(val, empty),
+		Test:    blocking.RestrictPairs(test, empty),
+	}
+	cells, err := r.RunMatcherBlocking([]MatcherBlockingTask{task}, Config{Seed: 5, Workers: 1, Systems: []string{"Word-Cooc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	c := cells[0]
+	if c.Trained {
+		t.Fatal("zero-coverage cell reported as trained")
+	}
+	if c.Precision != 0 || c.Recall != 0 || c.F1 != 0 {
+		t.Fatalf("zero-coverage metrics = %+v, want zeros", c.PRF)
+	}
+	if c.TestMissedMatches != countMatches(test) {
+		t.Fatalf("missed FN = %d, want every test match (%d)", c.TestMissedMatches, countMatches(test))
+	}
+	if c.TestKept != 0 || c.TrainKept != 0 {
+		t.Fatalf("zero-coverage cell kept pairs: %+v", c)
+	}
+	// The table renderer must mark the cell rather than choke on it.
+	table := MatcherBlockingTable(cells, core.VariantKey{Corner: 50, Dev: core.Medium, Unseen: 0})
+	if got := table.String(); !bytes.Contains([]byte(got), []byte("(untrained)")) {
+		t.Fatalf("table does not mark the untrained cell:\n%s", got)
+	}
+}
+
+// TestRunMatcherBlockingWorkerInvariance is the determinism contract of
+// the study runner: Workers 1 and Workers 4 must produce identical cells,
+// and the progress stream must arrive in canonical order either way.
+func TestRunMatcherBlockingWorkerInvariance(t *testing.T) {
+	r, tasks := matchblockTasks(t)
+	var serialBuf, parBuf bytes.Buffer
+	cfg := Config{Seed: 5, Repetitions: 2, Systems: []string{"Word-Cooc", "RoBERTa"}}
+	cfg.Workers, cfg.Progress = 1, &serialBuf
+	serial, err := r.RunMatcherBlocking(tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers, cfg.Progress = 4, &parBuf
+	par, err := r.RunMatcherBlocking(tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("cell %d differs:\n serial: %+v\n parallel: %+v", i, serial[i], par[i])
+		}
+	}
+	if serialBuf.String() != parBuf.String() || serialBuf.Len() == 0 {
+		t.Fatalf("progress output differs or empty:\n serial:\n%s\n parallel:\n%s", serialBuf.String(), parBuf.String())
+	}
+}
+
+// TestRunMatcherBlockingUnknownSystem propagates constructor errors.
+func TestRunMatcherBlockingUnknownSystem(t *testing.T) {
+	r, tasks := matchblockTasks(t)
+	if _, err := r.RunMatcherBlocking(tasks, Config{Seed: 5, Workers: 1, Systems: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown system did not error")
+	}
+}

@@ -156,3 +156,37 @@ func appendCell(row []string, cell *PairCell) []string {
 	}
 	return append(row, tables.Pct(cell.F1))
 }
+
+// MatcherBlockingTable renders the matcher-in-the-loop §6 study: one row
+// per (blocker, system) cell pairing the blocker's candidate metrics with
+// the end-to-end pipeline P/R/F1, so the table reads directly as "this
+// much pair completeness buys this much downstream F1". Rows follow the
+// cells' canonical order; the table carries no wall-time columns, so its
+// rendering is byte-identical at any worker count.
+func MatcherBlockingTable(cells []MatcherBlockingCell, variant core.VariantKey) *tables.Table {
+	t := tables.New(
+		fmt.Sprintf("Matcher-in-the-loop blocking (§6): pipeline P/R/F1 on %s, blocker-missed matches count as FNs", variant),
+		"blocker", "candidates", "pair completeness", "reduction ratio",
+		"system", "train kept", "test kept", "missed FN", "P", "R", "F1")
+	for i := range cells {
+		c := &cells[i]
+		sys := c.System
+		if !c.Trained {
+			sys += " (untrained)"
+		}
+		t.AddRow(
+			c.Blocker,
+			fmt.Sprint(c.Blocking.Candidates),
+			tables.Pct(c.Blocking.PairCompleteness),
+			tables.Pct(c.Blocking.ReductionRatio),
+			sys,
+			fmt.Sprintf("%d/%d", c.TrainKept, c.TrainTotal),
+			fmt.Sprintf("%d/%d", c.TestKept, c.TestTotal),
+			fmt.Sprint(c.TestMissedMatches),
+			tables.Pct(c.Precision),
+			tables.Pct(c.Recall),
+			tables.Pct(c.F1),
+		)
+	}
+	return t
+}

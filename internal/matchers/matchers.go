@@ -146,6 +146,18 @@ func EvaluatePairs(m PairMatcher, d *Data, test []core.Pair) eval.BinaryCounts {
 	return c
 }
 
+// EvaluatePairsBlocked scores a trained matcher on a blocker-restricted
+// test set: the matcher is evaluated on the kept pairs at its selected
+// threshold, and the blocker-missed true matches are counted as false
+// negatives — an end-to-end pipeline never scores a pair its blocker
+// failed to propose, so those matches are unrecoverable regardless of the
+// matcher. The result is the pipeline's P/R/F1, not the matcher's.
+func EvaluatePairsBlocked(m PairMatcher, d *Data, kept []core.Pair, missedMatches int) eval.BinaryCounts {
+	c := EvaluatePairs(m, d, kept)
+	c.AddMissedPositives(missedMatches)
+	return c
+}
+
 // EvaluateMulti scores a trained multi-class matcher, returning the
 // multi-class counts (micro-F1 is the Table 5 metric).
 func EvaluateMulti(m MultiMatcher, d *Data, test []core.MultiExample, numClasses int) *eval.MultiClassCounts {

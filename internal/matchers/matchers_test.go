@@ -90,6 +90,35 @@ func TestScoreRange(t *testing.T) {
 	}
 }
 
+// TestEvaluatePairsBlocked pins the pipeline accounting: evaluating on a
+// blocker-restricted test set with n missed matches must equal the plain
+// evaluation on the kept pairs with n extra false negatives — precision
+// untouched, recall diluted by exactly the blocker's misses.
+func TestEvaluatePairsBlocked(t *testing.T) {
+	b, d := fixture(t)
+	m := NewWordCooc()
+	if err := m.TrainPairs(d, b.TrainPairs(50, core.Medium), b.ValPairs(50, core.Medium), 1); err != nil {
+		t.Fatal(err)
+	}
+	test := b.TestPairs(50, 0)
+	kept := test[:len(test)/2]
+	const missed = 7
+	plain := EvaluatePairs(m, d, kept)
+	blocked := EvaluatePairsBlocked(m, d, kept, missed)
+	if blocked.FN != plain.FN+missed {
+		t.Fatalf("blocked FN = %d, want %d", blocked.FN, plain.FN+missed)
+	}
+	if blocked.TP != plain.TP || blocked.FP != plain.FP || blocked.TN != plain.TN {
+		t.Fatalf("blocked counts drifted beyond FN: %+v vs %+v", blocked, plain)
+	}
+	if blocked.Precision() != plain.Precision() {
+		t.Fatalf("precision changed: %v vs %v", blocked.Precision(), plain.Precision())
+	}
+	if plain.TP > 0 && blocked.Recall() >= plain.Recall() {
+		t.Fatalf("recall not diluted: %v vs %v", blocked.Recall(), plain.Recall())
+	}
+}
+
 func TestNeuralRequiresEmbedding(t *testing.T) {
 	b, _ := fixture(t)
 	bare := NewData(b.Offers, nil)

@@ -258,13 +258,26 @@ func BlockerNames() []string { return []string{"token", "embedding", "minhash", 
 
 // ParseBlockerNames parses a CLI blocker-list flag for BlockingReport:
 // "all" (or the empty string) selects every strategy, anything else is a
-// comma-separated subset of BlockerNames. Validation of the individual
-// names happens in BlockingReport.
+// comma-separated subset of BlockerNames. Elements are trimmed of
+// whitespace, empty elements (doubled or trailing commas) are dropped, and
+// duplicates are collapsed to their first occurrence, so inputs like
+// "minhash, hnsw" or "token,minhash," select exactly the named strategies.
+// Validation of the individual names happens in BlockingReport.
 func ParseBlockerNames(s string) []string {
-	if s == "" || s == "all" {
+	if strings.TrimSpace(s) == "" || strings.TrimSpace(s) == "all" {
 		return nil
 	}
-	return strings.Split(s, ",")
+	seen := map[string]bool{}
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	return names
 }
 
 // blockKNNBudget is the per-title neighbour budget shared by the
@@ -397,7 +410,10 @@ func BlockingReport(b *Benchmark, names []string, seed int64, workers int) (*Tab
 			ix := ib.BuildIndex(b.Offers, split.idxs)
 			buildMS = msSince(start)
 			start = time.Now()
-			cands = ix.Candidates(split.idxs)
+			cands, err = blocking.QueryCandidates(ix, split.idxs)
+			if err != nil {
+				return nil, fmt.Errorf("wdcproducts: %s: %w", name, err)
+			}
 		} else {
 			cands = bl.Candidates(b.Offers, split.idxs)
 		}
@@ -466,7 +482,10 @@ func BlockingScaleReport(b *Benchmark, names []string, seed int64, workers int) 
 			var cands []blocking.CandidatePair
 			start := time.Now()
 			if ix != nil {
-				cands = ix.Candidates(s.idxs)
+				cands, err = blocking.QueryCandidates(ix, s.idxs)
+				if err != nil {
+					return nil, fmt.Errorf("wdcproducts: %s %s: %w", name, s.label, err)
+				}
 			} else {
 				cands = bl.Candidates(b.Offers, s.idxs)
 			}
@@ -482,4 +501,162 @@ func BlockingScaleReport(b *Benchmark, names []string, seed int64, workers int) 
 // msSince renders the elapsed wall time since start in milliseconds.
 func msSince(start time.Time) string {
 	return fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/1000)
+}
+
+// MatcherBlockingSystems lists the systems MatcherBlockingReport trains by
+// default: Word-Cooc, Magellan and the embedding matcher (RoBERTa
+// substitute) — one representative per §5.1 matcher family.
+func MatcherBlockingSystems() []string {
+	return append([]string(nil), experiments.MatcherBlockingSystems...)
+}
+
+// NoBlockingBaseline names the unblocked baseline row of
+// MatcherBlockingReport: matchers trained and evaluated on the full pair
+// sets, the ceiling the blocked pipelines are read against.
+const NoBlockingBaseline = "(no blocking)"
+
+// matcherBlockingVariant is the benchmark cell the matcher-in-the-loop
+// study runs on: the paper's central configuration (50% corner cases,
+// medium development set, fully seen test products — the split whose
+// product ground truth the blocker metrics are computed against).
+var matcherBlockingVariant = core.VariantKey{Corner: 50, Dev: core.Medium, Unseen: 0}
+
+// matcherBlockingTask builds one blocker's restricted datasets: the
+// blocker's reusable index is built once over the union of the study's
+// offer universes — the deployed-pipeline shape, where the index covers
+// the whole corpus and each split is a query — queried per universe, and
+// each pair set is restricted to the proposed candidates. The blocker
+// metrics are computed from the test-split query against the split's
+// product ground truth. Note the union-index semantics: the kNN blockers
+// (embedding, hnsw, ivf) spend each title's K-neighbour budget on the
+// full indexed corpus, and neighbours outside the test split are dropped
+// rather than refilled, so their completeness here can sit below
+// BlockingReport's numbers, whose index covers the test split alone. The
+// metrics describe exactly the candidate set the pair restriction used.
+func matcherBlockingTask(b *Benchmark, bl blocking.Blocker, split *blockingSplit,
+	train, val, test []Pair) (experiments.MatcherBlockingTask, error) {
+	trainU := blocking.PairUniverse(train)
+	valU := blocking.PairUniverse(val)
+	union := append([]int(nil), split.idxs...)
+	seen := make(map[int]bool, len(union))
+	for _, i := range union {
+		seen[i] = true
+	}
+	for _, u := range [][]int{trainU, valU} {
+		for _, i := range u {
+			if !seen[i] {
+				seen[i] = true
+				union = append(union, i)
+			}
+		}
+	}
+	query := func(idxs []int) ([]blocking.CandidatePair, error) {
+		return bl.Candidates(b.Offers, idxs), nil
+	}
+	if ib, ok := bl.(blocking.IndexedBlocker); ok {
+		ix := ib.BuildIndex(b.Offers, union)
+		query = func(idxs []int) ([]blocking.CandidatePair, error) {
+			return blocking.QueryCandidates(ix, idxs)
+		}
+	}
+	task := experiments.MatcherBlockingTask{Blocker: bl.Name()}
+	testCands, err := query(split.idxs)
+	if err != nil {
+		return task, fmt.Errorf("wdcproducts: %s test split: %w", bl.Name(), err)
+	}
+	task.Blocking = blocking.Evaluate(testCands, split.idxs, split.truth)
+	task.Test = blocking.RestrictPairs(test, blocking.NewPairFilter(testCands))
+	trainCands, err := query(trainU)
+	if err != nil {
+		return task, fmt.Errorf("wdcproducts: %s train split: %w", bl.Name(), err)
+	}
+	task.Train = blocking.RestrictPairs(train, blocking.NewPairFilter(trainCands))
+	valCands, err := query(valU)
+	if err != nil {
+		return task, fmt.Errorf("wdcproducts: %s val split: %w", bl.Name(), err)
+	}
+	task.Val = blocking.RestrictPairs(val, blocking.NewPairFilter(valCands))
+	return task, nil
+}
+
+// noBlockingTask builds the unblocked baseline: full pair sets, pair
+// completeness 1, reduction 0 — the ceiling each blocked pipeline row is
+// read against.
+func noBlockingTask(split *blockingSplit, train, val, test []Pair) experiments.MatcherBlockingTask {
+	trueMatches := 0
+	for x := 0; x < len(split.idxs); x++ {
+		for y := x + 1; y < len(split.idxs); y++ {
+			if split.truth(split.idxs[x], split.idxs[y]) {
+				trueMatches++
+			}
+		}
+	}
+	full := func(pairs []Pair) blocking.RestrictedPairs {
+		return blocking.RestrictedPairs{Kept: pairs, Total: len(pairs)}
+	}
+	return experiments.MatcherBlockingTask{
+		Blocker: NoBlockingBaseline,
+		Blocking: blocking.Metrics{
+			PairCompleteness: 1,
+			ReductionRatio:   0,
+			Candidates:       len(split.idxs) * (len(split.idxs) - 1) / 2,
+			TrueMatches:      trueMatches,
+			CoveredMatches:   trueMatches,
+		},
+		Train: full(train),
+		Val:   full(val),
+		Test:  full(test),
+	}
+}
+
+// MatcherBlockingReport runs the matcher-in-the-loop §6 study: for each
+// named blocker (nil or empty names selects all of BlockerNames) the
+// reusable index is built once over the union of the study's offer
+// universes, the cc=50%/dev=medium/unseen=0% train, validation and test
+// pair sets are restricted to the blocker's candidates — the data a real
+// pipeline would label, train and score — and the named systems (nil
+// selects MatcherBlockingSystems) are trained on the restricted sets
+// across the parallel experiment pool. The table pairs each blocker's
+// candidate count, pair completeness and reduction ratio with the
+// end-to-end pipeline P/R/F1 per system, counting blocker-missed true
+// matches as false negatives, next to an unblocked "(no blocking)"
+// baseline; it shows directly how much downstream F1 each point of blocker
+// recall buys. reps averages repeated trainings (the paper uses 3);
+// workers bounds the goroutines of index construction and matcher training
+// (<= 0 selects all cores) — the table is byte-identical at any worker
+// count.
+func MatcherBlockingReport(b *Benchmark, names, systems []string, seed int64, reps, workers int) (*Table, error) {
+	if len(names) == 0 {
+		names = BlockerNames()
+	}
+	v := matcherBlockingVariant
+	split := testSplit(b, v.Corner, v.Unseen)
+	if split == nil {
+		return nil, fmt.Errorf("wdcproducts: benchmark has no %s test split for the matcher-in-the-loop study", v)
+	}
+	train, val, test := b.TrainPairs(v.Corner, v.Dev), b.ValPairs(v.Corner, v.Dev), b.TestPairs(v.Corner, v.Unseen)
+	if len(train) == 0 || len(test) == 0 {
+		return nil, fmt.Errorf("wdcproducts: benchmark has no %s pair sets for the matcher-in-the-loop study", v)
+	}
+	model := blockerModel(b, names, seed)
+	tasks := []experiments.MatcherBlockingTask{noBlockingTask(split, train, val, test)}
+	for _, name := range names {
+		bl, err := newBlocker(name, model, workers)
+		if err != nil {
+			return nil, err
+		}
+		task, err := matcherBlockingTask(b, bl, split, train, val, test)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task)
+	}
+	runner := NewRunner(b, seed)
+	cells, err := runner.RunMatcherBlocking(tasks, ExperimentConfig{
+		Repetitions: reps, Seed: seed, Systems: systems, Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return experiments.MatcherBlockingTable(cells, v), nil
 }

@@ -1,13 +1,17 @@
 package wdcproducts_test
 
 import (
+	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"wdcproducts"
 	"wdcproducts/internal/matchers"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current report output")
 
 // The root tests exercise the public facade end-to-end; the heavy fixtures
 // are shared with bench_test.go through setup().
@@ -122,6 +126,92 @@ func TestFacadeBlockingReport(t *testing.T) {
 	names := wdcproducts.BlockerNames()
 	if names[len(names)-1] != "ivf" {
 		t.Fatalf("BlockerNames = %v, want ivf last", names)
+	}
+}
+
+func TestFacadeParseBlockerNames(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"all", nil},
+		{"  all  ", nil},
+		{"minhash, hnsw", []string{"minhash", "hnsw"}},
+		{"token,minhash,", []string{"token", "minhash"}},
+		{" token , token ,minhash", []string{"token", "minhash"}},
+		{",,", nil},
+	}
+	for _, tc := range cases {
+		got := wdcproducts.ParseBlockerNames(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseBlockerNames(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseBlockerNames(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestFacadeMatcherBlockingReport pins the matcher-in-the-loop study
+// end-to-end: the table must be byte-identical at workers 1 and 4 (the
+// acceptance bar of the -matchblock CLI) and byte-identical to the golden
+// fixture (run with -update to regenerate). token + minhash avoid the
+// blocker-side encoder; the runner-side encoder is trained either way.
+func TestFacadeMatcherBlockingReport(t *testing.T) {
+	ensureBuild(t)
+	names := []string{"token", "minhash"}
+	systems := []string{"Word-Cooc", "Magellan", "RoBERTa"}
+	serial, err := wdcproducts.MatcherBlockingReport(benchB, names, systems, 42, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := wdcproducts.MatcherBlockingReport(benchB, names, systems, 42, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Fatalf("matcher-blocking table differs across worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", serial, par)
+	}
+	// One baseline row block plus one per blocker, one row per system each.
+	wantRows := (1 + len(names)) * len(systems)
+	if len(serial.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d:\n%s", len(serial.Rows), wantRows, serial)
+	}
+	if serial.Rows[0][0] != wdcproducts.NoBlockingBaseline {
+		t.Fatalf("first row is not the unblocked baseline:\n%s", serial)
+	}
+	path := filepath.Join("testdata", "matchblock_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(serial.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if serial.String() != string(want) {
+		t.Errorf("matcher-blocking table differs from golden %s:\ngot:\n%s\nwant:\n%s", path, serial, want)
+	}
+}
+
+func TestFacadeMatcherBlockingReportErrors(t *testing.T) {
+	ensureBuild(t)
+	if _, err := wdcproducts.MatcherBlockingReport(benchB, []string{"bogus"}, nil, 42, 1, 1); err == nil {
+		t.Fatal("unknown blocker name did not error")
+	}
+	if _, err := wdcproducts.MatcherBlockingReport(benchB, []string{"token"}, []string{"bogus"}, 42, 1, 1); err == nil {
+		t.Fatal("unknown system name did not error")
 	}
 }
 
