@@ -2,14 +2,14 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_5.json: the end-to-end
+# The perf-trajectory benchmarks recorded in BENCH_6.json: the end-to-end
 # pipeline build, the corner-selection microbenchmarks, the sigmoid
-# lookup-table comparison, the blocking-scale and index-reuse benches, and
-# the PR 5 matcher-in-the-loop study bench linking blocker pair
-# completeness to the end-to-end pipeline F1 of matchers trained on
-# candidate-restricted pair sets.
-BENCH_OUT ?= BENCH_5.json
-BENCH_NOTE ?= matcher-in-the-loop blocking (PR 5): matchers trained on candidate-restricted train/val/test pair sets, blocker-missed matches counted as pipeline FNs; on the tiny fixture minhash-lsh keeps 87.5% pair completeness at 88% reduction and costs the Word-Cooc pipeline ~7 F1 points against the unblocked baseline
+# lookup-table comparison, the blocking-scale / index-reuse / matcher
+# benches carried over from PRs 4-5, and the PR 6 persistence benches —
+# snapshot load vs rebuild per engine and sharded build/query scaling with
+# exhaustive-recall checks.
+BENCH_OUT ?= BENCH_6.json
+BENCH_NOTE ?= persistent sharded blocking (PR 6): cold snapshot loads restore every engine >=10x faster than a rebuild at n=2563 (minhash ~14x, hnsw ~140x, ivf ~44x) and 4-shard fan-out queries keep 100% of the unsharded exhaustive-pair recall (99.97% for both kNN engines at shards 1/2/4) while staying pair-identical for minhash-lsh
 
 # Coverage floor (percent of statements) enforced over the blocking stack
 # by `make cover`.
@@ -37,29 +37,32 @@ vet:
 # exported identifier in the documented packages lacks a doc comment.
 docs:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt -l:"; echo "$$fmt"; exit 1; fi
-	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/simlib
+	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/simlib ./internal/persist
 
 # cover enforces a statement-coverage floor over the blocking stack (the
-# packages the reusable-index layer lives in). The floor guards the reuse
-# and incremental-insertion property tests from silently rotting. The
-# profile is written to $(BUILD_DIR)/cover.out, which is gitignored.
+# packages the reusable-index layer lives in) plus the snapshot envelope
+# codec. The floor guards the reuse, incremental-insertion and
+# save/load round-trip property tests from silently rotting. The profile
+# is written to $(BUILD_DIR)/cover.out, which is gitignored.
 cover:
 	@mkdir -p $(BUILD_DIR)
-	$(GO) test -coverprofile=$(BUILD_DIR)/cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf
+	$(GO) test -coverprofile=$(BUILD_DIR)/cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/persist
 	@total=$$($(GO) tool cover -func=$(BUILD_DIR)/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "blocking-stack coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # fuzz runs the short seed-corpus fuzz sessions CI runs: signature
-# computation in internal/lsh and the BPE tokenizer in internal/tokenize.
-# Each -fuzz invocation must match exactly one target, hence one run per
-# fuzzer.
+# computation and index queries in internal/lsh, the BPE tokenizer in
+# internal/tokenize, and the blocking snapshot decoders (damaged snapshot
+# bytes must surface typed errors, never panics). Each -fuzz invocation
+# must match exactly one target, hence one run per fuzzer.
 fuzz:
 	$(GO) test ./internal/lsh -run '^$$' -fuzz '^FuzzSignature$$' -fuzztime 30s
 	$(GO) test ./internal/lsh -run '^$$' -fuzz '^FuzzIndexQuery$$' -fuzztime 30s
 	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPEEncode$$' -fuzztime 30s
 	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPETrain$$' -fuzztime 30s
+	$(GO) test ./internal/blocking -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 30s
 
 # bench regenerates $(BENCH_OUT) from the perf-trajectory benchmarks with
 # allocation stats. Iteration-pinned benchtimes keep the expensive pipeline
@@ -72,6 +75,8 @@ bench:
 	  $(GO) test -run '^$$' -bench 'BenchmarkBlockingScale' -benchmem -benchtime 2x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBlockingReuse' -benchmem -benchtime 3x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMatcherBlocking' -benchmem -benchtime 1x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSnapshotReload' -benchmem -benchtime 20x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkShardedBlocking' -benchmem -benchtime 2x . && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
 	status=$$?; cat "$$tmp"; \

@@ -13,6 +13,7 @@ package wdcproducts_test
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -668,6 +669,153 @@ func BenchmarkBlockingReuse_IVF(b *testing.B) {
 			benchIndexReuse(b, func() blocking.IndexedBlocker {
 				return blocking.NewIVFBlocker(blockModel, blockKNN)
 			}, n)
+		})
+	}
+}
+
+// --- Snapshot-reload and sharded benches (§6, PR 6) --------------------------
+
+// The snapshot-reload benches quantify the persistence tentpole: rebuild-ms
+// is a cold index build over the first n offers, load-ms is what a later
+// process pays to restore the identical index from its snapshot through
+// blocking.OpenIndex (decode, validate, rebuild the title bookkeeping —
+// tokenization and vector/graph construction are skipped), load-speedup =
+// rebuild-ms / load-ms, and snapshot-kb is the file size. The loaded index
+// must answer the full-universe query with exactly as many pairs as the
+// index that was saved.
+func benchSnapshotReload(b *testing.B, mk func() blocking.IndexedBlocker, n int) {
+	b.Helper()
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	bl := mk()
+	t0 := time.Now()
+	built := bl.BuildIndex(benchB.Offers, idxs)
+	rebuildMS := float64(time.Since(t0).Microseconds()) / 1000
+	want := built.Candidates(idxs)
+	opts := blocking.IndexOptions{SnapshotDir: b.TempDir()}
+	_, stats := blocking.OpenIndex(bl, benchB.Offers, idxs, opts)
+	if stats.Loaded || !stats.Saved || stats.SaveErr != nil {
+		b.Fatalf("snapshot save failed: %+v", stats)
+	}
+	info, err := os.Stat(stats.Path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ix blocking.Index
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, stats = blocking.OpenIndex(bl, benchB.Offers, idxs, opts)
+		if !stats.Loaded {
+			b.Fatalf("snapshot did not load: %+v", stats)
+		}
+	}
+	b.StopTimer()
+	loadMS := float64(b.Elapsed().Microseconds()) / 1000 / float64(b.N)
+	if cands := ix.Candidates(idxs); len(cands) != len(want) {
+		b.Fatalf("loaded index returned %d pairs, original %d", len(cands), len(want))
+	}
+	b.ReportMetric(rebuildMS, "rebuild-ms")
+	b.ReportMetric(loadMS, "load-ms")
+	if loadMS > 0 {
+		b.ReportMetric(rebuildMS/loadMS, "load-speedup")
+	}
+	b.ReportMetric(float64(info.Size())/1024, "snapshot-kb")
+}
+
+func BenchmarkSnapshotReload_MinHash(b *testing.B) {
+	blockingBenchSetup(b)
+	for _, n := range blockingSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSnapshotReload(b, func() blocking.IndexedBlocker {
+				return blocking.NewMinHashBlocker()
+			}, n)
+		})
+	}
+}
+
+func BenchmarkSnapshotReload_HNSW(b *testing.B) {
+	blockingBenchSetup(b)
+	for _, n := range blockingSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSnapshotReload(b, func() blocking.IndexedBlocker {
+				return blocking.NewHNSWBlocker(blockModel, blockKNN)
+			}, n)
+		})
+	}
+}
+
+func BenchmarkSnapshotReload_IVF(b *testing.B) {
+	blockingBenchSetup(b)
+	for _, n := range blockingSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSnapshotReload(b, func() blocking.IndexedBlocker {
+				return blocking.NewIVFBlocker(blockModel, blockKNN)
+			}, n)
+		})
+	}
+}
+
+// The sharded benches measure the hash-partitioned indexes over the full
+// tiny corpus at 1, 2 and 4 shards: build-ms (concurrent per-shard
+// construction), query-cold-ms (first full-universe query: fan-out plus
+// merge), query-ms (steady-state repeats from the query memo), the pair
+// count, and exhaustive-recall — the fraction of the exhaustive embedding
+// blocker's pair set the sharded index recovers, the number the 4-shard
+// acceptance floor is read from.
+func benchShardedBlocking(b *testing.B, bl blocking.ShardedIndexBuilder, shards, n int) {
+	b.Helper()
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	t0 := time.Now()
+	ix := bl.BuildShardedIndex(benchB.Offers, idxs, shards)
+	buildMS := float64(time.Since(t0).Microseconds()) / 1000
+	t1 := time.Now()
+	ix.Candidates(idxs)
+	coldMS := float64(time.Since(t1).Microseconds()) / 1000
+	var cands []blocking.CandidatePair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands = ix.Candidates(idxs)
+	}
+	b.StopTimer()
+	queryMS := float64(b.Elapsed().Microseconds()) / 1000 / float64(b.N)
+	b.ReportMetric(buildMS, "build-ms")
+	b.ReportMetric(coldMS, "query-cold-ms")
+	b.ReportMetric(queryMS, "query-ms")
+	b.ReportMetric(float64(len(cands)), "pairs")
+	b.ReportMetric(pairRecall(cands, exhaustivePairs(n))*100, "exhaustive-recall")
+}
+
+func BenchmarkShardedBlocking_MinHash(b *testing.B) {
+	blockingBenchSetup(b)
+	n := len(benchB.Offers)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedBlocking(b, blocking.NewMinHashBlocker(), shards, n)
+		})
+	}
+}
+
+func BenchmarkShardedBlocking_HNSW(b *testing.B) {
+	blockingBenchSetup(b)
+	n := len(benchB.Offers)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedBlocking(b, blocking.NewHNSWBlocker(blockModel, blockKNN), shards, n)
+		})
+	}
+}
+
+func BenchmarkShardedBlocking_IVF(b *testing.B) {
+	blockingBenchSetup(b)
+	n := len(benchB.Offers)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedBlocking(b, blocking.NewIVFBlocker(blockModel, blockKNN), shards, n)
 		})
 	}
 }

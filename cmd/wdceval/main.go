@@ -73,6 +73,10 @@ func main() {
 		"run the build-once/query-per-split blocking study over every test split (uses the -blocking blocker list, default all)")
 	matchBlock := flag.Bool("matchblock", false,
 		"run the matcher-in-the-loop blocking study: train the -systems matchers on each blocker's candidate-restricted pair sets and report downstream P/R/F1 next to completeness/reduction (uses the -blocking blocker list, default all)")
+	snapshotDir := flag.String("snapshot-dir", "",
+		"persist blocking indexes: load each index from this directory when a snapshot matches the corpus/config fingerprint, save it after a fresh build (empty = rebuild every run)")
+	shards := flag.Int("shards", 0,
+		"hash-partition the blocking indexes across this many shards (<= 1 = single index; only the minhash/hnsw/ivf blockers shard)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -94,14 +98,15 @@ func main() {
 
 	if *blockingFlag != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockingFlag)
+		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards}
 		var t *wdcproducts.Table
 		switch {
 		case *matchBlock:
-			t, err = wdcproducts.MatcherBlockingReport(b, names, splitList(*systemsFlag), *seed, *reps, *workers)
+			t, err = wdcproducts.MatcherBlockingReportOpts(b, names, splitList(*systemsFlag), *seed, *reps, *workers, opts)
 		case *blockScale:
-			t, err = wdcproducts.BlockingScaleReport(b, names, *seed, *workers)
+			t, err = wdcproducts.BlockingScaleReportOpts(b, names, *seed, *workers, opts)
 		default:
-			t, err = wdcproducts.BlockingReport(b, names, *seed, *workers)
+			t, err = wdcproducts.BlockingReportOpts(b, names, *seed, *workers, opts)
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -46,6 +46,10 @@ func main() {
 		"print the build-once/query-per-split blocking study over every test split (uses the -blockers list, default all)")
 	matchBlock := flag.Bool("matchblock", false,
 		"print the matcher-in-the-loop blocking study: downstream matcher P/R/F1 on each blocker's candidate-restricted pair sets (uses the -blockers list, default all)")
+	snapshotDir := flag.String("snapshot-dir", "",
+		"persist blocking indexes: load each index from this directory when a snapshot matches the corpus/config fingerprint, save it after a fresh build (empty = rebuild every run)")
+	shards := flag.Int("shards", 0,
+		"hash-partition the blocking indexes across this many shards (<= 1 = single index; only the minhash/hnsw/ivf blockers shard)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -110,14 +114,15 @@ func main() {
 	}
 	if *blockers != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockers)
+		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards}
 		var t *wdcproducts.Table
 		switch {
 		case *matchBlock:
-			t, err = wdcproducts.MatcherBlockingReport(b, names, nil, *seed, 1, 0)
+			t, err = wdcproducts.MatcherBlockingReportOpts(b, names, nil, *seed, 1, 0, opts)
 		case *blockScale:
-			t, err = wdcproducts.BlockingScaleReport(b, names, *seed, 0)
+			t, err = wdcproducts.BlockingScaleReportOpts(b, names, *seed, 0, opts)
 		default:
-			t, err = wdcproducts.BlockingReport(b, names, *seed, 0)
+			t, err = wdcproducts.BlockingReportOpts(b, names, *seed, 0, opts)
 		}
 		if err != nil {
 			log.Fatalf("blocking report: %v", err)

@@ -18,7 +18,6 @@ package blocking
 
 import (
 	"fmt"
-	"hash/fnv"
 	"reflect"
 	"sync"
 
@@ -87,41 +86,104 @@ func QueryCandidates(ix Index, queryIdxs []int) (cands []CandidatePair, err erro
 	return ix.Candidates(queryIdxs), nil
 }
 
-// indexedCorpus is the title bookkeeping shared by every Index: offer
-// titles interned once into a prepared corpus, plus the offer groups
-// carrying each distinct title.
+// indexedCorpus is the title bookkeeping shared by every Index: each
+// distinct offer title held once (in first-seen order, which defines the
+// title ids), plus the offer groups carrying each title. The tokenized
+// form of the corpus — a simlib.Prepared — is materialized lazily on
+// first use: build paths need tokens immediately, but an index restored
+// from a snapshot already carries its derived state (signatures or
+// vectors) and should not pay tokenization until a post-load Add actually
+// needs it.
 type indexedCorpus struct {
-	prep    *simlib.Prepared
-	groups  [][]int     // title id -> indexed offer idxs carrying it
-	titleOf map[int]int // offer idx -> title id
+	titles  []string       // title id -> title, in interning order
+	idOf    map[string]int // title -> title id
+	order   []int          // indexed offer idxs, in first-indexed order
+	groups  [][]int        // title id -> indexed offer idxs carrying it
+	titleOf map[int]int    // offer idx -> title id
+
+	prepOnce sync.Once
+	prepped  *simlib.Prepared
 }
 
 func newIndexedCorpus() *indexedCorpus {
-	return &indexedCorpus{prep: simlib.NewPrepared(), titleOf: map[int]int{}}
+	return &indexedCorpus{idOf: map[string]int{}, titleOf: map[int]int{}}
 }
 
-// add interns the titles of the offers at idxs (skipping already-indexed
-// offers) and returns the ids of titles seen for the first time, in
-// interning order — the engines index exactly those.
+// add records the offers at idxs (skipping already-indexed offers) and
+// returns the ids of titles seen for the first time, in interning order —
+// the engines index exactly those.
 func (c *indexedCorpus) add(offers []schemaorg.Offer, idxs []int) []int {
+	if len(c.titleOf) == 0 && len(idxs) > 0 {
+		// First add: size the maps for the whole batch up front — the
+		// snapshot load path rebuilds the corpus in one add, and
+		// incremental map growth is a measurable slice of a cold load.
+		c.idOf = make(map[string]int, len(idxs))
+		c.titleOf = make(map[int]int, len(idxs))
+	}
 	var newTitles []int
 	for _, i := range idxs {
 		if _, dup := c.titleOf[i]; dup {
 			continue
 		}
-		tid := c.prep.Intern(offers[i].Title)
-		if tid == len(c.groups) {
+		title := offers[i].Title
+		tid, ok := c.idOf[title]
+		if !ok {
+			tid = len(c.titles)
+			c.idOf[title] = tid
+			c.titles = append(c.titles, title)
 			c.groups = append(c.groups, nil)
+			if c.prepped != nil {
+				// Keep the materialized prepared corpus aligned with the
+				// title ids: interning in title order reproduces them.
+				c.prepped.Intern(title)
+			}
 			newTitles = append(newTitles, tid)
 		}
 		c.titleOf[i] = tid
+		c.order = append(c.order, i)
 		c.groups[tid] = append(c.groups[tid], i)
 	}
 	return newTitles
 }
 
+// prep returns the tokenized corpus, materializing it on first use.
+// Token and title ids depend only on interning order, so interning the
+// titles in id order yields exactly the Prepared an eager build would
+// have produced. Safe for concurrent use between Adds.
+func (c *indexedCorpus) prep() *simlib.Prepared {
+	c.prepOnce.Do(func() {
+		p := simlib.NewPrepared()
+		for _, t := range c.titles {
+			p.Intern(t)
+		}
+		c.prepped = p
+	})
+	return c.prepped
+}
+
 // len returns the number of indexed offers.
 func (c *indexedCorpus) len() int { return len(c.titleOf) }
+
+// titleCount returns the number of distinct indexed titles.
+func (c *indexedCorpus) titleCount() int { return len(c.titles) }
+
+// fingerprint hashes the indexed offer universe — insertion order and
+// title bytes — together with the given config words, yielding the same
+// value corpusFingerprint produces for the (offers, idxs) sequence this
+// corpus was fed (idxs are duplicate-free on every build path). It is the
+// content address a snapshot is stamped with.
+func (c *indexedCorpus) fingerprint(cfgWords ...uint64) uint64 {
+	h := newFPHash()
+	for _, w := range cfgWords {
+		h.word(w)
+	}
+	h.word(uint64(len(c.order)))
+	for _, i := range c.order {
+		h.word(uint64(i))
+		h.str(c.titles[c.titleOf[i]])
+	}
+	return uint64(h)
+}
 
 // queryView is a split query resolved against an indexed corpus: the
 // distinct title ids the split touches (slots in first-appearance order)
@@ -202,30 +264,57 @@ func modelWord(m *embed.Model) uint64 {
 	return uint64(reflect.ValueOf(m).Pointer())
 }
 
+// fpHash accumulates a word-wide FNV-1a variant fingerprint: fixed words
+// fold in 8 bytes per multiply instead of one. Fingerprints sit on the
+// snapshot open path (every OpenIndex hashes every title, twice — once
+// for the file name, once for the envelope check), where the byte-wise
+// hash/fnv loop was a measurable slice of the cold-load budget.
+type fpHash uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// newFPHash returns the FNV-1a offset basis.
+func newFPHash() fpHash { return fnvOffset64 }
+
+// word folds one 64-bit word into the hash.
+func (h *fpHash) word(w uint64) { *h = fpHash((uint64(*h) ^ w) * fnvPrime64) }
+
+// str folds a string eight bytes at a time (little-endian words, a
+// zero-padded tail) followed by its length, so adjacent fields cannot
+// collide by shifting bytes across their boundary.
+func (h *fpHash) str(s string) {
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		h.word(uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56)
+	}
+	var tail uint64
+	for shift := 0; i < len(s); i, shift = i+1, shift+8 {
+		tail |= uint64(s[i]) << shift
+	}
+	h.word(tail)
+	h.word(uint64(len(s)))
+}
+
 // corpusFingerprint hashes the offer universe a blocker was asked to block
 // — the idxs and their title bytes — together with the configuration words
 // that shape index contents. Two Candidates calls with equal fingerprints
 // can share one index; worker counts are deliberately excluded because
 // they never change blocker output.
 func corpusFingerprint(offers []schemaorg.Offer, idxs []int, cfgWords ...uint64) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(w uint64) {
-		for b := 0; b < 8; b++ {
-			buf[b] = byte(w >> (8 * b))
-		}
-		h.Write(buf[:])
-	}
+	h := newFPHash()
 	for _, w := range cfgWords {
-		word(w)
+		h.word(w)
 	}
-	word(uint64(len(idxs)))
+	h.word(uint64(len(idxs)))
 	for _, i := range idxs {
-		word(uint64(i))
-		h.Write([]byte(offers[i].Title))
-		h.Write([]byte{0})
+		h.word(uint64(i))
+		h.str(offers[i].Title)
 	}
-	return h.Sum64()
+	return uint64(h)
 }
 
 // maxQueryMemo bounds the per-index query-result cache; the §6 study asks
@@ -235,15 +324,11 @@ const maxQueryMemo = 64
 
 // queryFingerprint hashes a query's offer-index set.
 func queryFingerprint(queryIdxs []int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := newFPHash()
 	for _, i := range queryIdxs {
-		for b := 0; b < 8; b++ {
-			buf[b] = byte(uint64(i) >> (8 * b))
-		}
-		h.Write(buf[:])
+		h.word(uint64(i))
 	}
-	return h.Sum64()
+	return uint64(h)
 }
 
 // queryMemo caches candidate sets per query fingerprint. An index is

@@ -22,6 +22,7 @@ type IVFIndex struct {
 	model  *embed.Model
 	k      int
 	cfg    ivf.Config
+	seed   int64
 	ix     *ivf.Index
 	vecs   [][]float32 // title id -> encoding
 	memo   *memoSlots[int32]
@@ -34,11 +35,12 @@ type IVFIndex struct {
 // contents are identical at any worker count for a fixed seed. k is the
 // neighbour budget per distinct title at query time.
 func BuildIVFIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k int, cfg ivf.Config, seed int64) *IVFIndex {
-	x := &IVFIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg}
+	x := &IVFIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg, seed: seed}
 	x.corpus.add(offers, idxs)
-	x.vecs = make([][]float32, x.corpus.prep.Len())
+	prep := x.corpus.prep()
+	x.vecs = make([][]float32, prep.Len())
 	parallel.Run(len(x.vecs), cfg.Workers, func(t int) error {
-		x.vecs[t] = model.EncodeTokens(x.corpus.prep.Tokens(t))
+		x.vecs[t] = model.EncodeTokens(prep.Tokens(t))
 		return nil
 	}, nil)
 	x.ix = ivf.Build(x.vecs, cfg, xrand.New(seed).Stream("ivf-knn"))
@@ -67,7 +69,7 @@ func (x *IVFIndex) Add(offers []schemaorg.Offer, idxs []int) {
 		return
 	}
 	for _, tid := range newTitles {
-		vec := x.model.EncodeTokens(x.corpus.prep.Tokens(tid))
+		vec := x.model.EncodeTokens(x.corpus.prep().Tokens(tid))
 		x.vecs = append(x.vecs, vec)
 		x.ix.Add(vec)
 	}

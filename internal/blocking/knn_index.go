@@ -43,6 +43,7 @@ type HNSWIndex struct {
 	model  *embed.Model
 	k      int
 	cfg    hnsw.Config
+	seed   int64
 	graph  *hnsw.Graph
 	vecs   [][]float32 // title id -> encoding
 	memo   *memoSlots[int32]
@@ -55,11 +56,12 @@ type HNSWIndex struct {
 // byte-identical at any worker count for a fixed seed. k is the neighbour
 // budget per distinct title at query time.
 func BuildHNSWIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k int, cfg hnsw.Config, seed int64) *HNSWIndex {
-	h := &HNSWIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg}
+	h := &HNSWIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg, seed: seed}
 	h.corpus.add(offers, idxs)
-	h.vecs = make([][]float32, h.corpus.prep.Len())
+	prep := h.corpus.prep()
+	h.vecs = make([][]float32, prep.Len())
 	parallel.Run(len(h.vecs), cfg.Workers, func(t int) error {
-		h.vecs[t] = model.EncodeTokens(h.corpus.prep.Tokens(t))
+		h.vecs[t] = model.EncodeTokens(prep.Tokens(t))
 		return nil
 	}, nil)
 	h.graph = hnsw.Build(h.vecs, cfg, xrand.New(seed).Stream("hnsw-knn"))
@@ -88,7 +90,7 @@ func (h *HNSWIndex) Add(offers []schemaorg.Offer, idxs []int) {
 		return
 	}
 	for _, tid := range newTitles {
-		vec := h.model.EncodeTokens(h.corpus.prep.Tokens(tid))
+		vec := h.model.EncodeTokens(h.corpus.prep().Tokens(tid))
 		h.vecs = append(h.vecs, vec)
 		h.graph.Add(vec)
 	}
@@ -144,9 +146,10 @@ func BuildEmbeddingIndex(offers []schemaorg.Offer, idxs []int, model *embed.Mode
 		slotOf: make(map[int]int, len(idxs)),
 	}
 	e.corpus.add(offers, idxs)
-	titleVecs := make([][]float32, e.corpus.prep.Len())
+	prep := e.corpus.prep()
+	titleVecs := make([][]float32, prep.Len())
 	parallel.Run(len(titleVecs), workers, func(t int) error {
-		titleVecs[t] = model.EncodeTokens(e.corpus.prep.Tokens(t))
+		titleVecs[t] = model.EncodeTokens(prep.Tokens(t))
 		return nil
 	}, nil)
 	for _, i := range idxs {
@@ -174,7 +177,7 @@ func (e *EmbeddingIndex) Add(offers []schemaorg.Offer, idxs []int) {
 	grown := false
 	titleVecs := map[int][]float32{}
 	for _, tid := range newTitles {
-		titleVecs[tid] = e.model.EncodeTokens(e.corpus.prep.Tokens(tid))
+		titleVecs[tid] = e.model.EncodeTokens(e.corpus.prep().Tokens(tid))
 	}
 	for _, i := range idxs {
 		if _, dup := e.slotOf[i]; dup {

@@ -16,7 +16,10 @@ import (
 type MinHashIndex struct {
 	corpus *indexedCorpus
 	ix     *lsh.Index
-	memoQ  queryMemo
+	// cfgWords are the configuration words of the index's content address
+	// (bands, rows, seed), fixed at Build/Load.
+	cfgWords []uint64
+	memoQ    queryMemo
 }
 
 // BuildMinHashIndex interns the titles of the offers at idxs and builds
@@ -25,16 +28,24 @@ type MinHashIndex struct {
 // identical at any worker count for a fixed seed.
 func BuildMinHashIndex(offers []schemaorg.Offer, idxs []int, cfg lsh.Config, seed int64) *MinHashIndex {
 	m := &MinHashIndex{
-		corpus: newIndexedCorpus(),
-		ix:     lsh.NewIndex(cfg, xrand.New(seed).Stream("minhash-lsh")),
+		corpus:   newIndexedCorpus(),
+		ix:       lsh.NewIndex(cfg, xrand.New(seed).Stream("minhash-lsh")),
+		cfgWords: minhashWords(cfg, seed),
 	}
 	m.corpus.add(offers, idxs)
-	sets := make([][]int32, m.corpus.prep.Len())
+	prep := m.corpus.prep()
+	sets := make([][]int32, prep.Len())
 	for t := range sets {
-		sets[t] = m.corpus.prep.TokenSet(t)
+		sets[t] = prep.TokenSet(t)
 	}
 	m.ix.Build(sets)
 	return m
+}
+
+// minhashWords returns the configuration words of a MinHash index's
+// content address.
+func minhashWords(cfg lsh.Config, seed int64) []uint64 {
+	return []uint64{uint64(cfg.Bands), uint64(cfg.Rows), uint64(seed)}
 }
 
 // Name implements Index.
@@ -48,7 +59,7 @@ func (m *MinHashIndex) Len() int { return m.corpus.len() }
 func (m *MinHashIndex) Add(offers []schemaorg.Offer, idxs []int) {
 	newTitles := m.corpus.add(offers, idxs)
 	for _, tid := range newTitles {
-		m.ix.Add(m.corpus.prep.TokenSet(tid))
+		m.ix.Add(m.corpus.prep().TokenSet(tid))
 	}
 	m.memoQ.reset()
 }

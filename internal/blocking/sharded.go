@@ -1,0 +1,393 @@
+// ShardedIndex: hash-partitioned variants of the three sublinear blocking
+// indexes, the layer that lets a corpus outgrow one index (and, with the
+// snapshot format, one machine). Distinct titles are assigned to shards
+// by a hash of their bytes — identical titles always share a title id, so
+// the identical-title cliques every blocker guarantees are unaffected by
+// where the title lands — and each shard runs an ordinary lsh/hnsw/ivf
+// engine over its own slice of the corpus, built concurrently over
+// internal/parallel.
+//
+// Queries fan out and merge deterministically:
+//
+//   - MinHash: every shard draws its hash family from the same seed
+//     stream, so a title's signature — and therefore its per-band bucket
+//     keys — is independent of its shard. A query groups its titles by
+//     band key across shards, which reproduces the single-index bucket
+//     restriction EXACTLY (tested in sharded_test.go, pinned by golden).
+//   - HNSW/IVF: each shard answers top-(K+1) for the query title; the
+//     per-shard results merge by (similarity descending, title id
+//     ascending) and truncate — the standard distributed-kNN merge. The
+//     per-title budget is spent against slightly different neighbour pools
+//     than a single index would see, so recall can differ within the
+//     approximation's usual tolerance (the equivalence suite bounds it).
+//
+// Shard assignment, merge order, and per-shard engine contents are all
+// pure functions of the corpus and seed, so sharded candidate sets are
+// byte-identical at any worker count, and a grown index (Add) equals a
+// fresh sharded build over the union — the same contracts the unsharded
+// indexes honour.
+
+package blocking
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/hnsw"
+	"wdcproducts/internal/ivf"
+	"wdcproducts/internal/lsh"
+	"wdcproducts/internal/parallel"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+// shardWordMarker tags a sharded index's fingerprint words so a sharded
+// and an unsharded snapshot of the same corpus/config can never collide.
+const shardWordMarker = 0x7368617264 // "shard"
+
+// shardForTitle assigns a title to one of shards partitions by an FNV-1a
+// hash of its bytes. The assignment depends only on the title, so a title
+// lands on the same shard in every process and at every corpus size.
+func shardForTitle(title string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(title))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// shardStream names the per-shard seed stream. One shard keeps the
+// unsharded stream name, so a single-shard ShardedIndex holds exactly the
+// engine an unsharded build would produce.
+func shardStream(base string, shards, s int) string {
+	if shards == 1 {
+		return base
+	}
+	return fmt.Sprintf("%s/shard=%d", base, s)
+}
+
+// shardWorkers splits a worker budget across shards: the outer loop runs
+// one goroutine per shard, each building its engine with an inner pool of
+// roughly workers/shards, so total parallelism tracks the configured
+// budget at any shard count.
+func shardWorkers(workers, shards int) int {
+	w := parallel.Workers(workers) / shards
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardedMinHash is the MinHash engine state of a ShardedIndex: one LSH
+// index per shard, all drawing the identical hash family.
+type shardedMinHash struct {
+	cfg  lsh.Config
+	seed int64
+	ix   []*lsh.Index
+}
+
+// shardedKNN is the kNN engine state of a ShardedIndex: per-shard HNSW
+// graphs or IVF indexes (exactly one of the two is set) over the shard's
+// title encodings.
+type shardedKNN struct {
+	model  *embed.Model
+	k      int
+	hcfg   hnsw.Config
+	icfg   ivf.Config
+	seed   int64
+	graphs []*hnsw.Graph
+	ivfs   []*ivf.Index
+	memo   *memoSlots[int32]
+}
+
+// ShardedIndex is a blocking Index hash-partitioned across per-shard
+// engines. Build one with BuildShardedMinHashIndex /
+// BuildShardedHNSWIndex / BuildShardedIVFIndex, or through a blocker's
+// BuildShardedIndex method. It honours the full Index contract: grown
+// indexes equal fresh builds, queries only restrict the reported pairs,
+// and Candidates is safe for concurrent use between Adds.
+type ShardedIndex struct {
+	name     string
+	corpus   *indexedCorpus
+	shards   int
+	workers  int
+	cfgWords []uint64
+
+	shardOf []int32   // title id -> shard
+	local   []int32   // title id -> local id within its shard
+	members [][]int32 // shard -> local id -> title id
+	vecs    [][]float32
+
+	mh    *shardedMinHash
+	knn   *shardedKNN
+	memoQ queryMemo
+}
+
+// newShardedIndex builds the corpus and shard assignment shared by every
+// engine variant.
+func newShardedIndex(name string, offers []schemaorg.Offer, idxs []int, shards, workers int, cfgWords []uint64) *ShardedIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	si := &ShardedIndex{
+		name:     name,
+		corpus:   newIndexedCorpus(),
+		shards:   shards,
+		workers:  workers,
+		cfgWords: append(append([]uint64(nil), cfgWords...), shardWordMarker, uint64(shards)),
+		members:  make([][]int32, shards),
+	}
+	si.corpus.add(offers, idxs)
+	si.assign(0)
+	return si
+}
+
+// assign places every title id >= from on its shard.
+func (si *ShardedIndex) assign(from int) {
+	for tid := from; tid < si.corpus.titleCount(); tid++ {
+		s := shardForTitle(si.corpus.titles[tid], si.shards)
+		si.shardOf = append(si.shardOf, int32(s))
+		si.local = append(si.local, int32(len(si.members[s])))
+		si.members[s] = append(si.members[s], int32(tid))
+	}
+}
+
+// BuildShardedMinHashIndex hash-partitions the distinct titles of the
+// offers at idxs across shards and builds one banded LSH index per shard
+// concurrently. Every shard draws the identical hash family from seed, so
+// query merges reproduce the unsharded candidate set exactly.
+func BuildShardedMinHashIndex(offers []schemaorg.Offer, idxs []int, shards int, cfg lsh.Config, seed int64) *ShardedIndex {
+	si := newShardedIndex("minhash-lsh", offers, idxs, shards, cfg.Workers, minhashWords(cfg, seed))
+	si.mh = &shardedMinHash{cfg: cfg, seed: seed, ix: make([]*lsh.Index, si.shards)}
+	prep := si.corpus.prep()
+	inner := cfg
+	inner.Workers = shardWorkers(cfg.Workers, si.shards)
+	parallel.Run(si.shards, cfg.Workers, func(s int) error {
+		// Every shard draws from the SAME stream name: band keys are only
+		// comparable across shards when all shards share one hash family.
+		ix := lsh.NewIndex(inner, xrand.New(seed).Stream("minhash-lsh"))
+		sets := make([][]int32, len(si.members[s]))
+		for l, tid := range si.members[s] {
+			sets[l] = prep.TokenSet(int(tid))
+		}
+		ix.Build(sets)
+		si.mh.ix[s] = ix
+		return nil
+	}, nil)
+	return si
+}
+
+// BuildShardedHNSWIndex hash-partitions the distinct titles across shards
+// and builds one HNSW graph per shard concurrently; queries merge the
+// per-shard top-(K+1) lists. k is the neighbour budget per distinct title
+// at query time.
+func BuildShardedHNSWIndex(offers []schemaorg.Offer, idxs []int, shards int, model *embed.Model, k int, cfg hnsw.Config, seed int64) *ShardedIndex {
+	si := newShardedIndex("hnsw-knn", offers, idxs, shards, cfg.Workers, hnswWords(model, k, cfg, seed))
+	si.knn = &shardedKNN{model: model, k: k, hcfg: cfg, seed: seed, graphs: make([]*hnsw.Graph, si.shards)}
+	si.encodeTitles(0, cfg.Workers)
+	inner := cfg
+	inner.Workers = shardWorkers(cfg.Workers, si.shards)
+	parallel.Run(si.shards, cfg.Workers, func(s int) error {
+		si.knn.graphs[s] = hnsw.Build(si.shardVecs(s), inner,
+			xrand.New(seed).Stream(shardStream("hnsw-knn", si.shards, s)))
+		return nil
+	}, nil)
+	si.knn.memo = newMemoSlots[int32](si.corpus.titleCount())
+	return si
+}
+
+// BuildShardedIVFIndex hash-partitions the distinct titles across shards
+// and fits one IVF index per shard concurrently; queries merge the
+// per-shard top-(K+1) lists. Each shard trains its own coarse quantizer
+// on its first Config.TrainSize titles. k is the neighbour budget per
+// distinct title at query time.
+func BuildShardedIVFIndex(offers []schemaorg.Offer, idxs []int, shards int, model *embed.Model, k int, cfg ivf.Config, seed int64) *ShardedIndex {
+	si := newShardedIndex("ivf-knn", offers, idxs, shards, cfg.Workers, ivfWords(model, k, cfg, seed))
+	si.knn = &shardedKNN{model: model, k: k, icfg: cfg, seed: seed, ivfs: make([]*ivf.Index, si.shards)}
+	si.encodeTitles(0, cfg.Workers)
+	inner := cfg
+	inner.Workers = shardWorkers(cfg.Workers, si.shards)
+	parallel.Run(si.shards, cfg.Workers, func(s int) error {
+		si.knn.ivfs[s] = ivf.Build(si.shardVecs(s), inner,
+			xrand.New(seed).Stream(shardStream("ivf-knn", si.shards, s)))
+		return nil
+	}, nil)
+	si.knn.memo = newMemoSlots[int32](si.corpus.titleCount())
+	return si
+}
+
+// encodeTitles encodes every title id >= from across the worker pool.
+func (si *ShardedIndex) encodeTitles(from, workers int) {
+	prep := si.corpus.prep()
+	n := si.corpus.titleCount()
+	si.vecs = append(si.vecs, make([][]float32, n-from)...)
+	parallel.Run(n-from, workers, func(j int) error {
+		t := from + j
+		si.vecs[t] = si.knn.model.EncodeTokens(prep.Tokens(t))
+		return nil
+	}, nil)
+}
+
+// shardVecs gathers shard s's vectors in local-id order.
+func (si *ShardedIndex) shardVecs(s int) [][]float32 {
+	out := make([][]float32, len(si.members[s]))
+	for l, tid := range si.members[s] {
+		out[l] = si.vecs[tid]
+	}
+	return out
+}
+
+// Name implements Index (the engine name; see Shards for the partition
+// count).
+func (si *ShardedIndex) Name() string { return si.name }
+
+// Shards returns the number of hash partitions.
+func (si *ShardedIndex) Shards() int { return si.shards }
+
+// Len implements Index.
+func (si *ShardedIndex) Len() int { return si.corpus.len() }
+
+// Add implements Index: new distinct titles are assigned to their shard
+// and appended to its engine incrementally. Per-shard insertion order is
+// the global interning order restricted to the shard, so a grown index is
+// identical to a fresh sharded build over the union.
+func (si *ShardedIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	before := si.corpus.len()
+	from := si.corpus.titleCount()
+	newTitles := si.corpus.add(offers, idxs)
+	if si.corpus.len() != before {
+		si.memoQ.reset()
+	}
+	if len(newTitles) == 0 {
+		return
+	}
+	si.assign(from)
+	if si.knn != nil {
+		si.encodeTitles(from, si.workers)
+	}
+	for _, tid := range newTitles {
+		s := int(si.shardOf[tid])
+		switch {
+		case si.mh != nil:
+			si.mh.ix[s].Add(si.corpus.prep().TokenSet(tid))
+		case si.knn.graphs != nil:
+			si.knn.graphs[s].Add(si.vecs[tid])
+		default:
+			si.knn.ivfs[s].Add(si.vecs[tid])
+		}
+	}
+	if si.knn != nil {
+		si.knn.memo = newMemoSlots[int32](si.corpus.titleCount())
+	}
+}
+
+// Candidates implements Index; repeated queries of the same split are
+// served from the query memo.
+func (si *ShardedIndex) Candidates(queryIdxs []int) []CandidatePair {
+	return si.memoQ.get(queryIdxs, func() []CandidatePair {
+		if si.mh != nil {
+			return si.minhashCandidates(queryIdxs)
+		}
+		return si.corpus.knnCandidates(queryIdxs, si.knn.k, si.workers, si.knnNeighbours)
+	})
+}
+
+// minhashCandidates merges the per-shard band buckets over the query's
+// titles: for each band, titles group by their band key — identical
+// across shards because every shard signs with the same hash family — so
+// two titles pair iff they would share a bucket in one corpus-wide index.
+func (si *ShardedIndex) minhashCandidates(queryIdxs []int) []CandidatePair {
+	v := si.corpus.view(queryIdxs)
+	var slotPairs [][2]int
+	seen := map[uint64]bool{}
+	byKey := make(map[uint64][]int, len(v.titles))
+	for band := 0; band < si.mh.cfg.Bands; band++ {
+		for k := range byKey {
+			delete(byKey, k)
+		}
+		for slot, tid := range v.titles {
+			key := si.mh.ix[si.shardOf[tid]].BandKey(int(si.local[tid]), band)
+			byKey[key] = append(byKey[key], slot)
+		}
+		for _, slots := range byKey {
+			for x := 0; x < len(slots); x++ {
+				for y := x + 1; y < len(slots); y++ {
+					// Slots were appended in ascending order, so a < b.
+					a, b := slots[x], slots[y]
+					k := uint64(uint32(a))<<32 | uint64(uint32(b))
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					slotPairs = append(slotPairs, [2]int{a, b})
+				}
+			}
+		}
+	}
+	return expandTitlePairs(v.groups, slotPairs)
+}
+
+// knnNeighbours returns title tid's memoized ranked neighbour ids: every
+// shard answers top-(K+1) for tid's vector, and the union merges by
+// (similarity descending, title id ascending) — the deterministic
+// distributed-kNN merge — truncated to K+1 like the unsharded indexes
+// (the query title itself ranks first from its home shard).
+func (si *ShardedIndex) knnNeighbours(tid int) []int32 {
+	return si.knn.memo.get(tid, func() []int32 {
+		q := si.vecs[tid]
+		type scored struct {
+			id  int32
+			sim float64
+		}
+		var all []scored
+		for s := 0; s < si.shards; s++ {
+			if si.knn.graphs != nil {
+				for _, r := range si.knn.graphs[s].Search(q, si.knn.k+1) {
+					all = append(all, scored{si.members[s][r.ID], r.Sim})
+				}
+			} else {
+				for _, r := range si.knn.ivfs[s].Search(q, si.knn.k+1) {
+					all = append(all, scored{si.members[s][r.ID], r.Sim})
+				}
+			}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].sim != all[b].sim {
+				return all[a].sim > all[b].sim
+			}
+			return all[a].id < all[b].id
+		})
+		if len(all) > si.knn.k+1 {
+			all = all[:si.knn.k+1]
+		}
+		ids := make([]int32, len(all))
+		for i, s := range all {
+			ids[i] = s.id
+		}
+		return ids
+	})
+}
+
+// BuildShardedIndex implements ShardedIndexBuilder.
+func (m *MinHashBlocker) BuildShardedIndex(offers []schemaorg.Offer, idxs []int, shards int) Index {
+	return BuildShardedMinHashIndex(offers, idxs, shards, m.Config, m.Seed)
+}
+
+// BuildShardedIndex implements ShardedIndexBuilder.
+func (h *HNSWBlocker) BuildShardedIndex(offers []schemaorg.Offer, idxs []int, shards int) Index {
+	return BuildShardedHNSWIndex(offers, idxs, shards, h.Model, h.K, h.Config, h.Seed)
+}
+
+// BuildShardedIndex implements ShardedIndexBuilder.
+func (b *IVFBlocker) BuildShardedIndex(offers []schemaorg.Offer, idxs []int, shards int) Index {
+	return BuildShardedIVFIndex(offers, idxs, shards, b.Model, b.K, b.Config, b.Seed)
+}
+
+// ShardedIndexBuilder is implemented by blockers whose index can be
+// hash-partitioned; OpenIndex routes Shards > 1 through it.
+type ShardedIndexBuilder interface {
+	IndexedBlocker
+	// BuildShardedIndex returns a fresh index partitioned across shards
+	// (values < 2 build a single partition).
+	BuildShardedIndex(offers []schemaorg.Offer, idxs []int, shards int) Index
+}

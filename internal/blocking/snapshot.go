@@ -1,0 +1,509 @@
+// Snapshot orchestration: every sublinear blocking index round-trips
+// through internal/persist, content-addressed by the corpus fingerprint
+// hashed together with the configuration words that shape index contents
+// (and, for the embedding-space indexes, a content hash of the model).
+// The trust rule is absolute: a load is used iff the stored fingerprint
+// equals the one derived from the caller's own offers/config; every other
+// outcome — missing file, corruption, version skew, mismatch — surfaces a
+// typed error and falls back to an ordinary rebuild. OpenIndex packages
+// the whole load-or-build-and-save dance behind one call, which is what
+// the wdceval/wdcgen -snapshot-dir flag drives.
+//
+// Snapshots store derived state only (signatures, adjacency, vectors,
+// inverted lists) — never the corpus: the fingerprint guarantees the
+// caller holds the identical offers, so the title bookkeeping is rebuilt
+// from them at load, which is cheap because the tokenized corpus is
+// materialized lazily (a loaded index defers tokenization until a
+// post-load Add needs it).
+
+package blocking
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/hnsw"
+	"wdcproducts/internal/ivf"
+	"wdcproducts/internal/lsh"
+	"wdcproducts/internal/persist"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/xrand"
+)
+
+// Snapshot kind strings, one per persistable index shape.
+const (
+	snapKindMinHash = "blocking/minhash-lsh"
+	snapKindHNSW    = "blocking/hnsw-knn"
+	snapKindIVF     = "blocking/ivf-knn"
+)
+
+// shardedKind is the kind string of a sharded snapshot of the named
+// engine.
+func shardedKind(name string) string { return "blocking/sharded/" + name }
+
+// SnapshotIndex is implemented by indexes that can serialize themselves
+// into the versioned snapshot format. The encoded bytes are self-checking
+// (trailing checksum) and self-describing (kind + fingerprint); hand them
+// to the matching Load function together with the identical corpus and
+// configuration to get the index back.
+type SnapshotIndex interface {
+	Index
+	// EncodeSnapshot returns the index as a persist snapshot blob.
+	EncodeSnapshot() []byte
+	// SnapshotFingerprint returns the content address the snapshot is
+	// stamped with.
+	SnapshotFingerprint() uint64
+}
+
+// modelFingerprint is the content-hash fingerprint word of an embedding
+// model (0 for nil). Unlike modelWord — pointer identity, used by the
+// in-process index cache — it survives process boundaries, which is what
+// snapshot content addressing needs.
+func modelFingerprint(m *embed.Model) uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.Fingerprint()
+}
+
+// hnswWords returns the configuration words of an HNSW index's content
+// address.
+func hnswWords(model *embed.Model, k int, cfg hnsw.Config, seed int64) []uint64 {
+	return []uint64{uint64(k), uint64(cfg.M), uint64(cfg.EfConstruction),
+		uint64(cfg.EfSearch), uint64(cfg.BatchSize), uint64(seed), modelFingerprint(model)}
+}
+
+// ivfWords returns the configuration words of an IVF index's content
+// address.
+func ivfWords(model *embed.Model, k int, cfg ivf.Config, seed int64) []uint64 {
+	return []uint64{uint64(k), uint64(cfg.NLists), uint64(cfg.NProbe),
+		uint64(cfg.TrainSize), uint64(cfg.Iters), uint64(seed), modelFingerprint(model)}
+}
+
+// SnapshotFingerprint implements SnapshotIndex.
+func (m *MinHashIndex) SnapshotFingerprint() uint64 { return m.corpus.fingerprint(m.cfgWords...) }
+
+// EncodeSnapshot implements SnapshotIndex: the payload is the LSH
+// engine's signatures (hash family and buckets are re-derived at load).
+func (m *MinHashIndex) EncodeSnapshot() []byte {
+	var b persist.Buffer
+	m.ix.AppendSnapshot(&b)
+	return persist.Encode(snapKindMinHash, m.SnapshotFingerprint(), b.Bytes())
+}
+
+// LoadMinHashIndex restores a MinHashIndex from snapshot bytes. offers,
+// idxs, cfg and seed must be the ones the snapshot was built from — the
+// load is refused with a *persist.FingerprintMismatchError otherwise —
+// and damaged bytes are refused with a *persist.CorruptSnapshotError.
+// The loaded index answers every Candidates query byte-identically to the
+// index that was saved, including after further Adds.
+func LoadMinHashIndex(data []byte, offers []schemaorg.Offer, idxs []int, cfg lsh.Config, seed int64) (*MinHashIndex, error) {
+	want := corpusFingerprint(offers, idxs, minhashWords(cfg, seed)...)
+	payload, err := persist.Decode(data, snapKindMinHash, want)
+	if err != nil {
+		return nil, err
+	}
+	m := &MinHashIndex{corpus: newIndexedCorpus(), cfgWords: minhashWords(cfg, seed)}
+	m.corpus.add(offers, idxs)
+	r := persist.NewReader(payload)
+	ix, err := lsh.RestoreIndex(cfg, xrand.New(seed).Stream("minhash-lsh"), r)
+	if err != nil {
+		return nil, persist.Corrupt(snapKindMinHash, "%v", err)
+	}
+	if ix.Len() != m.corpus.titleCount() {
+		return nil, persist.Corrupt(snapKindMinHash, "snapshot holds %d titles, corpus has %d", ix.Len(), m.corpus.titleCount())
+	}
+	if r.Remaining() != 0 {
+		return nil, persist.Corrupt(snapKindMinHash, "%d trailing payload bytes", r.Remaining())
+	}
+	m.ix = ix
+	return m, nil
+}
+
+// appendVecs writes the per-title encodings into b.
+func appendVecs(b *persist.Buffer, vecs [][]float32) {
+	b.Int(len(vecs))
+	for _, v := range vecs {
+		b.Float32s(v)
+	}
+}
+
+// readVecs reads per-title encodings, validating the count against the
+// corpus and that every vector shares one dimension.
+func readVecs(r *persist.Reader, kind string, titleCount int) ([][]float32, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, persist.Corrupt(kind, "%v", err)
+	}
+	if n != titleCount {
+		return nil, persist.Corrupt(kind, "snapshot holds %d title vectors, corpus has %d titles", n, titleCount)
+	}
+	vecs := make([][]float32, n)
+	for t := range vecs {
+		vecs[t] = r.Float32s()
+		if err := r.Err(); err != nil {
+			return nil, persist.Corrupt(kind, "%v", err)
+		}
+		if len(vecs[t]) != len(vecs[0]) {
+			return nil, persist.Corrupt(kind, "vector %d has dimension %d, want %d", t, len(vecs[t]), len(vecs[0]))
+		}
+	}
+	return vecs, nil
+}
+
+// SnapshotFingerprint implements SnapshotIndex.
+func (h *HNSWIndex) SnapshotFingerprint() uint64 {
+	return h.corpus.fingerprint(hnswWords(h.model, h.k, h.cfg, h.seed)...)
+}
+
+// EncodeSnapshot implements SnapshotIndex: the payload is the title
+// encodings plus the graph structure (levels, adjacency, batch state).
+func (h *HNSWIndex) EncodeSnapshot() []byte {
+	var b persist.Buffer
+	appendVecs(&b, h.vecs)
+	h.graph.AppendSnapshot(&b)
+	return persist.Encode(snapKindHNSW, h.SnapshotFingerprint(), b.Bytes())
+}
+
+// LoadHNSWIndex restores an HNSWIndex from snapshot bytes; the same trust
+// rule as LoadMinHashIndex applies (model included: its content hash is
+// part of the fingerprint). Loading skips tokenization, encoding, and
+// graph construction — the dominant build costs.
+func LoadHNSWIndex(data []byte, offers []schemaorg.Offer, idxs []int, model *embed.Model, k int, cfg hnsw.Config, seed int64) (*HNSWIndex, error) {
+	want := corpusFingerprint(offers, idxs, hnswWords(model, k, cfg, seed)...)
+	payload, err := persist.Decode(data, snapKindHNSW, want)
+	if err != nil {
+		return nil, err
+	}
+	h := &HNSWIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg, seed: seed}
+	h.corpus.add(offers, idxs)
+	r := persist.NewReader(payload)
+	vecs, err := readVecs(r, snapKindHNSW, h.corpus.titleCount())
+	if err != nil {
+		return nil, err
+	}
+	graph, err := hnsw.Restore(vecs, cfg, xrand.New(seed).Stream("hnsw-knn"), r)
+	if err != nil {
+		return nil, persist.Corrupt(snapKindHNSW, "%v", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, persist.Corrupt(snapKindHNSW, "%d trailing payload bytes", r.Remaining())
+	}
+	h.vecs = vecs
+	h.graph = graph
+	h.memo = newMemoSlots[int32](len(vecs))
+	return h, nil
+}
+
+// SnapshotFingerprint implements SnapshotIndex.
+func (x *IVFIndex) SnapshotFingerprint() uint64 {
+	return x.corpus.fingerprint(ivfWords(x.model, x.k, x.cfg, x.seed)...)
+}
+
+// EncodeSnapshot implements SnapshotIndex: the payload is the title
+// encodings plus the trained quantizer and inverted lists.
+func (x *IVFIndex) EncodeSnapshot() []byte {
+	var b persist.Buffer
+	appendVecs(&b, x.vecs)
+	x.ix.AppendSnapshot(&b)
+	return persist.Encode(snapKindIVF, x.SnapshotFingerprint(), b.Bytes())
+}
+
+// LoadIVFIndex restores an IVFIndex from snapshot bytes; the same trust
+// rule as LoadHNSWIndex applies. Loading skips tokenization, encoding,
+// and the k-means fit.
+func LoadIVFIndex(data []byte, offers []schemaorg.Offer, idxs []int, model *embed.Model, k int, cfg ivf.Config, seed int64) (*IVFIndex, error) {
+	want := corpusFingerprint(offers, idxs, ivfWords(model, k, cfg, seed)...)
+	payload, err := persist.Decode(data, snapKindIVF, want)
+	if err != nil {
+		return nil, err
+	}
+	x := &IVFIndex{corpus: newIndexedCorpus(), model: model, k: k, cfg: cfg, seed: seed}
+	x.corpus.add(offers, idxs)
+	r := persist.NewReader(payload)
+	vecs, err := readVecs(r, snapKindIVF, x.corpus.titleCount())
+	if err != nil {
+		return nil, err
+	}
+	ix, err := ivf.Restore(vecs, cfg, r)
+	if err != nil {
+		return nil, persist.Corrupt(snapKindIVF, "%v", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, persist.Corrupt(snapKindIVF, "%d trailing payload bytes", r.Remaining())
+	}
+	x.vecs = vecs
+	x.ix = ix
+	x.memo = newMemoSlots[int32](len(vecs))
+	return x, nil
+}
+
+// SnapshotFingerprint implements SnapshotIndex (the shard count is part
+// of the address: a 4-shard snapshot never loads into a 2-shard index).
+func (si *ShardedIndex) SnapshotFingerprint() uint64 {
+	return si.corpus.fingerprint(si.cfgWords...)
+}
+
+// EncodeSnapshot implements SnapshotIndex: the payload concatenates the
+// per-shard engine snapshots (plus the title encodings for the kNN
+// engines). Shard membership is not stored — it is a pure function of the
+// title bytes, recomputed at load.
+func (si *ShardedIndex) EncodeSnapshot() []byte {
+	var b persist.Buffer
+	b.Int(si.shards)
+	if si.knn != nil {
+		appendVecs(&b, si.vecs)
+	}
+	for s := 0; s < si.shards; s++ {
+		switch {
+		case si.mh != nil:
+			si.mh.ix[s].AppendSnapshot(&b)
+		case si.knn.graphs != nil:
+			si.knn.graphs[s].AppendSnapshot(&b)
+		default:
+			si.knn.ivfs[s].AppendSnapshot(&b)
+		}
+	}
+	return persist.Encode(shardedKind(si.name), si.SnapshotFingerprint(), b.Bytes())
+}
+
+// openShardedPayload validates the envelope and shard count shared by the
+// sharded loaders and returns the payload reader.
+func (si *ShardedIndex) openShardedPayload(data []byte, shards int) (*persist.Reader, error) {
+	kind := shardedKind(si.name)
+	payload, err := persist.Decode(data, kind, si.SnapshotFingerprint())
+	if err != nil {
+		return nil, err
+	}
+	r := persist.NewReader(payload)
+	if got := r.Int(); r.Err() != nil || got != shards {
+		return nil, persist.Corrupt(kind, "snapshot holds %d shards, want %d", got, shards)
+	}
+	return r, nil
+}
+
+// finishShardedPayload checks that a sharded payload was fully consumed.
+func (si *ShardedIndex) finishShardedPayload(r *persist.Reader) error {
+	if r.Remaining() != 0 {
+		return persist.Corrupt(shardedKind(si.name), "%d trailing payload bytes", r.Remaining())
+	}
+	return nil
+}
+
+// LoadShardedMinHashIndex restores a sharded MinHash index from snapshot
+// bytes; the trust rule of LoadMinHashIndex applies, with the shard count
+// part of the content address.
+func LoadShardedMinHashIndex(data []byte, offers []schemaorg.Offer, idxs []int, shards int, cfg lsh.Config, seed int64) (*ShardedIndex, error) {
+	si := newShardedIndex("minhash-lsh", offers, idxs, shards, cfg.Workers, minhashWords(cfg, seed))
+	r, err := si.openShardedPayload(data, si.shards)
+	if err != nil {
+		return nil, err
+	}
+	si.mh = &shardedMinHash{cfg: cfg, seed: seed, ix: make([]*lsh.Index, si.shards)}
+	for s := 0; s < si.shards; s++ {
+		ix, err := lsh.RestoreIndex(cfg, xrand.New(seed).Stream("minhash-lsh"), r)
+		if err != nil {
+			return nil, persist.Corrupt(shardedKind(si.name), "shard %d: %v", s, err)
+		}
+		if ix.Len() != len(si.members[s]) {
+			return nil, persist.Corrupt(shardedKind(si.name), "shard %d holds %d titles, want %d", s, ix.Len(), len(si.members[s]))
+		}
+		si.mh.ix[s] = ix
+	}
+	if err := si.finishShardedPayload(r); err != nil {
+		return nil, err
+	}
+	return si, nil
+}
+
+// LoadShardedHNSWIndex restores a sharded HNSW index from snapshot bytes;
+// the trust rule of LoadHNSWIndex applies, with the shard count part of
+// the content address.
+func LoadShardedHNSWIndex(data []byte, offers []schemaorg.Offer, idxs []int, shards int, model *embed.Model, k int, cfg hnsw.Config, seed int64) (*ShardedIndex, error) {
+	si := newShardedIndex("hnsw-knn", offers, idxs, shards, cfg.Workers, hnswWords(model, k, cfg, seed))
+	r, err := si.openShardedPayload(data, si.shards)
+	if err != nil {
+		return nil, err
+	}
+	vecs, err := readVecs(r, shardedKind(si.name), si.corpus.titleCount())
+	if err != nil {
+		return nil, err
+	}
+	si.vecs = vecs
+	si.knn = &shardedKNN{model: model, k: k, hcfg: cfg, seed: seed, graphs: make([]*hnsw.Graph, si.shards)}
+	for s := 0; s < si.shards; s++ {
+		g, err := hnsw.Restore(si.shardVecs(s), cfg, xrand.New(seed).Stream(shardStream("hnsw-knn", si.shards, s)), r)
+		if err != nil {
+			return nil, persist.Corrupt(shardedKind(si.name), "shard %d: %v", s, err)
+		}
+		si.knn.graphs[s] = g
+	}
+	if err := si.finishShardedPayload(r); err != nil {
+		return nil, err
+	}
+	si.knn.memo = newMemoSlots[int32](si.corpus.titleCount())
+	return si, nil
+}
+
+// LoadShardedIVFIndex restores a sharded IVF index from snapshot bytes;
+// the trust rule of LoadIVFIndex applies, with the shard count part of
+// the content address.
+func LoadShardedIVFIndex(data []byte, offers []schemaorg.Offer, idxs []int, shards int, model *embed.Model, k int, cfg ivf.Config, seed int64) (*ShardedIndex, error) {
+	si := newShardedIndex("ivf-knn", offers, idxs, shards, cfg.Workers, ivfWords(model, k, cfg, seed))
+	r, err := si.openShardedPayload(data, si.shards)
+	if err != nil {
+		return nil, err
+	}
+	vecs, err := readVecs(r, shardedKind(si.name), si.corpus.titleCount())
+	if err != nil {
+		return nil, err
+	}
+	si.vecs = vecs
+	si.knn = &shardedKNN{model: model, k: k, icfg: cfg, seed: seed, ivfs: make([]*ivf.Index, si.shards)}
+	for s := 0; s < si.shards; s++ {
+		ix, err := ivf.Restore(si.shardVecs(s), cfg, r)
+		if err != nil {
+			return nil, persist.Corrupt(shardedKind(si.name), "shard %d: %v", s, err)
+		}
+		si.knn.ivfs[s] = ix
+	}
+	if err := si.finishShardedPayload(r); err != nil {
+		return nil, err
+	}
+	si.knn.memo = newMemoSlots[int32](si.corpus.titleCount())
+	return si, nil
+}
+
+// snapshotBlocker is implemented by blockers whose indexes persist: it
+// exposes the content address (for snapshot file naming and trust) and
+// the matching typed loader. shards < 2 addresses the unsharded index.
+type snapshotBlocker interface {
+	IndexedBlocker
+	snapshotFingerprint(offers []schemaorg.Offer, idxs []int, shards int) uint64
+	loadSnapshot(data []byte, offers []schemaorg.Offer, idxs []int, shards int) (Index, error)
+}
+
+// shardedSnapshotWords appends the shard marker to a word list when the
+// index is actually sharded.
+func shardedSnapshotWords(words []uint64, shards int) []uint64 {
+	if shards > 1 {
+		words = append(words, shardWordMarker, uint64(shards))
+	}
+	return words
+}
+
+func (m *MinHashBlocker) snapshotFingerprint(offers []schemaorg.Offer, idxs []int, shards int) uint64 {
+	return corpusFingerprint(offers, idxs, shardedSnapshotWords(minhashWords(m.Config, m.Seed), shards)...)
+}
+
+func (m *MinHashBlocker) loadSnapshot(data []byte, offers []schemaorg.Offer, idxs []int, shards int) (Index, error) {
+	if shards > 1 {
+		return LoadShardedMinHashIndex(data, offers, idxs, shards, m.Config, m.Seed)
+	}
+	return LoadMinHashIndex(data, offers, idxs, m.Config, m.Seed)
+}
+
+func (h *HNSWBlocker) snapshotFingerprint(offers []schemaorg.Offer, idxs []int, shards int) uint64 {
+	return corpusFingerprint(offers, idxs, shardedSnapshotWords(hnswWords(h.Model, h.K, h.Config, h.Seed), shards)...)
+}
+
+func (h *HNSWBlocker) loadSnapshot(data []byte, offers []schemaorg.Offer, idxs []int, shards int) (Index, error) {
+	if shards > 1 {
+		return LoadShardedHNSWIndex(data, offers, idxs, shards, h.Model, h.K, h.Config, h.Seed)
+	}
+	return LoadHNSWIndex(data, offers, idxs, h.Model, h.K, h.Config, h.Seed)
+}
+
+func (b *IVFBlocker) snapshotFingerprint(offers []schemaorg.Offer, idxs []int, shards int) uint64 {
+	return corpusFingerprint(offers, idxs, shardedSnapshotWords(ivfWords(b.Model, b.K, b.Config, b.Seed), shards)...)
+}
+
+func (b *IVFBlocker) loadSnapshot(data []byte, offers []schemaorg.Offer, idxs []int, shards int) (Index, error) {
+	if shards > 1 {
+		return LoadShardedIVFIndex(data, offers, idxs, shards, b.Model, b.K, b.Config, b.Seed)
+	}
+	return LoadIVFIndex(data, offers, idxs, b.Model, b.K, b.Config, b.Seed)
+}
+
+// IndexOptions parameterizes OpenIndex.
+type IndexOptions struct {
+	// SnapshotDir, when non-empty, enables persistence: OpenIndex tries
+	// to load a trusted snapshot from the directory before building, and
+	// saves a fresh snapshot after any build. Empty disables both.
+	SnapshotDir string
+	// Shards > 1 hash-partitions the index across that many per-shard
+	// engines (blockers that cannot shard build unpartitioned).
+	Shards int
+}
+
+// OpenStats reports what OpenIndex did.
+type OpenStats struct {
+	// Loaded is true when the index was restored from a trusted snapshot
+	// (in which case no build ran).
+	Loaded bool
+	// Saved is true when a freshly built index was written back.
+	Saved bool
+	// Path is the snapshot file consulted and/or written ("" when
+	// persistence was disabled or the blocker does not persist).
+	Path string
+	// LoadErr is the typed reason a present snapshot was refused (nil
+	// when Loaded, when no snapshot existed, or when persistence was
+	// off). The index is still valid: OpenIndex fell back to a rebuild.
+	LoadErr error
+	// SaveErr is the reason writing the snapshot back failed (nil when
+	// Saved or when nothing needed saving). The index is still valid.
+	SaveErr error
+}
+
+// OpenIndex returns a ready blocking index for the blocker over the given
+// corpus: loaded from a trusted snapshot when opts.SnapshotDir holds one
+// for the exact corpus/config fingerprint, freshly built (sharded when
+// opts.Shards > 1 and the blocker supports it) otherwise — and in that
+// case written back for the next process. Load failures of any kind are
+// recorded in the returned OpenStats and fall back to the build path, so
+// the call always yields a usable index; snapshot trust is never
+// negotiable, only observable.
+func OpenIndex(bl IndexedBlocker, offers []schemaorg.Offer, idxs []int, opts IndexOptions) (Index, OpenStats) {
+	var stats OpenStats
+	build := func() Index {
+		if opts.Shards > 1 {
+			if sb, ok := bl.(ShardedIndexBuilder); ok {
+				return sb.BuildShardedIndex(offers, idxs, opts.Shards)
+			}
+		}
+		return bl.BuildIndex(offers, idxs)
+	}
+	sb, persistable := bl.(snapshotBlocker)
+	if opts.SnapshotDir == "" || !persistable {
+		return build(), stats
+	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fp := sb.snapshotFingerprint(offers, idxs, shards)
+	stats.Path = filepath.Join(opts.SnapshotDir, fmt.Sprintf("%s-s%d-%016x.snap", bl.Name(), shards, fp))
+	if data, err := os.ReadFile(stats.Path); err == nil {
+		ix, lerr := sb.loadSnapshot(data, offers, idxs, shards)
+		if lerr == nil {
+			stats.Loaded = true
+			return ix, stats
+		}
+		stats.LoadErr = lerr
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		stats.LoadErr = err
+	}
+	ix := build()
+	if snap, ok := ix.(SnapshotIndex); ok {
+		if err := persist.WriteFile(stats.Path, snap.EncodeSnapshot()); err != nil {
+			stats.SaveErr = err
+		} else {
+			stats.Saved = true
+		}
+	}
+	return ix, stats
+}

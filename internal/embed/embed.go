@@ -69,6 +69,10 @@ type Model struct {
 	totalCount  int
 	negTbl      []int32
 	trained     bool
+
+	// Fingerprint memoization (content hashing the vector tables once).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // inVec/outVec/gramVec return the matrix row of a word or bucket id.

@@ -1,0 +1,56 @@
+package embed
+
+import "math"
+
+// Fingerprint returns a content hash of the trained model: configuration,
+// vocabulary, and all three vector tables. Two models fingerprint equal
+// iff they would encode every text identically, which is what lets a
+// persisted blocking index be content-addressed to the model that
+// produced its vectors across processes (unlike pointer identity, which
+// is process-local). The hash walks a few megabytes of matrix on first
+// call and is memoized, so the per-process cost is paid once per model.
+//
+// Fingerprint must not be called concurrently with training, but is safe
+// for concurrent use afterwards.
+func (m *Model) Fingerprint() uint64 {
+	m.fpOnce.Do(func() {
+		// A multiply-xor mix over 64-bit lanes: not FNV (which walks bytes
+		// and would cost 8x more over the matrices), but the same
+		// avalanche idea, and stable across platforms because every input
+		// is folded in a defined order and width.
+		const prime = 0x100000001b3
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			h ^= v
+			h *= prime
+			h ^= h >> 29
+		}
+		mix(uint64(m.cfg.Dim))
+		mix(uint64(m.cfg.Window))
+		mix(uint64(m.cfg.Negatives))
+		mix(uint64(m.cfg.Epochs))
+		mix(math.Float64bits(m.cfg.LearningRate))
+		mix(uint64(m.cfg.MinCount))
+		mix(uint64(m.cfg.Buckets))
+		mix(uint64(m.cfg.MinN))
+		mix(uint64(m.cfg.MaxN))
+		if m.trained {
+			mix(1)
+		}
+		mix(uint64(len(m.words)))
+		for _, w := range m.words {
+			mix(uint64(len(w)))
+			for i := 0; i < len(w); i++ {
+				mix(uint64(w[i]))
+			}
+		}
+		for _, table := range [][]float32{m.in, m.grams, m.out} {
+			mix(uint64(len(table)))
+			for _, v := range table {
+				mix(uint64(math.Float32bits(v)))
+			}
+		}
+		m.fp = h
+	})
+	return m.fp
+}

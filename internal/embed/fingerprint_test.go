@@ -1,0 +1,33 @@
+package embed
+
+import (
+	"testing"
+
+	"wdcproducts/internal/xrand"
+)
+
+func TestFingerprint(t *testing.T) {
+	texts := []string{"acme widget pro 3000", "acme widget pro", "bolt cutter xl", "bolt cutter"}
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.Buckets = 1 << 8
+
+	a := Train(texts, cfg, xrand.New(11).Stream("embed"))
+	b := Train(texts, cfg, xrand.New(11).Stream("embed"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical trainings produced different fingerprints")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	c := Train(texts, cfg, xrand.New(12).Stream("embed"))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("differently seeded trainings fingerprint equal")
+	}
+	cfg2 := cfg
+	cfg2.Window = cfg.Window + 1
+	d := Train(texts, cfg2, xrand.New(11).Stream("embed"))
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different configs fingerprint equal")
+	}
+}

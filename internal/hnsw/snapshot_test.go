@@ -1,0 +1,89 @@
+package hnsw
+
+import (
+	"fmt"
+	"testing"
+
+	"wdcproducts/internal/persist"
+	"wdcproducts/internal/xrand"
+)
+
+func sameSearch(t *testing.T, want, got *Graph, vecs [][]float32, k int) {
+	t.Helper()
+	for _, q := range vecs {
+		if fmt.Sprint(want.Search(q, k)) != fmt.Sprint(got.Search(q, k)) {
+			t.Fatal("Search diverged after restore")
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{M: 4, EfConstruction: 16, EfSearch: 16, BatchSize: 8, Workers: 1}
+	vecs := randomVecs(xrand.New(5).Stream("vecs"), 70, 8)
+	// Cut mid-batch on purpose: the snapshot must carry the in-flight
+	// batch state for post-restore Adds to replay identically.
+	cut := 45
+	orig := Build(vecs[:cut], cfg, xrand.New(6).Stream("hnsw"))
+
+	var b persist.Buffer
+	orig.AppendSnapshot(&b)
+	restored, err := Restore(vecs[:cut], cfg, xrand.New(6).Stream("hnsw"), persist.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	sameSearch(t, orig, restored, vecs, 5)
+
+	// Post-restore Adds must replay the original batched construction:
+	// compare against one Build over the full input.
+	for _, v := range vecs[cut:] {
+		orig.Add(v)
+		restored.Add(v)
+	}
+	full := Build(vecs, cfg, xrand.New(6).Stream("hnsw"))
+	sameSearch(t, full, restored, vecs, 5)
+	sameSearch(t, full, orig, vecs, 5)
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	orig := Build(nil, cfg, xrand.New(1).Stream("hnsw"))
+	var b persist.Buffer
+	orig.AppendSnapshot(&b)
+	restored, err := Restore(nil, cfg, xrand.New(1).Stream("hnsw"), persist.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := restored.Search([]float32{1, 0}, 3); got != nil {
+		t.Fatalf("empty restored graph returned %v", got)
+	}
+	// Adds must still grow it identically to the never-persisted graph.
+	vecs := randomVecs(xrand.New(2).Stream("vecs"), 20, 4)
+	for _, v := range vecs {
+		orig.Add(v)
+		restored.Add(v)
+	}
+	sameSearch(t, orig, restored, vecs, 4)
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	cfg := Config{M: 4, EfConstruction: 16, EfSearch: 16, BatchSize: 8, Workers: 1}
+	vecs := randomVecs(xrand.New(5).Stream("vecs"), 30, 6)
+	orig := Build(vecs, cfg, xrand.New(6).Stream("hnsw"))
+	var b persist.Buffer
+	orig.AppendSnapshot(&b)
+	snap := b.Bytes()
+
+	for n := 0; n < len(snap); n += 5 {
+		if _, err := Restore(vecs, cfg, xrand.New(6).Stream("hnsw"), persist.NewReader(snap[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Wrong vector count must be refused.
+	if _, err := Restore(vecs[:10], cfg, xrand.New(6).Stream("hnsw"), persist.NewReader(snap)); err == nil {
+		t.Fatal("vector-count mismatch accepted")
+	}
+	// Invalid config must be refused.
+	if _, err := Restore(vecs, Config{}, xrand.New(6).Stream("hnsw"), persist.NewReader(snap)); err == nil {
+		t.Fatal("zero-config restore accepted")
+	}
+}

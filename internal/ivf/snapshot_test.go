@@ -1,0 +1,102 @@
+package ivf
+
+import (
+	"fmt"
+	"testing"
+
+	"wdcproducts/internal/persist"
+	"wdcproducts/internal/xrand"
+)
+
+func sameSearchIVF(t *testing.T, want, got *Index, vecs [][]float32, k int) {
+	t.Helper()
+	for _, q := range vecs {
+		if fmt.Sprint(want.Search(q, k)) != fmt.Sprint(got.Search(q, k)) {
+			t.Fatal("Search diverged after restore")
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{NLists: 6, NProbe: 2, TrainSize: 40, Iters: 5, Workers: 1}
+	vecs := clusteredVecs(xrand.New(7).Stream("vecs"), 80, 6, 8)
+	cut := 60 // past TrainSize, so post-restore Adds stay exact
+	orig := Build(vecs[:cut], cfg, xrand.New(8).Stream("ivf"))
+
+	var b persist.Buffer
+	orig.AppendSnapshot(&b)
+	restored, err := Restore(vecs[:cut], cfg, persist.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.NLists() != orig.NLists() {
+		t.Fatalf("NLists: %d vs %d", restored.NLists(), orig.NLists())
+	}
+	if fmt.Sprint(restored.ListSizes()) != fmt.Sprint(orig.ListSizes()) {
+		t.Fatalf("ListSizes differ")
+	}
+	sameSearchIVF(t, orig, restored, vecs, 5)
+
+	for _, v := range vecs[cut:] {
+		orig.Add(v)
+		restored.Add(v)
+	}
+	full := Build(vecs, cfg, xrand.New(8).Stream("ivf"))
+	sameSearchIVF(t, full, restored, vecs, 5)
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	orig := Build(nil, DefaultConfig(), xrand.New(1).Stream("ivf"))
+	var b persist.Buffer
+	orig.AppendSnapshot(&b)
+	restored, err := Restore(nil, DefaultConfig(), persist.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := restored.Search([]float32{1, 0}, 3); got != nil {
+		t.Fatalf("empty restored index returned %v", got)
+	}
+	vecs := clusteredVecs(xrand.New(2).Stream("vecs"), 12, 2, 4)
+	for _, v := range vecs {
+		orig.Add(v)
+		restored.Add(v)
+	}
+	sameSearchIVF(t, orig, restored, vecs, 4)
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	cfg := Config{NLists: 4, NProbe: 2, TrainSize: 30, Iters: 3, Workers: 1}
+	vecs := clusteredVecs(xrand.New(7).Stream("vecs"), 40, 4, 6)
+	orig := Build(vecs, cfg, xrand.New(8).Stream("ivf"))
+	var b persist.Buffer
+	orig.AppendSnapshot(&b)
+	snap := b.Bytes()
+
+	for n := 0; n < len(snap); n += 5 {
+		if _, err := Restore(vecs, cfg, persist.NewReader(snap[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := Restore(vecs[:10], cfg, persist.NewReader(snap)); err == nil {
+		t.Fatal("vector-count mismatch accepted")
+	}
+	// A duplicated list member must be refused: splice vector 0 into a
+	// second list by rewriting the payload.
+	var dup persist.Buffer
+	dup.Int(orig.Len())
+	dup.Int(orig.dim)
+	dup.Int(orig.cfg.NProbe)
+	dup.Int(len(orig.centroids))
+	for _, c := range orig.centroids {
+		dup.Float32s(c)
+	}
+	for i, l := range orig.lists {
+		if i == len(orig.lists)-1 {
+			l = append(append([]int32(nil), l...), 0)
+		}
+		dup.Int32s(l)
+	}
+	if _, err := Restore(vecs, cfg, persist.NewReader(dup.Bytes())); err == nil {
+		t.Fatal("duplicate list member accepted")
+	}
+}

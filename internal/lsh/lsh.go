@@ -20,6 +20,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"wdcproducts/internal/parallel"
 )
@@ -155,8 +156,13 @@ type Index struct {
 	sigs   [][]uint64
 	// buckets[band] maps a band hash to the member set indices that share
 	// it, in ascending index order (workers write signatures into
-	// index-addressed slots; bucketing itself is a serial pass).
-	buckets []map[uint64][]int32
+	// index-addressed slots; bucketing itself is a serial pass). The maps
+	// are a pure function of the signatures and are materialized lazily by
+	// ensureBuckets — an index restored from a snapshot serves no reads
+	// before its first query, so the load path skips the rebucketing cost
+	// entirely.
+	bucketsOnce *sync.Once
+	buckets     []map[uint64][]int32
 }
 
 // NewIndex returns an empty index whose hash family is drawn from rng.
@@ -164,7 +170,7 @@ func NewIndex(cfg Config, rng *rand.Rand) *Index {
 	if cfg.Bands <= 0 || cfg.Rows <= 0 {
 		panic("lsh: Config.Bands and Config.Rows must be positive")
 	}
-	return &Index{cfg: cfg, signer: NewSigner(cfg.NumHashes(), rng)}
+	return &Index{cfg: cfg, signer: NewSigner(cfg.NumHashes(), rng), bucketsOnce: new(sync.Once)}
 }
 
 // Config returns the index configuration.
@@ -183,15 +189,27 @@ func (ix *Index) Build(sets [][]int32) {
 		ix.sigs[i] = ix.signer.Signature(sets[i], nil)
 		return nil
 	}, nil)
-	ix.buckets = make([]map[uint64][]int32, ix.cfg.Bands)
-	for band := 0; band < ix.cfg.Bands; band++ {
-		m := make(map[uint64][]int32, len(sets))
-		for i, sig := range ix.sigs {
-			key := bandKey(sig, band, ix.cfg.Rows)
-			m[key] = append(m[key], int32(i))
+	ix.bucketsOnce = new(sync.Once)
+	ix.buckets = nil
+	ix.ensureBuckets()
+}
+
+// ensureBuckets materializes the band buckets from the signatures, at
+// most once per Build/restore generation. Concurrent readers racing for
+// the first query are serialized by the sync.Once.
+func (ix *Index) ensureBuckets() {
+	ix.bucketsOnce.Do(func() {
+		buckets := make([]map[uint64][]int32, ix.cfg.Bands)
+		for band := 0; band < ix.cfg.Bands; band++ {
+			m := make(map[uint64][]int32, len(ix.sigs))
+			for i, sig := range ix.sigs {
+				key := bandKey(sig, band, ix.cfg.Rows)
+				m[key] = append(m[key], int32(i))
+			}
+			buckets[band] = m
 		}
-		ix.buckets[band] = m
-	}
+		ix.buckets = buckets
+	})
 }
 
 // Add indexes one more token set incrementally and returns its index.
@@ -199,12 +217,7 @@ func (ix *Index) Build(sets [][]int32) {
 // sequence of Adds produces an index byte-identical to one Build over the
 // concatenated sets.
 func (ix *Index) Add(set []int32) int {
-	if ix.buckets == nil {
-		ix.buckets = make([]map[uint64][]int32, ix.cfg.Bands)
-		for band := range ix.buckets {
-			ix.buckets[band] = map[uint64][]int32{}
-		}
-	}
+	ix.ensureBuckets()
 	i := len(ix.sigs)
 	sig := ix.signer.Signature(set, nil)
 	ix.sigs = append(ix.sigs, sig)
@@ -248,6 +261,7 @@ func (ix *Index) CandidatePairs() [][2]int { return ix.CandidatePairsAmong(nil) 
 // only the included sets, which is what makes one corpus-wide index
 // queryable per split.
 func (ix *Index) CandidatePairsAmong(include func(i int) bool) [][2]int {
+	ix.ensureBuckets()
 	seen := make(map[uint64]struct{})
 	var out [][2]int
 	for _, bandBuckets := range ix.buckets {
@@ -283,6 +297,7 @@ func (ix *Index) CandidatePairsAmong(include func(i int) bool) [][2]int {
 // Query returns the indices of indexed sets sharing at least one band
 // bucket with the given (not necessarily indexed) set, in ascending order.
 func (ix *Index) Query(set []int32) []int {
+	ix.ensureBuckets()
 	sig := ix.signer.Signature(set, nil)
 	seen := make(map[int32]struct{})
 	var out []int

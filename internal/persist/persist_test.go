@@ -1,0 +1,241 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testSnapshot builds a small but non-trivial snapshot exercising every
+// Buffer primitive.
+func testSnapshot(t testing.TB) []byte {
+	t.Helper()
+	var b Buffer
+	b.Uint32(7)
+	b.Uint64(1 << 62)
+	b.Int(-3)
+	b.String("hello")
+	b.Ints([]int{1, -2, 3})
+	b.Int32s([]int32{-4, 5})
+	b.Uint64s([]uint64{9, 10, 11})
+	b.Float32s([]float32{1.5, -0.25, float32(math.Inf(1))})
+	return Encode("test/kind", 0xdeadbeef, b.Bytes())
+}
+
+func decodePayload(t *testing.T, payload []byte) {
+	t.Helper()
+	r := NewReader(payload)
+	if got := r.Uint32(); got != 7 {
+		t.Errorf("Uint32 = %d, want 7", got)
+	}
+	if got := r.Uint64(); got != 1<<62 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Int(); got != -3 {
+		t.Errorf("Int = %d, want -3", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	ints := r.Ints()
+	if len(ints) != 3 || ints[0] != 1 || ints[1] != -2 || ints[2] != 3 {
+		t.Errorf("Ints = %v", ints)
+	}
+	i32s := r.Int32s()
+	if len(i32s) != 2 || i32s[0] != -4 || i32s[1] != 5 {
+		t.Errorf("Int32s = %v", i32s)
+	}
+	u64s := r.Uint64s()
+	if len(u64s) != 3 || u64s[2] != 11 {
+		t.Errorf("Uint64s = %v", u64s)
+	}
+	f32s := r.Float32s()
+	if len(f32s) != 3 || f32s[0] != 1.5 || f32s[1] != -0.25 || !math.IsInf(float64(f32s[2]), 1) {
+		t.Errorf("Float32s = %v", f32s)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+	payload, err := Decode(snap, "test/kind", 0xdeadbeef)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	decodePayload(t, payload)
+}
+
+func TestDecodeFingerprintMismatch(t *testing.T) {
+	snap := testSnapshot(t)
+	_, err := Decode(snap, "test/kind", 0xcafe)
+	var mismatch *FingerprintMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("Decode err = %v, want *FingerprintMismatchError", err)
+	}
+	if mismatch.Want != 0xcafe || mismatch.Got != 0xdeadbeef {
+		t.Errorf("mismatch = %+v", mismatch)
+	}
+	if mismatch.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestDecodeWrongKind(t *testing.T) {
+	snap := testSnapshot(t)
+	_, err := Decode(snap, "test/other", 0xdeadbeef)
+	var corrupt *CorruptSnapshotError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("Decode err = %v, want *CorruptSnapshotError", err)
+	}
+}
+
+// TestDecodeTruncated verifies that every possible truncation of a valid
+// snapshot is rejected with a typed corruption error.
+func TestDecodeTruncated(t *testing.T) {
+	snap := testSnapshot(t)
+	for n := 0; n < len(snap); n++ {
+		_, err := Decode(snap[:n], "test/kind", 0xdeadbeef)
+		var corrupt *CorruptSnapshotError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("Decode(snap[:%d]) err = %v, want *CorruptSnapshotError", n, err)
+		}
+	}
+}
+
+// TestDecodeBitFlips verifies that flipping any single bit of a valid
+// snapshot is caught by the checksum.
+func TestDecodeBitFlips(t *testing.T) {
+	snap := testSnapshot(t)
+	for pos := 0; pos < len(snap)*8; pos++ {
+		mut := append([]byte(nil), snap...)
+		mut[pos/8] ^= 1 << (pos % 8)
+		_, err := Decode(mut, "test/kind", 0xdeadbeef)
+		var corrupt *CorruptSnapshotError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("bit %d flip: err = %v, want *CorruptSnapshotError", pos, err)
+		}
+	}
+}
+
+// reseal recomputes the trailing checksum after a deliberate mutation, so
+// the test reaches the validation layer beyond the checksum.
+func reseal(snap []byte) []byte {
+	body := snap[:len(snap)-8]
+	return binary.LittleEndian.AppendUint64(append([]byte(nil), body...), Checksum(body))
+}
+
+func TestDecodeVersionSkew(t *testing.T) {
+	snap := testSnapshot(t)
+	mut := append([]byte(nil), snap...)
+	binary.LittleEndian.PutUint32(mut[len(Magic):], Version+1)
+	for _, data := range [][]byte{mut, reseal(mut)} {
+		_, err := Decode(data, "test/kind", 0xdeadbeef)
+		var corrupt *CorruptSnapshotError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("version skew: err = %v, want *CorruptSnapshotError", err)
+		}
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	snap := testSnapshot(t)
+	mut := append([]byte(nil), snap...)
+	copy(mut, "NOTASNAP")
+	_, err := Decode(reseal(mut), "test/kind", 0xdeadbeef)
+	var corrupt *CorruptSnapshotError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("bad magic: err = %v, want *CorruptSnapshotError", err)
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	snap := testSnapshot(t)
+	// Extend the payload-length prefix's reach by appending bytes between
+	// payload and checksum, then reseal: the envelope reader must reject
+	// the trailing bytes.
+	body := snap[:len(snap)-8]
+	mut := append(append([]byte(nil), body...), 0xff, 0xff)
+	_, err := Decode(reseal(mut), "test/kind", 0xdeadbeef)
+	var corrupt *CorruptSnapshotError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("trailing bytes: err = %v, want *CorruptSnapshotError", err)
+	}
+}
+
+// TestReaderHostileLengths verifies that absurd length prefixes fail
+// before allocation rather than attempting to allocate.
+func TestReaderHostileLengths(t *testing.T) {
+	var b Buffer
+	b.Uint64(1 << 60) // claims 2^60 elements
+	for _, read := range []func(r *Reader){
+		func(r *Reader) { r.Ints() },
+		func(r *Reader) { r.Int32s() },
+		func(r *Reader) { r.Uint64s() },
+		func(r *Reader) { r.Float32s() },
+		func(r *Reader) { _ = r.String() },
+		func(r *Reader) { r.Blob() },
+	} {
+		r := NewReader(b.Bytes())
+		read(r)
+		if r.Err() == nil {
+			t.Fatal("hostile length accepted")
+		}
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.Uint64() // fails: only 2 bytes
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	r.Uint32()
+	r.Ints()
+	if r.Err() != first {
+		t.Fatalf("error not sticky: %v vs %v", r.Err(), first)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "snap.snap")
+	snap := testSnapshot(t)
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != string(snap) {
+		t.Fatal("round-trip mismatch")
+	}
+	// Overwrite must succeed and leave no temp files behind.
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files: %v", entries)
+	}
+}
+
+func TestCorruptHelper(t *testing.T) {
+	err := Corrupt("k", "bad %d", 7)
+	var corrupt *CorruptSnapshotError
+	if !errors.As(err, &corrupt) || corrupt.Kind != "k" || corrupt.Reason != "bad 7" {
+		t.Fatalf("Corrupt = %#v", err)
+	}
+}

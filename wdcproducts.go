@@ -339,6 +339,24 @@ func blockerModel(b *Benchmark, names []string, seed int64) *embed.Model {
 	return nil
 }
 
+// BlockingOptions routes index acquisition in the blocking studies
+// through blocking.OpenIndex: a non-empty SnapshotDir loads each
+// blocker's index from a trusted snapshot when one exists for the exact
+// corpus/config fingerprint (and saves a fresh one otherwise), and
+// Shards > 1 hash-partitions the index across that many per-shard
+// engines. The zero value reproduces the plain build-per-run behaviour.
+type BlockingOptions struct {
+	// SnapshotDir enables index persistence when non-empty.
+	SnapshotDir string
+	// Shards > 1 builds hash-partitioned indexes.
+	Shards int
+}
+
+// indexOptions translates the facade options for blocking.OpenIndex.
+func (o BlockingOptions) indexOptions() blocking.IndexOptions {
+	return blocking.IndexOptions{SnapshotDir: o.SnapshotDir, Shards: o.Shards}
+}
+
 // blockingSplit is one test split's offer universe and ground truth.
 type blockingSplit struct {
 	label string
@@ -386,6 +404,14 @@ func testSplit(b *Benchmark, cc CornerRatio, un Unseen) *blockingSplit {
 // timing columns — blocker output is deterministic for a fixed seed at any
 // worker count).
 func BlockingReport(b *Benchmark, names []string, seed int64, workers int) (*Table, error) {
+	return BlockingReportOpts(b, names, seed, workers, BlockingOptions{})
+}
+
+// BlockingReportOpts is BlockingReport with index acquisition routed
+// through blocking.OpenIndex: opts.SnapshotDir loads/saves each blocker's
+// index snapshot (the "build ms" column then shows the load time) and
+// opts.Shards > 1 partitions the indexes of the blockers that support it.
+func BlockingReportOpts(b *Benchmark, names []string, seed int64, workers int, opts BlockingOptions) (*Table, error) {
 	if len(names) == 0 {
 		names = BlockerNames()
 	}
@@ -407,7 +433,7 @@ func BlockingReport(b *Benchmark, names []string, seed int64, workers int) (*Tab
 		buildMS := "-"
 		start := time.Now()
 		if ib, ok := bl.(blocking.IndexedBlocker); ok {
-			ix := ib.BuildIndex(b.Offers, split.idxs)
+			ix, _ := blocking.OpenIndex(ib, b.Offers, split.idxs, opts.indexOptions())
 			buildMS = msSince(start)
 			start = time.Now()
 			cands, err = blocking.QueryCandidates(ix, split.idxs)
@@ -439,6 +465,15 @@ func BlockingReport(b *Benchmark, names []string, seed int64, workers int) (*Tab
 // full study does. workers bounds construction and query goroutines
 // (<= 0 selects all cores).
 func BlockingScaleReport(b *Benchmark, names []string, seed int64, workers int) (*Table, error) {
+	return BlockingScaleReportOpts(b, names, seed, workers, BlockingOptions{})
+}
+
+// BlockingScaleReportOpts is BlockingScaleReport with index acquisition
+// routed through blocking.OpenIndex: with opts.SnapshotDir set, an index
+// restored from a trusted snapshot reports "load" instead of "build" in
+// its one-off row, and opts.Shards > 1 partitions the indexes of the
+// blockers that support it.
+func BlockingScaleReportOpts(b *Benchmark, names []string, seed int64, workers int, opts BlockingOptions) (*Table, error) {
 	if len(names) == 0 {
 		names = BlockerNames()
 	}
@@ -475,8 +510,13 @@ func BlockingScaleReport(b *Benchmark, names []string, seed int64, workers int) 
 		var ix blocking.Index
 		if ib, ok := bl.(blocking.IndexedBlocker); ok {
 			start := time.Now()
-			ix = ib.BuildIndex(b.Offers, union)
-			t.AddRow(bl.Name(), "build", fmt.Sprint(len(union)), "-", "-", "-", msSince(start))
+			var stats blocking.OpenStats
+			ix, stats = blocking.OpenIndex(ib, b.Offers, union, opts.indexOptions())
+			acquired := "build"
+			if stats.Loaded {
+				acquired = "load"
+			}
+			t.AddRow(bl.Name(), acquired, fmt.Sprint(len(union)), "-", "-", "-", msSince(start))
 		}
 		for _, s := range splits {
 			var cands []blocking.CandidatePair
@@ -534,7 +574,7 @@ var matcherBlockingVariant = core.VariantKey{Corner: 50, Dev: core.Medium, Unsee
 // BlockingReport's numbers, whose index covers the test split alone. The
 // metrics describe exactly the candidate set the pair restriction used.
 func matcherBlockingTask(b *Benchmark, bl blocking.Blocker, split *blockingSplit,
-	train, val, test []Pair) (experiments.MatcherBlockingTask, error) {
+	train, val, test []Pair, opts BlockingOptions) (experiments.MatcherBlockingTask, error) {
 	trainU := blocking.PairUniverse(train)
 	valU := blocking.PairUniverse(val)
 	union := append([]int(nil), split.idxs...)
@@ -554,7 +594,7 @@ func matcherBlockingTask(b *Benchmark, bl blocking.Blocker, split *blockingSplit
 		return bl.Candidates(b.Offers, idxs), nil
 	}
 	if ib, ok := bl.(blocking.IndexedBlocker); ok {
-		ix := ib.BuildIndex(b.Offers, union)
+		ix, _ := blocking.OpenIndex(ib, b.Offers, union, opts.indexOptions())
 		query = func(idxs []int) ([]blocking.CandidatePair, error) {
 			return blocking.QueryCandidates(ix, idxs)
 		}
@@ -626,6 +666,17 @@ func noBlockingTask(split *blockingSplit, train, val, test []Pair) experiments.M
 // (<= 0 selects all cores) — the table is byte-identical at any worker
 // count.
 func MatcherBlockingReport(b *Benchmark, names, systems []string, seed int64, reps, workers int) (*Table, error) {
+	return MatcherBlockingReportOpts(b, names, systems, seed, reps, workers, BlockingOptions{})
+}
+
+// MatcherBlockingReportOpts is MatcherBlockingReport with index
+// acquisition routed through blocking.OpenIndex: opts.SnapshotDir
+// loads/saves each blocker's union index snapshot and opts.Shards > 1
+// partitions the indexes of the blockers that support it. The restricted
+// pair sets — and therefore the whole table — are identical to the plain
+// report's for any options (sharded MinHash exactly; the sharded kNN
+// engines within their usual approximation tolerance).
+func MatcherBlockingReportOpts(b *Benchmark, names, systems []string, seed int64, reps, workers int, opts BlockingOptions) (*Table, error) {
 	if len(names) == 0 {
 		names = BlockerNames()
 	}
@@ -645,7 +696,7 @@ func MatcherBlockingReport(b *Benchmark, names, systems []string, seed int64, re
 		if err != nil {
 			return nil, err
 		}
-		task, err := matcherBlockingTask(b, bl, split, train, val, test)
+		task, err := matcherBlockingTask(b, bl, split, train, val, test, opts)
 		if err != nil {
 			return nil, err
 		}
