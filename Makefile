@@ -2,14 +2,14 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_6.json: the end-to-end
+# The perf-trajectory benchmarks recorded in BENCH_7.json: the end-to-end
 # pipeline build, the corner-selection microbenchmarks, the sigmoid
-# lookup-table comparison, the blocking-scale / index-reuse / matcher
-# benches carried over from PRs 4-5, and the PR 6 persistence benches —
-# snapshot load vs rebuild per engine and sharded build/query scaling with
-# exhaustive-recall checks.
-BENCH_OUT ?= BENCH_6.json
-BENCH_NOTE ?= persistent sharded blocking (PR 6): cold snapshot loads restore every engine >=10x faster than a rebuild at n=2563 (minhash ~14x, hnsw ~140x, ivf ~44x) and 4-shard fan-out queries keep 100% of the unsharded exhaustive-pair recall (99.97% for both kNN engines at shards 1/2/4) while staying pair-identical for minhash-lsh
+# lookup-table comparison, the blocking-scale / index-reuse / matcher /
+# persistence benches carried over from PRs 4-6, and the PR 7 serving
+# bench — a closed-loop query fleet against the live wdcserve daemon with
+# continuous concurrent ingest, reporting p50/p99 latency and QPS.
+BENCH_OUT ?= BENCH_7.json
+BENCH_NOTE ?= serving layer (PR 7): the wdcserve daemon answers match/candidate queries at ~4.6ms p50 / ~67ms p99 and ~550 QPS (8 closed-loop clients) while the bounded ingest pipeline applies a continuous connector stream concurrently; match reads are lock-free against the published epoch view
 
 # Coverage floor (percent of statements) enforced over the blocking stack
 # by `make cover`.
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/experiments ./internal/matchers ./internal/embed ./internal/parallel ./internal/blocking
+	$(GO) test -race -short ./internal/experiments ./internal/matchers ./internal/embed ./internal/parallel ./internal/blocking ./internal/serve ./internal/serve/faults
 
 vet:
 	$(GO) vet ./...
@@ -37,16 +37,17 @@ vet:
 # exported identifier in the documented packages lacks a doc comment.
 docs:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt -l:"; echo "$$fmt"; exit 1; fi
-	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/simlib ./internal/persist
+	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/simlib ./internal/persist ./internal/serve ./internal/serve/faults
 
 # cover enforces a statement-coverage floor over the blocking stack (the
-# packages the reusable-index layer lives in) plus the snapshot envelope
-# codec. The floor guards the reuse, incremental-insertion and
-# save/load round-trip property tests from silently rotting. The profile
-# is written to $(BUILD_DIR)/cover.out, which is gitignored.
+# packages the reusable-index layer lives in), the snapshot envelope
+# codec, and the serving layer. The floor guards the reuse,
+# incremental-insertion, save/load round-trip and fault-path tests from
+# silently rotting. The profile is written to $(BUILD_DIR)/cover.out,
+# which is gitignored.
 cover:
 	@mkdir -p $(BUILD_DIR)
-	$(GO) test -coverprofile=$(BUILD_DIR)/cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/persist
+	$(GO) test -coverprofile=$(BUILD_DIR)/cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/persist ./internal/serve ./internal/serve/faults
 	@total=$$($(GO) tool cover -func=$(BUILD_DIR)/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "blocking-stack coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
@@ -77,6 +78,7 @@ bench:
 	  $(GO) test -run '^$$' -bench 'BenchmarkMatcherBlocking' -benchmem -benchtime 1x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSnapshotReload' -benchmem -benchtime 20x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkShardedBlocking' -benchmem -benchtime 2x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkServeLoad' -benchmem -benchtime 1x ./internal/serve && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
 	status=$$?; cat "$$tmp"; \

@@ -78,6 +78,8 @@ func main() {
 	shards := flag.Int("shards", 0,
 		"hash-partition the blocking indexes across this many shards (<= 1 = single index; only the minhash/hnsw/ivf blockers shard)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
+	verbose := flag.Bool("v", false,
+		"log blocking-index acquisition: snapshot load vs rebuild and the typed fallback reason")
 	flag.Parse()
 
 	var cfg wdcproducts.BuildConfig
@@ -99,6 +101,9 @@ func main() {
 	if *blockingFlag != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockingFlag)
 		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards}
+		if *verbose {
+			opts.Log = os.Stderr
+		}
 		var t *wdcproducts.Table
 		switch {
 		case *matchBlock:

@@ -37,7 +37,8 @@ func main() {
 	out := flag.String("out", "benchmark", "output directory")
 	seed := flag.Int64("seed", 42, "master random seed")
 	scale := flag.String("scale", "small", "benchmark scale: default (paper, 500 products/set), small (120), tiny (40)")
-	verbose := flag.Bool("v", false, "print per-stage pipeline statistics (Figure 2)")
+	verbose := flag.Bool("v", false,
+		"print per-stage pipeline statistics (Figure 2) and blocking-index acquisition outcomes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the build to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the build) to this file")
 	blockers := flag.String("blockers", "",
@@ -115,6 +116,9 @@ func main() {
 	if *blockers != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockers)
 		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards}
+		if *verbose {
+			opts.Log = os.Stderr
+		}
 		var t *wdcproducts.Table
 		switch {
 		case *matchBlock:

@@ -1,0 +1,176 @@
+// Command wdcserve runs the fault-tolerant matching daemon: it builds
+// (or snapshot-loads) a blocking index over a benchmark corpus, streams
+// further offers in through the bounded ingest pipeline, and serves
+// match/candidate queries over HTTP with deadlines, typed errors, and
+// backpressure. On SIGTERM/SIGINT it drains in-flight ingest, writes
+// the grown index back as an atomic snapshot, and exits cleanly.
+//
+// Usage:
+//
+//	wdcserve [-addr :8080] [-scale tiny] [-seed 42] [-blocker minhash]
+//	         [-shards 0] [-snapshot-dir DIR] [-stream 0.2] [-ingest FILE]
+//	         [-dead-letter FILE] [-queue 256] [-batch 64] [-v]
+//
+// By default the daemon seeds its index with all but a -stream fraction
+// of the benchmark offers and replays the held-out remainder through
+// the ingest pipeline, so a fresh daemon demonstrates live ingest
+// immediately. -ingest FILE (or "-" for stdin) streams JSONL offers
+// from an external source instead.
+//
+// See docs/serving.md for the endpoint and error-code contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wdcproducts"
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/embed"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/serve"
+	"wdcproducts/internal/xrand"
+)
+
+// newIndexedBlocker constructs the named sublinear blocker, training
+// the title encoder when the blocker searches the embedding space.
+func newIndexedBlocker(name string, offers []schemaorg.Offer, seed int64) (blocking.IndexedBlocker, error) {
+	const k = 6
+	model := func() *embed.Model {
+		titles := make([]string, len(offers))
+		for i := range offers {
+			titles[i] = offers[i].Title
+		}
+		return embed.Train(titles, embed.DefaultConfig(), xrand.New(seed).Stream("embed"))
+	}
+	switch name {
+	case "minhash":
+		return blocking.NewMinHashBlocker(), nil
+	case "embedding":
+		return blocking.NewEmbeddingBlocker(model(), k), nil
+	case "hnsw":
+		return blocking.NewHNSWBlocker(model(), k), nil
+	case "ivf":
+		return blocking.NewIVFBlocker(model(), k), nil
+	default:
+		return nil, fmt.Errorf("unknown blocker %q", name)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "tiny", "benchmark scale seeding the corpus: default|small|tiny")
+	seed := flag.Int64("seed", 42, "master random seed")
+	blockerName := flag.String("blocker", "minhash", "blocking engine: minhash|embedding|hnsw|ivf")
+	shards := flag.Int("shards", 0, "hash-partition the index across this many shards (<= 1 = single index)")
+	snapshotDir := flag.String("snapshot-dir", "", "load the index from this directory when a trusted snapshot exists; save the grown index there at shutdown")
+	stream := flag.Float64("stream", 0.2, "fraction of the corpus held back and replayed through the ingest pipeline (0 = serve everything from the start)")
+	ingest := flag.String("ingest", "", "stream JSONL offers from this file instead of the held-back corpus fraction (- = stdin)")
+	deadLetter := flag.String("dead-letter", "", "append refused ingest records to this JSONL file")
+	queueCap := flag.Int("queue", 256, "ingest queue capacity (full queue = backpressure)")
+	batch := flag.Int("batch", 64, "offers applied per index write")
+	flush := flag.Duration("flush", 200*time.Millisecond, "maximum wait before a partial batch is applied")
+	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query deadline cap")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget")
+	verbose := flag.Bool("v", false, "log index acquisition (snapshot load vs rebuild) and pipeline progress")
+	flag.Parse()
+
+	var cfg wdcproducts.BuildConfig
+	switch *scale {
+	case "default":
+		cfg = wdcproducts.DefaultScale(*seed)
+	case "small":
+		cfg = wdcproducts.SmallScale(*seed)
+	case "tiny":
+		cfg = wdcproducts.TinyScale(*seed)
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	switch *blockerName {
+	case "minhash", "embedding", "hnsw", "ivf":
+	default:
+		log.Fatalf("unknown blocker %q (valid: minhash, embedding, hnsw, ivf)", *blockerName)
+	}
+	b, err := wdcproducts.Build(cfg)
+	if err != nil {
+		log.Fatalf("build corpus: %v", err)
+	}
+	bl, err := newIndexedBlocker(*blockerName, b.Offers, *seed)
+	if err != nil {
+		log.Fatalf("blocker: %v", err)
+	}
+
+	seedOffers := b.Offers
+	var connector serve.Connector
+	switch {
+	case *ingest == "-":
+		connector = serve.NewJSONLConnector(os.Stdin)
+	case *ingest != "":
+		f, err := os.Open(*ingest)
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		defer f.Close()
+		connector = serve.NewJSONLConnector(f)
+	case *stream > 0:
+		cut := len(b.Offers) - int(float64(len(b.Offers))**stream)
+		if cut < 1 {
+			cut = 1
+		}
+		seedOffers = b.Offers[:cut]
+		connector = serve.NewSliceConnector(b.Offers[cut:]...)
+	}
+
+	scfg := serve.Config{
+		Blocker:      bl,
+		Offers:       seedOffers,
+		Index:        blocking.IndexOptions{SnapshotDir: *snapshotDir, Shards: *shards},
+		Connector:    connector,
+		QueueCap:     *queueCap,
+		BatchSize:    *batch,
+		FlushEvery:   *flush,
+		QueryTimeout: *queryTimeout,
+		DrainTimeout: *drainTimeout,
+		RetrySeed:    *seed,
+	}
+	if *verbose {
+		scfg.Log = os.Stderr
+	}
+	if *deadLetter != "" {
+		f, err := os.OpenFile(*deadLetter, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("dead-letter: %v", err)
+		}
+		defer f.Close()
+		scfg.DeadLetter = f
+	}
+	srv, err := serve.New(scfg)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	if *verbose {
+		open := srv.OpenStats()
+		switch {
+		case open.Loaded:
+			log.Printf("index: loaded snapshot %s", open.Path)
+		case open.LoadErr != nil:
+			log.Printf("index: snapshot refused (%v); rebuilt", open.LoadErr)
+		default:
+			log.Printf("index: built fresh (%d offers)", len(seedOffers))
+		}
+	}
+	log.Printf("wdcserve: %s index over %d offers, serving on %s", *blockerName, len(seedOffers), *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := srv.Run(ctx, *addr); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -28,8 +28,13 @@ import (
 )
 
 // Index is a blocking index built once over an offer corpus and queried
-// per split. Implementations are safe for concurrent Candidates calls as
-// long as no Add is in flight.
+// per split. Implementations are safe for fully concurrent use: any
+// number of Candidates calls may run at once, and Adds may land while
+// queries are in flight. Every index guards its mutable state with a
+// reader/writer scheme — Candidates holds a shared (read) lock, Add an
+// exclusive one — so a query observes either the state before or after
+// a concurrent Add, never a half-applied one. Queries stay lock-cheap:
+// readers only contend when a writer is actually landing.
 type Index interface {
 	// Name identifies the blocking strategy (matches the blocker's Name).
 	Name() string

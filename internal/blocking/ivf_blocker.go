@@ -8,6 +8,8 @@
 package blocking
 
 import (
+	"sync"
+
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/ivf"
 	"wdcproducts/internal/parallel"
@@ -17,7 +19,10 @@ import (
 
 // IVFIndex is a reusable approximate-kNN index over distinct title
 // embeddings, backed by an incrementally growable inverted-file index.
+// Add and Candidates are safe to interleave from any number of
+// goroutines (see the Index contract).
 type IVFIndex struct {
+	mu     sync.RWMutex // Add writes, Candidates reads
 	corpus *indexedCorpus
 	model  *embed.Model
 	k      int
@@ -52,7 +57,11 @@ func BuildIVFIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k i
 func (x *IVFIndex) Name() string { return "ivf-knn" }
 
 // Len implements Index.
-func (x *IVFIndex) Len() int { return x.corpus.len() }
+func (x *IVFIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.corpus.len()
+}
 
 // Add implements Index: new distinct titles are encoded and assigned to
 // their inverted list. The coarse quantizer is fixed at Build, so the
@@ -60,6 +69,8 @@ func (x *IVFIndex) Len() int { return x.corpus.len() }
 // original build covered the quantizer's training prefix (see
 // ivf.Config.TrainSize). Neighbour memos are discarded.
 func (x *IVFIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	before := x.corpus.len()
 	newTitles := x.corpus.add(offers, idxs)
 	if x.corpus.len() != before {
@@ -94,6 +105,8 @@ func (x *IVFIndex) neighbours(tid int) []int32 {
 // semantics of knnCandidates; repeated queries of the same split are
 // served from the query memo.
 func (x *IVFIndex) Candidates(queryIdxs []int) []CandidatePair {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	return x.memoQ.get(queryIdxs, func() []CandidatePair {
 		return x.corpus.knnCandidates(queryIdxs, x.k, x.cfg.Workers, x.neighbours)
 	})

@@ -37,8 +37,11 @@ func (m *memoSlots[T]) get(i int, compute func() []T) []T {
 }
 
 // HNSWIndex is a reusable approximate-kNN index over distinct title
-// embeddings, backed by an incrementally growable HNSW graph.
+// embeddings, backed by an incrementally growable HNSW graph. Add and
+// Candidates are safe to interleave from any number of goroutines (see
+// the Index contract).
 type HNSWIndex struct {
+	mu     sync.RWMutex // Add writes, Candidates reads
 	corpus *indexedCorpus
 	model  *embed.Model
 	k      int
@@ -73,7 +76,11 @@ func BuildHNSWIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k 
 func (h *HNSWIndex) Name() string { return "hnsw-knn" }
 
 // Len implements Index.
-func (h *HNSWIndex) Len() int { return h.corpus.len() }
+func (h *HNSWIndex) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.corpus.len()
+}
 
 // Add implements Index: new distinct titles are encoded and inserted into
 // the graph with hnsw's batch-faithful incremental insertion, so the grown
@@ -81,6 +88,8 @@ func (h *HNSWIndex) Len() int { return h.corpus.len() }
 // Build over the union. Neighbour memos are discarded: the new nodes may
 // appear in anyone's top-K.
 func (h *HNSWIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	before := h.corpus.len()
 	newTitles := h.corpus.add(offers, idxs)
 	if h.corpus.len() != before {
@@ -114,6 +123,8 @@ func (h *HNSWIndex) neighbours(tid int) []int32 {
 // semantics of knnCandidates; repeated queries of the same split are
 // served from the query memo.
 func (h *HNSWIndex) Candidates(queryIdxs []int) []CandidatePair {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.memoQ.get(queryIdxs, func() []CandidatePair {
 		return h.corpus.knnCandidates(queryIdxs, h.k, h.cfg.Workers, h.neighbours)
 	})
@@ -124,8 +135,11 @@ func (h *HNSWIndex) Candidates(queryIdxs []int) []CandidatePair {
 // materialized lazily one offer at a time. It preserves the legacy
 // blocker's per-offer (not per-title) semantics — duplicate titles occupy
 // one slot each and can fill a neighbour budget — so full-universe queries
-// are byte-identical to EmbeddingBlocker.Candidates.
+// are byte-identical to EmbeddingBlocker.Candidates. Add and Candidates
+// are safe to interleave from any number of goroutines (see the Index
+// contract).
 type EmbeddingIndex struct {
+	mu      sync.RWMutex // Add writes, Candidates reads
 	corpus  *indexedCorpus
 	model   *embed.Model
 	k       int
@@ -168,11 +182,17 @@ func BuildEmbeddingIndex(offers []schemaorg.Offer, idxs []int, model *embed.Mode
 func (e *EmbeddingIndex) Name() string { return "embedding-knn" }
 
 // Len implements Index.
-func (e *EmbeddingIndex) Len() int { return len(e.order) }
+func (e *EmbeddingIndex) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.order)
+}
 
 // Add implements Index: new offers are appended in idxs order (new
 // distinct titles are encoded once) and the neighbour memo is discarded.
 func (e *EmbeddingIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	newTitles := e.corpus.add(offers, idxs)
 	grown := false
 	titleVecs := map[int][]float32{}
@@ -224,6 +244,8 @@ func (e *EmbeddingIndex) neighbourSlots(a int) []int32 {
 // top-K neighbours among all indexed offers, restricted to neighbours
 // inside the query.
 func (e *EmbeddingIndex) Candidates(queryIdxs []int) []CandidatePair {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.memoQ.get(queryIdxs, func() []CandidatePair {
 		slots := make([]int, len(queryIdxs))
 		inQuery := make(map[int32]bool, len(queryIdxs))

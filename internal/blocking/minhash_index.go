@@ -7,13 +7,18 @@
 package blocking
 
 import (
+	"sync"
+
 	"wdcproducts/internal/lsh"
 	"wdcproducts/internal/schemaorg"
 	"wdcproducts/internal/xrand"
 )
 
 // MinHashIndex is a reusable banded MinHash-LSH index over offer titles.
+// Add and Candidates are safe to interleave from any number of
+// goroutines (see the Index contract).
 type MinHashIndex struct {
+	mu     sync.RWMutex // Add writes, Candidates reads
 	corpus *indexedCorpus
 	ix     *lsh.Index
 	// cfgWords are the configuration words of the index's content address
@@ -52,11 +57,17 @@ func minhashWords(cfg lsh.Config, seed int64) []uint64 {
 func (m *MinHashIndex) Name() string { return "minhash-lsh" }
 
 // Len implements Index.
-func (m *MinHashIndex) Len() int { return m.corpus.len() }
+func (m *MinHashIndex) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.corpus.len()
+}
 
 // Add implements Index: new distinct titles are signed and bucketed
 // incrementally; the result is identical to a fresh Build over the union.
 func (m *MinHashIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	newTitles := m.corpus.add(offers, idxs)
 	for _, tid := range newTitles {
 		m.ix.Add(m.corpus.prep().TokenSet(tid))
@@ -69,6 +80,8 @@ func (m *MinHashIndex) Add(offers []schemaorg.Offer, idxs []int) {
 // every identical-title group inside the query. Repeated queries of the
 // same split are served from the query memo.
 func (m *MinHashIndex) Candidates(queryIdxs []int) []CandidatePair {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.memoQ.get(queryIdxs, func() []CandidatePair {
 		v := m.corpus.view(queryIdxs)
 		include := func(t int) bool { _, ok := v.slotOf[t]; return ok }

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/hnsw"
@@ -105,8 +106,10 @@ type shardedKNN struct {
 // BuildShardedHNSWIndex / BuildShardedIVFIndex, or through a blocker's
 // BuildShardedIndex method. It honours the full Index contract: grown
 // indexes equal fresh builds, queries only restrict the reported pairs,
-// and Candidates is safe for concurrent use between Adds.
+// and Add and Candidates are safe to interleave from any number of
+// goroutines.
 type ShardedIndex struct {
+	mu       sync.RWMutex // Add writes, Candidates reads
 	name     string
 	corpus   *indexedCorpus
 	shards   int
@@ -245,13 +248,19 @@ func (si *ShardedIndex) Name() string { return si.name }
 func (si *ShardedIndex) Shards() int { return si.shards }
 
 // Len implements Index.
-func (si *ShardedIndex) Len() int { return si.corpus.len() }
+func (si *ShardedIndex) Len() int {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.corpus.len()
+}
 
 // Add implements Index: new distinct titles are assigned to their shard
 // and appended to its engine incrementally. Per-shard insertion order is
 // the global interning order restricted to the shard, so a grown index is
 // identical to a fresh sharded build over the union.
 func (si *ShardedIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
 	before := si.corpus.len()
 	from := si.corpus.titleCount()
 	newTitles := si.corpus.add(offers, idxs)
@@ -284,6 +293,8 @@ func (si *ShardedIndex) Add(offers []schemaorg.Offer, idxs []int) {
 // Candidates implements Index; repeated queries of the same split are
 // served from the query memo.
 func (si *ShardedIndex) Candidates(queryIdxs []int) []CandidatePair {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
 	return si.memoQ.get(queryIdxs, func() []CandidatePair {
 		if si.mh != nil {
 			return si.minhashCandidates(queryIdxs)

@@ -85,14 +85,22 @@ func ivfWords(model *embed.Model, k int, cfg ivf.Config, seed int64) []uint64 {
 }
 
 // SnapshotFingerprint implements SnapshotIndex.
-func (m *MinHashIndex) SnapshotFingerprint() uint64 { return m.corpus.fingerprint(m.cfgWords...) }
+func (m *MinHashIndex) SnapshotFingerprint() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.corpus.fingerprint(m.cfgWords...)
+}
 
 // EncodeSnapshot implements SnapshotIndex: the payload is the LSH
 // engine's signatures (hash family and buckets are re-derived at load).
+// The read lock keeps the encoded state consistent with the stamped
+// fingerprint when Adds are landing concurrently.
 func (m *MinHashIndex) EncodeSnapshot() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var b persist.Buffer
 	m.ix.AppendSnapshot(&b)
-	return persist.Encode(snapKindMinHash, m.SnapshotFingerprint(), b.Bytes())
+	return persist.Encode(snapKindMinHash, m.corpus.fingerprint(m.cfgWords...), b.Bytes())
 }
 
 // LoadMinHashIndex restores a MinHashIndex from snapshot bytes. offers,
@@ -157,16 +165,22 @@ func readVecs(r *persist.Reader, kind string, titleCount int) ([][]float32, erro
 
 // SnapshotFingerprint implements SnapshotIndex.
 func (h *HNSWIndex) SnapshotFingerprint() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.corpus.fingerprint(hnswWords(h.model, h.k, h.cfg, h.seed)...)
 }
 
 // EncodeSnapshot implements SnapshotIndex: the payload is the title
 // encodings plus the graph structure (levels, adjacency, batch state).
+// The read lock keeps the encoded state consistent with the stamped
+// fingerprint when Adds are landing concurrently.
 func (h *HNSWIndex) EncodeSnapshot() []byte {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	var b persist.Buffer
 	appendVecs(&b, h.vecs)
 	h.graph.AppendSnapshot(&b)
-	return persist.Encode(snapKindHNSW, h.SnapshotFingerprint(), b.Bytes())
+	return persist.Encode(snapKindHNSW, h.corpus.fingerprint(hnswWords(h.model, h.k, h.cfg, h.seed)...), b.Bytes())
 }
 
 // LoadHNSWIndex restores an HNSWIndex from snapshot bytes; the same trust
@@ -201,16 +215,22 @@ func LoadHNSWIndex(data []byte, offers []schemaorg.Offer, idxs []int, model *emb
 
 // SnapshotFingerprint implements SnapshotIndex.
 func (x *IVFIndex) SnapshotFingerprint() uint64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	return x.corpus.fingerprint(ivfWords(x.model, x.k, x.cfg, x.seed)...)
 }
 
 // EncodeSnapshot implements SnapshotIndex: the payload is the title
-// encodings plus the trained quantizer and inverted lists.
+// encodings plus the trained quantizer and inverted lists. The read lock
+// keeps the encoded state consistent with the stamped fingerprint when
+// Adds are landing concurrently.
 func (x *IVFIndex) EncodeSnapshot() []byte {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	var b persist.Buffer
 	appendVecs(&b, x.vecs)
 	x.ix.AppendSnapshot(&b)
-	return persist.Encode(snapKindIVF, x.SnapshotFingerprint(), b.Bytes())
+	return persist.Encode(snapKindIVF, x.corpus.fingerprint(ivfWords(x.model, x.k, x.cfg, x.seed)...), b.Bytes())
 }
 
 // LoadIVFIndex restores an IVFIndex from snapshot bytes; the same trust
@@ -245,14 +265,20 @@ func LoadIVFIndex(data []byte, offers []schemaorg.Offer, idxs []int, model *embe
 // SnapshotFingerprint implements SnapshotIndex (the shard count is part
 // of the address: a 4-shard snapshot never loads into a 2-shard index).
 func (si *ShardedIndex) SnapshotFingerprint() uint64 {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
 	return si.corpus.fingerprint(si.cfgWords...)
 }
 
 // EncodeSnapshot implements SnapshotIndex: the payload concatenates the
 // per-shard engine snapshots (plus the title encodings for the kNN
 // engines). Shard membership is not stored — it is a pure function of the
-// title bytes, recomputed at load.
+// title bytes, recomputed at load. The read lock keeps the encoded state
+// consistent with the stamped fingerprint when Adds are landing
+// concurrently.
 func (si *ShardedIndex) EncodeSnapshot() []byte {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
 	var b persist.Buffer
 	b.Int(si.shards)
 	if si.knn != nil {
@@ -268,7 +294,7 @@ func (si *ShardedIndex) EncodeSnapshot() []byte {
 			si.knn.ivfs[s].AppendSnapshot(&b)
 		}
 	}
-	return persist.Encode(shardedKind(si.name), si.SnapshotFingerprint(), b.Bytes())
+	return persist.Encode(shardedKind(si.name), si.corpus.fingerprint(si.cfgWords...), b.Bytes())
 }
 
 // openShardedPayload validates the envelope and shard count shared by the
@@ -486,7 +512,7 @@ func OpenIndex(bl IndexedBlocker, offers []schemaorg.Offer, idxs []int, opts Ind
 		shards = 1
 	}
 	fp := sb.snapshotFingerprint(offers, idxs, shards)
-	stats.Path = filepath.Join(opts.SnapshotDir, fmt.Sprintf("%s-s%d-%016x.snap", bl.Name(), shards, fp))
+	stats.Path = snapshotPath(opts.SnapshotDir, bl.Name(), shards, fp)
 	if data, err := os.ReadFile(stats.Path); err == nil {
 		ix, lerr := sb.loadSnapshot(data, offers, idxs, shards)
 		if lerr == nil {
@@ -506,4 +532,42 @@ func OpenIndex(bl IndexedBlocker, offers []schemaorg.Offer, idxs []int, opts Ind
 		}
 	}
 	return ix, stats
+}
+
+// snapshotPath is the content-addressed snapshot file for the named
+// engine at the given shard count and fingerprint.
+func snapshotPath(dir, name string, shards int, fp uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-s%d-%016x.snap", name, shards, fp))
+}
+
+// SaveIndex writes ix back to the snapshot file OpenIndex would consult
+// for the same blocker, corpus, and options — the write-back half of
+// OpenIndex, for indexes that have grown since they were opened (a
+// long-running process snapshots its grown index at shutdown so the
+// next one loads instead of rebuilding). offers/idxs must describe the
+// index's current contents, in the order they were indexed; SaveIndex
+// verifies this against the index's own fingerprint and refuses to
+// write a snapshot the next OpenIndex would not trust. Returns the
+// path written, or "" when there is nothing to persist (persistence
+// disabled, or the blocker/index does not snapshot).
+func SaveIndex(bl IndexedBlocker, ix Index, offers []schemaorg.Offer, idxs []int, opts IndexOptions) (string, error) {
+	sb, persistable := bl.(snapshotBlocker)
+	snap, encodable := ix.(SnapshotIndex)
+	if opts.SnapshotDir == "" || !persistable || !encodable {
+		return "", nil
+	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fp := sb.snapshotFingerprint(offers, idxs, shards)
+	if got := snap.SnapshotFingerprint(); got != fp {
+		return "", fmt.Errorf("blocking: index fingerprint %016x does not match the %d given offers (%016x): snapshot refused",
+			got, len(idxs), fp)
+	}
+	path := snapshotPath(opts.SnapshotDir, bl.Name(), shards, fp)
+	if err := persist.WriteFile(path, snap.EncodeSnapshot()); err != nil {
+		return path, err
+	}
+	return path, nil
 }

@@ -34,6 +34,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 )
 
 // Magic identifies a snapshot file; it doubles as the format's major
@@ -170,10 +171,21 @@ func Decode(data []byte, kind string, want uint64) ([]byte, error) {
 	return payload, nil
 }
 
-// WriteFile writes a snapshot blob atomically: the bytes land in a
-// temporary file in the destination directory (created if needed) and are
-// renamed into place, so a crashed writer never leaves a half-written
-// snapshot where a reader could trust it.
+// The fsync seams of WriteFile, indirected so tests can count the
+// durability calls and inject failures on each path.
+var (
+	fsyncFile = func(f *os.File) error { return f.Sync() }
+	fsyncDir  = func(d *os.File) error { return d.Sync() }
+)
+
+// WriteFile writes a snapshot blob atomically AND durably: the bytes land
+// in a temporary file in the destination directory (created if needed),
+// the temp file is fsynced before the rename — without it, a crash after
+// the rename can surface a zero-length or partial "atomic" snapshot,
+// because the rename may reach disk before the data does — and the parent
+// directory is fsynced after the rename so the new directory entry itself
+// survives a crash. A reader therefore either sees the old state or the
+// complete new snapshot, never a torn one.
 func WriteFile(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -188,10 +200,33 @@ func WriteFile(path string, data []byte) error {
 		tmp.Close()
 		return err
 	}
+	if err := fsyncFile(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncParentDir(dir)
+}
+
+// syncParentDir fsyncs a directory so a just-renamed entry is durable.
+// Some platforms cannot fsync directory handles (notably Windows); those
+// errors are swallowed — the rename itself is still atomic there, which
+// is the strongest guarantee the platform offers.
+func syncParentDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := fsyncDir(d); err != nil && runtime.GOOS != "windows" {
+		return err
+	}
+	return nil
 }
 
 // Buffer accumulates a snapshot payload. All writes are little-endian and

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -237,5 +238,94 @@ func TestCorruptHelper(t *testing.T) {
 	var corrupt *CorruptSnapshotError
 	if !errors.As(err, &corrupt) || corrupt.Kind != "k" || corrupt.Reason != "bad 7" {
 		t.Fatalf("Corrupt = %#v", err)
+	}
+}
+
+// swapSyncs replaces the fsync seams for one test and restores them on
+// cleanup; file and dir receive the replacement hooks (nil keeps the
+// real fsync).
+func swapSyncs(t *testing.T, file func(*os.File) error, dir func(*os.File) error) {
+	t.Helper()
+	origFile, origDir := fsyncFile, fsyncDir
+	if file != nil {
+		fsyncFile = file
+	}
+	if dir != nil {
+		fsyncDir = dir
+	}
+	t.Cleanup(func() { fsyncFile, fsyncDir = origFile, origDir })
+}
+
+// TestWriteFileFsyncs: the durability contract — WriteFile must fsync the
+// temp file before the rename and the parent directory after it, so a
+// crash right after the rename cannot surface a zero-length "atomic"
+// snapshot.
+func TestWriteFileFsyncs(t *testing.T) {
+	var fileSyncs, dirSyncs int
+	swapSyncs(t,
+		func(f *os.File) error { fileSyncs++; return f.Sync() },
+		func(d *os.File) error { dirSyncs++; return d.Sync() })
+	path := filepath.Join(t.TempDir(), "a.snap")
+	if err := WriteFile(path, []byte("payload")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if fileSyncs != 1 || dirSyncs != 1 {
+		t.Fatalf("fsync calls: file %d, dir %d; want 1 and 1", fileSyncs, dirSyncs)
+	}
+}
+
+// TestWriteFileFileSyncError: when the temp-file fsync fails, WriteFile
+// must report the error and leave neither the destination nor a stray
+// temp file behind — the snapshot never became trustworthy.
+func TestWriteFileFileSyncError(t *testing.T) {
+	syncErr := errors.New("injected fsync failure")
+	swapSyncs(t, func(*os.File) error { return syncErr }, nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.snap")
+	if err := WriteFile(path, []byte("payload")); !errors.Is(err, syncErr) {
+		t.Fatalf("WriteFile error = %v, want injected fsync failure", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("destination exists after failed file fsync (stat err %v)", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("leftover files after failed fsync: %v", entries)
+	}
+}
+
+// TestWriteFileDirSyncError: a failed parent-directory fsync surfaces as
+// an error (except on platforms that cannot sync directories), but the
+// renamed file is already complete — callers may retry or accept the
+// weaker guarantee.
+func TestWriteFileDirSyncError(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("directory fsync errors are swallowed on windows")
+	}
+	syncErr := errors.New("injected dir fsync failure")
+	swapSyncs(t, nil, func(*os.File) error { return syncErr })
+	path := filepath.Join(t.TempDir(), "a.snap")
+	if err := WriteFile(path, []byte("payload")); !errors.Is(err, syncErr) {
+		t.Fatalf("WriteFile error = %v, want injected dir fsync failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("renamed file after dir fsync failure: %q, %v", got, err)
+	}
+}
+
+// TestWriteFileParentIsFile: MkdirAll's error path — the destination's
+// parent is a regular file, so the snapshot directory cannot exist.
+func TestWriteFileParentIsFile(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(blocker, "a.snap"), []byte("payload")); err == nil {
+		t.Fatal("WriteFile under a file parent succeeded")
 	}
 }

@@ -1,0 +1,97 @@
+// BenchmarkServeLoad: the daemon under a closed-loop query fleet while
+// a connector streams fresh offers in — the serving-layer perf
+// trajectory. The recorded metrics are query latency percentiles and
+// throughput with ingest running concurrently, which is the
+// configuration the epoch-view design is for: match reads stay
+// lock-free while the applier lands batches.
+
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeLoad drives one load-generation run per iteration
+// (Clients closed-loop clients, match + candidates mix) against a live
+// daemon with continuous concurrent ingest, and reports p50/p99 request
+// latency and sustained QPS.
+func BenchmarkServeLoad(b *testing.B) {
+	offers := fixture(b)
+	seed := offers[:1500]
+	cfg := testConfig(seed)
+	cfg.BatchSize = 64
+	cfg.FlushEvery = 50 * time.Millisecond
+	cfg.MaxQueries = 32
+	conn := NewChanConnector(64)
+	cfg.Connector = conn
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	}()
+
+	// Continuous ingest: clones of the held-out offers with fresh IDs,
+	// streamed for as long as the bench runs. The producer is paced so
+	// the applier is continuously busy without starving the query path
+	// of every core (unpaced, the full-adjacency recompute per flush
+	// saturates the machine and measures CPU contention, not serving).
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tail := offers[1500:]
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		var nextID int64 = 1 << 40
+		for i := 0; ; i++ {
+			off := tail[i%len(tail)]
+			off.ID = nextID
+			nextID++
+			select {
+			case conn.C <- off:
+			case <-stop:
+				return
+			}
+			select {
+			case <-tick.C:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	ids := make([]int64, 512)
+	for i := range ids {
+		ids[i] = seed[i].ID
+	}
+	var report LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunLoad(ts.URL, LoadOptions{
+			Clients:         8,
+			Requests:        600,
+			MatchIDs:        ids,
+			CandidateEvery:  4,
+			CandidateWindow: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Failures > 0 {
+			b.Fatalf("%d of %d load requests failed", r.Failures, r.Requests)
+		}
+		report = r
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(report.P50.Microseconds()), "p50-us")
+	b.ReportMetric(float64(report.P99.Microseconds()), "p99-us")
+	b.ReportMetric(report.QPS, "qps")
+	b.ReportMetric(float64(s.Stats().Applied), "ingested-offers")
+}

@@ -1,0 +1,140 @@
+// Streaming connectors: the daemon's ingest side reads offers from a
+// Connector, one at a time, under the pipeline's context. Connectors are
+// deliberately dumb — no batching, no retries; the pipeline owns both.
+
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"wdcproducts/internal/schemaorg"
+)
+
+// Connector is a streaming source of offers for the ingest pipeline.
+type Connector interface {
+	// Next blocks until the next offer is available, the stream ends
+	// (io.EOF), or ctx is done (ctx.Err()). A *RecordError reports one
+	// undecodable record; the stream continues past it.
+	Next(ctx context.Context) (schemaorg.Offer, error)
+}
+
+// RecordError reports a single bad record in a stream. The pipeline
+// dead-letters the record and keeps reading.
+type RecordError struct {
+	// Record is the raw record text (truncated for the dead-letter
+	// log by the pipeline if huge).
+	Record string
+	// Err is the underlying decode failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RecordError) Error() string { return fmt.Sprintf("bad record %q: %v", e.Record, e.Err) }
+
+// Unwrap exposes the decode failure to errors.Is/As.
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// SliceConnector replays a fixed slice of offers and then reports
+// io.EOF. Safe for one consumer; Push may be called concurrently to
+// extend the stream before it drains.
+type SliceConnector struct {
+	mu     sync.Mutex
+	offers []schemaorg.Offer
+}
+
+// NewSliceConnector returns a connector that yields the given offers in
+// order.
+func NewSliceConnector(offers ...schemaorg.Offer) *SliceConnector {
+	return &SliceConnector{offers: append([]schemaorg.Offer(nil), offers...)}
+}
+
+// Push appends more offers to the stream.
+func (c *SliceConnector) Push(offers ...schemaorg.Offer) {
+	c.mu.Lock()
+	c.offers = append(c.offers, offers...)
+	c.mu.Unlock()
+}
+
+// Next implements Connector.
+func (c *SliceConnector) Next(ctx context.Context) (schemaorg.Offer, error) {
+	if err := ctx.Err(); err != nil {
+		return schemaorg.Offer{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.offers) == 0 {
+		return schemaorg.Offer{}, io.EOF
+	}
+	off := c.offers[0]
+	c.offers = c.offers[1:]
+	return off, nil
+}
+
+// ChanConnector adapts a channel of offers, for tests and in-process
+// producers: the stream ends (io.EOF) when C is closed.
+type ChanConnector struct {
+	// C carries the offers; close it to end the stream.
+	C chan schemaorg.Offer
+}
+
+// NewChanConnector returns a ChanConnector with a channel of the given
+// buffer size.
+func NewChanConnector(buf int) *ChanConnector {
+	return &ChanConnector{C: make(chan schemaorg.Offer, buf)}
+}
+
+// Next implements Connector.
+func (c *ChanConnector) Next(ctx context.Context) (schemaorg.Offer, error) {
+	select {
+	case off, ok := <-c.C:
+		if !ok {
+			return schemaorg.Offer{}, io.EOF
+		}
+		return off, nil
+	case <-ctx.Done():
+		return schemaorg.Offer{}, ctx.Err()
+	}
+}
+
+// JSONLConnector decodes offers from a reader carrying one JSON offer
+// object per line — the wire format of the benchmark corpus files.
+// Undecodable lines surface as *RecordError and the stream continues.
+type JSONLConnector struct {
+	sc *bufio.Scanner
+}
+
+// NewJSONLConnector wraps r in a line-oriented offer decoder.
+func NewJSONLConnector(r io.Reader) *JSONLConnector {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &JSONLConnector{sc: sc}
+}
+
+// Next implements Connector. Blank lines are skipped.
+func (c *JSONLConnector) Next(ctx context.Context) (schemaorg.Offer, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return schemaorg.Offer{}, err
+		}
+		if !c.sc.Scan() {
+			if err := c.sc.Err(); err != nil {
+				return schemaorg.Offer{}, err
+			}
+			return schemaorg.Offer{}, io.EOF
+		}
+		line := c.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var off schemaorg.Offer
+		if err := json.Unmarshal(line, &off); err != nil {
+			return schemaorg.Offer{}, &RecordError{Record: string(line), Err: err}
+		}
+		return off, nil
+	}
+}

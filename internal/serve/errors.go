@@ -1,0 +1,93 @@
+// Typed service errors: every failure the daemon reports — over HTTP or
+// from the Go API — carries a machine-readable Code, so clients branch
+// on the code and never parse message text. The HTTP layer maps each
+// code to a fixed status and serializes the error as a JSON envelope
+// ({"error":{"code":...,"message":...}}).
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Code classifies a service error. The set is closed: clients may
+// switch exhaustively over these values.
+type Code string
+
+// The error codes the daemon emits.
+const (
+	// CodeBadRequest: the request was malformed (unparseable JSON,
+	// missing ids, invalid parameters). Retrying unchanged cannot help.
+	CodeBadRequest Code = "bad_request"
+	// CodeUnknownOffer: a referenced offer ID is not in the served
+	// corpus (it may arrive later via ingest).
+	CodeUnknownOffer Code = "unknown_offer"
+	// CodeBackpressure: the ingest queue cannot take the submitted
+	// offers right now. The error carries a RetryAfter hint; over HTTP
+	// it becomes a 429 with a Retry-After header.
+	CodeBackpressure Code = "backpressure"
+	// CodeDeadlineExceeded: the query's deadline expired before the
+	// result was ready.
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeCanceled: the caller abandoned the request before completion.
+	CodeCanceled Code = "canceled"
+	// CodeShuttingDown: the daemon is draining; it no longer accepts
+	// ingest (queries are served until the listener closes).
+	CodeShuttingDown Code = "shutting_down"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// Error is the typed error every Server method and HTTP endpoint
+// returns on failure.
+type Error struct {
+	// Code classifies the failure.
+	Code Code `json:"code"`
+	// Message is human-readable detail; clients must branch on Code,
+	// not on this text.
+	Message string `json:"message"`
+	// RetryAfter, when positive, hints how long to wait before
+	// retrying (set on backpressure errors). It is carried in the HTTP
+	// Retry-After header, not in the JSON body.
+	RetryAfter time.Duration `json:"-"`
+}
+
+// Error implements error.
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Message }
+
+// Errorf builds a typed error with a formatted message.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// HTTPStatus is the fixed status the HTTP layer sends for the code.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownOffer:
+		return http.StatusNotFound
+	case CodeBackpressure:
+		return http.StatusTooManyRequests
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return http.StatusRequestTimeout
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ctxError converts a context failure into its typed equivalent. It
+// must only be called when ctx.Err() != nil.
+func ctxError(ctx context.Context) *Error {
+	if ctx.Err() == context.DeadlineExceeded {
+		return Errorf(CodeDeadlineExceeded, "query deadline exceeded")
+	}
+	return Errorf(CodeCanceled, "request canceled")
+}

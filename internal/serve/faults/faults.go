@@ -1,0 +1,184 @@
+// Package faults is the fault-injection harness for the serving layer:
+// a single Injector that test code flips and the server consults at its
+// hook points. Every fault is injected through lock-free state (or a
+// short critical section for the connector gate), so the injector can be
+// toggled from test goroutines while the daemon is live — which is the
+// point: the fault suite runs under -race.
+//
+// The zero Injector injects nothing, and every method is safe on a nil
+// receiver, so production code calls the hooks unconditionally and pays
+// one atomic load when no harness is attached.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so
+// tests can assert a failure came from the harness and not from a real
+// bug: errors.Is(err, faults.ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// Injector is a set of switchable faults. Construct with new(Injector)
+// (or take the zero value); share one instance between the server under
+// test and the test body.
+type Injector struct {
+	mu           sync.Mutex
+	queryLatency time.Duration
+	queueFull    bool
+	applyFails   int
+	stallGate    *stallGate
+}
+
+// stallGate is one connector stall: a channel closed exactly once, no
+// matter whether the release function or a replacing StallConnector
+// call gets there first.
+type stallGate struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+// release opens the gate; safe to call any number of times.
+func (g *stallGate) release() { g.once.Do(func() { close(g.ch) }) }
+
+// SetQueryLatency makes every subsequent query hang for d before
+// computing (0 restores normal service). The server applies the latency
+// inside the deadline budget, so an injected latency above the query
+// timeout must surface as a typed deadline error.
+func (in *Injector) SetQueryLatency(d time.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.queryLatency = d
+	in.mu.Unlock()
+}
+
+// QueryLatency is the server-side hook: the latency to inject into the
+// current query (0 when no fault is set).
+func (in *Injector) QueryLatency() time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.queryLatency
+}
+
+// ForceQueueFull makes the ingest queue report itself full regardless of
+// actual depth, so backpressure can be tested without racing the
+// applier's drain rate.
+func (in *Injector) ForceQueueFull(v bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.queueFull = v
+	in.mu.Unlock()
+}
+
+// QueueFull is the server-side hook consulted before real queue
+// capacity.
+func (in *Injector) QueueFull() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.queueFull
+}
+
+// FailApplies arms the next n index-apply attempts to fail with an
+// injected error, driving the ingest pipeline's retry/backoff path. n
+// larger than the retry budget forces the batch into the dead-letter
+// log.
+func (in *Injector) FailApplies(n int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.applyFails = n
+	in.mu.Unlock()
+}
+
+// ApplyErr is the server-side hook: a non-nil injected error while armed
+// attempts remain (each call consumes one), nil otherwise.
+func (in *Injector) ApplyErr() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.applyFails <= 0 {
+		return nil
+	}
+	in.applyFails--
+	return fmt.Errorf("apply attempt refused: %w", ErrInjected)
+}
+
+// StallConnector blocks the server's connector loop before its next read
+// until the returned release function is called. Release is idempotent.
+// Stalling models a wedged upstream: the daemon must keep answering
+// queries and must still shut down cleanly while stalled.
+func (in *Injector) StallConnector() (release func()) {
+	if in == nil {
+		return func() {}
+	}
+	gate := &stallGate{ch: make(chan struct{})}
+	in.mu.Lock()
+	if old := in.stallGate; old != nil {
+		old.release() // replace an earlier, unreleased stall
+	}
+	in.stallGate = gate
+	in.mu.Unlock()
+	return func() {
+		gate.release()
+		in.mu.Lock()
+		if in.stallGate == gate {
+			in.stallGate = nil
+		}
+		in.mu.Unlock()
+	}
+}
+
+// AwaitConnector is the server-side hook: it blocks while a stall is in
+// force and returns ctx.Err() if the context ends first, so a stalled
+// connector loop still honours shutdown.
+func (in *Injector) AwaitConnector(ctx context.Context) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	gate := in.stallGate
+	in.mu.Unlock()
+	if gate == nil {
+		return nil
+	}
+	select {
+	case <-gate.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CorruptSnapshot flips one byte in the middle of the file at path,
+// breaking the snapshot checksum while keeping the envelope readable —
+// the shape of a torn or bit-rotted snapshot that OpenIndex must refuse
+// and rebuild over.
+func CorruptSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("corrupt %s: file is empty", path)
+	}
+	data[len(data)/2] ^= 0xFF
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,135 @@
+// Harness self-tests: nil-receiver safety (production code calls every
+// hook unconditionally), fault arming/consumption, stall gating, and
+// snapshot corruption.
+
+package faults
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.SetQueryLatency(time.Second)
+	if d := in.QueryLatency(); d != 0 {
+		t.Fatalf("nil latency = %v", d)
+	}
+	in.ForceQueueFull(true)
+	if in.QueueFull() {
+		t.Fatal("nil injector reports a full queue")
+	}
+	in.FailApplies(5)
+	if err := in.ApplyErr(); err != nil {
+		t.Fatalf("nil apply err = %v", err)
+	}
+	release := in.StallConnector()
+	release()
+	if err := in.AwaitConnector(context.Background()); err != nil {
+		t.Fatalf("nil await = %v", err)
+	}
+}
+
+func TestApplyFailsCountDown(t *testing.T) {
+	in := new(Injector)
+	if err := in.ApplyErr(); err != nil {
+		t.Fatalf("unarmed injector failed an apply: %v", err)
+	}
+	in.FailApplies(2)
+	for i := 0; i < 2; i++ {
+		err := in.ApplyErr()
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed apply %d err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := in.ApplyErr(); err != nil {
+		t.Fatalf("exhausted injector still failing: %v", err)
+	}
+}
+
+func TestQueryLatencyAndQueueFull(t *testing.T) {
+	in := new(Injector)
+	in.SetQueryLatency(42 * time.Millisecond)
+	if d := in.QueryLatency(); d != 42*time.Millisecond {
+		t.Fatalf("latency = %v", d)
+	}
+	in.ForceQueueFull(true)
+	if !in.QueueFull() {
+		t.Fatal("queue not forced full")
+	}
+	in.ForceQueueFull(false)
+	if in.QueueFull() {
+		t.Fatal("queue still forced full")
+	}
+}
+
+func TestStallConnectorGates(t *testing.T) {
+	in := new(Injector)
+	if err := in.AwaitConnector(context.Background()); err != nil {
+		t.Fatalf("unstalled await = %v", err)
+	}
+	release := in.StallConnector()
+	waited := make(chan error, 1)
+	go func() { waited <- in.AwaitConnector(context.Background()) }()
+	select {
+	case err := <-waited:
+		t.Fatalf("await returned %v while stalled", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	release() // idempotent
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("await after release = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("await did not unblock on release")
+	}
+
+	// A stalled await must also honour context cancellation.
+	release2 := in.StallConnector()
+	defer release2()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := in.AwaitConnector(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("stalled await under deadline = %v", err)
+	}
+
+	// Replacing an unreleased stall releases the old gate.
+	release3 := in.StallConnector()
+	defer release3()
+}
+
+func TestCorruptSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.snap")
+	if err := CorruptSnapshot(path); err == nil {
+		t.Fatal("corrupting a missing file succeeded")
+	}
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptSnapshot(path); err == nil {
+		t.Fatal("corrupting an empty file succeeded")
+	}
+	if err := os.WriteFile(path, []byte("abcdefgh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "abcdefgh" {
+		t.Fatal("file unchanged after corruption")
+	}
+	if len(got) != 8 {
+		t.Fatalf("corruption changed the length to %d", len(got))
+	}
+}

@@ -1,0 +1,161 @@
+// The load generator: a closed-loop client fleet that drives the HTTP
+// API and reports latency percentiles and throughput. The bench job
+// runs it against a live daemon with concurrent ingest and records
+// p50/p99/QPS in the benchmark JSON.
+
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions shapes a load-generation run.
+type LoadOptions struct {
+	// Clients is the number of concurrent closed-loop clients
+	// (default 4).
+	Clients int
+	// Requests is the total number of requests issued across all
+	// clients (default 400).
+	Requests int
+	// MatchIDs are the offer IDs the clients query; requests cycle
+	// through them. Required.
+	MatchIDs []int64
+	// CandidateEvery mixes in one POST /v1/candidates (over a window
+	// of MatchIDs) every n-th request (0 = match queries only).
+	CandidateEvery int
+	// CandidateWindow is the number of IDs per candidates query
+	// (default 16).
+	CandidateWindow int
+	// Timeout is the per-request client timeout (default 5s).
+	Timeout time.Duration
+}
+
+// LoadReport is the result of a load-generation run.
+type LoadReport struct {
+	// Requests is the number of requests issued.
+	Requests int `json:"requests"`
+	// Failures is the number of non-2xx or transport-failed requests.
+	Failures int `json:"failures"`
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// QPS is Requests/Elapsed.
+	QPS float64 `json:"qps"`
+	// P50, P95 and P99 are request latency percentiles.
+	P50 time.Duration `json:"p50_ns"`
+	// P95 is the 95th-percentile request latency.
+	P95 time.Duration `json:"p95_ns"`
+	// P99 is the 99th-percentile request latency.
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted
+// durations by nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// RunLoad drives baseURL (a running daemon's address, no trailing
+// slash) with a closed-loop client fleet and reports latency
+// percentiles and throughput. A request counts as a failure if the
+// transport errors or the status is not 2xx; the run itself only
+// errors on malformed options.
+func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
+	if len(opts.MatchIDs) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: load generator needs MatchIDs")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 400
+	}
+	if opts.CandidateWindow <= 0 {
+		opts.CandidateWindow = 16
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: opts.Timeout}
+	latencies := make([]time.Duration, opts.Requests)
+	var failures atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= opts.Requests {
+					return
+				}
+				t0 := time.Now()
+				ok := doLoadRequest(client, baseURL, opts, n)
+				latencies[n] = time.Since(t0)
+				if !ok {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return LoadReport{
+		Requests: opts.Requests,
+		Failures: int(failures.Load()),
+		Elapsed:  elapsed,
+		QPS:      float64(opts.Requests) / elapsed.Seconds(),
+		P50:      percentile(latencies, 50),
+		P95:      percentile(latencies, 95),
+		P99:      percentile(latencies, 99),
+	}, nil
+}
+
+// doLoadRequest issues request n of the run: a candidates query on
+// every CandidateEvery-th request, a match query otherwise.
+func doLoadRequest(client *http.Client, baseURL string, opts LoadOptions, n int) bool {
+	if opts.CandidateEvery > 0 && n%opts.CandidateEvery == opts.CandidateEvery-1 {
+		lo := n % len(opts.MatchIDs)
+		ids := make([]int64, 0, opts.CandidateWindow)
+		for i := 0; i < opts.CandidateWindow; i++ {
+			ids = append(ids, opts.MatchIDs[(lo+i)%len(opts.MatchIDs)])
+		}
+		body, _ := json.Marshal(candidatesRequest{IDs: ids})
+		resp, err := client.Post(baseURL+"/v1/candidates", "application/json", bytes.NewReader(body))
+		return drainResponse(resp, err)
+	}
+	id := opts.MatchIDs[n%len(opts.MatchIDs)]
+	resp, err := client.Get(fmt.Sprintf("%s/v1/match?id=%d", baseURL, id))
+	return drainResponse(resp, err)
+}
+
+// drainResponse consumes and closes the response body, reporting
+// whether the request succeeded.
+func drainResponse(resp *http.Response, err error) bool {
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}

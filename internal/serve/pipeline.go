@@ -1,0 +1,270 @@
+// The ingest pipeline: a connector loop feeds the bounded queue, and a
+// single applier goroutine batches queued offers, applies them to the
+// index with retry/backoff, recomputes the candidate adjacency, and
+// publishes the next epoch view. Records the pipeline cannot accept —
+// undecodable, invalid, duplicate, or part of a batch whose apply
+// exhausted its retries — go to the dead-letter log as JSON lines; the
+// pipeline itself never wedges and never buffers without bound.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"time"
+
+	"wdcproducts/internal/schemaorg"
+)
+
+// RetryPolicy shapes the apply retry schedule: attempt n (0-based)
+// sleeps an exponentially grown, jittered delay before retrying, and
+// the batch is dead-lettered after MaxAttempts failed attempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of apply attempts per batch
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first failure
+	// (default 10ms); it doubles per attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter delay (default 1s).
+	MaxDelay time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// delay is the sleep before retry attempt n (n = 1 is the first retry):
+// the capped exponential BaseDelay<<(n-1), equal-jittered to the range
+// [d/2, d) so synchronized retriers spread out.
+func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << uint(n-1)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// deadLetterEntry is one JSON line in the dead-letter log.
+type deadLetterEntry struct {
+	// Reason classifies why the record was refused: "bad_record",
+	// "invalid_offer", "duplicate_id", or "apply_failed".
+	Reason string `json:"reason"`
+	// Offer is the refused offer, when it decoded.
+	Offer *schemaorg.Offer `json:"offer,omitempty"`
+	// Record is the raw record text, when it did not decode.
+	Record string `json:"record,omitempty"`
+	// Err is the underlying failure.
+	Err string `json:"error"`
+	// Attempts is how many apply attempts were made (apply_failed
+	// only).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// deadLetter writes one entry to the dead-letter log and bumps the
+// counter. Both the connector loop and the applier call it, so writes
+// are serialized.
+func (s *Server) deadLetter(e deadLetterEntry) {
+	s.nDeadLettered.Add(1)
+	if s.cfg.DeadLetter == nil {
+		return
+	}
+	s.dlMu.Lock()
+	defer s.dlMu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.logf("dead-letter marshal failed: %v", err)
+		return
+	}
+	s.cfg.DeadLetter.Write(append(b, '\n'))
+}
+
+// readerLoop pulls offers from the connector into the bounded queue.
+// Queue-full backpressure is a blocking send — the connector stream
+// slows down instead of anything buffering beyond the queue. A
+// *RecordError dead-letters that record and the loop continues; any
+// other connector error ends the stream (loudly, unless it is EOF or
+// the shutdown cancellation).
+func (s *Server) readerLoop(ctx context.Context) {
+	defer close(s.readerDone)
+	if s.cfg.Connector == nil {
+		return
+	}
+	for {
+		if err := s.cfg.Faults.AwaitConnector(ctx); err != nil {
+			return
+		}
+		off, err := s.cfg.Connector.Next(ctx)
+		switch {
+		case err == nil:
+			// The reader is stopped (cancel + wait) before Shutdown
+			// closes the queue, so this send never races with close —
+			// no lock needed around a send that may block for a while.
+			select {
+			case s.ingest <- off:
+				s.nAccepted.Add(1)
+			case <-ctx.Done():
+				return
+			}
+		case errors.Is(err, io.EOF):
+			s.logf("connector stream ended")
+			return
+		case ctx.Err() != nil:
+			return
+		default:
+			var re *RecordError
+			if errors.As(err, &re) {
+				s.deadLetter(deadLetterEntry{Reason: "bad_record", Record: clip(re.Record, 512), Err: re.Err.Error()})
+				continue
+			}
+			s.logf("connector failed: %v", err)
+			return
+		}
+	}
+}
+
+// clip truncates s to at most n bytes for log hygiene.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// applierLoop is the single index writer: it batches queued offers (up
+// to BatchSize, flushed at least every FlushEvery) and applies each
+// batch. It exits when the queue is closed and drained, or when ctx is
+// cancelled (the shutdown drain deadline).
+func (s *Server) applierLoop(ctx context.Context) {
+	defer close(s.applierDone)
+	rng := rand.New(rand.NewSource(s.cfg.RetrySeed))
+	timer := time.NewTimer(s.cfg.FlushEvery)
+	defer timer.Stop()
+	var batch []schemaorg.Offer
+	flush := func() {
+		s.applyBatch(ctx, batch, rng)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case off, ok := <-s.ingest:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, off)
+			if len(batch) >= s.cfg.BatchSize {
+				flush()
+			}
+		case <-timer.C:
+			flush()
+			timer.Reset(s.cfg.FlushEvery)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// applyBatch validates the batch, applies the fresh offers to the index
+// with retry/backoff, recomputes the adjacency, and publishes the next
+// epoch. A batch that exhausts its retries is dead-lettered whole; the
+// published view is untouched, so readers never see a half-applied
+// batch.
+func (s *Server) applyBatch(ctx context.Context, batch []schemaorg.Offer, rng *rand.Rand) {
+	if len(batch) == 0 {
+		return
+	}
+	v := s.view.Load()
+	fresh := make([]schemaorg.Offer, 0, len(batch))
+	seen := make(map[int64]bool, len(batch))
+	for _, off := range batch {
+		off := off
+		switch {
+		case off.Title == "":
+			s.deadLetter(deadLetterEntry{Reason: "invalid_offer", Offer: &off, Err: "offer has no title"})
+		case seen[off.ID]:
+			s.deadLetter(deadLetterEntry{Reason: "duplicate_id", Offer: &off, Err: "id already in this batch"})
+		default:
+			if _, dup := v.idxOf[off.ID]; dup {
+				s.deadLetter(deadLetterEntry{Reason: "duplicate_id", Offer: &off, Err: "id already indexed"})
+				continue
+			}
+			seen[off.ID] = true
+			fresh = append(fresh, off)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	// The applier is the only writer of the offers slice, and published
+	// views only reference the prefix that existed when they were built,
+	// so a plain append is safe even when it grows in place.
+	offers := append(v.offers, fresh...)
+	newIdxs := make([]int, len(fresh))
+	for i := range newIdxs {
+		newIdxs[i] = len(v.offers) + i
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = s.applyOnce(offers, newIdxs)
+		if err == nil {
+			break
+		}
+		if attempt >= s.cfg.Retry.MaxAttempts {
+			s.logf("batch of %d abandoned after %d attempts: %v", len(fresh), attempt, err)
+			for i := range fresh {
+				s.deadLetter(deadLetterEntry{Reason: "apply_failed", Offer: &fresh[i], Err: err.Error(), Attempts: attempt})
+			}
+			return
+		}
+		s.nRetries.Add(1)
+		select {
+		case <-time.After(s.cfg.Retry.delay(attempt, rng)):
+		case <-ctx.Done():
+			return
+		}
+	}
+	idxOf := make(map[int64]int, len(offers))
+	for id, i := range v.idxOf {
+		idxOf[id] = i
+	}
+	for i := range fresh {
+		idxOf[fresh[i].ID] = len(v.offers) + i
+	}
+	next, verr := s.buildView(v.epoch+1, offers, idxOf)
+	if verr != nil {
+		// Adjacency recompute cannot legitimately fail (the idxs are
+		// all indexed); treat a failure as fatal for the batch but not
+		// the daemon: the index holds the offers, the view stays put.
+		s.logf("view rebuild failed: %v", verr)
+		return
+	}
+	s.view.Store(next)
+	s.nApplied.Add(int64(len(fresh)))
+}
+
+// applyOnce is one apply attempt: the fault hook first (the injectable
+// failure), then the real index write. Index.Add is idempotent for
+// re-added offers, so retrying after a failure injected either side of
+// the write is safe.
+func (s *Server) applyOnce(offers []schemaorg.Offer, newIdxs []int) error {
+	if err := s.cfg.Faults.ApplyErr(); err != nil {
+		return err
+	}
+	s.ix.Add(offers, newIdxs)
+	return nil
+}

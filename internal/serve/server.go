@@ -1,0 +1,502 @@
+// Package serve is the fault-tolerant matching daemon built on the
+// reusable blocking indexes: it opens (or snapshot-loads) a blocking
+// index over a seed corpus, ingests offers from a streaming connector
+// through a bounded pipeline, and answers match/candidate queries with
+// explicit deadlines, typed errors, and backpressure instead of
+// unbounded buffering.
+//
+// Concurrency model. Writes are single-writer: one applier goroutine
+// owns the offers slice and is the only caller of Index.Add. Reads are
+// two-tier. Match lookups are lock-free — the applier publishes an
+// immutable epoch view (offers, id→index map, and the full adjacency of
+// candidate partners) through an atomic pointer after every applied
+// batch, so GET /v1/match touches no lock at all. Candidate queries run
+// against the live index under its internal read lock (see the
+// blocking.Index contract), bounded by a query-slot semaphore and the
+// request deadline.
+//
+// Failure model. Ingest failures are retried with jittered exponential
+// backoff; a batch that exhausts its retry budget is written to the
+// dead-letter log and dropped — the daemon never wedges on a poison
+// batch. Snapshot load failures degrade to a rebuild (the OpenStats are
+// surfaced on /v1/stats). Shutdown drains the queue within a deadline
+// and writes a fresh snapshot atomically before exiting.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/serve/faults"
+)
+
+// Config parameterizes New. Blocker is required; every other field has
+// a serviceable zero value.
+type Config struct {
+	// Blocker builds (or loads) the blocking index the daemon serves.
+	Blocker blocking.IndexedBlocker
+	// Offers is the seed corpus, fully indexed before the daemon
+	// answers its first query. Offer IDs must be unique.
+	Offers []schemaorg.Offer
+	// Index routes index acquisition through blocking.OpenIndex:
+	// SnapshotDir enables snapshot load/save, Shards > 1 builds a
+	// hash-partitioned index.
+	Index blocking.IndexOptions
+	// Connector, when non-nil, streams offers into the ingest pipeline
+	// once Start is called.
+	Connector Connector
+	// QueueCap bounds the ingest queue (default 256). When the queue
+	// is full, Enqueue reports backpressure and the connector loop
+	// blocks — nothing buffers without bound.
+	QueueCap int
+	// BatchSize is the number of queued offers applied per index write
+	// (default 64).
+	BatchSize int
+	// FlushEvery bounds how long a queued offer waits for a partial
+	// batch to be applied (default 200ms).
+	FlushEvery time.Duration
+	// MaxQueries bounds concurrently executing queries (default 16);
+	// excess requests wait inside their own deadline.
+	MaxQueries int
+	// QueryTimeout caps every query's deadline (default 2s). Requests
+	// may ask for less, never more.
+	QueryTimeout time.Duration
+	// DrainTimeout bounds Shutdown's drain of queued ingest work
+	// (default 10s). Work still queued at the deadline is abandoned
+	// (the snapshot reflects applied work only).
+	DrainTimeout time.Duration
+	// Retry shapes the apply retry/backoff schedule.
+	Retry RetryPolicy
+	// RetrySeed seeds backoff jitter (deterministic tests).
+	RetrySeed int64
+	// DeadLetter receives one JSON line per refused record or
+	// abandoned batch (nil discards them, counted but unlogged).
+	DeadLetter io.Writer
+	// Log receives human-readable progress lines (nil = silent).
+	Log io.Writer
+	// Faults attaches the fault-injection harness (nil = no faults).
+	Faults *faults.Injector
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 200 * time.Millisecond
+	}
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = 16
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	c.Retry = c.Retry.withDefaults()
+	return c
+}
+
+// view is one immutable epoch of the served corpus. The applier builds
+// a fresh view after every applied batch and publishes it atomically;
+// readers load it once per request and see a consistent corpus.
+type view struct {
+	epoch    int64
+	offers   []schemaorg.Offer // the indexed corpus, in index order
+	idxOf    map[int64]int     // offer ID -> position in offers
+	partners map[int64][]int64 // offer ID -> sorted candidate partner IDs
+}
+
+// Server is the matching daemon. Construct with New, start ingest with
+// Start (or Run), and stop with Shutdown.
+type Server struct {
+	cfg  Config
+	ix   blocking.Index
+	open blocking.OpenStats
+
+	view atomic.Pointer[view]
+
+	qmu      sync.RWMutex // guards ingest sends against close
+	ingest   chan schemaorg.Offer
+	draining atomic.Bool
+
+	slots chan struct{} // query concurrency semaphore
+
+	startOnce   sync.Once
+	started     atomic.Bool
+	pipeCancel  context.CancelFunc // stops the connector loop
+	abortCancel context.CancelFunc // hard-stops the applier (drain deadline)
+	readerDone  chan struct{}
+	applierDone chan struct{}
+
+	shutOnce sync.Once
+	shutErr  error
+
+	dlMu sync.Mutex // dead-letter writer (reader and applier both write)
+
+	// counters (see Stats)
+	nAccepted, nRejected, nApplied, nRetries, nDeadLettered atomic.Int64
+	nQueries, nTimeouts                                     atomic.Int64
+}
+
+// New opens the index over cfg.Offers (loading a snapshot when
+// cfg.Index.SnapshotDir holds a trusted one, rebuilding otherwise — a
+// refused snapshot is recorded in OpenStats, never fatal) and publishes
+// the initial epoch. It does not start the ingest pipeline; call Start.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Blocker == nil {
+		return nil, fmt.Errorf("serve: Config.Blocker is required")
+	}
+	// Own the seed slice: the applier grows it with plain appends, which
+	// must never scribble into spare capacity of a caller-owned array.
+	cfg.Offers = append([]schemaorg.Offer(nil), cfg.Offers...)
+	idxOf := make(map[int64]int, len(cfg.Offers))
+	for i := range cfg.Offers {
+		o := &cfg.Offers[i]
+		if o.Title == "" {
+			return nil, fmt.Errorf("serve: seed offer %d (id %d) has no title", i, o.ID)
+		}
+		if j, dup := idxOf[o.ID]; dup {
+			return nil, fmt.Errorf("serve: seed offers %d and %d share id %d", j, i, o.ID)
+		}
+		idxOf[o.ID] = i
+	}
+	idxs := make([]int, len(cfg.Offers))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	ix, open := blocking.OpenIndex(cfg.Blocker, cfg.Offers, idxs, cfg.Index)
+	s := &Server{
+		cfg:         cfg,
+		ix:          ix,
+		open:        open,
+		ingest:      make(chan schemaorg.Offer, cfg.QueueCap),
+		slots:       make(chan struct{}, cfg.MaxQueries),
+		readerDone:  make(chan struct{}),
+		applierDone: make(chan struct{}),
+	}
+	if open.LoadErr != nil {
+		s.logf("snapshot refused (%v); rebuilt index", open.LoadErr)
+	}
+	v, err := s.buildView(0, cfg.Offers, idxOf)
+	if err != nil {
+		return nil, err
+	}
+	s.view.Store(v)
+	return s, nil
+}
+
+// buildView computes the full candidate adjacency for the corpus and
+// assembles the epoch view.
+func (s *Server) buildView(epoch int64, offers []schemaorg.Offer, idxOf map[int64]int) (*view, error) {
+	all := make([]int, len(offers))
+	for i := range all {
+		all[i] = i
+	}
+	pairs, err := blocking.QueryCandidates(s.ix, all)
+	if err != nil {
+		return nil, fmt.Errorf("serve: adjacency query: %w", err)
+	}
+	partners := make(map[int64][]int64, len(offers))
+	for _, p := range pairs {
+		a, b := offers[p.A].ID, offers[p.B].ID
+		partners[a] = append(partners[a], b)
+		partners[b] = append(partners[b], a)
+	}
+	for id := range partners {
+		sort.Slice(partners[id], func(i, j int) bool { return partners[id][i] < partners[id][j] })
+	}
+	return &view{epoch: epoch, offers: offers, idxOf: idxOf, partners: partners}, nil
+}
+
+// OpenStats reports how the index was acquired (snapshot load vs
+// rebuild, and the typed refusal when a snapshot was present but not
+// trusted).
+func (s *Server) OpenStats() blocking.OpenStats { return s.open }
+
+// Epoch is the sequence number of the currently published view; it
+// advances by one per applied batch.
+func (s *Server) Epoch() int64 { return s.view.Load().epoch }
+
+// logf writes one progress line when a log sink is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "serve: "+format+"\n", args...)
+	}
+}
+
+// Enqueue submits offers to the ingest queue without blocking. It
+// accepts a prefix of the submitted offers (possibly all, possibly
+// none) and returns how many were accepted; when not all fit, the
+// returned *Error has CodeBackpressure and a RetryAfter hint — the
+// caller retries the remainder. During shutdown it accepts nothing and
+// returns CodeShuttingDown.
+func (s *Server) Enqueue(offers []schemaorg.Offer) (accepted int, err *Error) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.draining.Load() {
+		return 0, Errorf(CodeShuttingDown, "daemon is draining; ingest is closed")
+	}
+	if s.cfg.Faults.QueueFull() {
+		s.nRejected.Add(int64(len(offers)))
+		return 0, s.backpressure(len(offers))
+	}
+	for _, off := range offers {
+		select {
+		case s.ingest <- off:
+			accepted++
+		default:
+			s.nAccepted.Add(int64(accepted))
+			s.nRejected.Add(int64(len(offers) - accepted))
+			return accepted, s.backpressure(len(offers) - accepted)
+		}
+	}
+	s.nAccepted.Add(int64(accepted))
+	return accepted, nil
+}
+
+// backpressure builds the typed queue-full error with a retry hint: one
+// flush interval, the time scale at which the applier frees capacity.
+func (s *Server) backpressure(n int) *Error {
+	e := Errorf(CodeBackpressure, "ingest queue full (%d/%d); %d offers refused",
+		len(s.ingest), s.cfg.QueueCap, n)
+	e.RetryAfter = s.cfg.FlushEvery
+	return e
+}
+
+// withBudget runs fn inside the request deadline and the query-slot
+// semaphore: the caller gets its answer or a typed context error by the
+// deadline, even when fn (or an injected latency fault) is still
+// running — the straggler finishes on its goroutine and releases its
+// slot.
+func (s *Server) withBudget(ctx context.Context, fn func() *Error) *Error {
+	s.nQueries.Add(1)
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.nTimeouts.Add(1)
+		return ctxError(ctx)
+	}
+	done := make(chan *Error, 1)
+	go func() {
+		defer func() { <-s.slots }()
+		if d := s.cfg.Faults.QueryLatency(); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				done <- ctxError(ctx)
+				return
+			}
+		}
+		done <- fn()
+	}()
+	select {
+	case err := <-done:
+		if err != nil && (err.Code == CodeDeadlineExceeded || err.Code == CodeCanceled) {
+			s.nTimeouts.Add(1)
+		}
+		return err
+	case <-ctx.Done():
+		s.nTimeouts.Add(1)
+		return ctxError(ctx)
+	}
+}
+
+// Match returns the candidate partner IDs of the offer with the given
+// ID, with the epoch the answer was computed at. The lookup reads the
+// immutable epoch view — no locks — so its latency is independent of
+// concurrent ingest.
+func (s *Server) Match(ctx context.Context, id int64) (partners []int64, epoch int64, err *Error) {
+	err = s.withBudget(ctx, func() *Error {
+		v := s.view.Load()
+		if _, ok := v.idxOf[id]; !ok {
+			return Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
+		}
+		partners = append([]int64(nil), v.partners[id]...)
+		epoch = v.epoch
+		return nil
+	})
+	return partners, epoch, err
+}
+
+// Candidates runs a live subset query: the candidate pairs among the
+// given offer IDs, computed against the current index under its read
+// lock. Pairs come back as ID pairs (low, high), sorted.
+func (s *Server) Candidates(ctx context.Context, ids []int64) (pairs [][2]int64, epoch int64, err *Error) {
+	err = s.withBudget(ctx, func() *Error {
+		v := s.view.Load()
+		epoch = v.epoch
+		idxs := make([]int, 0, len(ids))
+		seen := make(map[int64]bool, len(ids))
+		for _, id := range ids {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			idx, ok := v.idxOf[id]
+			if !ok {
+				return Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
+			}
+			idxs = append(idxs, idx)
+		}
+		cands, qerr := blocking.QueryCandidates(s.ix, idxs)
+		if qerr != nil {
+			return Errorf(CodeInternal, "candidate query: %v", qerr)
+		}
+		pairs = make([][2]int64, len(cands))
+		for i, p := range cands {
+			a, b := v.offers[p.A].ID, v.offers[p.B].ID
+			if a > b {
+				a, b = b, a
+			}
+			pairs[i] = [2]int64{a, b}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			return pairs[i][0] < pairs[j][0] || (pairs[i][0] == pairs[j][0] && pairs[i][1] < pairs[j][1])
+		})
+		return nil
+	})
+	return pairs, epoch, err
+}
+
+// Stats is a point-in-time snapshot of the daemon's counters, reported
+// on GET /v1/stats.
+type Stats struct {
+	// Epoch is the published view's sequence number.
+	Epoch int64 `json:"epoch"`
+	// Offers is the size of the indexed corpus at that epoch.
+	Offers int `json:"offers"`
+	// Accepted counts offers taken into the ingest queue (Enqueue and
+	// connector combined).
+	Accepted int64 `json:"accepted"`
+	// Rejected counts offers refused with backpressure.
+	Rejected int64 `json:"rejected"`
+	// Applied counts offers applied to the index.
+	Applied int64 `json:"applied"`
+	// Retries counts apply attempts that failed and were retried.
+	Retries int64 `json:"retries"`
+	// DeadLettered counts records and batch members written to the
+	// dead-letter log.
+	DeadLettered int64 `json:"dead_lettered"`
+	// Queries counts Match/Candidates requests.
+	Queries int64 `json:"queries"`
+	// Timeouts counts queries that ended with a deadline or
+	// cancellation error.
+	Timeouts int64 `json:"timeouts"`
+	// QueueDepth and QueueCap describe the ingest queue right now.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCap is the ingest queue's capacity bound.
+	QueueCap int `json:"queue_cap"`
+	// Draining is true once shutdown has begun.
+	Draining bool `json:"draining"`
+	// SnapshotLoaded is true when the index came from a trusted
+	// snapshot at startup.
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	// SnapshotFallback is the typed reason a present snapshot was
+	// refused at startup ("" when none was present or it loaded).
+	SnapshotFallback string `json:"snapshot_fallback,omitempty"`
+}
+
+// Stats reports the daemon's current counters.
+func (s *Server) Stats() Stats {
+	v := s.view.Load()
+	st := Stats{
+		Epoch:          v.epoch,
+		Offers:         len(v.offers),
+		Accepted:       s.nAccepted.Load(),
+		Rejected:       s.nRejected.Load(),
+		Applied:        s.nApplied.Load(),
+		Retries:        s.nRetries.Load(),
+		DeadLettered:   s.nDeadLettered.Load(),
+		Queries:        s.nQueries.Load(),
+		Timeouts:       s.nTimeouts.Load(),
+		QueueDepth:     len(s.ingest),
+		QueueCap:       s.cfg.QueueCap,
+		Draining:       s.draining.Load(),
+		SnapshotLoaded: s.open.Loaded,
+	}
+	if s.open.LoadErr != nil {
+		st.SnapshotFallback = s.open.LoadErr.Error()
+	}
+	return st
+}
+
+// Start launches the ingest pipeline (connector loop and applier).
+// Safe to call once; Run calls it for you.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		readCtx, readCancel := context.WithCancel(context.Background())
+		abortCtx, abortCancel := context.WithCancel(context.Background())
+		s.pipeCancel = readCancel
+		s.abortCancel = abortCancel
+		s.started.Store(true)
+		go s.readerLoop(readCtx)
+		go s.applierLoop(abortCtx)
+	})
+}
+
+// Shutdown drains and stops the daemon: ingest closes immediately
+// (Enqueue returns CodeShuttingDown), the connector loop stops, queued
+// offers are applied until the queue is empty or ctx ends, and — when
+// snapshots are enabled — the grown index is written back atomically so
+// the next process loads instead of rebuilding. Safe to call more than
+// once; later calls return the first call's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() { s.shutErr = s.shutdown(ctx) })
+	return s.shutErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	s.draining.Store(true)
+	s.qmu.Unlock()
+	if s.started.Load() {
+		// Stop the connector loop first: it is the only other queue
+		// producer, so afterwards the queue can be closed safely.
+		s.pipeCancel()
+		<-s.readerDone
+		s.qmu.Lock()
+		close(s.ingest)
+		s.qmu.Unlock()
+		select {
+		case <-s.applierDone:
+		case <-ctx.Done():
+			s.logf("drain deadline exceeded with %d offers still queued", len(s.ingest))
+			s.abortCancel()
+			<-s.applierDone
+		}
+	}
+	v := s.view.Load()
+	s.logf("drained at epoch %d with %d offers indexed", v.epoch, len(v.offers))
+	return s.saveSnapshot(v)
+}
+
+// saveSnapshot writes the grown index back to the snapshot directory
+// (a no-op when persistence is off or the blocker does not persist).
+func (s *Server) saveSnapshot(v *view) error {
+	idxs := make([]int, len(v.offers))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	path, err := blocking.SaveIndex(s.cfg.Blocker, s.ix, v.offers, idxs, s.cfg.Index)
+	if err != nil {
+		return fmt.Errorf("serve: shutdown snapshot: %w", err)
+	}
+	if path != "" {
+		s.logf("snapshot saved to %s", path)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ package wdcproducts
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -350,11 +351,37 @@ type BlockingOptions struct {
 	SnapshotDir string
 	// Shards > 1 builds hash-partitioned indexes.
 	Shards int
+	// Log, when non-nil, receives one line per index acquisition
+	// describing the blocking.OpenStats outcome: loaded from snapshot,
+	// refused (with the typed reason) and rebuilt, or built fresh.
+	Log io.Writer
 }
 
 // indexOptions translates the facade options for blocking.OpenIndex.
 func (o BlockingOptions) indexOptions() blocking.IndexOptions {
 	return blocking.IndexOptions{SnapshotDir: o.SnapshotDir, Shards: o.Shards}
+}
+
+// logOpenStats reports one blocker's index-acquisition outcome to
+// opts.Log. It is a no-op when Log is nil, so the report paths call it
+// unconditionally.
+func (o BlockingOptions) logOpenStats(blocker string, stats blocking.OpenStats) {
+	if o.Log == nil {
+		return
+	}
+	switch {
+	case stats.Loaded:
+		fmt.Fprintf(o.Log, "index %s: loaded snapshot %s\n", blocker, stats.Path)
+	case stats.LoadErr != nil:
+		fmt.Fprintf(o.Log, "index %s: snapshot refused (%v); rebuilt\n", blocker, stats.LoadErr)
+	default:
+		fmt.Fprintf(o.Log, "index %s: built fresh\n", blocker)
+	}
+	if stats.SaveErr != nil {
+		fmt.Fprintf(o.Log, "index %s: snapshot save failed: %v\n", blocker, stats.SaveErr)
+	} else if stats.Saved {
+		fmt.Fprintf(o.Log, "index %s: saved snapshot %s\n", blocker, stats.Path)
+	}
 }
 
 // blockingSplit is one test split's offer universe and ground truth.
@@ -433,7 +460,8 @@ func BlockingReportOpts(b *Benchmark, names []string, seed int64, workers int, o
 		buildMS := "-"
 		start := time.Now()
 		if ib, ok := bl.(blocking.IndexedBlocker); ok {
-			ix, _ := blocking.OpenIndex(ib, b.Offers, split.idxs, opts.indexOptions())
+			ix, stats := blocking.OpenIndex(ib, b.Offers, split.idxs, opts.indexOptions())
+			opts.logOpenStats(bl.Name(), stats)
 			buildMS = msSince(start)
 			start = time.Now()
 			cands, err = blocking.QueryCandidates(ix, split.idxs)
@@ -512,6 +540,7 @@ func BlockingScaleReportOpts(b *Benchmark, names []string, seed int64, workers i
 			start := time.Now()
 			var stats blocking.OpenStats
 			ix, stats = blocking.OpenIndex(ib, b.Offers, union, opts.indexOptions())
+			opts.logOpenStats(bl.Name(), stats)
 			acquired := "build"
 			if stats.Loaded {
 				acquired = "load"
@@ -594,7 +623,8 @@ func matcherBlockingTask(b *Benchmark, bl blocking.Blocker, split *blockingSplit
 		return bl.Candidates(b.Offers, idxs), nil
 	}
 	if ib, ok := bl.(blocking.IndexedBlocker); ok {
-		ix, _ := blocking.OpenIndex(ib, b.Offers, union, opts.indexOptions())
+		ix, stats := blocking.OpenIndex(ib, b.Offers, union, opts.indexOptions())
+		opts.logOpenStats(bl.Name(), stats)
 		query = func(idxs []int) ([]blocking.CandidatePair, error) {
 			return blocking.QueryCandidates(ix, idxs)
 		}

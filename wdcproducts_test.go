@@ -237,3 +237,50 @@ func TestFacadeBlockingScaleReport(t *testing.T) {
 		t.Fatal("unknown blocker name did not error")
 	}
 }
+
+// TestFacadeBlockingOptionsLog pins the -v acquisition log: a first run
+// against an empty snapshot dir builds and saves, a second run loads,
+// and a corrupted snapshot is refused with the typed reason before the
+// rebuild re-saves.
+func TestFacadeBlockingOptionsLog(t *testing.T) {
+	ensureBuild(t)
+	dir := t.TempDir()
+	run := func() string {
+		var buf strings.Builder
+		opts := wdcproducts.BlockingOptions{SnapshotDir: dir, Log: &buf}
+		if _, err := wdcproducts.BlockingReportOpts(benchB, []string{"minhash"}, 42, 1, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := run()
+	if !strings.Contains(first, "minhash-lsh: built fresh") ||
+		!strings.Contains(first, "minhash-lsh: saved snapshot") {
+		t.Fatalf("first run log = %q, want built fresh + saved", first)
+	}
+	second := run()
+	if !strings.Contains(second, "minhash-lsh: loaded snapshot") {
+		t.Fatalf("second run log = %q, want loaded", second)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshots in dir = %v, %v; want exactly one", snaps, err)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third := run()
+	if !strings.Contains(third, "minhash-lsh: snapshot refused") ||
+		!strings.Contains(third, "rebuilt") {
+		t.Fatalf("corrupted run log = %q, want refused + rebuilt", third)
+	}
+	fourth := run()
+	if !strings.Contains(fourth, "minhash-lsh: loaded snapshot") {
+		t.Fatalf("post-rebuild run log = %q, want loaded from re-saved snapshot", fourth)
+	}
+}
