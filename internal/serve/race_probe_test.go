@@ -1,0 +1,26 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Probe: deadline expires while fn is still executing; fn writes the
+// captured variable while the caller reads it after withBudget returns —
+// exactly Match/Candidates' shape.
+func TestWithBudgetStragglerRaceProbe(t *testing.T) {
+	s := &Server{cfg: Config{}.withDefaults()}
+	s.slots = make(chan struct{}, 1)
+	var partners []int64
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := s.withBudget(ctx, func() *Error {
+		time.Sleep(50 * time.Millisecond) // fn slower than the deadline
+		partners = append([]int64(nil), 1, 2, 3)
+		return nil
+	})
+	_ = err
+	_ = partners // caller's read, as in `return partners, epoch, err`
+	time.Sleep(100 * time.Millisecond)
+}
