@@ -2,14 +2,15 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_7.json: the end-to-end
+# The perf-trajectory benchmarks recorded in BENCH_8.json: the end-to-end
 # pipeline build, the corner-selection microbenchmarks, the sigmoid
 # lookup-table comparison, the blocking-scale / index-reuse / matcher /
-# persistence benches carried over from PRs 4-6, and the PR 7 serving
-# bench — a closed-loop query fleet against the live wdcserve daemon with
-# continuous concurrent ingest, reporting p50/p99 latency and QPS.
-BENCH_OUT ?= BENCH_7.json
-BENCH_NOTE ?= serving layer (PR 7): the wdcserve daemon answers match/candidate queries at ~4.6ms p50 / ~67ms p99 and ~550 QPS (8 closed-loop clients) while the bounded ingest pipeline applies a continuous connector stream concurrently; match reads are lock-free against the published epoch view
+# persistence / serving benches carried over from PRs 4-7, and the PR 8
+# synthetic scale-out benches — corpus growth throughput, MinHash blocking
+# over the grown 10k/100k universes, and the serve daemon's read path at
+# those sizes.
+BENCH_OUT ?= BENCH_8.json
+BENCH_NOTE ?= synthetic scale-out (PR 8): the deterministic generator grows the corpus at ~5.7-7.8us/offer and the scale-tuned MinHash banding (16 bands x 4 rows) blocks the grown 100k universe in ~16s at 99.8% reduction, where the default 48x2 banding goes quadratic (~250M candidate pairs) on a near-duplicate universe; the serve daemon's read path sustains ~1030 QPS / 7.3ms p50 at 10k and ~82 QPS / 87ms p50 at 100k offers over the grown corpus
 
 # Coverage floor (percent of statements) enforced over the blocking stack
 # by `make cover`.
@@ -28,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/experiments ./internal/matchers ./internal/embed ./internal/parallel ./internal/blocking ./internal/serve ./internal/serve/faults
+	$(GO) test -race -short ./internal/experiments ./internal/matchers ./internal/embed ./internal/parallel ./internal/blocking ./internal/serve ./internal/serve/faults ./internal/synth
 
 vet:
 	$(GO) vet ./...
@@ -37,17 +38,17 @@ vet:
 # exported identifier in the documented packages lacks a doc comment.
 docs:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt -l:"; echo "$$fmt"; exit 1; fi
-	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/simlib ./internal/persist ./internal/serve ./internal/serve/faults
+	$(GO) run ./cmd/doccheck ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/simlib ./internal/persist ./internal/serve ./internal/serve/faults ./internal/synth
 
 # cover enforces a statement-coverage floor over the blocking stack (the
 # packages the reusable-index layer lives in), the snapshot envelope
-# codec, and the serving layer. The floor guards the reuse,
-# incremental-insertion, save/load round-trip and fault-path tests from
-# silently rotting. The profile is written to $(BUILD_DIR)/cover.out,
-# which is gitignored.
+# codec, the serving layer, and the synthetic scale-out generator. The
+# floor guards the reuse, incremental-insertion, save/load round-trip,
+# fault-path and generation-determinism tests from silently rotting. The
+# profile is written to $(BUILD_DIR)/cover.out, which is gitignored.
 cover:
 	@mkdir -p $(BUILD_DIR)
-	$(GO) test -coverprofile=$(BUILD_DIR)/cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/persist ./internal/serve ./internal/serve/faults
+	$(GO) test -coverprofile=$(BUILD_DIR)/cover.out ./internal/blocking ./internal/lsh ./internal/hnsw ./internal/ivf ./internal/persist ./internal/serve ./internal/serve/faults ./internal/synth
 	@total=$$($(GO) tool cover -func=$(BUILD_DIR)/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "blocking-stack coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
@@ -55,15 +56,18 @@ cover:
 
 # fuzz runs the short seed-corpus fuzz sessions CI runs: signature
 # computation and index queries in internal/lsh, the BPE tokenizer in
-# internal/tokenize, and the blocking snapshot decoders (damaged snapshot
-# bytes must surface typed errors, never panics). Each -fuzz invocation
-# must match exactly one target, hence one run per fuzzer.
+# internal/tokenize, the blocking snapshot decoders (damaged snapshot
+# bytes must surface typed errors, never panics), and the synthetic title
+# perturbation operators (variants of any tokenizable title must stay
+# tokenizable and internable). Each -fuzz invocation must match exactly
+# one target, hence one run per fuzzer.
 fuzz:
 	$(GO) test ./internal/lsh -run '^$$' -fuzz '^FuzzSignature$$' -fuzztime 30s
 	$(GO) test ./internal/lsh -run '^$$' -fuzz '^FuzzIndexQuery$$' -fuzztime 30s
 	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPEEncode$$' -fuzztime 30s
 	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPETrain$$' -fuzztime 30s
 	$(GO) test ./internal/blocking -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 30s
+	$(GO) test ./internal/synth -run '^$$' -fuzz '^FuzzPerturbTitle$$' -fuzztime 30s
 
 # bench regenerates $(BENCH_OUT) from the perf-trajectory benchmarks with
 # allocation stats. Iteration-pinned benchtimes keep the expensive pipeline
@@ -78,7 +82,10 @@ bench:
 	  $(GO) test -run '^$$' -bench 'BenchmarkMatcherBlocking' -benchmem -benchtime 1x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSnapshotReload' -benchmem -benchtime 20x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkShardedBlocking' -benchmem -benchtime 2x . && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkServeLoad' -benchmem -benchtime 1x ./internal/serve && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkServeLoad$$' -benchmem -benchtime 1x ./internal/serve && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkSynthGrow$$' -benchmem -benchtime 1x -timeout 30m . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkSynthBlockingScale$$' -benchmem -benchtime 1x -timeout 30m . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkServeLoadScale$$' -benchmem -benchtime 1x -timeout 30m ./internal/serve && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
 	status=$$?; cat "$$tmp"; \

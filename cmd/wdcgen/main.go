@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v] [-blockers token,minhash,hnsw,ivf] [-blockscale] [-matchblock]
+//	wdcgen -out ./benchmark [-seed 42] [-scale default|small|tiny] [-v] [-blockers token,minhash,hnsw,ivf] [-blockscale] [-matchblock] [-synth-scale 100000]
 //
 // -blockers additionally runs the named §6 blocking strategies ("all"
 // selects every one) over the generated benchmark's cc=50% seen test
@@ -19,13 +19,24 @@
 // each blocker's candidate-restricted pair sets, downstream P/R/F1
 // reported next to completeness/reduction with blocker-missed matches
 // counted as false negatives.
+//
+// -synth-scale N additionally grows the benchmark's offer corpus to N
+// offers with the deterministic synthetic generator (internal/synth),
+// validates label consistency and coverage floors on the grown corpus,
+// and writes it to <out>/synthetic.jsonl (one offer per line, seed offers
+// first). -synth-workers bounds the generation parallelism; the output is
+// byte-identical at any worker count. With -v the §4 label-quality gate
+// also runs over a stratified sample of generated pairs.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -51,6 +62,10 @@ func main() {
 		"persist blocking indexes: load each index from this directory when a snapshot matches the corpus/config fingerprint, save it after a fresh build (empty = rebuild every run)")
 	shards := flag.Int("shards", 0,
 		"hash-partition the blocking indexes across this many shards (<= 1 = single index; only the minhash/hnsw/ivf blockers shard)")
+	synthScale := flag.Int("synth-scale", 0,
+		"also grow the offer corpus to this many offers with the deterministic synthetic generator and write <out>/synthetic.jsonl (0 = off)")
+	synthWorkers := flag.Int("synth-workers", 0,
+		"generation parallelism for -synth-scale (<= 0 = all CPUs; the output is identical at any value)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -133,4 +148,49 @@ func main() {
 		}
 		fmt.Printf("\n%s", t)
 	}
+	if *synthScale > 0 {
+		c, err := wdcproducts.SynthGrow(b, *synthScale, *seed, *synthWorkers)
+		if err != nil {
+			log.Fatalf("synth grow: %v", err)
+		}
+		if err := c.Validate(); err != nil {
+			log.Fatalf("synth validate: %v", err)
+		}
+		path := filepath.Join(*out, "synthetic.jsonl")
+		if err := writeSynthJSONL(path, c); err != nil {
+			log.Fatalf("synth save: %v", err)
+		}
+		fmt.Printf("synthetic corpus written to %s\n  %s\n", path, c.Summary())
+		if *verbose {
+			res, err := wdcproducts.SynthLabelCheck(c, *seed)
+			if err != nil {
+				log.Fatalf("synth label check: %v", err)
+			}
+			fmt.Printf("  label gate: %d+/%d- pairs, noise %v, kappa %.3f\n",
+				res.Positives, res.Negatives, res.NoiseEstimate, res.Kappa)
+		}
+	}
+}
+
+// writeSynthJSONL streams the grown corpus to path, one offer object per
+// line, seed offers first — the same JSONL shape as offers.jsonl, so the
+// grown corpus drops into any tool that reads the benchmark's offers.
+func writeSynthJSONL(path string, c *wdcproducts.SynthCorpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for i := range c.Offers {
+		if err := enc.Encode(&c.Offers[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("encode row %d: %w", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

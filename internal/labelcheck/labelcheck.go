@@ -80,18 +80,7 @@ func Run(b *core.Benchmark, c *corpus.Corpus, cfg Config, src *xrand.Source) (*R
 	titleID := func(offer int) int { return prep.Intern(b.Offers[offer].Title) }
 	var ann1, ann2 []string
 	judge := func(trueMatch bool, hard bool, r *rand.Rand) string {
-		err := cfg.BaseError
-		if hard {
-			err = cfg.HardError
-		}
-		label := trueMatch
-		if xrand.Bool(r, err) {
-			label = !label
-		}
-		if label {
-			return "match"
-		}
-		return "non-match"
+		return judgeLabel(trueMatch, hard, cfg, r)
 	}
 	for _, cc := range core.CornerRatios() {
 		rd, ok := b.Ratios[cc]
@@ -145,6 +134,25 @@ func Run(b *core.Benchmark, c *corpus.Corpus, cfg Config, src *xrand.Source) (*R
 	}
 	res.Kappa = kappa
 	return res, nil
+}
+
+// judgeLabel simulates one annotator judgment: the true match status,
+// flipped with the easy- or hard-pair error probability. Both Run and
+// CheckSample consume exactly one xrand.Bool draw per judgment, so the
+// two study shapes share one calibrated annotator model.
+func judgeLabel(trueMatch, hard bool, cfg Config, r *rand.Rand) string {
+	err := cfg.BaseError
+	if hard {
+		err = cfg.HardError
+	}
+	label := trueMatch
+	if xrand.Bool(r, err) {
+		label = !label
+	}
+	if label {
+		return "match"
+	}
+	return "non-match"
 }
 
 // stratifiedSample draws up to nPos positives and nNeg negatives.

@@ -9,9 +9,14 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/lsh"
+	"wdcproducts/internal/synth"
 )
 
 // BenchmarkServeLoad drives one load-generation run per iteration
@@ -94,4 +99,71 @@ func BenchmarkServeLoad(b *testing.B) {
 	b.ReportMetric(float64(report.P99.Microseconds()), "p99-us")
 	b.ReportMetric(report.QPS, "qps")
 	b.ReportMetric(float64(s.Stats().Applied), "ingested-offers")
+}
+
+// BenchmarkServeLoadScale measures the read path over synthetically
+// grown corpora at n=10k and n=100k: the daemon builds its index and
+// full candidate adjacency over the grown universe (untimed setup), then
+// the closed-loop fleet drives the match/candidates mix against the
+// published view. Ingest stays off — at 100k an adjacency recompute per
+// flush costs tens of seconds and would measure rebuild cadence, not
+// serving; the steady-state read numbers are what the scale trajectory
+// records. The blocker is the scale-tuned MinHash banding (16 bands of 4
+// rows); the default 48x2 banding goes quadratic on a 100k
+// near-duplicate universe (see the synth blocking-scale bench).
+func BenchmarkServeLoadScale(b *testing.B) {
+	seed := fixture(b)
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c, err := synth.Grow(seed, synth.ScaleConfig(n, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Config{
+				Blocker:    &blocking.MinHashBlocker{Config: lsh.Config{Bands: 16, Rows: 4}, Seed: 1},
+				Offers:     c.Offers,
+				MaxQueries: 32,
+			}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Start()
+			ts := httptest.NewServer(s.Handler())
+			defer func() {
+				ts.Close()
+				s.Shutdown(context.Background())
+			}()
+
+			// Query IDs spread across the whole grown universe, so the
+			// partner lookups touch seed, perturbed and unseen offers alike.
+			ids := make([]int64, 512)
+			step := len(c.Offers) / len(ids)
+			for i := range ids {
+				ids[i] = c.Offers[i*step].ID
+			}
+			var report LoadReport
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := RunLoad(ts.URL, LoadOptions{
+					Clients:         8,
+					Requests:        600,
+					MatchIDs:        ids,
+					CandidateEvery:  4,
+					CandidateWindow: 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Failures > 0 {
+					b.Fatalf("%d of %d load requests failed", r.Failures, r.Requests)
+				}
+				report = r
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(report.P50.Microseconds()), "p50-us")
+			b.ReportMetric(float64(report.P99.Microseconds()), "p99-us")
+			b.ReportMetric(report.QPS, "qps")
+		})
+	}
 }

@@ -6,21 +6,26 @@ import (
 	"time"
 )
 
-// Probe: deadline expires while fn is still executing; fn writes the
-// captured variable while the caller reads it after withBudget returns —
-// exactly Match/Candidates' shape.
+// Probe: deadline expires while fn is still executing; the straggler's
+// result must travel through withBudget's completion channel and be
+// dropped, never written into memory the caller reads after the
+// deadline — exactly Match/Candidates' shape. Run under -race, this
+// pins the straggler isolation the generic withBudget provides.
 func TestWithBudgetStragglerRaceProbe(t *testing.T) {
 	s := &Server{cfg: Config{}.withDefaults()}
 	s.slots = make(chan struct{}, 1)
-	var partners []int64
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	err := s.withBudget(ctx, func() *Error {
+	partners, err := withBudget(s, ctx, func() ([]int64, *Error) {
 		time.Sleep(50 * time.Millisecond) // fn slower than the deadline
-		partners = append([]int64(nil), 1, 2, 3)
-		return nil
+		return []int64{1, 2, 3}, nil
 	})
-	_ = err
-	_ = partners // caller's read, as in `return partners, epoch, err`
+	if err == nil || (err.Code != CodeDeadlineExceeded && err.Code != CodeCanceled) {
+		t.Fatalf("expected a deadline error, got %v", err)
+	}
+	if partners != nil {
+		t.Fatalf("abandoned straggler leaked a result: %v", partners)
+	}
+	_ = partners // caller's read, as in `return a.partners, a.epoch, err`
 	time.Sleep(100 * time.Millisecond)
 }

@@ -281,37 +281,46 @@ func (s *Server) backpressure(n int) *Error {
 // semaphore: the caller gets its answer or a typed context error by the
 // deadline, even when fn (or an injected latency fault) is still
 // running — the straggler finishes on its goroutine and releases its
-// slot.
-func (s *Server) withBudget(ctx context.Context, fn func() *Error) *Error {
+// slot. fn's result travels through the completion channel rather than
+// captured variables, so an abandoned straggler's writes never alias
+// memory the caller reads after the deadline (the shape the race probe
+// in race_probe_test.go pins).
+func withBudget[T any](s *Server, ctx context.Context, fn func() (T, *Error)) (T, *Error) {
+	var zero T
 	s.nQueries.Add(1)
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
 		s.nTimeouts.Add(1)
-		return ctxError(ctx)
+		return zero, ctxError(ctx)
 	}
-	done := make(chan *Error, 1)
+	type outcome struct {
+		val T
+		err *Error
+	}
+	done := make(chan outcome, 1)
 	go func() {
 		defer func() { <-s.slots }()
 		if d := s.cfg.Faults.QueryLatency(); d > 0 {
 			select {
 			case <-time.After(d):
 			case <-ctx.Done():
-				done <- ctxError(ctx)
+				done <- outcome{err: ctxError(ctx)}
 				return
 			}
 		}
-		done <- fn()
+		v, err := fn()
+		done <- outcome{val: v, err: err}
 	}()
 	select {
-	case err := <-done:
-		if err != nil && (err.Code == CodeDeadlineExceeded || err.Code == CodeCanceled) {
+	case o := <-done:
+		if o.err != nil && (o.err.Code == CodeDeadlineExceeded || o.err.Code == CodeCanceled) {
 			s.nTimeouts.Add(1)
 		}
-		return err
+		return o.val, o.err
 	case <-ctx.Done():
 		s.nTimeouts.Add(1)
-		return ctxError(ctx)
+		return zero, ctxError(ctx)
 	}
 }
 
@@ -319,26 +328,31 @@ func (s *Server) withBudget(ctx context.Context, fn func() *Error) *Error {
 // ID, with the epoch the answer was computed at. The lookup reads the
 // immutable epoch view — no locks — so its latency is independent of
 // concurrent ingest.
-func (s *Server) Match(ctx context.Context, id int64) (partners []int64, epoch int64, err *Error) {
-	err = s.withBudget(ctx, func() *Error {
+func (s *Server) Match(ctx context.Context, id int64) ([]int64, int64, *Error) {
+	type answer struct {
+		partners []int64
+		epoch    int64
+	}
+	a, err := withBudget(s, ctx, func() (answer, *Error) {
 		v := s.view.Load()
 		if _, ok := v.idxOf[id]; !ok {
-			return Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
+			return answer{}, Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
 		}
-		partners = append([]int64(nil), v.partners[id]...)
-		epoch = v.epoch
-		return nil
+		return answer{append([]int64(nil), v.partners[id]...), v.epoch}, nil
 	})
-	return partners, epoch, err
+	return a.partners, a.epoch, err
 }
 
 // Candidates runs a live subset query: the candidate pairs among the
 // given offer IDs, computed against the current index under its read
 // lock. Pairs come back as ID pairs (low, high), sorted.
-func (s *Server) Candidates(ctx context.Context, ids []int64) (pairs [][2]int64, epoch int64, err *Error) {
-	err = s.withBudget(ctx, func() *Error {
+func (s *Server) Candidates(ctx context.Context, ids []int64) ([][2]int64, int64, *Error) {
+	type answer struct {
+		pairs [][2]int64
+		epoch int64
+	}
+	a, err := withBudget(s, ctx, func() (answer, *Error) {
 		v := s.view.Load()
-		epoch = v.epoch
 		idxs := make([]int, 0, len(ids))
 		seen := make(map[int64]bool, len(ids))
 		for _, id := range ids {
@@ -348,15 +362,15 @@ func (s *Server) Candidates(ctx context.Context, ids []int64) (pairs [][2]int64,
 			seen[id] = true
 			idx, ok := v.idxOf[id]
 			if !ok {
-				return Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
+				return answer{}, Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
 			}
 			idxs = append(idxs, idx)
 		}
 		cands, qerr := blocking.QueryCandidates(s.ix, idxs)
 		if qerr != nil {
-			return Errorf(CodeInternal, "candidate query: %v", qerr)
+			return answer{}, Errorf(CodeInternal, "candidate query: %v", qerr)
 		}
-		pairs = make([][2]int64, len(cands))
+		pairs := make([][2]int64, len(cands))
 		for i, p := range cands {
 			a, b := v.offers[p.A].ID, v.offers[p.B].ID
 			if a > b {
@@ -367,9 +381,9 @@ func (s *Server) Candidates(ctx context.Context, ids []int64) (pairs [][2]int64,
 		sort.Slice(pairs, func(i, j int) bool {
 			return pairs[i][0] < pairs[j][0] || (pairs[i][0] == pairs[j][0] && pairs[i][1] < pairs[j][1])
 		})
-		return nil
+		return answer{pairs, v.epoch}, nil
 	})
-	return pairs, epoch, err
+	return a.pairs, a.epoch, err
 }
 
 // Stats is a point-in-time snapshot of the daemon's counters, reported

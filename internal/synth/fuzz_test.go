@@ -1,0 +1,59 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/textutil"
+)
+
+// FuzzPerturbTitle drives the whole operator chain — light and hard
+// perturbation, recombination, unseen-base assembly and every surface
+// format — over arbitrary titles and asserts the downstream contract:
+// generated titles never panic the operators, always survive textutil
+// tokenization (a title that carried an alphanumeric token still does),
+// and intern stably in the similarity engine.
+func FuzzPerturbTitle(f *testing.F) {
+	f.Add("Polar Ignite smartwatch 4 7 day battery", int64(1))
+	f.Add("dewalt DCD996 20V MAX XR hammer drill", int64(2))
+	f.Add("a", int64(3))
+	f.Add("  ", int64(4))
+	f.Add("Ünïcode Tîtle 42", int64(5))
+	f.Add("-- - --- -", int64(6))
+	f.Add("x7", int64(7))
+	f.Fuzz(func(t *testing.T, title string, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		src := fieldsOf(title)
+		srcToks := textutil.TokenSet(title)
+		hadToken := len(srcToks) > 0
+
+		var titles []string
+		variants := [][]string{
+			perturbLight(append([]string(nil), src...), rng),
+		}
+		if len(src) > 0 {
+			variants = append(variants,
+				perturbHard(src, srcToks, rng),
+				recombine(src, src),
+				unseenBase(src, src, "mk12345"),
+			)
+		}
+		for _, fields := range variants {
+			for format := 0; format < FormatKinds; format++ {
+				titles = append(titles, applyFormat(fields, format, rng))
+			}
+		}
+
+		prep := simlib.NewPrepared()
+		for _, got := range titles {
+			toks := textutil.Tokenize(got)
+			if hadToken && len(toks) == 0 {
+				t.Fatalf("title %q from %q lost all tokens", got, title)
+			}
+			if a, b := prep.Intern(got), prep.Intern(got); a != b {
+				t.Fatalf("title %q interns unstably: %d vs %d", got, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package synth
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current generator output")
+
+// TestGoldenCorpus pins a small generated corpus: the seed/config pair,
+// the per-kind counts and the full-corpus digest, plus the first few
+// generated titles verbatim. Any change to the perturbation operators,
+// stream layout, partition size or recipe mix moves the digest and fails
+// here — the determinism contract made into a reviewable fixture.
+func TestGoldenCorpus(t *testing.T) {
+	seed := seedFixture(t)
+	cfg := DefaultConfig(len(seed)+300, 1234)
+	c := grow(t, cfg)
+	var b []byte
+	b = append(b, fmt.Sprintf("seed %d target %d masterseed %d partition %d\n",
+		len(seed), cfg.Target, cfg.Seed, cfg.PartitionSize)...)
+	b = append(b, c.Summary()...)
+	b = append(b, '\n')
+	for i := c.SeedCount; i < c.SeedCount+8 && i < len(c.Offers); i++ {
+		b = append(b, fmt.Sprintf("%s cluster=%d src=%d title=%q\n",
+			c.Kinds[i], c.Offers[i].ClusterID, c.Sources[i], c.Offers[i].Title)...)
+	}
+	got := string(b)
+	path := filepath.Join("testdata", "synth_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("generated corpus differs from golden:\ngot:\n%swant:\n%s", got, want)
+	}
+}

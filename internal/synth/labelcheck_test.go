@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"testing"
+
+	"wdcproducts/internal/labelcheck"
+	"wdcproducts/internal/xrand"
+)
+
+// TestLabelCheckGate runs the §4 annotator protocol over a generated
+// sample as a release gate: the grown corpus's labels (correct by
+// construction) must survive simulated expert re-annotation at the same
+// noise level the seed corpus does. A generator change that produces
+// textually unsupportable labels shows up here as noise beyond the §4
+// envelope or collapsed inter-annotator agreement.
+func TestLabelCheckGate(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+3000, 19))
+	pairs := SampleLabelPairs(c, 120, 120, 19)
+	if len(pairs) < 200 {
+		t.Fatalf("sample too small: %d pairs", len(pairs))
+	}
+	title := func(i int) string { return c.Offers[i].Title }
+	res, err := labelcheck.CheckSample(pairs, title, labelcheck.DefaultConfig(), xrand.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Positives == 0 || res.Negatives == 0 {
+		t.Fatalf("unstratified sample: %d/%d", res.Positives, res.Negatives)
+	}
+	// The annotators' error rates are 1% easy / 4% hard; a corpus whose
+	// hard-pair share matches the configured corner-case mix keeps the
+	// observed noise in the single-digit percent range of §4.
+	for i, n := range res.NoiseEstimate {
+		if n > 0.10 {
+			t.Fatalf("annotator %d noise %.3f beyond the §4 envelope", i+1, n)
+		}
+	}
+	if res.Kappa < 0.75 {
+		t.Fatalf("kappa %.3f below agreement floor", res.Kappa)
+	}
+}
+
+// TestSampleLabelPairsShape pins the sampler's stratification: requested
+// budgets are met, positives share a cluster, negatives never do, and
+// the hard half of the negative budget pairs unseen offers with their
+// donors.
+func TestSampleLabelPairsShape(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+2000, 23))
+	pairs := SampleLabelPairs(c, 80, 80, 23)
+	pos, neg, hard := 0, 0, 0
+	for _, p := range pairs {
+		same := c.Offers[p.A].ClusterID == c.Offers[p.B].ClusterID
+		if p.Match {
+			pos++
+			if !same {
+				t.Fatalf("positive pair (%d,%d) crosses clusters", p.A, p.B)
+			}
+		} else {
+			neg++
+			if same {
+				t.Fatalf("negative pair (%d,%d) shares cluster %d", p.A, p.B, c.Offers[p.A].ClusterID)
+			}
+			if c.Kinds[p.A] == KindUnseen && int(c.Sources[p.A]) == p.B {
+				hard++
+			}
+		}
+	}
+	if pos != 80 || neg != 80 {
+		t.Fatalf("stratification off: %d positives, %d negatives", pos, neg)
+	}
+	if hard < 20 {
+		t.Fatalf("only %d donor-sibling hard negatives in the sample", hard)
+	}
+}
+
+// TestSampleLabelPairsDeterministic pins the sampler to its seed.
+func TestSampleLabelPairsDeterministic(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+1000, 27))
+	a := SampleLabelPairs(c, 50, 50, 4)
+	b := SampleLabelPairs(c, 50, 50, 4)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/xrand"
+)
+
+// generator carries the immutable seed-corpus view every partition reads.
+type generator struct {
+	seed       []schemaorg.Offer
+	clusters   []cluster
+	maxCluster int64
+	maxOfferID int64
+	maxShop    int
+	cfg        Config
+}
+
+// partition generates count offers for global indices [lo, lo+count) from
+// the partition's own stream. All randomness comes from rng, so the
+// result depends only on (partition index, seed, config) — never on which
+// worker ran it.
+func (g *generator) partition(p, lo, count int, rng *rand.Rand) genPart {
+	out := genPart{
+		offers:  make([]schemaorg.Offer, 0, count),
+		kinds:   make([]Kind, 0, count),
+		sources: make([]int32, 0, count),
+	}
+	out.stats.Generated = count
+
+	emit := func(o schemaorg.Offer, k Kind, src int, format int, hardPos, hardNeg bool) {
+		o.ID = g.maxOfferID + 1 + int64(lo+len(out.offers))
+		out.offers = append(out.offers, o)
+		out.kinds = append(out.kinds, k)
+		out.sources = append(out.sources, int32(src))
+		out.stats.KindCounts[k]++
+		out.stats.FormatCounts[format]++
+		if hardPos {
+			out.stats.HardPositives++
+		}
+		if hardNeg {
+			out.stats.HardNegatives++
+		}
+	}
+
+	// Unseen entities first: the partition's offer budget for them is
+	// fixed up front so the offer-level unseen share tracks the config
+	// fraction exactly (each entity emits a whole small cluster).
+	unseenBudget := int(float64(count)*g.cfg.UnseenFraction + 0.5)
+	produced := 0
+	entity := 0
+	for produced < unseenBudget {
+		k := xrand.IntBetween(rng, g.cfg.UnseenMinOffers, g.cfg.UnseenMaxOffers)
+		if k > unseenBudget-produced {
+			k = unseenBudget - produced
+		}
+		ordinal := p*g.cfg.PartitionSize + entity
+		clusterID := g.maxCluster + 1 + int64(ordinal)
+		donorA := g.clusters[rng.Intn(len(g.clusters))]
+		donorB := g.clusters[rng.Intn(len(g.clusters))]
+		srcA := donorA.members[rng.Intn(len(donorA.members))]
+		srcB := donorB.members[rng.Intn(len(donorB.members))]
+		variant := "mk" + strconv.Itoa(10000+ordinal)
+		base := unseenBase(fieldsOf(g.seed[srcA].Title), fieldsOf(g.seed[srcB].Title), variant)
+		donorToks := textutil.TokenSet(g.seed[srcA].Title)
+		for j := 0; j < k; j++ {
+			fields := append([]string(nil), base...)
+			if j > 0 {
+				fields = perturbLight(fields, rng)
+			}
+			format := rng.Intn(FormatKinds)
+			title := applyFormat(fields, format, rng)
+			o := schemaorg.Offer{
+				ClusterID: clusterID,
+				Title:     title,
+				Brand:     g.seed[srcA].Brand,
+				MPN:       strings.ToUpper(variant),
+				SKU:       fmt.Sprintf("SKU-U%d-%04d", ordinal, rng.Intn(10000)),
+				ShopID:    rng.Intn(g.maxShop + 1),
+			}
+			jitterPrice(&o, g.seed[srcA].Price, g.seed[srcA].PriceCurrency, rng)
+			hardNeg := jaccard(textutil.TokenSet(title), donorToks) >= hardBand
+			emit(o, KindUnseen, srcA, format, false, hardNeg)
+		}
+		out.stats.UnseenClusters++
+		produced += k
+		entity++
+	}
+
+	// Remaining offers: per-offer recipe draws, renormalized so the
+	// hard/recombined shares stay config-accurate after the unseen
+	// budget is taken off the top.
+	pHard, pRec := 0.0, 0.0
+	if rest := 1 - g.cfg.UnseenFraction; rest > 0 {
+		pHard = g.cfg.HardFraction / rest
+		pRec = g.cfg.RecombineFraction / rest
+	}
+	for produced < count {
+		cl := g.clusters[rng.Intn(len(g.clusters))]
+		mi := rng.Intn(len(cl.members))
+		src := cl.members[mi]
+		srcFields := fieldsOf(g.seed[src].Title)
+		srcToks := textutil.TokenSet(g.seed[src].Title)
+
+		kind := KindEasy
+		var fields []string
+		switch r := rng.Float64(); {
+		case r < pHard:
+			kind = KindHard
+			fields = perturbHard(srcFields, srcToks, rng)
+		case r < pHard+pRec && len(cl.members) > 1:
+			kind = KindRecombined
+			// Draw a distinct cluster mate uniformly by skipping mi.
+			mj := rng.Intn(len(cl.members) - 1)
+			if mj >= mi {
+				mj++
+			}
+			fields = recombine(srcFields, fieldsOf(g.seed[cl.members[mj]].Title))
+		default:
+			fields = perturbLight(append([]string(nil), srcFields...), rng)
+		}
+		format := rng.Intn(FormatKinds)
+		title := applyFormat(fields, format, rng)
+
+		o := schemaorg.Offer{
+			ClusterID: g.seed[src].ClusterID,
+			Title:     title,
+			GTIN:      g.seed[src].GTIN,
+			MPN:       g.seed[src].MPN,
+			SKU:       fmt.Sprintf("SKU-S%d-%04d", lo+produced, rng.Intn(10000)),
+			ShopID:    rng.Intn(g.maxShop + 1),
+		}
+		if g.seed[src].Brand != "" && rng.Float64() < 0.7 {
+			o.Brand = g.seed[src].Brand
+		}
+		if g.seed[src].Description != "" && rng.Float64() < 0.6 {
+			o.Description = g.seed[src].Description
+		}
+		jitterPrice(&o, g.seed[src].Price, g.seed[src].PriceCurrency, rng)
+		hardPos := jaccard(textutil.TokenSet(title), srcToks) < hardBand
+		emit(o, kind, src, format, hardPos, false)
+		produced++
+	}
+	return out
+}
+
+// jitterPrice copies a price with a deterministic +-15% jitter. Non-empty
+// sources that fail to parse are copied verbatim.
+func jitterPrice(o *schemaorg.Offer, price, currency string, rng *rand.Rand) {
+	if price == "" {
+		return
+	}
+	v, err := strconv.ParseFloat(price, 64)
+	if err != nil {
+		o.Price, o.PriceCurrency = price, currency
+		return
+	}
+	o.Price = fmt.Sprintf("%.2f", v*(0.85+0.3*rng.Float64()))
+	o.PriceCurrency = currency
+}
+
+// droppable reports whether fields[i] may be removed: digit-bearing
+// tokens carry entity identity and the last letter-bearing field must
+// stay, so a perturbed title always keeps at least one word a reader (or
+// the validator) can ground in the source — never just bare numbers.
+func droppable(fields []string, i int) bool {
+	if hasDigitString(fields[i]) {
+		return false
+	}
+	if !hasAlnum(fields[i]) {
+		return true
+	}
+	// A non-digit alphanumeric field carries letters; keep the last one.
+	letters := 0
+	for _, f := range fields {
+		if hasLetterString(f) {
+			letters++
+		}
+	}
+	return letters > 1
+}
+
+// hasLetterString reports whether s contains a letter rune. The letter
+// definition matches textutil's tokenizer, so "letter-bearing" exactly
+// means "contributes a word token" — a symbol-only field never shields a
+// real word from being dropped.
+func hasLetterString(s string) bool {
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r > 127 && unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasAlnum reports whether s contains a rune the tokenizer keeps (letter
+// or digit), i.e. whether the field produces at least one token.
+func hasAlnum(s string) bool {
+	for _, r := range s {
+		if r >= '0' && r <= '9' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			r > 127 && (unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			return true
+		}
+	}
+	return false
+}
+
+// perturbLight applies one or two cheap heterogeneity operators (token
+// drop, adjacent swap, casing noise) in place and returns the fields.
+// It never drops digit-bearing tokens, never goes below two fields and
+// never removes the last alphanumeric field, so the offer keeps enough
+// identity for its cluster label to stay textually grounded.
+func perturbLight(fields []string, rng *rand.Rand) []string {
+	if len(fields) == 0 {
+		return fields
+	}
+	if len(fields) > 2 && rng.Float64() < 0.5 {
+		i := rng.Intn(len(fields))
+		if droppable(fields, i) {
+			fields = append(fields[:i], fields[i+1:]...)
+		}
+	}
+	if len(fields) > 1 && rng.Float64() < 0.5 {
+		i := rng.Intn(len(fields) - 1)
+		fields[i], fields[i+1] = fields[i+1], fields[i]
+	}
+	if rng.Float64() < 0.4 {
+		i := rng.Intn(len(fields))
+		fields[i] = caseNoise(fields[i], rng)
+	}
+	return fields
+}
+
+// perturbHard engineers a hard positive: it shuffles the field order
+// (attribute reordering) and drops droppable fields until the lowercased
+// token Jaccard against the source falls below the hard band or nothing
+// more may be dropped, then recases aggressively. Identity tokens
+// (digits) survive, so the label stays correct while the surface moves
+// far from every cluster mate.
+func perturbHard(src []string, srcToks map[string]bool, rng *rand.Rand) []string {
+	fields := append([]string(nil), src...)
+	rng.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	for len(fields) > 2 {
+		if jaccard(textutil.TokenSet(strings.Join(fields, " ")), srcToks) < hardBand {
+			break
+		}
+		dropped := false
+		for att := 0; att < 4; att++ {
+			i := rng.Intn(len(fields))
+			if droppable(fields, i) {
+				fields = append(fields[:i], fields[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	for i := range fields {
+		if rng.Float64() < 0.5 {
+			fields[i] = caseNoise(fields[i], rng)
+		}
+	}
+	return fields
+}
+
+// recombine splices the head of one cluster-mate title onto the tail of
+// another. Both describe the same product, so the splice does too; if the
+// splice lost every digit-bearing identity token that a carried, the
+// first one is restored.
+func recombine(a, b []string) []string {
+	out := append([]string(nil), a[:(len(a)+1)/2]...)
+	out = append(out, b[len(b)/2:]...)
+	// Collapse immediate case-insensitive duplicates at the seam.
+	dedup := out[:0]
+	for _, f := range out {
+		if len(dedup) > 0 && strings.EqualFold(dedup[len(dedup)-1], f) {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	out = dedup
+	if !anyDigitField(out) {
+		for _, f := range a {
+			if hasDigitString(f) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	// A splice of two short symbol-heavy titles can lose every
+	// token-bearing field; fall back to the source title whole.
+	tokenBearing := false
+	for _, f := range out {
+		if hasAlnum(f) {
+			tokenBearing = true
+			break
+		}
+	}
+	if len(out) == 0 || !tokenBearing && anyAlnumField(a) {
+		out = append([]string(nil), a...)
+	}
+	return out
+}
+
+// anyAlnumField reports whether any field produces a token.
+func anyAlnumField(fields []string) bool {
+	for _, f := range fields {
+		if hasAlnum(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyDigitField reports whether any field carries a digit.
+func anyDigitField(fields []string) bool {
+	for _, f := range fields {
+		if hasDigitString(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// unseenBase assembles a brand-new entity title: donor a's fields with
+// every digit-bearing identity token replaced by the novel variant token
+// (series-sibling semantics: same brand/series/specs, new variant), plus
+// up to two non-digit spec fragments borrowed from donor b. The variant
+// token is unique per unseen entity, so the new entity can never collide
+// with a seed entity or another unseen one.
+func unseenBase(a, b []string, variant string) []string {
+	out := make([]string, 0, len(a)+3)
+	replaced := false
+	for _, f := range a {
+		if hasDigitString(f) {
+			if !replaced {
+				out = append(out, variant)
+				replaced = true
+			}
+			continue
+		}
+		out = append(out, f)
+	}
+	if !replaced {
+		pos := len(out)
+		if pos > 2 {
+			pos = 2
+		}
+		out = append(out[:pos], append([]string{variant}, out[pos:]...)...)
+	}
+	have := map[string]bool{}
+	for _, f := range out {
+		have[strings.ToLower(f)] = true
+	}
+	added := 0
+	for i := len(b) - 1; i >= 0 && added < 2; i-- {
+		if hasDigitString(b[i]) || have[strings.ToLower(b[i])] {
+			continue
+		}
+		out = append(out, b[i])
+		added++
+	}
+	return out
+}
+
+// caseNoise rewrites one field's casing (upper, lower or title case).
+func caseNoise(f string, rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return strings.ToUpper(f)
+	case 1:
+		return strings.ToLower(f)
+	default:
+		r, size := utf8.DecodeRuneInString(f)
+		if size == 0 || r == utf8.RuneError && size == 1 {
+			return f
+		}
+		return strings.ToUpper(f[:size]) + strings.ToLower(f[size:])
+	}
+}
+
+// marketingSuffixes are the surface-format marketing tokens (format 5).
+var marketingSuffixes = []string{"sale", "new", "oem", "bulk", "bestseller"}
+
+// applyFormat renders the final title surface for one of the FormatKinds
+// variants. Every variant survives textutil tokenization: joiners stay
+// inside tokens, punctuation splits, and no variant can delete the
+// title's last alphanumeric token.
+func applyFormat(fields []string, format int, rng *rand.Rand) string {
+	switch format {
+	case 1:
+		return strings.ToLower(strings.Join(fields, " "))
+	case 2:
+		out := append([]string(nil), fields...)
+		if len(out) > 0 {
+			out[0] = strings.ToUpper(out[0])
+		}
+		return strings.Join(out, " ")
+	case 3:
+		if len(fields) > 1 {
+			i := rng.Intn(len(fields) - 1)
+			out := append([]string(nil), fields[:i]...)
+			out = append(out, fields[i]+"-"+fields[i+1])
+			out = append(out, fields[i+2:]...)
+			return strings.Join(out, " ")
+		}
+		return strings.Join(fields, " ")
+	case 4:
+		if len(fields) > 1 {
+			cut := (len(fields) + 1) / 2
+			return strings.Join(fields[:cut], " ") + " | " + strings.Join(fields[cut:], " ")
+		}
+		return strings.Join(fields, " ")
+	case 5:
+		return strings.Join(fields, " ") + " " + marketingSuffixes[rng.Intn(len(marketingSuffixes))]
+	case 6:
+		if len(fields) > 1 {
+			return fields[0] + ", " + strings.Join(fields[1:], " ")
+		}
+		return strings.Join(fields, " ")
+	default:
+		return strings.Join(fields, " ")
+	}
+}

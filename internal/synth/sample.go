@@ -1,0 +1,71 @@
+package synth
+
+import (
+	"wdcproducts/internal/pairgen"
+	"wdcproducts/internal/xrand"
+)
+
+// SampleLabelPairs draws a stratified labeled pair sample from the grown
+// corpus for the label-quality gate. Positives pair generated offers with
+// a cluster mate (generated-vs-source and generated-vs-generated both
+// occur); negatives pair offers across clusters, with half of the budget
+// spent on the hardest negatives available — unseen-entity offers against
+// their donor cluster, the series-sibling shape. Labels are correct by
+// construction (cluster provenance), so the sample isolates whether the
+// generated text still supports its labels under the §4 annotator
+// protocol.
+func SampleLabelPairs(c *Corpus, nPos, nNeg int, seed int64) []pairgen.Pair {
+	rng := xrand.New(seed).Stream("synth-sample")
+	byCluster := map[int64][]int{}
+	for i := range c.Offers {
+		byCluster[c.Offers[i].ClusterID] = append(byCluster[c.Offers[i].ClusterID], i)
+	}
+
+	var pos []pairgen.Pair
+	for i := c.SeedCount; i < len(c.Offers); i++ {
+		mates := byCluster[c.Offers[i].ClusterID]
+		if len(mates) < 2 {
+			continue
+		}
+		j := mates[rng.Intn(len(mates))]
+		if j == i {
+			continue
+		}
+		pos = append(pos, pairgen.Pair{A: i, B: j, Match: true})
+	}
+
+	var hardNeg []pairgen.Pair
+	for i := c.SeedCount; i < len(c.Offers); i++ {
+		if c.Kinds[i] != KindUnseen {
+			continue
+		}
+		hardNeg = append(hardNeg, pairgen.Pair{A: i, B: int(c.Sources[i]), Match: false})
+	}
+
+	var randNeg []pairgen.Pair
+	for len(randNeg) < nNeg && len(c.Offers) > 1 {
+		a := rng.Intn(len(c.Offers))
+		b := rng.Intn(len(c.Offers))
+		if a == b || c.Offers[a].ClusterID == c.Offers[b].ClusterID {
+			continue
+		}
+		randNeg = append(randNeg, pairgen.Pair{A: a, B: b, Match: false})
+	}
+
+	pick := func(from []pairgen.Pair, n int) []pairgen.Pair {
+		if n >= len(from) {
+			return from
+		}
+		idx := xrand.SampleWithoutReplacement(rng, len(from), n)
+		out := make([]pairgen.Pair, 0, n)
+		for _, i := range idx {
+			out = append(out, from[i])
+		}
+		return out
+	}
+	out := pick(pos, nPos)
+	hard := pick(hardNeg, nNeg/2)
+	out = append(out, hard...)
+	out = append(out, pick(randNeg, nNeg-len(hard))...)
+	return out
+}

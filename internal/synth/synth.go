@@ -1,0 +1,598 @@
+// Package synth grows the seed WDC Products offer corpus to 10k-1M offers
+// so that the scaling claims of the blocking and serving layers are
+// measured on real points instead of extrapolated from n=2563.
+//
+// The generator is deterministic and label-preserving by construction:
+// every generated offer is derived from a concrete seed offer (perturbation,
+// recombination of cluster-mate fragments) and inherits that offer's
+// cluster, or belongs to a brand-new "unseen" entity whose novel variant
+// token cannot collide with any seed entity. Cluster membership therefore
+// never has to be re-inferred from text, which is what keeps the generated
+// labels correct (the discipline Wang et al. show benchmark construction
+// silently loses otherwise).
+//
+// Generation is partition-parallel over internal/parallel: the target is
+// cut into fixed-size partitions, each partition draws from its own named
+// xrand stream, and the output is byte-identical at any worker count.
+// Per-category corner-case coverage (hard positives, hard negatives,
+// unseen entities, format diversity) is measured during generation and
+// asserted against configured floors by Validate, not sampled.
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"wdcproducts/internal/parallel"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/xrand"
+)
+
+// Kind classifies how an offer entered the corpus.
+type Kind uint8
+
+// The offer kinds. Seed offers are carried over verbatim; the generated
+// kinds name the construction recipe, which is also the corner-case
+// category the coverage floors are asserted over.
+const (
+	// KindSeed marks an offer copied unchanged from the seed corpus.
+	KindSeed Kind = iota
+	// KindEasy marks a lightly perturbed clone of a seed offer.
+	KindEasy
+	// KindHard marks a heavily perturbed clone engineered to sit far from
+	// its cluster mates (a hard positive).
+	KindHard
+	// KindRecombined marks a splice of two cluster-mate titles.
+	KindRecombined
+	// KindUnseen marks an offer of a brand-new entity absent from the
+	// seed corpus (the unseen-products corner case; textually a series
+	// sibling of its donor cluster, hence a hard negative).
+	KindUnseen
+
+	numKinds
+)
+
+// String names the kind for stats output.
+func (k Kind) String() string {
+	switch k {
+	case KindSeed:
+		return "seed"
+	case KindEasy:
+		return "easy"
+	case KindHard:
+		return "hard"
+	case KindRecombined:
+		return "recombined"
+	case KindUnseen:
+		return "unseen"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// FormatKinds is the number of distinct surface-format variants the
+// generator applies to titles (plain, lower-cased, shouted head token,
+// hyphen-merged pair, pipe separator, marketing suffix, comma after the
+// head token). Format diversity over volume: two very different surfaces
+// of the same entity test more than five near-identical ones.
+const FormatKinds = 7
+
+// hardBand is the Jaccard band that separates easy from hard pairs; it
+// matches labelcheck's HardSimilarityBand so "hard" means the same thing
+// in generation and in the label-quality study.
+const hardBand = 0.4
+
+// Config controls one corpus growth run. The determinism contract is:
+// identical (seed corpus, Config) produce a byte-identical Corpus at any
+// Workers value; every other field participates in the output.
+type Config struct {
+	// Target is the total number of offers in the grown corpus, seed
+	// included. Target == len(seed) is a no-op copy.
+	Target int
+	// Seed is the master random seed; all randomness derives from it via
+	// named per-partition xrand streams.
+	Seed int64
+	// Workers bounds the generation parallelism (<= 0 uses all CPUs).
+	// The output does not depend on it.
+	Workers int
+	// PartitionSize is the number of offers generated per parallel
+	// partition. It is part of the determinism contract (changing it
+	// changes partition stream boundaries and therefore the output).
+	PartitionSize int
+	// HardFraction is the share of generated offers built by heavy
+	// perturbation (hard positives).
+	HardFraction float64
+	// RecombineFraction is the share built by splicing two cluster-mate
+	// titles.
+	RecombineFraction float64
+	// UnseenFraction is the share of generated offers placed in
+	// brand-new entity clusters.
+	UnseenFraction float64
+	// UnseenMinOffers/UnseenMaxOffers bound the size of each unseen
+	// entity cluster.
+	UnseenMinOffers, UnseenMaxOffers int
+	// Floors are the coverage floors Validate asserts.
+	Floors Floors
+}
+
+// Floors are per-category coverage minima over the generated offers.
+// They are asserted (recomputed from the corpus) by Validate, so a config
+// or operator change that silently thins a corner-case category fails
+// loudly instead of skewing every downstream measurement.
+type Floors struct {
+	// HardPositives is the minimum fraction of generated offers whose
+	// title Jaccard against their source drops below the hard band.
+	HardPositives float64
+	// HardNegatives is the minimum fraction of generated offers that are
+	// unseen-entity offers sitting above the hard band against their
+	// donor cluster (series-sibling style hard negatives).
+	HardNegatives float64
+	// Unseen is the minimum fraction of generated offers in unseen
+	// entity clusters.
+	Unseen float64
+	// Recombined is the minimum fraction built by recombination.
+	Recombined float64
+	// FormatKinds is the minimum number of distinct surface formats that
+	// must occur among generated offers.
+	FormatKinds int
+}
+
+// DefaultConfig returns the corner-case-faithful configuration: moderate
+// entity growth, hard-positive and recombination shares comfortably above
+// the floors the test battery asserts.
+func DefaultConfig(target int, seed int64) Config {
+	return Config{
+		Target:            target,
+		Seed:              seed,
+		PartitionSize:     2048,
+		HardFraction:      0.18,
+		RecombineFraction: 0.18,
+		UnseenFraction:    0.12,
+		UnseenMinOffers:   2,
+		UnseenMaxOffers:   5,
+		Floors: Floors{
+			HardPositives: 0.08,
+			HardNegatives: 0.05,
+			Unseen:        0.06,
+			Recombined:    0.10,
+			FormatKinds:   5,
+		},
+	}
+}
+
+// ScaleConfig returns the large-target configuration used by the scale
+// benches: roughly half of the generated offers form new entities, so a
+// 100k-1M corpus grows its entity universe instead of inflating every
+// seed cluster into hundreds of near-duplicates (which no web corpus
+// does, and which would quadratically inflate blocking candidate sets).
+func ScaleConfig(target int, seed int64) Config {
+	cfg := DefaultConfig(target, seed)
+	cfg.UnseenFraction = 0.45
+	cfg.UnseenMaxOffers = 6
+	cfg.Floors.Unseen = 0.30
+	cfg.Floors.HardNegatives = 0.15
+	return cfg
+}
+
+// Stats are the generation counts the coverage floors are asserted over.
+type Stats struct {
+	// Seed and Generated partition the corpus.
+	Seed, Generated int
+	// KindCounts is the number of offers per Kind.
+	KindCounts [numKinds]int
+	// UnseenClusters is the number of brand-new entity clusters.
+	UnseenClusters int
+	// HardPositives counts generated offers whose title Jaccard against
+	// their source title is below the hard band.
+	HardPositives int
+	// HardNegatives counts unseen offers whose title Jaccard against
+	// their donor cluster's base title is at or above the hard band.
+	HardNegatives int
+	// FormatCounts is the number of generated offers per surface format.
+	FormatCounts [FormatKinds]int
+}
+
+// Corpus is a grown offer collection. The seed offers occupy the prefix
+// [0, SeedCount) unchanged; generated offers follow.
+type Corpus struct {
+	// Offers is the full grown universe.
+	Offers []schemaorg.Offer
+	// Kinds classifies every offer, index-aligned with Offers.
+	Kinds []Kind
+	// Sources holds, for each offer, the seed-corpus index of its
+	// primary source (perturbation/recombination source, or the unseen
+	// entity's donor). Seed offers point at themselves.
+	Sources []int32
+	// SeedCount is the length of the untouched seed prefix.
+	SeedCount int
+	// Config is the configuration the corpus was grown with.
+	Config Config
+	// Stats are the measured generation counts.
+	Stats Stats
+}
+
+// genPart is one partition's output, assembled in partition order.
+type genPart struct {
+	offers  []schemaorg.Offer
+	kinds   []Kind
+	sources []int32
+	stats   Stats
+}
+
+// cluster is the per-cluster view of the seed corpus the partitions draw
+// sources from.
+type cluster struct {
+	id      int64
+	members []int
+}
+
+// Grow generates cfg.Target-len(seed) offers from the seed corpus and
+// returns the combined collection. The seed slice is not modified. The
+// output is byte-identical for a fixed (seed, cfg) at any cfg.Workers.
+func Grow(seed []schemaorg.Offer, cfg Config) (*Corpus, error) {
+	if err := checkConfig(seed, cfg); err != nil {
+		return nil, err
+	}
+	clusters, maxClusterID := seedClusters(seed)
+	var maxOfferID int64
+	maxShop := 0
+	for i := range seed {
+		if seed[i].ID > maxOfferID {
+			maxOfferID = seed[i].ID
+		}
+		if seed[i].ShopID > maxShop {
+			maxShop = seed[i].ShopID
+		}
+	}
+
+	gen := cfg.Target - len(seed)
+	ps := cfg.PartitionSize
+	nParts := (gen + ps - 1) / ps
+	parts := make([]genPart, nParts)
+	root := xrand.New(cfg.Seed).Split("synth")
+	g := &generator{
+		seed:       seed,
+		clusters:   clusters,
+		maxCluster: maxClusterID,
+		maxOfferID: maxOfferID,
+		maxShop:    maxShop,
+		cfg:        cfg,
+	}
+	err := parallel.Run(nParts, cfg.Workers, func(p int) error {
+		lo := p * ps
+		hi := lo + ps
+		if hi > gen {
+			hi = gen
+		}
+		rng := root.Split(fmt.Sprintf("partition-%06d", p)).Stream("offers")
+		parts[p] = g.partition(p, lo, hi-lo, rng)
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Corpus{
+		Offers:    make([]schemaorg.Offer, 0, cfg.Target),
+		Kinds:     make([]Kind, 0, cfg.Target),
+		Sources:   make([]int32, 0, cfg.Target),
+		SeedCount: len(seed),
+		Config:    cfg,
+	}
+	c.Offers = append(c.Offers, seed...)
+	for i := range seed {
+		c.Kinds = append(c.Kinds, KindSeed)
+		c.Sources = append(c.Sources, int32(i))
+	}
+	c.Stats.Seed = len(seed)
+	c.Stats.KindCounts[KindSeed] = len(seed)
+	for p := range parts {
+		c.Offers = append(c.Offers, parts[p].offers...)
+		c.Kinds = append(c.Kinds, parts[p].kinds...)
+		c.Sources = append(c.Sources, parts[p].sources...)
+		addStats(&c.Stats, &parts[p].stats)
+	}
+	return c, nil
+}
+
+// checkConfig validates the growth configuration against the seed corpus.
+func checkConfig(seed []schemaorg.Offer, cfg Config) error {
+	if cfg.Target < len(seed) {
+		return fmt.Errorf("synth: target %d below seed size %d", cfg.Target, len(seed))
+	}
+	if cfg.Target > len(seed) && len(seed) == 0 {
+		return fmt.Errorf("synth: cannot grow an empty seed corpus")
+	}
+	if cfg.PartitionSize < 1 {
+		return fmt.Errorf("synth: partition size %d < 1", cfg.PartitionSize)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"HardFraction", cfg.HardFraction},
+		{"RecombineFraction", cfg.RecombineFraction},
+		{"UnseenFraction", cfg.UnseenFraction},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("synth: %s %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if s := cfg.HardFraction + cfg.RecombineFraction + cfg.UnseenFraction; s > 1 {
+		return fmt.Errorf("synth: recipe fractions sum to %v > 1", s)
+	}
+	if cfg.UnseenMinOffers < 1 || cfg.UnseenMaxOffers < cfg.UnseenMinOffers {
+		return fmt.Errorf("synth: unseen cluster size bounds [%d,%d] invalid",
+			cfg.UnseenMinOffers, cfg.UnseenMaxOffers)
+	}
+	return nil
+}
+
+// seedClusters groups the seed offers by cluster id in ascending id order.
+func seedClusters(seed []schemaorg.Offer) ([]cluster, int64) {
+	byID := map[int64][]int{}
+	var maxID int64
+	for i := range seed {
+		id := seed[i].ClusterID
+		byID[id] = append(byID[id], i)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	ids := make([]int64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sortInt64s(ids)
+	out := make([]cluster, len(ids))
+	for i, id := range ids {
+		out[i] = cluster{id: id, members: byID[id]}
+	}
+	return out, maxID
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func addStats(dst, src *Stats) {
+	dst.Generated += src.Generated
+	for k := range src.KindCounts {
+		dst.KindCounts[k] += src.KindCounts[k]
+	}
+	dst.UnseenClusters += src.UnseenClusters
+	dst.HardPositives += src.HardPositives
+	dst.HardNegatives += src.HardNegatives
+	for f := range src.FormatCounts {
+		dst.FormatCounts[f] += src.FormatCounts[f]
+	}
+}
+
+// Digest returns an FNV-64a hash over every offer field and kind, the
+// byte-identity witness the golden fixture and the determinism tests pin.
+func (c *Corpus) Digest() uint64 {
+	h := fnv.New64a()
+	for i := range c.Offers {
+		o := &c.Offers[i]
+		fmt.Fprintf(h, "%d|%d|%s|%s|%s|%s|%s|%s|%s|%s|%d|%d\n",
+			o.ID, o.ClusterID, o.Title, o.Description, o.Brand,
+			o.Price, o.PriceCurrency, o.GTIN, o.MPN, o.SKU,
+			o.ShopID, c.Kinds[i])
+	}
+	return h.Sum64()
+}
+
+// Validate recomputes the label-consistency invariants and coverage
+// floors from the corpus itself (it does not trust the Stats counters for
+// anything it can re-derive). It returns the first violated invariant.
+func (c *Corpus) Validate() error {
+	if len(c.Offers) != len(c.Kinds) || len(c.Offers) != len(c.Sources) {
+		return fmt.Errorf("synth: offers/kinds/sources length mismatch")
+	}
+	if c.SeedCount > len(c.Offers) {
+		return fmt.Errorf("synth: seed count %d exceeds corpus size %d", c.SeedCount, len(c.Offers))
+	}
+	var maxSeedCluster int64
+	for i := 0; i < c.SeedCount; i++ {
+		if c.Offers[i].ClusterID > maxSeedCluster {
+			maxSeedCluster = c.Offers[i].ClusterID
+		}
+	}
+	gen := len(c.Offers) - c.SeedCount
+	hardPos, hardNeg := 0, 0
+	var kinds [numKinds]int
+	unseenTokens := map[int64]map[string]bool{}
+	for i := c.SeedCount; i < len(c.Offers); i++ {
+		o := &c.Offers[i]
+		k := c.Kinds[i]
+		kinds[k]++
+		src := int(c.Sources[i])
+		if src < 0 || src >= c.SeedCount {
+			return fmt.Errorf("synth: offer %d source %d outside seed prefix", i, src)
+		}
+		switch k {
+		case KindSeed:
+			return fmt.Errorf("synth: generated offer %d marked as seed", i)
+		case KindUnseen:
+			if o.ClusterID <= maxSeedCluster {
+				return fmt.Errorf("synth: unseen offer %d reuses seed cluster %d", i, o.ClusterID)
+			}
+			toks := expandHyphens(textutil.TokenSet(o.Title))
+			if cur, ok := unseenTokens[o.ClusterID]; !ok {
+				unseenTokens[o.ClusterID] = toks
+			} else {
+				for t := range cur {
+					if !toks[t] {
+						delete(cur, t)
+					}
+				}
+			}
+			if jaccard(toks, textutil.TokenSet(c.Offers[src].Title)) >= hardBand {
+				hardNeg++
+			}
+		default:
+			if o.ClusterID != c.Offers[src].ClusterID {
+				return fmt.Errorf("synth: offer %d cluster %d disagrees with source cluster %d",
+					i, o.ClusterID, c.Offers[src].ClusterID)
+			}
+			got := textutil.TokenSet(o.Title)
+			want := textutil.TokenSet(c.Offers[src].Title)
+			if !sharesIdentity(got, want) {
+				return fmt.Errorf("synth: offer %d title %q shares no token with its source %q",
+					i, o.Title, c.Offers[src].Title)
+			}
+			if jaccard(got, want) < hardBand {
+				hardPos++
+			}
+		}
+	}
+	for id, common := range unseenTokens {
+		if len(common) == 0 {
+			return fmt.Errorf("synth: unseen cluster %d offers share no common token", id)
+		}
+	}
+	if gen == 0 {
+		return nil
+	}
+	fl := c.Config.Floors
+	ratio := func(n int) float64 { return float64(n) / float64(gen) }
+	if ratio(hardPos) < fl.HardPositives {
+		return fmt.Errorf("synth: hard-positive ratio %.4f below floor %.4f", ratio(hardPos), fl.HardPositives)
+	}
+	if ratio(hardNeg) < fl.HardNegatives {
+		return fmt.Errorf("synth: hard-negative ratio %.4f below floor %.4f", ratio(hardNeg), fl.HardNegatives)
+	}
+	if ratio(kinds[KindUnseen]) < fl.Unseen {
+		return fmt.Errorf("synth: unseen ratio %.4f below floor %.4f", ratio(kinds[KindUnseen]), fl.Unseen)
+	}
+	if ratio(kinds[KindRecombined]) < fl.Recombined {
+		return fmt.Errorf("synth: recombined ratio %.4f below floor %.4f", ratio(kinds[KindRecombined]), fl.Recombined)
+	}
+	distinct := 0
+	for _, n := range c.Stats.FormatCounts {
+		if n > 0 {
+			distinct++
+		}
+	}
+	if distinct < fl.FormatKinds {
+		return fmt.Errorf("synth: %d surface formats below floor %d", distinct, fl.FormatKinds)
+	}
+	return nil
+}
+
+// Summary renders the per-kind counts, corner-case ratios and digest in
+// one line for CLI output and the golden fixture.
+func (c *Corpus) Summary() string {
+	g := c.Stats.Generated
+	ratio := func(n int) float64 {
+		if g == 0 {
+			return 0
+		}
+		return float64(n) / float64(g)
+	}
+	return fmt.Sprintf(
+		"offers %d (seed %d + generated %d) easy %d hard %d recombined %d unseen %d/%d-clusters hardpos %.3f hardneg %.3f digest %016x",
+		len(c.Offers), c.Stats.Seed, g,
+		c.Stats.KindCounts[KindEasy], c.Stats.KindCounts[KindHard],
+		c.Stats.KindCounts[KindRecombined], c.Stats.KindCounts[KindUnseen],
+		c.Stats.UnseenClusters,
+		ratio(c.Stats.HardPositives), ratio(c.Stats.HardNegatives),
+		c.Digest())
+}
+
+// jaccard computes set Jaccard over token sets.
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// sharesToken reports whether the sets intersect.
+func sharesToken(a, b map[string]bool) bool {
+	for t := range a {
+		if b[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// expandHyphens returns toks plus the "-"-split parts of every
+// hyphen-bearing token, so set intersections see through the hyphen-merge
+// surface format (which welds adjacent tokens into one).
+func expandHyphens(toks map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(toks))
+	for t := range toks {
+		out[t] = true
+		if !strings.Contains(t, "-") {
+			continue
+		}
+		for _, part := range strings.Split(t, "-") {
+			if part != "" {
+				out[part] = true
+			}
+		}
+	}
+	return out
+}
+
+// sharesIdentity reports whether a generated title still carries its
+// source's identity: a shared token, or a source token surviving inside a
+// hyphen-welded generated token — splitting the weld on "-" recovers the
+// parts ("7-4" style), and a substring check catches longer source tokens
+// straddling a weld boundary ("c80-router" style).
+func sharesIdentity(got, want map[string]bool) bool {
+	if sharesToken(got, want) {
+		return true
+	}
+	for g := range got {
+		if !strings.Contains(g, "-") {
+			continue
+		}
+		for _, part := range strings.Split(g, "-") {
+			if part != "" && want[part] {
+				return true
+			}
+		}
+		for w := range want {
+			if len(w) >= 3 && strings.Contains(g, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasDigitString reports whether s contains an ASCII digit. Digit-bearing
+// tokens (variants, model codes, capacities) carry the entity identity and
+// are never dropped by the perturbation operators.
+func hasDigitString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldsOf splits a title into whitespace fields, the unit the operators
+// work on (surface-preserving, unlike the lower-casing tokenizer).
+func fieldsOf(title string) []string {
+	return strings.Fields(title)
+}

@@ -1,0 +1,377 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"wdcproducts/internal/corpus"
+	"wdcproducts/internal/schemaorg"
+	"wdcproducts/internal/textutil"
+	"wdcproducts/internal/xrand"
+)
+
+var (
+	seedOnce   sync.Once
+	seedOffers []schemaorg.Offer
+)
+
+// seedFixture builds the shared seed corpus: the tiny synthetic corpus
+// with singleton clusters pruned, so recombination always has mates.
+func seedFixture(t testing.TB) []schemaorg.Offer {
+	t.Helper()
+	seedOnce.Do(func() {
+		c := corpus.Generate(corpus.TinyConfig(), xrand.New(7)).PruneSmallClusters(2)
+		seedOffers = c.Offers
+	})
+	return seedOffers
+}
+
+func grow(t testing.TB, cfg Config) *Corpus {
+	t.Helper()
+	c, err := Grow(seedFixture(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDeterministicAcrossWorkers is the core determinism contract: the
+// same (seed, config) must produce a byte-identical corpus at workers
+// 1, 2 and 8 — not just an equal digest, the full structures must match.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	seed := seedFixture(t)
+	target := len(seed) + 5000
+	var ref *Corpus
+	for _, w := range []int{1, 2, 8} {
+		cfg := DefaultConfig(target, 42)
+		cfg.Workers = w
+		c := grow(t, cfg)
+		if ref == nil {
+			ref = c
+			continue
+		}
+		if c.Digest() != ref.Digest() {
+			t.Fatalf("workers=%d digest %016x != workers=1 digest %016x", w, c.Digest(), ref.Digest())
+		}
+		if !reflect.DeepEqual(c.Offers, ref.Offers) {
+			t.Fatalf("workers=%d offers differ from workers=1", w)
+		}
+		if !reflect.DeepEqual(c.Kinds, ref.Kinds) {
+			t.Fatalf("workers=%d kinds differ from workers=1", w)
+		}
+		if !reflect.DeepEqual(c.Sources, ref.Sources) {
+			t.Fatalf("workers=%d sources differ from workers=1", w)
+		}
+		if c.Stats != ref.Stats {
+			t.Fatalf("workers=%d stats differ: %+v vs %+v", w, c.Stats, ref.Stats)
+		}
+	}
+}
+
+// TestSameSeedSameCorpusDifferentSeedDiffers pins that the master seed
+// fully controls the output and actually participates in it.
+func TestSameSeedSameCorpusDifferentSeedDiffers(t *testing.T) {
+	seed := seedFixture(t)
+	target := len(seed) + 1000
+	a := grow(t, DefaultConfig(target, 5))
+	b := grow(t, DefaultConfig(target, 5))
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same seed produced different digests: %016x vs %016x", a.Digest(), b.Digest())
+	}
+	c := grow(t, DefaultConfig(target, 6))
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestSeedPrefixUntouched asserts the grown corpus carries the seed
+// offers verbatim in the prefix, marked KindSeed and self-sourced.
+func TestSeedPrefixUntouched(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+500, 9))
+	if c.SeedCount != len(seed) {
+		t.Fatalf("seed count %d != %d", c.SeedCount, len(seed))
+	}
+	for i := range seed {
+		if !reflect.DeepEqual(c.Offers[i], seed[i]) {
+			t.Fatalf("seed offer %d modified", i)
+		}
+		if c.Kinds[i] != KindSeed {
+			t.Fatalf("seed offer %d kind %v", i, c.Kinds[i])
+		}
+		if int(c.Sources[i]) != i {
+			t.Fatalf("seed offer %d source %d", i, c.Sources[i])
+		}
+	}
+}
+
+// TestLabelConsistency checks every generated offer's cluster label
+// against its provenance — via Validate and independently by hand.
+func TestLabelConsistency(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+4000, 13))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var maxSeedCluster, maxSeedID int64
+	for i := range seed {
+		if seed[i].ClusterID > maxSeedCluster {
+			maxSeedCluster = seed[i].ClusterID
+		}
+		if seed[i].ID > maxSeedID {
+			maxSeedID = seed[i].ID
+		}
+	}
+	for i := c.SeedCount; i < len(c.Offers); i++ {
+		src := int(c.Sources[i])
+		switch c.Kinds[i] {
+		case KindUnseen:
+			if c.Offers[i].ClusterID <= maxSeedCluster {
+				t.Fatalf("unseen offer %d reuses seed cluster %d", i, c.Offers[i].ClusterID)
+			}
+			if c.Offers[i].GTIN != "" {
+				t.Fatalf("unseen offer %d inherited GTIN %q", i, c.Offers[i].GTIN)
+			}
+		default:
+			if c.Offers[i].ClusterID != seed[src].ClusterID {
+				t.Fatalf("offer %d cluster %d != source cluster %d",
+					i, c.Offers[i].ClusterID, seed[src].ClusterID)
+			}
+		}
+		if c.Offers[i].ID <= maxSeedID {
+			t.Fatalf("offer %d id %d not beyond seed id range %d", i, c.Offers[i].ID, maxSeedID)
+		}
+	}
+}
+
+// TestOfferIDsUnique asserts generated offer IDs never collide with the
+// seed's or each other (they index downstream truth tables).
+func TestOfferIDsUnique(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+3000, 21))
+	ids := make(map[int64]bool, len(c.Offers))
+	for i := range c.Offers {
+		id := c.Offers[i].ID
+		if ids[id] {
+			t.Fatalf("duplicate offer id %d at index %d", id, i)
+		}
+		ids[id] = true
+	}
+}
+
+// TestUnseenClusterIDsUnique asserts unseen entity clusters are globally
+// unique across partitions (the ordinal construction) and internally
+// consistent: every unseen cluster's offers share its novel variant MPN.
+func TestUnseenClusterIDsUnique(t *testing.T) {
+	seed := seedFixture(t)
+	cfg := DefaultConfig(len(seed)+6000, 17)
+	cfg.PartitionSize = 1024 // force several partitions
+	c := grow(t, cfg)
+	mpnOf := map[int64]string{}
+	seedClusters := map[int64]bool{}
+	for i := range seed {
+		seedClusters[seed[i].ClusterID] = true
+	}
+	for i := c.SeedCount; i < len(c.Offers); i++ {
+		if c.Kinds[i] != KindUnseen {
+			continue
+		}
+		id := c.Offers[i].ClusterID
+		if seedClusters[id] {
+			t.Fatalf("unseen cluster %d collides with a seed cluster", id)
+		}
+		if prev, ok := mpnOf[id]; ok {
+			if prev != c.Offers[i].MPN {
+				t.Fatalf("unseen cluster %d has two variant MPNs %q and %q", id, prev, c.Offers[i].MPN)
+			}
+		} else {
+			mpnOf[id] = c.Offers[i].MPN
+		}
+	}
+	seen := map[string]int64{}
+	for id, mpn := range mpnOf {
+		if other, ok := seen[mpn]; ok {
+			t.Fatalf("variant MPN %q shared by unseen clusters %d and %d", mpn, id, other)
+		}
+		seen[mpn] = id
+	}
+	if len(mpnOf) < 2 {
+		t.Fatalf("expected multiple unseen clusters, got %d", len(mpnOf))
+	}
+}
+
+// TestCoverageFloors recomputes the corner-case ratios from the corpus
+// (every offer, not a sample) and asserts them against the configured
+// floors plus the stats counters that Summary reports.
+func TestCoverageFloors(t *testing.T) {
+	seed := seedFixture(t)
+	cfg := DefaultConfig(len(seed)+5000, 29)
+	c := grow(t, cfg)
+	gen := len(c.Offers) - c.SeedCount
+	hardPos, hardNeg, unseen, recombined := 0, 0, 0, 0
+	for i := c.SeedCount; i < len(c.Offers); i++ {
+		src := int(c.Sources[i])
+		got := textutil.TokenSet(c.Offers[i].Title)
+		want := textutil.TokenSet(seed[src].Title)
+		switch c.Kinds[i] {
+		case KindUnseen:
+			unseen++
+			if jaccard(expandHyphens(got), want) >= hardBand {
+				hardNeg++
+			}
+		case KindRecombined:
+			recombined++
+			fallthrough
+		default:
+			if jaccard(got, want) < hardBand {
+				hardPos++
+			}
+		}
+	}
+	ratio := func(n int) float64 { return float64(n) / float64(gen) }
+	if r := ratio(hardPos); r < cfg.Floors.HardPositives {
+		t.Fatalf("hard-positive ratio %.4f below floor %.4f", r, cfg.Floors.HardPositives)
+	}
+	if r := ratio(hardNeg); r < cfg.Floors.HardNegatives {
+		t.Fatalf("hard-negative ratio %.4f below floor %.4f", r, cfg.Floors.HardNegatives)
+	}
+	if r := ratio(unseen); r < cfg.Floors.Unseen {
+		t.Fatalf("unseen ratio %.4f below floor %.4f", r, cfg.Floors.Unseen)
+	}
+	if r := ratio(recombined); r < cfg.Floors.Recombined {
+		t.Fatalf("recombined ratio %.4f below floor %.4f", r, cfg.Floors.Recombined)
+	}
+	distinct := 0
+	for _, n := range c.Stats.FormatCounts {
+		if n > 0 {
+			distinct++
+		}
+	}
+	if distinct < cfg.Floors.FormatKinds {
+		t.Fatalf("%d surface formats below floor %d", distinct, cfg.Floors.FormatKinds)
+	}
+	if c.Stats.HardPositives != hardPos {
+		t.Fatalf("stats hard positives %d != recomputed %d", c.Stats.HardPositives, hardPos)
+	}
+	if c.Stats.KindCounts[KindUnseen] != unseen {
+		t.Fatalf("stats unseen %d != recomputed %d", c.Stats.KindCounts[KindUnseen], unseen)
+	}
+}
+
+// TestUnseenShareTracksConfig pins the offer-level unseen budget: the
+// measured share must sit within one percentage point of the config.
+func TestUnseenShareTracksConfig(t *testing.T) {
+	seed := seedFixture(t)
+	cfg := ScaleConfig(len(seed)+20000, 3)
+	c := grow(t, cfg)
+	gen := len(c.Offers) - c.SeedCount
+	share := float64(c.Stats.KindCounts[KindUnseen]) / float64(gen)
+	if share < cfg.UnseenFraction-0.01 || share > cfg.UnseenFraction+0.01 {
+		t.Fatalf("unseen share %.4f drifts from configured %.4f", share, cfg.UnseenFraction)
+	}
+}
+
+// TestScaleConfigValidates runs the scale configuration at a larger
+// target through the full Validate battery.
+func TestScaleConfigValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale validation in -short mode")
+	}
+	c := grow(t, ScaleConfig(100000, 11))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Offers) != 100000 {
+		t.Fatalf("target missed: %d offers", len(c.Offers))
+	}
+}
+
+// TestNoGrowthIsCopy asserts Target == len(seed) returns the seed
+// unchanged and still validates.
+func TestNoGrowthIsCopy(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed), 1))
+	if len(c.Offers) != len(seed) || c.Stats.Generated != 0 {
+		t.Fatalf("no-op copy generated offers: %d/%d", len(c.Offers), c.Stats.Generated)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigErrors exercises every checkConfig rejection.
+func TestConfigErrors(t *testing.T) {
+	seed := seedFixture(t)
+	cases := []struct {
+		name string
+		mod  func(*Config)
+		seed []schemaorg.Offer
+	}{
+		{"target below seed", func(c *Config) { c.Target = len(seed) - 1 }, seed},
+		{"empty seed", func(c *Config) { c.Target = 10 }, nil},
+		{"bad partition size", func(c *Config) { c.PartitionSize = 0 }, seed},
+		{"negative fraction", func(c *Config) { c.HardFraction = -0.1 }, seed},
+		{"fraction above one", func(c *Config) { c.UnseenFraction = 1.5 }, seed},
+		{"fractions sum above one", func(c *Config) {
+			c.HardFraction, c.RecombineFraction, c.UnseenFraction = 0.5, 0.4, 0.3
+		}, seed},
+		{"bad unseen bounds", func(c *Config) { c.UnseenMinOffers = 0 }, seed},
+		{"inverted unseen bounds", func(c *Config) { c.UnseenMinOffers, c.UnseenMaxOffers = 5, 2 }, seed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(len(seed)+100, 1)
+			tc.mod(&cfg)
+			if _, err := Grow(tc.seed, cfg); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+// TestValidateCatchesCorruption flips one label and expects Validate to
+// object — the validator must not trust the generator.
+func TestValidateCatchesCorruption(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+500, 33))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Find a non-unseen generated offer and reassign its cluster.
+	for i := c.SeedCount; i < len(c.Offers); i++ {
+		if c.Kinds[i] == KindUnseen {
+			continue
+		}
+		c.Offers[i].ClusterID = c.Offers[i].ClusterID + 999999
+		break
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("validate accepted a corrupted cluster label")
+	}
+}
+
+// TestSummaryMentionsDigest keeps the one-line summary wired to the
+// digest so CLI output pins the corpus identity.
+func TestSummaryMentionsDigest(t *testing.T) {
+	seed := seedFixture(t)
+	c := grow(t, DefaultConfig(len(seed)+200, 2))
+	s := c.Summary()
+	if !strings.Contains(s, "digest") || !strings.Contains(s, "unseen") {
+		t.Fatalf("summary missing fields: %q", s)
+	}
+}
+
+// TestKindString covers the kind names used in stats output.
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindSeed: "seed", KindEasy: "easy", KindHard: "hard",
+		KindRecombined: "recombined", KindUnseen: "unseen", numKinds: "kind(5)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"wdcproducts/internal/matchers"
 	"wdcproducts/internal/profilestats"
 	"wdcproducts/internal/simlib"
+	"wdcproducts/internal/synth"
 	"wdcproducts/internal/tables"
 	"wdcproducts/internal/tokenize"
 	"wdcproducts/internal/xrand"
@@ -171,6 +172,33 @@ func LabelQuality(b *Benchmark, c *Corpus, seed int64) (*labelcheck.Result, erro
 
 // LabelQualityResult is the outcome of the §4 study.
 type LabelQualityResult = labelcheck.Result
+
+// SynthCorpus is a synthetically scaled-out offer corpus: the seed offers
+// followed by generated offers with per-offer provenance (generation kind
+// and source offer), a content digest and recomputable coverage floors.
+type SynthCorpus = synth.Corpus
+
+// SynthGrow scales the benchmark's offer corpus out to target offers with
+// the deterministic generator (perturbation, recombination and unseen
+// entities at the scale mix). The result is byte-identical for a fixed
+// seed at any workers value (<= 0 uses all CPUs); Validate on the result
+// re-proves label consistency and the coverage floors. See docs/synth.md.
+func SynthGrow(b *Benchmark, target int, seed int64, workers int) (*SynthCorpus, error) {
+	cfg := synth.ScaleConfig(target, seed)
+	cfg.Workers = workers
+	return synth.Grow(b.Offers, cfg)
+}
+
+// SynthLabelCheck runs the §4 annotator protocol over a stratified sample
+// of the grown corpus's pairs (cluster-mate positives; hard donor-sibling
+// and random negatives): the generated labels, correct by construction,
+// must survive simulated expert re-annotation at the seed corpus's noise
+// level. It is the release gate wdcgen -synth-scale -v reports.
+func SynthLabelCheck(c *SynthCorpus, seed int64) (*LabelQualityResult, error) {
+	pairs := synth.SampleLabelPairs(c, 120, 120, seed)
+	title := func(i int) string { return c.Offers[i].Title }
+	return labelcheck.CheckSample(pairs, title, labelcheck.DefaultConfig(), xrand.New(seed))
+}
 
 // BPE is the trainable byte-pair tokenizer used by Table 2's token column.
 type BPE = tokenize.BPE
