@@ -2,15 +2,15 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_8.json: the end-to-end
+# The perf-trajectory benchmarks recorded in BENCH_9.json: the end-to-end
 # pipeline build, the corner-selection microbenchmarks, the sigmoid
 # lookup-table comparison, the blocking-scale / index-reuse / matcher /
-# persistence / serving benches carried over from PRs 4-7, and the PR 8
-# synthetic scale-out benches — corpus growth throughput, MinHash blocking
-# over the grown 10k/100k universes, and the serve daemon's read path at
-# those sizes.
-BENCH_OUT ?= BENCH_8.json
-BENCH_NOTE ?= synthetic scale-out (PR 8): the deterministic generator grows the corpus at ~5.7-7.8us/offer and the scale-tuned MinHash banding (16 bands x 4 rows) blocks the grown 100k universe in ~16s at 99.8% reduction, where the default 48x2 banding goes quadratic (~250M candidate pairs) on a near-duplicate universe; the serve daemon's read path sustains ~1030 QPS / 7.3ms p50 at 10k and ~82 QPS / 87ms p50 at 100k offers over the grown corpus
+# persistence / serving / synthetic scale-out benches carried over from
+# PRs 4-8, and the PR 9 quantized IVF query benches — per-query vs batched
+# search cost at each precision tier (f32/int8/pq) over the grown
+# 10k/100k universes, with recall of the f32 baseline reported alongside.
+BENCH_OUT ?= BENCH_9.json
+BENCH_NOTE ?= quantized IVF queries (PR 9): at n=100k batched PQ answers ivf-knn queries in ~208 us vs ~1011 us for the per-query f32 scan (4.9x) at 95.4 percent f32-recall (10k recall floor 0.9999); int8 ~532 us at 99.8 percent
 
 # Coverage floor (percent of statements) enforced over the blocking stack
 # by `make cover`.
@@ -67,6 +67,7 @@ fuzz:
 	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPEEncode$$' -fuzztime 30s
 	$(GO) test ./internal/tokenize -run '^$$' -fuzz '^FuzzBPETrain$$' -fuzztime 30s
 	$(GO) test ./internal/blocking -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 30s
+	$(GO) test ./internal/blocking -run '^$$' -fuzz '^FuzzPQSnapshotDecode$$' -fuzztime 30s
 	$(GO) test ./internal/synth -run '^$$' -fuzz '^FuzzPerturbTitle$$' -fuzztime 30s
 
 # bench regenerates $(BENCH_OUT) from the perf-trajectory benchmarks with
@@ -85,6 +86,7 @@ bench:
 	  $(GO) test -run '^$$' -bench '^BenchmarkServeLoad$$' -benchmem -benchtime 1x ./internal/serve && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkSynthGrow$$' -benchmem -benchtime 1x -timeout 30m . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkSynthBlockingScale$$' -benchmem -benchtime 1x -timeout 30m . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkIVFQueryScale$$' -benchmem -benchtime 3x -timeout 30m . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkServeLoadScale$$' -benchmem -benchtime 1x -timeout 30m ./internal/serve && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \

@@ -23,9 +23,10 @@ import (
 	"wdcproducts/internal/blocking"
 	"wdcproducts/internal/core"
 	"wdcproducts/internal/embed"
-	"wdcproducts/internal/lsh"
+	"wdcproducts/internal/ivf"
 	"wdcproducts/internal/matchers"
 	"wdcproducts/internal/pairgen"
+	"wdcproducts/internal/parallel"
 	"wdcproducts/internal/simlib"
 	"wdcproducts/internal/synth"
 	"wdcproducts/internal/xrand"
@@ -446,8 +447,8 @@ var (
 )
 
 // blockingBenchSetup trains the one title encoder the embedding-space
-// blockers share.
-func blockingBenchSetup(b *testing.B) {
+// blockers share (tests and benches alike — hence testing.TB).
+func blockingBenchSetup(b testing.TB) {
 	b.Helper()
 	ensureBuild(b)
 	blockOnce.Do(func() {
@@ -892,7 +893,7 @@ func BenchmarkSynthGrow(b *testing.B) {
 // collision rate to ~0.2% while keeping most same-cluster collisions,
 // which is the banding trade-off LSH theory prescribes at scale.
 func scaleMinHashBlocker() *blocking.MinHashBlocker {
-	return &blocking.MinHashBlocker{Config: lsh.Config{Bands: 16, Rows: 4}, Seed: 1}
+	return &blocking.MinHashBlocker{Config: blocking.MinHashConfig{Bands: 16, Rows: 4}, Seed: 1}
 }
 
 // BenchmarkSynthBlockingScale measures MinHash-LSH candidate generation
@@ -918,6 +919,141 @@ func BenchmarkSynthBlockingScale(b *testing.B) {
 			b.ReportMetric(m.PairCompleteness*100, "pair-completeness")
 			b.ReportMetric(m.ReductionRatio*100, "reduction-ratio")
 		})
+	}
+}
+
+// --- Quantized IVF query benches (PR 9) --------------------------------------
+
+// The quantized-query benches put the headline number behind the PR 9
+// tentpole: query cost per offer through the IVF index at each precision
+// tier (f32 exact scan, int8 symmetric rows, PQ ADC over residual codes),
+// per-query vs batched. The acceptance figure is the n=100k batched-PQ
+// µs/query against the f32 per-query baseline; every quantized row also
+// reports recall of the f32 baseline's neighbour sets, so the speedup is
+// never read without the quality it was bought at.
+
+// quantBenchQueries caps the query load per measurement: enough queries
+// to amortize batch dispatch the way a real split query does, small
+// enough that a full precision x mode sweep at 100k stays affordable.
+const quantBenchQueries = 2000
+
+var (
+	quantMu       sync.Mutex
+	quantVecCache = map[int][][]float32{}
+	quantIxCache  = map[string]*ivf.Index{}
+	quantF32Cache = map[int][][]ivf.Result{}
+)
+
+// quantVecsAt encodes (and caches) the grown synthetic corpus at n offers
+// into the shared embedding space, one vector per offer.
+func quantVecsAt(tb testing.TB, n int) [][]float32 {
+	blockingBenchSetup(tb)
+	c := synthCorpusAt(tb, n)
+	quantMu.Lock()
+	defer quantMu.Unlock()
+	if v, ok := quantVecCache[n]; ok {
+		return v
+	}
+	vecs := make([][]float32, len(c.Offers))
+	parallel.Run(len(vecs), 0, func(i int) error {
+		vecs[i] = blockModel.Encode(c.Offers[i].Title)
+		return nil
+	}, nil)
+	quantVecCache[n] = vecs
+	return vecs
+}
+
+// quantIndexAt builds (and caches) one IVF index per (n, precision) over
+// the grown corpus vectors.
+func quantIndexAt(tb testing.TB, n int, p ivf.Precision) *ivf.Index {
+	vecs := quantVecsAt(tb, n)
+	key := fmt.Sprintf("%d/%s", n, p)
+	quantMu.Lock()
+	defer quantMu.Unlock()
+	if ix, ok := quantIxCache[key]; ok {
+		return ix
+	}
+	cfg := ivf.DefaultConfig()
+	cfg.Precision = p
+	ix := ivf.Build(vecs, cfg, xrand.New(42).Stream("quant-bench"))
+	quantIxCache[key] = ix
+	return ix
+}
+
+// quantF32Baseline returns (and caches) the f32 index's per-query results
+// over the bench query set — the reference the quantized tiers' recall is
+// measured against.
+func quantF32Baseline(tb testing.TB, n int) [][]ivf.Result {
+	ix := quantIndexAt(tb, n, ivf.PrecisionF32)
+	vecs := quantVecsAt(tb, n)
+	quantMu.Lock()
+	defer quantMu.Unlock()
+	if r, ok := quantF32Cache[n]; ok {
+		return r
+	}
+	q := min(len(vecs), quantBenchQueries)
+	res := ix.SearchBatch(vecs[:q], blockKNN)
+	quantF32Cache[n] = res
+	return res
+}
+
+// knnIDRecall is the mean per-query fraction of want's neighbour ids
+// present in got's.
+func knnIDRecall(got, want [][]ivf.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	var sum float64
+	for i := range want {
+		if len(want[i]) == 0 {
+			sum++
+			continue
+		}
+		ids := make(map[int]bool, len(got[i]))
+		for _, r := range got[i] {
+			ids[r.ID] = true
+		}
+		hit := 0
+		for _, r := range want[i] {
+			if ids[r.ID] {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(len(want[i]))
+	}
+	return sum / float64(len(want))
+}
+
+// BenchmarkIVFQueryScale sweeps n x precision x dispatch mode, reporting
+// us/query and recall of the f32 baseline's neighbour sets. The BENCH_9
+// acceptance figure is n=100000/pq/batch us/query against
+// n=100000/f32/perquery.
+func BenchmarkIVFQueryScale(b *testing.B) {
+	for _, n := range synthSizes() {
+		for _, p := range []ivf.Precision{ivf.PrecisionF32, ivf.PrecisionInt8, ivf.PrecisionPQ} {
+			for _, mode := range []string{"perquery", "batch"} {
+				b.Run(fmt.Sprintf("n=%d/%s/%s", n, p, mode), func(b *testing.B) {
+					ix := quantIndexAt(b, n, p)
+					vecs := quantVecsAt(b, n)
+					baseline := quantF32Baseline(b, n)
+					qs := vecs[:min(len(vecs), quantBenchQueries)]
+					res := make([][]ivf.Result, len(qs))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if mode == "batch" {
+							res = ix.SearchBatch(qs, blockKNN)
+						} else {
+							for j, q := range qs {
+								res[j] = ix.Search(q, blockKNN)
+							}
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(qs))/1000, "us/query")
+					b.ReportMetric(knnIDRecall(res, baseline)*100, "f32-recall")
+				})
+			}
+		}
 	}
 }
 

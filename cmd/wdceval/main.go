@@ -77,6 +77,8 @@ func main() {
 		"persist blocking indexes: load each index from this directory when a snapshot matches the corpus/config fingerprint, save it after a fresh build (empty = rebuild every run)")
 	shards := flag.Int("shards", 0,
 		"hash-partition the blocking indexes across this many shards (<= 1 = single index; only the minhash/hnsw/ivf blockers shard)")
+	ivfPrecision := flag.String("ivf-precision", "",
+		"IVF blocker scan precision: f32 (default, exact), int8 (symmetric 8-bit rows), or pq (product-quantized residuals); quantized tiers re-rank with exact dots")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	verbose := flag.Bool("v", false,
 		"log blocking-index acquisition: snapshot load vs rebuild and the typed fallback reason")
@@ -100,7 +102,7 @@ func main() {
 
 	if *blockingFlag != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockingFlag)
-		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards}
+		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards, IVFPrecision: *ivfPrecision}
 		if *verbose {
 			opts.Log = os.Stderr
 		}

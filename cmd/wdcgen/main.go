@@ -62,6 +62,8 @@ func main() {
 		"persist blocking indexes: load each index from this directory when a snapshot matches the corpus/config fingerprint, save it after a fresh build (empty = rebuild every run)")
 	shards := flag.Int("shards", 0,
 		"hash-partition the blocking indexes across this many shards (<= 1 = single index; only the minhash/hnsw/ivf blockers shard)")
+	ivfPrecision := flag.String("ivf-precision", "",
+		"IVF blocker scan precision: f32 (default, exact), int8 (symmetric 8-bit rows), or pq (product-quantized residuals); quantized tiers re-rank with exact dots")
 	synthScale := flag.Int("synth-scale", 0,
 		"also grow the offer corpus to this many offers with the deterministic synthetic generator and write <out>/synthetic.jsonl (0 = off)")
 	synthWorkers := flag.Int("synth-workers", 0,
@@ -130,7 +132,7 @@ func main() {
 	}
 	if *blockers != "" || *blockScale || *matchBlock {
 		names := wdcproducts.ParseBlockerNames(*blockers)
-		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards}
+		opts := wdcproducts.BlockingOptions{SnapshotDir: *snapshotDir, Shards: *shards, IVFPrecision: *ivfPrecision}
 		if *verbose {
 			opts.Log = os.Stderr
 		}

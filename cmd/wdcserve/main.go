@@ -33,6 +33,7 @@ import (
 	"wdcproducts"
 	"wdcproducts/internal/blocking"
 	"wdcproducts/internal/embed"
+	"wdcproducts/internal/ivf"
 	"wdcproducts/internal/schemaorg"
 	"wdcproducts/internal/serve"
 	"wdcproducts/internal/xrand"
@@ -40,7 +41,9 @@ import (
 
 // newIndexedBlocker constructs the named sublinear blocker, training
 // the title encoder when the blocker searches the embedding space.
-func newIndexedBlocker(name string, offers []schemaorg.Offer, seed int64) (blocking.IndexedBlocker, error) {
+// ivfPrecision selects the IVF blocker's scan representation (f32, int8
+// or pq; empty = f32).
+func newIndexedBlocker(name string, offers []schemaorg.Offer, seed int64, ivfPrecision string) (blocking.IndexedBlocker, error) {
 	const k = 6
 	model := func() *embed.Model {
 		titles := make([]string, len(offers))
@@ -57,7 +60,13 @@ func newIndexedBlocker(name string, offers []schemaorg.Offer, seed int64) (block
 	case "hnsw":
 		return blocking.NewHNSWBlocker(model(), k), nil
 	case "ivf":
-		return blocking.NewIVFBlocker(model(), k), nil
+		prec, err := ivf.ParsePrecision(ivfPrecision)
+		if err != nil {
+			return nil, err
+		}
+		ib := blocking.NewIVFBlocker(model(), k)
+		ib.Config.Precision = prec
+		return ib, nil
 	default:
 		return nil, fmt.Errorf("unknown blocker %q", name)
 	}
@@ -79,6 +88,7 @@ func main() {
 	flush := flag.Duration("flush", 200*time.Millisecond, "maximum wait before a partial batch is applied")
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query deadline cap")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget")
+	ivfPrecision := flag.String("ivf-precision", "", "IVF blocker scan precision: f32 (default, exact), int8, or pq (quantized tiers re-rank with exact dots)")
 	verbose := flag.Bool("v", false, "log index acquisition (snapshot load vs rebuild) and pipeline progress")
 	flag.Parse()
 
@@ -102,7 +112,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("build corpus: %v", err)
 	}
-	bl, err := newIndexedBlocker(*blockerName, b.Offers, *seed)
+	bl, err := newIndexedBlocker(*blockerName, b.Offers, *seed, *ivfPrecision)
 	if err != nil {
 		log.Fatalf("blocker: %v", err)
 	}

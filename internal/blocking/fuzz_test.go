@@ -112,3 +112,54 @@ func FuzzSnapshotDecode(f *testing.F) {
 		check("sharded-ivf", err)
 	})
 }
+
+// fuzzQuantIVFConfig returns the per-precision IVF configurations the PQ
+// fuzzer loads against (quantization knobs are fingerprint words, so each
+// tier addresses its own snapshots).
+func fuzzQuantIVFConfig(p ivf.Precision) ivf.Config {
+	cfg := fuzzIVFConfig()
+	cfg.Precision = p
+	cfg.M = 2
+	return cfg
+}
+
+// FuzzPQSnapshotDecode narrows FuzzSnapshotDecode onto the quantized IVF
+// payload sections: damaged codebook or code bytes — truncated tables,
+// out-of-range entry addresses, implausible shapes, flipped presence
+// flags — must yield typed persist errors, never a panic or an index that
+// panics when searched. The seed corpus holds valid int8 and PQ snapshots
+// (unsharded and sharded), so mutations explore the quantized decode
+// paths specifically.
+func FuzzPQSnapshotDecode(f *testing.F) {
+	offers, idxs, model := fuzzFixture()
+	const seed = 1
+	i8cfg := fuzzQuantIVFConfig(ivf.PrecisionInt8)
+	pqcfg := fuzzQuantIVFConfig(ivf.PrecisionPQ)
+	f.Add(BuildIVFIndex(offers, idxs, model, 2, i8cfg, seed).EncodeSnapshot())
+	f.Add(BuildIVFIndex(offers, idxs, model, 2, pqcfg, seed).EncodeSnapshot())
+	f.Add(BuildShardedIVFIndex(offers, idxs, 2, model, 2, pqcfg, seed).EncodeSnapshot())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(name string, err error) {
+			if err == nil {
+				return
+			}
+			var corrupt *persist.CorruptSnapshotError
+			var mismatch *persist.FingerprintMismatchError
+			if !errors.As(err, &corrupt) && !errors.As(err, &mismatch) {
+				t.Fatalf("%s: untyped load error %T: %v", name, err, err)
+			}
+		}
+		for _, cfg := range []ivf.Config{i8cfg, pqcfg} {
+			ix, err := LoadIVFIndex(data, offers, idxs, model, 2, cfg, seed)
+			check(string(cfg.Precision), err)
+			if err == nil {
+				// A load that passed every structural check must be
+				// queryable without panicking.
+				ix.Candidates(idxs)
+			}
+			_, err = LoadShardedIVFIndex(data, offers, idxs, 2, model, 2, cfg, seed)
+			check("sharded-"+string(cfg.Precision), err)
+		}
+	})
+}

@@ -32,6 +32,14 @@ type IVFIndex struct {
 	vecs   [][]float32 // title id -> encoding
 	memo   *memoSlots[int32]
 	memoQ  queryMemo
+
+	// Batched-search bookkeeping: primed[tid] records that tid's
+	// neighbour list was (or is being) produced by a SearchBatch, so a
+	// later batch skips it. batchMu serializes only the cheap claim scan
+	// — the batched searches themselves run outside it. Reset alongside
+	// memo on Add.
+	batchMu sync.Mutex
+	primed  []bool
 }
 
 // BuildIVFIndex interns the titles of the offers at idxs, encodes each
@@ -50,6 +58,7 @@ func BuildIVFIndex(offers []schemaorg.Offer, idxs []int, model *embed.Model, k i
 	}, nil)
 	x.ix = ivf.Build(x.vecs, cfg, xrand.New(seed).Stream("ivf-knn"))
 	x.memo = newMemoSlots[int32](len(x.vecs))
+	x.primed = make([]bool, len(x.vecs))
 	return x
 }
 
@@ -85,6 +94,7 @@ func (x *IVFIndex) Add(offers []schemaorg.Offer, idxs []int) {
 		x.ix.Add(vec)
 	}
 	x.memo = newMemoSlots[int32](len(x.vecs))
+	x.primed = make([]bool, len(x.vecs))
 }
 
 // neighbours returns title tid's memoized ranked neighbour ids (top k+1
@@ -92,23 +102,58 @@ func (x *IVFIndex) Add(offers []schemaorg.Offer, idxs []int) {
 // found, since a vector always lands in its own list).
 func (x *IVFIndex) neighbours(tid int) []int32 {
 	return x.memo.get(tid, func() []int32 {
-		res := x.ix.Search(x.vecs[tid], x.k+1)
-		ids := make([]int32, len(res))
-		for i, r := range res {
-			ids[i] = int32(r.ID)
-		}
-		return ids
+		return resultIDs(x.ix.Search(x.vecs[tid], x.k+1))
 	})
 }
 
+// resultIDs projects a ranked result list to its title ids.
+func resultIDs(res []ivf.Result) []int32 {
+	ids := make([]int32, len(res))
+	for i, r := range res {
+		ids[i] = int32(r.ID)
+	}
+	return ids
+}
+
+// primeNeighbours materializes the neighbour memos of the given titles
+// through one ivf.SearchBatch call, amortizing centroid scans, lookup
+// tables and scratch across the whole split instead of paying them per
+// title. Titles another batch already claimed are skipped; a Candidates
+// call racing ahead of the batch may still compute a claimed title's list
+// singly, which is harmless — Search and SearchBatch are deterministic and
+// the memo's Once keeps whichever lands first (they are identical).
+func (x *IVFIndex) primeNeighbours(tids []int) {
+	x.batchMu.Lock()
+	todo := make([]int, 0, len(tids))
+	for _, tid := range tids {
+		if !x.primed[tid] {
+			x.primed[tid] = true
+			todo = append(todo, tid)
+		}
+	}
+	x.batchMu.Unlock()
+	if len(todo) == 0 {
+		return
+	}
+	qs := make([][]float32, len(todo))
+	for i, tid := range todo {
+		qs[i] = x.vecs[tid]
+	}
+	batch := x.ix.SearchBatch(qs, x.k+1)
+	for i, tid := range todo {
+		x.memo.set(tid, resultIDs(batch[i]))
+	}
+}
+
 // Candidates implements Index with the shared title-level kNN split
-// semantics of knnCandidates; repeated queries of the same split are
+// semantics of knnCandidates, with the split's neighbour lists produced by
+// one batched multi-query search; repeated queries of the same split are
 // served from the query memo.
 func (x *IVFIndex) Candidates(queryIdxs []int) []CandidatePair {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	return x.memoQ.get(queryIdxs, func() []CandidatePair {
-		return x.corpus.knnCandidates(queryIdxs, x.k, x.cfg.Workers, x.neighbours)
+		return x.corpus.knnCandidatesBatch(queryIdxs, x.k, x.primeNeighbours, x.neighbours)
 	})
 }
 
@@ -152,6 +197,7 @@ func (b *IVFBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []Candidat
 	fp := corpusFingerprint(offers, idxs,
 		uint64(b.K), uint64(b.Config.NLists), uint64(b.Config.NProbe),
 		uint64(b.Config.TrainSize), uint64(b.Config.Iters), uint64(b.Seed),
+		uint64(b.Config.Precision.Ordinal()), uint64(b.Config.M), uint64(b.Config.RerankK),
 		modelWord(b.Model))
 	ix := b.cache.get(fp, func() Index { return b.BuildIndex(offers, idxs) })
 	return ix.Candidates(idxs)

@@ -36,6 +36,14 @@ func (m *memoSlots[T]) get(i int, compute func() []T) []T {
 	return m.res[i]
 }
 
+// set installs a precomputed value for slot i through the slot's Once, so
+// it composes safely with concurrent get calls: whichever lands first
+// wins, and batch producers must therefore install the same value a
+// single-slot compute would have produced.
+func (m *memoSlots[T]) set(i int, v []T) {
+	m.once[i].Do(func() { m.res[i] = v })
+}
+
 // HNSWIndex is a reusable approximate-kNN index over distinct title
 // embeddings, backed by an incrementally growable HNSW graph. Add and
 // Candidates are safe to interleave from any number of goroutines (see

@@ -379,9 +379,11 @@ func (si *ShardedIndex) knnNeighbours(tid int) []int32 {
 	})
 }
 
-// BuildShardedIndex implements ShardedIndexBuilder.
+// BuildShardedIndex implements ShardedIndexBuilder. The banding is
+// resolved from the whole universe's size, not per shard, so sharded and
+// unsharded builds of one corpus agree on it.
 func (m *MinHashBlocker) BuildShardedIndex(offers []schemaorg.Offer, idxs []int, shards int) Index {
-	return BuildShardedMinHashIndex(offers, idxs, shards, m.Config, m.Seed)
+	return BuildShardedMinHashIndex(offers, idxs, shards, m.Config.resolve(len(idxs)), m.Seed)
 }
 
 // BuildShardedIndex implements ShardedIndexBuilder.

@@ -19,7 +19,7 @@ func TestShardedMinHashMatchesUnsharded(t *testing.T) {
 	mh.Config.Workers = 2
 	want := mh.BuildIndex(offers, idxs)
 	for _, shards := range []int{1, 2, 3, 4} {
-		si := BuildShardedMinHashIndex(offers, idxs, shards, mh.Config, mh.Seed)
+		si := BuildShardedMinHashIndex(offers, idxs, shards, mh.Config.resolve(len(idxs)), mh.Seed)
 		name := fmt.Sprintf("minhash shards=%d", shards)
 		samePairs(t, name+" full", si.Candidates(idxs), want.Candidates(idxs))
 		samePairs(t, name+" subset", si.Candidates(subset), want.Candidates(subset))
@@ -82,7 +82,7 @@ func TestShardedDeterministic(t *testing.T) {
 		ib := NewIVFBlocker(model, 6)
 		ib.Config.Workers = workers
 		return []*ShardedIndex{
-			BuildShardedMinHashIndex(offers, idxs, 3, mh.Config, mh.Seed),
+			BuildShardedMinHashIndex(offers, idxs, 3, mh.Config.resolve(len(idxs)), mh.Seed),
 			BuildShardedHNSWIndex(offers, idxs, 3, hb.Model, hb.K, hb.Config, hb.Seed),
 			BuildShardedIVFIndex(offers, idxs, 3, ib.Model, ib.K, ib.Config, ib.Seed),
 		}
@@ -130,7 +130,7 @@ func TestShardedQueryUnindexedOfferPanics(t *testing.T) {
 	offers, idxs, _ := fixture(t)
 	mh := NewMinHashBlocker()
 	mh.Config.Workers = 1
-	si := BuildShardedMinHashIndex(offers, idxs[:len(idxs)-1], 2, mh.Config, mh.Seed)
+	si := BuildShardedMinHashIndex(offers, idxs[:len(idxs)-1], 2, mh.Config.resolve(len(idxs)-1), mh.Seed)
 	if _, err := QueryCandidates(si, idxs); err == nil {
 		t.Fatal("unindexed query offer did not error")
 	}
@@ -154,7 +154,7 @@ func TestGoldenShardedCandidates(t *testing.T) {
 	mh := NewMinHashBlocker()
 	for _, shards := range []int{2, 4} {
 		dump(fmt.Sprintf("minhash-s%d", shards),
-			BuildShardedMinHashIndex(offers, idxs, shards, mh.Config, mh.Seed).Candidates(idxs))
+			BuildShardedMinHashIndex(offers, idxs, shards, mh.Config.resolve(len(idxs)), mh.Seed).Candidates(idxs))
 	}
 	hb := NewHNSWBlocker(model, 6)
 	dump("hnsw-k6-s2", BuildShardedHNSWIndex(offers, idxs, 2, hb.Model, hb.K, hb.Config, hb.Seed).Candidates(idxs))

@@ -78,10 +78,14 @@ func hnswWords(model *embed.Model, k int, cfg hnsw.Config, seed int64) []uint64 
 }
 
 // ivfWords returns the configuration words of an IVF index's content
-// address.
+// address. The quantization knobs (precision tier, PQ sub-space count,
+// re-rank depth) are part of the address: a snapshot built at one
+// precision must never satisfy a load at another.
 func ivfWords(model *embed.Model, k int, cfg ivf.Config, seed int64) []uint64 {
 	return []uint64{uint64(k), uint64(cfg.NLists), uint64(cfg.NProbe),
-		uint64(cfg.TrainSize), uint64(cfg.Iters), uint64(seed), modelFingerprint(model)}
+		uint64(cfg.TrainSize), uint64(cfg.Iters), uint64(seed),
+		uint64(cfg.Precision.Ordinal()), uint64(cfg.M), uint64(cfg.RerankK),
+		modelFingerprint(model)}
 }
 
 // SnapshotFingerprint implements SnapshotIndex.
@@ -259,6 +263,7 @@ func LoadIVFIndex(data []byte, offers []schemaorg.Offer, idxs []int, model *embe
 	x.vecs = vecs
 	x.ix = ix
 	x.memo = newMemoSlots[int32](len(vecs))
+	x.primed = make([]bool, len(vecs))
 	return x, nil
 }
 
@@ -423,14 +428,15 @@ func shardedSnapshotWords(words []uint64, shards int) []uint64 {
 }
 
 func (m *MinHashBlocker) snapshotFingerprint(offers []schemaorg.Offer, idxs []int, shards int) uint64 {
-	return corpusFingerprint(offers, idxs, shardedSnapshotWords(minhashWords(m.Config, m.Seed), shards)...)
+	return corpusFingerprint(offers, idxs, shardedSnapshotWords(minhashWords(m.Config.resolve(len(idxs)), m.Seed), shards)...)
 }
 
 func (m *MinHashBlocker) loadSnapshot(data []byte, offers []schemaorg.Offer, idxs []int, shards int) (Index, error) {
+	rc := m.Config.resolve(len(idxs))
 	if shards > 1 {
-		return LoadShardedMinHashIndex(data, offers, idxs, shards, m.Config, m.Seed)
+		return LoadShardedMinHashIndex(data, offers, idxs, shards, rc, m.Seed)
 	}
-	return LoadMinHashIndex(data, offers, idxs, m.Config, m.Seed)
+	return LoadMinHashIndex(data, offers, idxs, rc, m.Seed)
 }
 
 func (h *HNSWBlocker) snapshotFingerprint(offers []schemaorg.Offer, idxs []int, shards int) uint64 {

@@ -26,6 +26,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"wdcproducts/internal/parallel"
 	"wdcproducts/internal/vector"
@@ -56,6 +57,29 @@ type Config struct {
 	// Workers bounds the goroutines of the batch-parallel assignment passes
 	// (<= 0 selects runtime.NumCPU(); results are identical at any value).
 	Workers int
+	// Precision selects the representation the probed inverted lists are
+	// scanned in: PrecisionF32 (the default, exact dot products),
+	// PrecisionInt8 (symmetric int8 rows, ~4x smaller), or PrecisionPQ
+	// (per-cell residual product quantization, M bytes per row, scanned
+	// through per-query lookup tables). The quantized tiers score
+	// approximately and re-rank the best RerankK candidates with exact f32
+	// dots; see quant.go for the accuracy contract.
+	Precision Precision
+	// M is the number of product-quantizer sub-spaces (PrecisionPQ only).
+	// 0 selects 16; values are clamped to the vector dimension. Each
+	// sub-space gets its own codebook of up to 256 entries, so a PQ row
+	// costs M bytes. More sub-spaces mean finer reconstruction (higher
+	// recall) and a proportionally slower list scan.
+	M int
+	// RerankK bounds the exact f32 re-rank of the quantized search paths:
+	// the RerankK best candidates by approximate score are re-scored with
+	// exact dot products before the top k are returned. 0 selects 32k+32 at
+	// query time — deep enough that near-duplicate-heavy corpora (where
+	// many rows sit inside one quantization-error band of the true top k)
+	// keep >99% of the exact neighbour sets; values below k are raised to
+	// k. Smaller values trade recall for scan speed. Ignored by
+	// PrecisionF32.
+	RerankK int
 }
 
 // DefaultConfig returns the standard blocking configuration: automatic
@@ -87,6 +111,14 @@ func (c Config) withDefaults(trainN int) Config {
 	if c.NProbe > c.NLists {
 		c.NProbe = c.NLists
 	}
+	if c.Precision == "" {
+		c.Precision = PrecisionF32
+	}
+	switch c.Precision {
+	case PrecisionF32, PrecisionInt8, PrecisionPQ:
+	default:
+		panic("ivf: unknown precision " + string(c.Precision) + " (valid: f32, int8, pq)")
+	}
 	return c
 }
 
@@ -106,6 +138,18 @@ type Index struct {
 	centroids [][]float32 // normalized cluster centres, fixed after Build
 	lists     [][]int32   // centroid -> member vector ids, insertion order
 	vecs      [][]float32 // normalized copies of the indexed vectors
+
+	// Quantized row tiers (see quant.go): exactly one is non-nil when
+	// cfg.Precision is int8 or pq, both nil for f32. Like the centroids,
+	// the PQ codebooks are trained once at Build and never move, which is
+	// what keeps incremental Add exact.
+	i8 *int8Rows
+	pq *pqRows
+
+	// scratch pools the per-query search buffers (probe order, lookup
+	// tables, candidate heaps) so batched searches amortize their
+	// allocations; pooled state never influences results.
+	scratch sync.Pool
 }
 
 // Build trains the coarse quantizer on the first min(TrainSize, len(vecs))
@@ -143,6 +187,7 @@ func Build(vecs [][]float32, cfg Config, rng *rand.Rand) *Index {
 	for i, c := range assign {
 		ix.lists[c] = append(ix.lists[c], int32(i))
 	}
+	ix.quantizeBuild(assign, trainN, rng)
 	return ix
 }
 
@@ -247,6 +292,7 @@ func (ix *Index) Add(vec []float32) int {
 		ix.cfg = ix.cfg.withDefaults(1)
 		ix.cfg.NLists = 1
 		ix.cfg.NProbe = 1
+		ix.bootstrapQuant()
 	}
 	if len(vec) != ix.dim {
 		panic("ivf: added vector dimension does not match the indexed vectors")
@@ -256,6 +302,7 @@ func (ix *Index) Add(vec []float32) int {
 	ix.vecs = append(ix.vecs, nv)
 	c := ix.nearestCentroid(nv)
 	ix.lists[c] = append(ix.lists[c], int32(i))
+	ix.quantizeAdd(nv, c)
 	return i
 }
 
@@ -277,7 +324,9 @@ func (ix *Index) ListSizes() []int {
 // Search returns the k best members of the NProbe nearest inverted lists
 // by cosine similarity, best first (ties by ascending id). The query is
 // normalized internally; a dimension mismatch panics rather than silently
-// truncating the dot products.
+// truncating the dot products. Under a quantized precision the probed
+// members are scored approximately and the best RerankK re-ranked with
+// exact dots (see Config.Precision).
 func (ix *Index) Search(q []float32, k int) []Result {
 	if k <= 0 || len(ix.vecs) == 0 {
 		return nil
@@ -286,6 +335,9 @@ func (ix *Index) Search(q []float32, k int) []Result {
 		panic("ivf: query dimension does not match the indexed vectors")
 	}
 	nq := normalize(q)
+	if ix.i8 != nil || ix.pq != nil {
+		return ix.searchQuant(nq, k)
+	}
 	probes := ix.nearestCentroids(nq, ix.cfg.NProbe)
 	// Bounded top-k selection over the probed members: the kept set is
 	// exactly the first k of the full (Sim descending, ID ascending) sort,
@@ -298,6 +350,30 @@ func (ix *Index) Search(q []float32, k int) []Result {
 	}
 	out := []Result(heap)
 	sort.Slice(out, func(a, b int) bool { return resultWorse(out[b], out[a]) })
+	return out
+}
+
+// SearchBatch answers every query of qs, returning one Search(q, k) result
+// slice per query in input order. The batch dispatches across the
+// configured worker pool and shares the pooled per-query scratch (probe
+// scores, ADC lookup tables, candidate heaps), amortizing allocations a
+// per-query loop pays on every call; results are byte-identical to
+// per-query Search at any worker count. Dimension mismatches panic before
+// any work is dispatched.
+func (ix *Index) SearchBatch(qs [][]float32, k int) [][]Result {
+	out := make([][]Result, len(qs))
+	if k <= 0 || len(ix.vecs) == 0 {
+		return out
+	}
+	for _, q := range qs {
+		if len(q) != ix.dim {
+			panic("ivf: query dimension does not match the indexed vectors")
+		}
+	}
+	parallel.Run(len(qs), ix.cfg.Workers, func(i int) error {
+		out[i] = ix.Search(qs[i], k)
+		return nil
+	}, nil)
 	return out
 }
 

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"wdcproducts/internal/blocking"
-	"wdcproducts/internal/lsh"
 	"wdcproducts/internal/synth"
 )
 
@@ -120,7 +119,7 @@ func BenchmarkServeLoadScale(b *testing.B) {
 				b.Fatal(err)
 			}
 			cfg := Config{
-				Blocker:    &blocking.MinHashBlocker{Config: lsh.Config{Bands: 16, Rows: 4}, Seed: 1},
+				Blocker:    &blocking.MinHashBlocker{Config: blocking.MinHashConfig{Bands: 16, Rows: 4}, Seed: 1},
 				Offers:     c.Offers,
 				MaxQueries: 32,
 			}

@@ -1,0 +1,56 @@
+// Recall-floor battery for the quantized IVF query tiers (PR 9): at a
+// 10k-offer synthetic universe, the int8 and PQ blockers must keep at
+// least 99% of the f32 blocker's candidate pairs and at least 99% of its
+// exact cluster-truth pair completeness. The floors are asserted here (in
+// CI's ordinary test run) rather than only observed in the benches, so a
+// quantization regression fails the build instead of drifting a BENCH
+// number.
+package wdcproducts_test
+
+import (
+	"testing"
+
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/ivf"
+)
+
+// quantFloorN is the universe size of the recall-floor battery — the
+// smaller of the two BENCH_9 scale points, big enough that the coarse
+// lists are genuinely populated and quantization error has somewhere to
+// hide.
+const quantFloorN = 10000
+
+func TestQuantizedBlockingRecallFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three IVF indexes over a 10k-offer synthetic corpus")
+	}
+	blockingBenchSetup(t)
+	c := synthCorpusAt(t, quantFloorN)
+	idxs := make([]int, len(c.Offers))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	cluster := func(i int) int64 { return c.Offers[i].ClusterID }
+	candidates := func(p ivf.Precision) []blocking.CandidatePair {
+		bl := blocking.NewIVFBlocker(blockModel, blockKNN)
+		bl.Config.Precision = p
+		return bl.Candidates(c.Offers, idxs)
+	}
+	exact := candidates(ivf.PrecisionF32)
+	exactM := blocking.EvaluateClusters(exact, idxs, cluster)
+	t.Logf("f32: %d pairs, completeness %.4f", len(exact), exactM.PairCompleteness)
+	for _, p := range []ivf.Precision{ivf.PrecisionInt8, ivf.PrecisionPQ} {
+		cands := candidates(p)
+		m := blocking.EvaluateClusters(cands, idxs, cluster)
+		recall := pairRecall(cands, exact)
+		t.Logf("%s: %d pairs, completeness %.4f, f32-pair recall %.4f",
+			p, len(cands), m.PairCompleteness, recall)
+		if recall < 0.99 {
+			t.Errorf("%s: recall of the f32 candidate set %.4f below the 0.99 floor", p, recall)
+		}
+		if m.PairCompleteness < 0.99*exactM.PairCompleteness {
+			t.Errorf("%s: pair completeness %.4f < 0.99 x f32's %.4f",
+				p, m.PairCompleteness, exactM.PairCompleteness)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"wdcproducts/internal/corpus"
 	"wdcproducts/internal/embed"
 	"wdcproducts/internal/experiments"
+	"wdcproducts/internal/ivf"
 	"wdcproducts/internal/labelcheck"
 	"wdcproducts/internal/matchers"
 	"wdcproducts/internal/profilestats"
@@ -325,8 +326,9 @@ func blockerNeedsModel(name string) bool {
 }
 
 // newBlocker constructs the named §6 blocker. The embedding-space blockers
-// (blockerNeedsModel) require a trained title encoder.
-func newBlocker(name string, model *embed.Model, workers int) (blocking.Blocker, error) {
+// (blockerNeedsModel) require a trained title encoder; opts carries the
+// cross-blocker tuning knobs (currently the IVF scan precision).
+func newBlocker(name string, model *embed.Model, workers int, opts BlockingOptions) (blocking.Blocker, error) {
 	switch name {
 	case "token":
 		return blocking.NewTokenBlocker(), nil
@@ -343,8 +345,13 @@ func newBlocker(name string, model *embed.Model, workers int) (blocking.Blocker,
 		hb.Config.Workers = workers
 		return hb, nil
 	case "ivf":
+		prec, err := ivf.ParsePrecision(opts.IVFPrecision)
+		if err != nil {
+			return nil, fmt.Errorf("wdcproducts: %v", err)
+		}
 		ib := blocking.NewIVFBlocker(model, blockKNNBudget)
 		ib.Config.Workers = workers
+		ib.Config.Precision = prec
 		return ib, nil
 	default:
 		return nil, fmt.Errorf("wdcproducts: unknown blocker %q (valid: %s)",
@@ -379,6 +386,11 @@ type BlockingOptions struct {
 	SnapshotDir string
 	// Shards > 1 builds hash-partitioned indexes.
 	Shards int
+	// IVFPrecision selects the representation the IVF blocker scans its
+	// inverted lists in: "f32" (or empty — exact, the default), "int8"
+	// (symmetric 8-bit rows), or "pq" (product-quantized residuals).
+	// The quantized tiers re-rank with exact dots; see ivf.Config.
+	IVFPrecision string
 	// Log, when non-nil, receives one line per index acquisition
 	// describing the blocking.OpenStats outcome: loaded from snapshot,
 	// refused (with the typed reason) and rebuilt, or built fresh.
@@ -480,7 +492,7 @@ func BlockingReportOpts(b *Benchmark, names []string, seed int64, workers int, o
 			len(split.idxs), len(split.idxs)*(len(split.idxs)-1)/2),
 		"blocker", "candidates", "pair completeness", "reduction ratio", "build ms", "query ms")
 	for _, name := range names {
-		bl, err := newBlocker(name, model, workers)
+		bl, err := newBlocker(name, model, workers, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -559,7 +571,7 @@ func BlockingScaleReportOpts(b *Benchmark, names []string, seed int64, workers i
 		fmt.Sprintf("Blocking at scale (§6): index built once over %d offers, queried per split", len(union)),
 		"blocker", "split", "offers", "candidates", "pair completeness", "reduction ratio", "ms")
 	for _, name := range names {
-		bl, err := newBlocker(name, model, workers)
+		bl, err := newBlocker(name, model, workers, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -750,7 +762,7 @@ func MatcherBlockingReportOpts(b *Benchmark, names, systems []string, seed int64
 	model := blockerModel(b, names, seed)
 	tasks := []experiments.MatcherBlockingTask{noBlockingTask(split, train, val, test)}
 	for _, name := range names {
-		bl, err := newBlocker(name, model, workers)
+		bl, err := newBlocker(name, model, workers, opts)
 		if err != nil {
 			return nil, err
 		}
