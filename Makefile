@@ -2,15 +2,16 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks recorded in BENCH_9.json: the end-to-end
-# pipeline build, the corner-selection microbenchmarks, the sigmoid
-# lookup-table comparison, the blocking-scale / index-reuse / matcher /
-# persistence / serving / synthetic scale-out benches carried over from
-# PRs 4-8, and the PR 9 quantized IVF query benches — per-query vs batched
-# search cost at each precision tier (f32/int8/pq) over the grown
-# 10k/100k universes, with recall of the f32 baseline reported alongside.
-BENCH_OUT ?= BENCH_9.json
-BENCH_NOTE ?= quantized IVF queries (PR 9): at n=100k batched PQ answers ivf-knn queries in ~208 us vs ~1011 us for the per-query f32 scan (4.9x) at 95.4 percent f32-recall (10k recall floor 0.9999); int8 ~532 us at 99.8 percent
+# The perf-trajectory benchmarks recorded in BENCH_10.json: the
+# end-to-end pipeline build, the corner-selection microbenchmarks, the
+# sigmoid lookup-table comparison, the blocking-scale / index-reuse /
+# matcher / persistence / serving / synthetic scale-out / quantized IVF
+# benches carried over from PRs 4-9, and the PR 10 serve ingest-scale
+# bench — per-batch publication latency and sustained ingest QPS through
+# the incremental delta write path at n=10k/100k, against the
+# full-adjacency-rebuild baseline it replaced.
+BENCH_OUT ?= BENCH_10.json
+BENCH_NOTE ?= incremental epoch views (PR 10): a 256-offer batch publishes in ~2.4ms at n=10k and ~2.9ms at n=100k (1.2x; write cost tracks the batch, not the corpus) vs the ~26s full adjacency rebuild each batch used to pay at n=100k (~9000x); see BenchmarkServeIngestScale apply-us-per-batch vs full-rebuild-us
 
 # Coverage floor (percent of statements) enforced over the blocking stack
 # by `make cover`.
@@ -88,6 +89,7 @@ bench:
 	  $(GO) test -run '^$$' -bench '^BenchmarkSynthBlockingScale$$' -benchmem -benchtime 1x -timeout 30m . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkIVFQueryScale$$' -benchmem -benchtime 3x -timeout 30m . && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkServeLoadScale$$' -benchmem -benchtime 1x -timeout 30m ./internal/serve && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkServeIngestScale$$' -benchmem -benchtime 1x -timeout 30m ./internal/serve && \
 	  $(GO) test -run '^$$' -bench 'CornerSearch' -benchmem -benchtime 50x ./internal/selection && \
 	  $(GO) test -run '^$$' -bench 'Sigmoid' -benchtime 0.5s ./internal/embed ) > "$$tmp"; \
 	status=$$?; cat "$$tmp"; \

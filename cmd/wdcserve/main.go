@@ -9,7 +9,8 @@
 //
 //	wdcserve [-addr :8080] [-scale tiny] [-seed 42] [-blocker minhash]
 //	         [-shards 0] [-snapshot-dir DIR] [-stream 0.2] [-ingest FILE]
-//	         [-dead-letter FILE] [-queue 256] [-batch 64] [-v]
+//	         [-dead-letter FILE] [-queue 256] [-batch 64]
+//	         [-compact-layers 32] [-compact-pairs 0] [-v]
 //
 // By default the daemon seeds its index with all but a -stream fraction
 // of the benchmark offers and replays the held-out remainder through
@@ -86,6 +87,8 @@ func main() {
 	queueCap := flag.Int("queue", 256, "ingest queue capacity (full queue = backpressure)")
 	batch := flag.Int("batch", 64, "offers applied per index write")
 	flush := flag.Duration("flush", 200*time.Millisecond, "maximum wait before a partial batch is applied")
+	compactLayers := flag.Int("compact-layers", 32, "fold stacked delta layers into the view's base after this many batches (< 0 disables the count trigger)")
+	compactPairs := flag.Int("compact-pairs", 0, "fold delta layers once they carry this many candidate pairs (0 = adaptive, < 0 disables the size trigger)")
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query deadline cap")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget")
 	ivfPrecision := flag.String("ivf-precision", "", "IVF blocker scan precision: f32 (default, exact), int8, or pq (quantized tiers re-rank with exact dots)")
@@ -139,16 +142,18 @@ func main() {
 	}
 
 	scfg := serve.Config{
-		Blocker:      bl,
-		Offers:       seedOffers,
-		Index:        blocking.IndexOptions{SnapshotDir: *snapshotDir, Shards: *shards},
-		Connector:    connector,
-		QueueCap:     *queueCap,
-		BatchSize:    *batch,
-		FlushEvery:   *flush,
-		QueryTimeout: *queryTimeout,
-		DrainTimeout: *drainTimeout,
-		RetrySeed:    *seed,
+		Blocker:       bl,
+		Offers:        seedOffers,
+		Index:         blocking.IndexOptions{SnapshotDir: *snapshotDir, Shards: *shards},
+		Connector:     connector,
+		QueueCap:      *queueCap,
+		BatchSize:     *batch,
+		FlushEvery:    *flush,
+		QueryTimeout:  *queryTimeout,
+		DrainTimeout:  *drainTimeout,
+		CompactLayers: *compactLayers,
+		CompactPairs:  *compactPairs,
+		RetrySeed:     *seed,
 	}
 	if *verbose {
 		scfg.Log = os.Stderr

@@ -1,0 +1,249 @@
+// The delta-candidates contract: the incremental complement of the
+// subset-query path. A full Candidates query over the indexed universe
+// costs O(corpus) even when only a handful of offers just landed; the
+// serving daemon applies small batches continuously, so its write path
+// needs exactly the pairs a batch introduced, at a cost tracking the
+// batch. DeltaCandidates is that query.
+//
+// Exactness differs by engine family. MinHash adjacency is monotone
+// under Add — a band collision is a pairwise property of two fixed
+// signatures, so new titles never change old edges — which admits a
+// truly sublinear delta: look up each batch title's band buckets and
+// expand only the incident edges. The kNN engines (hnsw/ivf/embedding
+// and the sharded kNN fan-in) are not monotone: a new title can evict
+// an old partner from someone's top-K budget, so an exact sublinear
+// delta needs reverse-kNN bookkeeping the indexes do not keep yet (see
+// the ROADMAP). They honour the contract exactly by filtering the
+// full-universe query — correct, memoized, but O(corpus) per delta.
+
+package blocking
+
+import "errors"
+
+// DeltaIndex is an Index that can report the candidate pairs a batch of
+// newly applied offers introduced, without the caller re-querying the
+// whole corpus. All indexes in this package implement it.
+type DeltaIndex interface {
+	Index
+	// DeltaCandidates returns exactly the candidate pairs with at least
+	// one endpoint among newIdxs — Candidates over the full indexed
+	// universe, restricted to pairs touching the batch — sorted
+	// lexicographically and deduplicated. Every offer in newIdxs must
+	// already be indexed (by the Add that applied the batch); an
+	// unindexed offer panics with *UnindexedQueryError, which
+	// QueryDeltaCandidates converts to an error.
+	DeltaCandidates(newIdxs []int) []CandidatePair
+}
+
+// ErrNoDelta reports that an Index does not implement DeltaIndex;
+// callers fall back to a full Candidates query.
+var ErrNoDelta = errors.New("blocking: index does not support delta-candidates queries")
+
+// QueryDeltaCandidates runs ix.DeltaCandidates(newIdxs), converting the
+// unindexed-offer invariant panic into a returned *UnindexedQueryError
+// (any other panic propagates unchanged). An index without a delta path
+// returns ErrNoDelta.
+func QueryDeltaCandidates(ix Index, newIdxs []int) (cands []CandidatePair, err error) {
+	di, ok := ix.(DeltaIndex)
+	if !ok {
+		return nil, ErrNoDelta
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			qe, ok := r.(*UnindexedQueryError)
+			if !ok {
+				panic(r)
+			}
+			cands, err = nil, qe
+		}
+	}()
+	return di.DeltaCandidates(newIdxs), nil
+}
+
+// mustIndexed panics with *UnindexedQueryError on the first offer index
+// that was never indexed.
+func (c *indexedCorpus) mustIndexed(idxs []int) {
+	for _, i := range idxs {
+		if _, ok := c.titleOf[i]; !ok {
+			panic(&UnindexedQueryError{Offer: i})
+		}
+	}
+}
+
+// expandDelta turns title-level adjacency incident to a batch of newly
+// applied offers into exactly the offer pairs with at least one endpoint
+// in the batch: each batch offer's identical-title clique pairs, plus,
+// per incident title edge, the batch offers on the near side crossed
+// with the full offer group on the far side. mates(tid) must return
+// every title that pairs with tid over the whole indexed corpus (self
+// entries are ignored); edges between two batch titles are discovered
+// from both sides and deduplicated here. Every batch offer must be
+// indexed; repeated batch entries are harmless.
+func (c *indexedCorpus) expandDelta(batch []int, mates func(tid int) []int) []CandidatePair {
+	near := map[int][]int{} // batch title id -> batch offers carrying it
+	for _, i := range batch {
+		tid := c.titleOf[i]
+		near[tid] = append(near[tid], i)
+	}
+	set := map[CandidatePair]bool{}
+	for _, i := range batch {
+		for _, j := range c.groups[c.titleOf[i]] {
+			if j != i {
+				set[orderedPair(i, j)] = true
+			}
+		}
+	}
+	for tid, batchOffers := range near {
+		for _, u := range mates(tid) {
+			if u == tid {
+				continue
+			}
+			for _, a := range batchOffers {
+				for _, b := range c.groups[u] {
+					set[orderedPair(a, b)] = true
+				}
+			}
+		}
+	}
+	out := make([]CandidatePair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
+}
+
+// deltaByFullQuery implements the DeltaCandidates contract by filtering
+// a full-universe candidate set down to the pairs touching the batch —
+// the exact-but-O(corpus) path the non-monotone kNN engines use. full
+// must be sorted and deduplicated (the Candidates contract), which the
+// filtered result then is too.
+func deltaByFullQuery(newIdxs []int, full []CandidatePair) []CandidatePair {
+	in := make(map[int]bool, len(newIdxs))
+	for _, i := range newIdxs {
+		in[i] = true
+	}
+	out := make([]CandidatePair, 0, len(newIdxs))
+	for _, p := range full {
+		if in[p.A] || in[p.B] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DeltaCandidates implements DeltaIndex on the sublinear MinHash path:
+// each batch title's band buckets name every title it collides with —
+// collisions are pairwise properties of fixed signatures, so old edges
+// never change under Add — and only those incident edges are expanded.
+// Cost tracks the batch and its collisions, not the corpus.
+func (m *MinHashIndex) DeltaCandidates(newIdxs []int) []CandidatePair {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	m.corpus.mustIndexed(newIdxs)
+	return m.corpus.expandDelta(newIdxs, m.titleMates)
+}
+
+// titleMates returns every title sharing at least one band bucket with
+// tid, via direct bucket lookups (title ids coincide with lsh set
+// indices: titles are added to the index in interning order).
+func (m *MinHashIndex) titleMates(tid int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for band := 0; band < m.ix.Config().Bands; band++ {
+		key := m.ix.BandKey(tid, band)
+		for _, u := range m.ix.Bucket(band, key) {
+			if int(u) != tid && !seen[int(u)] {
+				seen[int(u)] = true
+				out = append(out, int(u))
+			}
+		}
+	}
+	return out
+}
+
+// DeltaCandidates implements DeltaIndex. The MinHash engine merges band
+// buckets across shards — every shard signs with the same hash family,
+// so a batch title's band keys address the matching bucket in each
+// shard directly — keeping the sublinear cost of the unsharded path.
+// The kNN engines filter the memoized full-universe query (see the
+// package comment on non-monotonicity).
+func (si *ShardedIndex) DeltaCandidates(newIdxs []int) []CandidatePair {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	si.corpus.mustIndexed(newIdxs)
+	if si.mh != nil {
+		return si.corpus.expandDelta(newIdxs, si.minhashMates)
+	}
+	full := si.memoQ.get(si.corpus.order, func() []CandidatePair {
+		return si.corpus.knnCandidates(si.corpus.order, si.knn.k, si.workers, si.knnNeighbours)
+	})
+	return deltaByFullQuery(newIdxs, full)
+}
+
+// minhashMates returns every title sharing at least one band bucket with
+// tid across all shards: tid's home shard computes the band key, and
+// every shard's bucket for that key contributes its members (mapped from
+// shard-local ids back to title ids).
+func (si *ShardedIndex) minhashMates(tid int) []int {
+	home := si.mh.ix[si.shardOf[tid]]
+	seen := map[int]bool{}
+	var out []int
+	for band := 0; band < si.mh.cfg.Bands; band++ {
+		key := home.BandKey(int(si.local[tid]), band)
+		for s := 0; s < si.shards; s++ {
+			for _, l := range si.mh.ix[s].Bucket(band, key) {
+				u := int(si.members[s][l])
+				if u != tid && !seen[u] {
+					seen[u] = true
+					out = append(out, u)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DeltaCandidates implements DeltaIndex by filtering the memoized
+// full-universe query: HNSW adjacency is not monotone under Add (a new
+// title can enter anyone's top-K), so the exact delta needs the full
+// neighbour lists the query materializes anyway.
+func (h *HNSWIndex) DeltaCandidates(newIdxs []int) []CandidatePair {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	h.corpus.mustIndexed(newIdxs)
+	full := h.memoQ.get(h.corpus.order, func() []CandidatePair {
+		return h.corpus.knnCandidates(h.corpus.order, h.k, h.cfg.Workers, h.neighbours)
+	})
+	return deltaByFullQuery(newIdxs, full)
+}
+
+// DeltaCandidates implements DeltaIndex by filtering the memoized
+// full-universe query (one batched multi-query search); see HNSWIndex on
+// why kNN deltas are not sublinear yet.
+func (x *IVFIndex) DeltaCandidates(newIdxs []int) []CandidatePair {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.corpus.mustIndexed(newIdxs)
+	full := x.memoQ.get(x.corpus.order, func() []CandidatePair {
+		return x.corpus.knnCandidatesBatch(x.corpus.order, x.k, x.primeNeighbours, x.neighbours)
+	})
+	return deltaByFullQuery(newIdxs, full)
+}
+
+// DeltaCandidates implements DeltaIndex by filtering the memoized
+// full-universe query; the exhaustive index keeps per-offer (not
+// per-title) neighbour budgets, so its universe is the slot order.
+func (e *EmbeddingIndex) DeltaCandidates(newIdxs []int) []CandidatePair {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, i := range newIdxs {
+		if _, ok := e.slotOf[i]; !ok {
+			panic(&UnindexedQueryError{Offer: i})
+		}
+	}
+	full := e.memoQ.get(e.order, func() []CandidatePair {
+		return e.scanCandidates(e.order)
+	})
+	return deltaByFullQuery(newIdxs, full)
+}

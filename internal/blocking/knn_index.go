@@ -255,33 +255,39 @@ func (e *EmbeddingIndex) Candidates(queryIdxs []int) []CandidatePair {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.memoQ.get(queryIdxs, func() []CandidatePair {
-		slots := make([]int, len(queryIdxs))
-		inQuery := make(map[int32]bool, len(queryIdxs))
-		for q, i := range queryIdxs {
-			s, ok := e.slotOf[i]
-			if !ok {
-				panic(&UnindexedQueryError{Offer: i})
-			}
-			slots[q] = s
-			inQuery[int32(s)] = true
-		}
-		parallel.Run(len(slots), e.workers, func(q int) error {
-			e.neighbourSlots(slots[q])
-			return nil
-		}, nil)
-		set := map[CandidatePair]bool{}
-		for _, s := range slots {
-			for _, nb := range e.neighbourSlots(s) {
-				if inQuery[nb] {
-					set[orderedPair(e.order[s], e.order[nb])] = true
-				}
-			}
-		}
-		out := make([]CandidatePair, 0, len(set))
-		for p := range set {
-			out = append(out, p)
-		}
-		sortPairs(out)
-		return out
+		return e.scanCandidates(queryIdxs)
 	})
+}
+
+// scanCandidates computes a query's candidate set against the frozen
+// neighbour lists; callers hold the read lock and the query memo.
+func (e *EmbeddingIndex) scanCandidates(queryIdxs []int) []CandidatePair {
+	slots := make([]int, len(queryIdxs))
+	inQuery := make(map[int32]bool, len(queryIdxs))
+	for q, i := range queryIdxs {
+		s, ok := e.slotOf[i]
+		if !ok {
+			panic(&UnindexedQueryError{Offer: i})
+		}
+		slots[q] = s
+		inQuery[int32(s)] = true
+	}
+	parallel.Run(len(slots), e.workers, func(q int) error {
+		e.neighbourSlots(slots[q])
+		return nil
+	}, nil)
+	set := map[CandidatePair]bool{}
+	for _, s := range slots {
+		for _, nb := range e.neighbourSlots(s) {
+			if inQuery[nb] {
+				set[orderedPair(e.order[s], e.order[nb])] = true
+			}
+		}
+	}
+	out := make([]CandidatePair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
 }

@@ -248,6 +248,16 @@ func bandKey(sig []uint64, band, rows int) uint64 {
 // storage; callers must not modify it.
 func (ix *Index) Signature(i int) []uint64 { return ix.sigs[i] }
 
+// Bucket returns the indexed sets whose given band hashes to key, in
+// ascending index order (nil when no indexed set does). Combined with
+// BandKey it answers "who collides with set i in this band" without a
+// full CandidatePairs sweep — the incremental-delta query path. The
+// slice is shared storage; callers must not modify it.
+func (ix *Index) Bucket(band int, key uint64) []int32 {
+	ix.ensureBuckets()
+	return ix.buckets[band][key]
+}
+
 // CandidatePairs returns every unordered pair of indexed sets that shares
 // at least one band bucket, sorted lexicographically and deduplicated. The
 // cost is proportional to the number of colliding pairs, not to the full

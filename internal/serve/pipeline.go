@@ -1,7 +1,8 @@
 // The ingest pipeline: a connector loop feeds the bounded queue, and a
 // single applier goroutine batches queued offers, applies them to the
-// index with retry/backoff, recomputes the candidate adjacency, and
-// publishes the next epoch view. Records the pipeline cannot accept —
+// index with retry/backoff, queries the delta candidates the batch
+// introduced, and publishes the next epoch view as one more layer on
+// the current one. Records the pipeline cannot accept —
 // undecodable, invalid, duplicate, or part of a batch whose apply
 // exhausted its retries — go to the dead-letter log as JSON lines; the
 // pipeline itself never wedges and never buffers without bound.
@@ -16,6 +17,7 @@ import (
 	"math/rand"
 	"time"
 
+	"wdcproducts/internal/blocking"
 	"wdcproducts/internal/schemaorg"
 )
 
@@ -180,10 +182,12 @@ func (s *Server) applierLoop(ctx context.Context) {
 }
 
 // applyBatch validates the batch, applies the fresh offers to the index
-// with retry/backoff, recomputes the adjacency, and publishes the next
-// epoch. A batch that exhausts its retries is dead-lettered whole; the
-// published view is untouched, so readers never see a half-applied
-// batch.
+// with retry/backoff, queries the delta candidates the batch introduced,
+// and publishes the next epoch as one more layer on the current view
+// (compacting when the stack crosses the configured thresholds). The
+// write-path cost therefore tracks the batch, not the corpus. A batch
+// that exhausts its retries is dead-lettered whole; the published view
+// is untouched, so readers never see a half-applied batch.
 func (s *Server) applyBatch(ctx context.Context, batch []schemaorg.Offer, rng *rand.Rand) {
 	if len(batch) == 0 {
 		return
@@ -199,7 +203,7 @@ func (s *Server) applyBatch(ctx context.Context, batch []schemaorg.Offer, rng *r
 		case seen[off.ID]:
 			s.deadLetter(deadLetterEntry{Reason: "duplicate_id", Offer: &off, Err: "id already in this batch"})
 		default:
-			if _, dup := v.idxOf[off.ID]; dup {
+			if _, dup := v.indexOf(off.ID); dup {
 				s.deadLetter(deadLetterEntry{Reason: "duplicate_id", Offer: &off, Err: "id already indexed"})
 				continue
 			}
@@ -218,6 +222,7 @@ func (s *Server) applyBatch(ctx context.Context, batch []schemaorg.Offer, rng *r
 	for i := range newIdxs {
 		newIdxs[i] = len(v.offers) + i
 	}
+	start := time.Now()
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = s.applyOnce(offers, newIdxs)
@@ -232,29 +237,61 @@ func (s *Server) applyBatch(ctx context.Context, batch []schemaorg.Offer, rng *r
 			return
 		}
 		s.nRetries.Add(1)
+		start = time.Now() // retry sleeps are backoff, not write-path cost
 		select {
 		case <-time.After(s.cfg.Retry.delay(attempt, rng)):
 		case <-ctx.Done():
 			return
 		}
 	}
-	idxOf := make(map[int64]int, len(offers))
-	for id, i := range v.idxOf {
-		idxOf[id] = i
-	}
-	for i := range fresh {
-		idxOf[fresh[i].ID] = len(v.offers) + i
-	}
-	next, verr := s.buildView(v.epoch+1, offers, idxOf)
-	if verr != nil {
-		// Adjacency recompute cannot legitimately fail (the idxs are
-		// all indexed); treat a failure as fatal for the batch but not
-		// the daemon: the index holds the offers, the view stays put.
-		s.logf("view rebuild failed: %v", verr)
+	next, deltaPairs, err := s.publishBatch(v, offers, fresh, newIdxs)
+	if err != nil {
+		// Neither the delta query nor the fallback recompute can
+		// legitimately fail (the idxs are all indexed); treat a failure
+		// as fatal for the batch but not the daemon: the index holds the
+		// offers, the view stays put.
+		s.logf("view publication failed: %v", err)
 		return
+	}
+	if s.needsCompaction(next) {
+		next = s.compactView(next)
 	}
 	s.view.Store(next)
 	s.nApplied.Add(int64(len(fresh)))
+	elapsed := time.Since(start)
+	s.lastApplyUS.Store(elapsed.Microseconds())
+	s.lastDeltaPairs.Store(int64(deltaPairs))
+	s.logf("epoch %d: applied %d offers in %v (%d delta pairs, %d layers, %d+%d pairs)",
+		next.epoch, len(fresh), elapsed.Round(time.Microsecond),
+		deltaPairs, len(next.layers), next.base.pairs, next.deltaPairs)
+}
+
+// publishBatch assembles the next epoch view for an applied batch: the
+// steady-state path stacks the batch's delta candidates as a new layer
+// on v; an index without a delta query (blocking.ErrNoDelta) falls back
+// to the full from-scratch adjacency rebuild.
+func (s *Server) publishBatch(v *view, offers, fresh []schemaorg.Offer, newIdxs []int) (*view, int, error) {
+	delta, err := blocking.QueryDeltaCandidates(s.ix, newIdxs)
+	if err == nil {
+		idxOf := make(map[int64]int, len(fresh))
+		for i := range fresh {
+			idxOf[fresh[i].ID] = len(offers) - len(fresh) + i
+		}
+		layer := newAdjacency(offers, idxOf, delta)
+		return v.extend(offers, layer), layer.pairs, nil
+	}
+	if !errors.Is(err, blocking.ErrNoDelta) {
+		return nil, 0, err
+	}
+	idxOf := make(map[int64]int, len(offers))
+	for i := range offers {
+		idxOf[offers[i].ID] = i
+	}
+	next, err := s.buildView(v.epoch+1, offers, idxOf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return next, next.base.pairs, nil
 }
 
 // applyOnce is one apply attempt: the fault hook first (the injectable

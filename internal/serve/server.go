@@ -8,9 +8,15 @@
 // Concurrency model. Writes are single-writer: one applier goroutine
 // owns the offers slice and is the only caller of Index.Add. Reads are
 // two-tier. Match lookups are lock-free — the applier publishes an
-// immutable epoch view (offers, id→index map, and the full adjacency of
-// candidate partners) through an atomic pointer after every applied
-// batch, so GET /v1/match touches no lock at all. Candidate queries run
+// immutable epoch view through an atomic pointer after every applied
+// batch, so GET /v1/match touches no lock at all. A view is layered: a
+// frozen base adjacency plus one small delta layer per applied batch
+// (the pairs that batch introduced, straight from the index's
+// DeltaCandidates), so publishing an epoch costs O(batch·candidates)
+// instead of an O(corpus) adjacency recompute. The applier periodically
+// compacts stacked layers back into a fresh base (count/size
+// thresholds, see Config.CompactLayers and Config.CompactPairs) so
+// per-read merge work never degrades unboundedly. Candidate queries run
 // against the live index under its internal read lock (see the
 // blocking.Index contract), bounded by a query-slot semaphore and the
 // request deadline.
@@ -24,10 +30,11 @@
 package serve
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +79,15 @@ type Config struct {
 	// (default 10s). Work still queued at the deadline is abandoned
 	// (the snapshot reflects applied work only).
 	DrainTimeout time.Duration
+	// CompactLayers bounds how many delta layers may stack on a view's
+	// base before the applier folds them into a fresh base (default 32;
+	// negative disables the count trigger).
+	CompactLayers int
+	// CompactPairs triggers compaction once the stacked delta layers
+	// carry more than this many candidate pairs (0 = adaptive: half the
+	// base adjacency's pair count, with a 4096-pair floor; negative
+	// disables the size trigger).
+	CompactPairs int
 	// Retry shapes the apply retry/backoff schedule.
 	Retry RetryPolicy
 	// RetrySeed seeds backoff jitter (deterministic tests).
@@ -105,18 +121,136 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.CompactLayers == 0 {
+		c.CompactLayers = 32
+	}
 	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
-// view is one immutable epoch of the served corpus. The applier builds
-// a fresh view after every applied batch and publishes it atomically;
-// readers load it once per request and see a consistent corpus.
-type view struct {
-	epoch    int64
-	offers   []schemaorg.Offer // the indexed corpus, in index order
+// adjacency is one immutable slab of the served corpus's candidate
+// graph: an id→index map and sorted, deduplicated partner lists, plus
+// the number of unordered pairs they represent. A view holds one as its
+// compacted base and one more per applied batch (that batch's delta).
+type adjacency struct {
 	idxOf    map[int64]int     // offer ID -> position in offers
 	partners map[int64][]int64 // offer ID -> sorted candidate partner IDs
+	pairs    int               // unordered candidate pairs represented
+}
+
+// newAdjacency assembles an adjacency from candidate pairs (offer-index
+// pairs over offers). Partner lists are sorted and deduplicated —
+// engines may legitimately emit a pair twice (e.g. a sharded merge), and
+// publication is where duplicates are squashed.
+func newAdjacency(offers []schemaorg.Offer, idxOf map[int64]int, pairs []blocking.CandidatePair) *adjacency {
+	partners := make(map[int64][]int64, len(idxOf))
+	for _, p := range pairs {
+		a, b := offers[p.A].ID, offers[p.B].ID
+		partners[a] = append(partners[a], b)
+		partners[b] = append(partners[b], a)
+	}
+	n := 0
+	for id := range partners {
+		slices.Sort(partners[id])
+		partners[id] = slices.Compact(partners[id])
+		n += len(partners[id])
+	}
+	return &adjacency{idxOf: idxOf, partners: partners, pairs: n / 2}
+}
+
+// view is one immutable epoch of the served corpus: a frozen base
+// adjacency plus one delta layer per batch applied since the last
+// compaction. The applier publishes a fresh view after every applied
+// batch (reusing the base and extending the layer stack) and readers
+// load it once per request — no locks, a consistent corpus. A candidate
+// pair lives in exactly one slab: the layer whose batch added the
+// pair's later endpoint, or the base once compaction folds it down.
+type view struct {
+	epoch      int64
+	offers     []schemaorg.Offer // the indexed corpus, in index order
+	base       *adjacency        // compacted adjacency prefix
+	layers     []*adjacency      // per-batch deltas, oldest first
+	deltaPairs int               // total pairs across layers
+}
+
+// indexOf resolves an offer ID to its position in offers, trying the
+// delta layers (newest first) before the base.
+func (v *view) indexOf(id int64) (int, bool) {
+	for i := len(v.layers) - 1; i >= 0; i-- {
+		if idx, ok := v.layers[i].idxOf[id]; ok {
+			return idx, true
+		}
+	}
+	idx, ok := v.base.idxOf[id]
+	return idx, ok
+}
+
+// match merges id's partner lists across the base and every delta layer
+// into one sorted, deduplicated slice the caller owns. With no layer
+// contribution this is a plain copy of the base list — the compacted
+// fast path read amortization converges back to.
+func (v *view) match(id int64) []int64 {
+	out := append([]int64(nil), v.base.partners[id]...)
+	merged := false
+	for _, l := range v.layers {
+		if ps := l.partners[id]; len(ps) > 0 {
+			out = append(out, ps...)
+			merged = true
+		}
+	}
+	if merged {
+		slices.Sort(out)
+		out = slices.Compact(out)
+	}
+	return out
+}
+
+// extend publishes the next epoch on top of v: same base, same offers
+// prefix semantics, the batch's delta stacked as one more layer. The
+// layer stack grows through a full-slice expression so the published
+// view and its successor never share spare slice capacity.
+func (v *view) extend(offers []schemaorg.Offer, delta *adjacency) *view {
+	return &view{
+		epoch:      v.epoch + 1,
+		offers:     offers,
+		base:       v.base,
+		layers:     append(v.layers[:len(v.layers):len(v.layers)], delta),
+		deltaPairs: v.deltaPairs + delta.pairs,
+	}
+}
+
+// compact folds every delta layer into a fresh base — pure map merging,
+// no index query — returning an equivalent view whose reads are single
+// lookups again. Partner lists untouched by any layer are shared with
+// the old base, not copied.
+func (v *view) compact() *view {
+	if len(v.layers) == 0 {
+		return v
+	}
+	idxOf := make(map[int64]int, len(v.offers))
+	for id, i := range v.base.idxOf {
+		idxOf[id] = i
+	}
+	touched := make(map[int64]bool)
+	for _, l := range v.layers {
+		for id, i := range l.idxOf {
+			idxOf[id] = i
+		}
+		for id := range l.partners {
+			touched[id] = true
+		}
+	}
+	partners := make(map[int64][]int64, len(v.base.partners)+len(touched))
+	for id, ps := range v.base.partners {
+		if !touched[id] {
+			partners[id] = ps
+		}
+	}
+	for id := range touched {
+		partners[id] = v.match(id)
+	}
+	base := &adjacency{idxOf: idxOf, partners: partners, pairs: v.base.pairs + v.deltaPairs}
+	return &view{epoch: v.epoch, offers: v.offers, base: base}
 }
 
 // Server is the matching daemon. Construct with New, start ingest with
@@ -149,6 +283,8 @@ type Server struct {
 	// counters (see Stats)
 	nAccepted, nRejected, nApplied, nRetries, nDeadLettered atomic.Int64
 	nQueries, nTimeouts                                     atomic.Int64
+	nCompactions                                            atomic.Int64
+	lastApplyUS, lastDeltaPairs, lastCompactUS              atomic.Int64
 }
 
 // New opens the index over cfg.Offers (loading a snapshot when
@@ -200,7 +336,10 @@ func New(cfg Config) (*Server, error) {
 }
 
 // buildView computes the full candidate adjacency for the corpus and
-// assembles the epoch view.
+// assembles a layerless epoch view — the from-scratch path, used for
+// the initial epoch and as the fallback for indexes without a delta
+// query. The steady-state write path extends views with delta layers
+// instead (see applyBatch).
 func (s *Server) buildView(epoch int64, offers []schemaorg.Offer, idxOf map[int64]int) (*view, error) {
 	all := make([]int, len(offers))
 	for i := range all {
@@ -210,16 +349,44 @@ func (s *Server) buildView(epoch int64, offers []schemaorg.Offer, idxOf map[int6
 	if err != nil {
 		return nil, fmt.Errorf("serve: adjacency query: %w", err)
 	}
-	partners := make(map[int64][]int64, len(offers))
-	for _, p := range pairs {
-		a, b := offers[p.A].ID, offers[p.B].ID
-		partners[a] = append(partners[a], b)
-		partners[b] = append(partners[b], a)
+	return &view{epoch: epoch, offers: offers, base: newAdjacency(offers, idxOf, pairs)}, nil
+}
+
+// needsCompaction applies the configured thresholds to a
+// just-extended view: too many stacked layers, or stacked delta pairs
+// outgrowing the base (adaptively or against an absolute bound).
+func (s *Server) needsCompaction(v *view) bool {
+	if len(v.layers) == 0 {
+		return false
 	}
-	for id := range partners {
-		sort.Slice(partners[id], func(i, j int) bool { return partners[id][i] < partners[id][j] })
+	if n := s.cfg.CompactLayers; n > 0 && len(v.layers) >= n {
+		return true
 	}
-	return &view{epoch: epoch, offers: offers, idxOf: idxOf, partners: partners}, nil
+	switch limit := s.cfg.CompactPairs; {
+	case limit > 0:
+		return v.deltaPairs >= limit
+	case limit == 0:
+		floor := v.base.pairs / 2
+		if floor < 4096 {
+			floor = 4096
+		}
+		return v.deltaPairs >= floor
+	}
+	return false
+}
+
+// compactView folds v's layers into a fresh base, recording the
+// compaction counters. Only the applier (and the post-drain shutdown
+// path, after the applier has exited) calls it.
+func (s *Server) compactView(v *view) *view {
+	start := time.Now()
+	folded := len(v.layers)
+	v = v.compact()
+	s.nCompactions.Add(1)
+	s.lastCompactUS.Store(time.Since(start).Microseconds())
+	s.logf("epoch %d: compacted %d layers into base (%d pairs, %v)",
+		v.epoch, folded, v.base.pairs, time.Since(start).Round(time.Microsecond))
+	return v
 }
 
 // OpenStats reports how the index was acquired (snapshot load vs
@@ -335,10 +502,10 @@ func (s *Server) Match(ctx context.Context, id int64) ([]int64, int64, *Error) {
 	}
 	a, err := withBudget(s, ctx, func() (answer, *Error) {
 		v := s.view.Load()
-		if _, ok := v.idxOf[id]; !ok {
+		if _, ok := v.indexOf(id); !ok {
 			return answer{}, Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
 		}
-		return answer{append([]int64(nil), v.partners[id]...), v.epoch}, nil
+		return answer{v.match(id), v.epoch}, nil
 	})
 	return a.partners, a.epoch, err
 }
@@ -360,7 +527,7 @@ func (s *Server) Candidates(ctx context.Context, ids []int64) ([][2]int64, int64
 				continue
 			}
 			seen[id] = true
-			idx, ok := v.idxOf[id]
+			idx, ok := v.indexOf(id)
 			if !ok {
 				return answer{}, Errorf(CodeUnknownOffer, "offer %d is not in the served corpus", id)
 			}
@@ -378,8 +545,11 @@ func (s *Server) Candidates(ctx context.Context, ids []int64) ([][2]int64, int64
 			}
 			pairs[i] = [2]int64{a, b}
 		}
-		sort.Slice(pairs, func(i, j int) bool {
-			return pairs[i][0] < pairs[j][0] || (pairs[i][0] == pairs[j][0] && pairs[i][1] < pairs[j][1])
+		slices.SortFunc(pairs, func(x, y [2]int64) int {
+			if c := cmp.Compare(x[0], y[0]); c != 0 {
+				return c
+			}
+			return cmp.Compare(x[1], y[1])
 		})
 		return answer{pairs, v.epoch}, nil
 	})
@@ -410,6 +580,27 @@ type Stats struct {
 	// Timeouts counts queries that ended with a deadline or
 	// cancellation error.
 	Timeouts int64 `json:"timeouts"`
+	// Layers is the number of delta layers stacked on the view's base
+	// adjacency (0 right after a compaction).
+	Layers int `json:"layers"`
+	// BasePairs is the candidate-pair count of the compacted base
+	// adjacency.
+	BasePairs int `json:"base_pairs"`
+	// DeltaPairs is the candidate-pair count across the stacked delta
+	// layers.
+	DeltaPairs int `json:"delta_pairs"`
+	// LastApplyMicros is the write-path wall time of the most recent
+	// applied batch: index add, delta query, publication, and any
+	// compaction it triggered.
+	LastApplyMicros int64 `json:"last_apply_us"`
+	// LastDeltaPairs is the delta pair count of the most recent applied
+	// batch.
+	LastDeltaPairs int64 `json:"last_delta_pairs"`
+	// Compactions counts layer-fold compactions (including the final
+	// one at shutdown).
+	Compactions int64 `json:"compactions"`
+	// LastCompactMicros is the wall time of the most recent compaction.
+	LastCompactMicros int64 `json:"last_compact_us"`
 	// QueueDepth and QueueCap describe the ingest queue right now.
 	QueueDepth int `json:"queue_depth"`
 	// QueueCap is the ingest queue's capacity bound.
@@ -428,19 +619,26 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	v := s.view.Load()
 	st := Stats{
-		Epoch:          v.epoch,
-		Offers:         len(v.offers),
-		Accepted:       s.nAccepted.Load(),
-		Rejected:       s.nRejected.Load(),
-		Applied:        s.nApplied.Load(),
-		Retries:        s.nRetries.Load(),
-		DeadLettered:   s.nDeadLettered.Load(),
-		Queries:        s.nQueries.Load(),
-		Timeouts:       s.nTimeouts.Load(),
-		QueueDepth:     len(s.ingest),
-		QueueCap:       s.cfg.QueueCap,
-		Draining:       s.draining.Load(),
-		SnapshotLoaded: s.open.Loaded,
+		Epoch:             v.epoch,
+		Offers:            len(v.offers),
+		Accepted:          s.nAccepted.Load(),
+		Rejected:          s.nRejected.Load(),
+		Applied:           s.nApplied.Load(),
+		Retries:           s.nRetries.Load(),
+		DeadLettered:      s.nDeadLettered.Load(),
+		Queries:           s.nQueries.Load(),
+		Timeouts:          s.nTimeouts.Load(),
+		Layers:            len(v.layers),
+		BasePairs:         v.base.pairs,
+		DeltaPairs:        v.deltaPairs,
+		LastApplyMicros:   s.lastApplyUS.Load(),
+		LastDeltaPairs:    s.lastDeltaPairs.Load(),
+		Compactions:       s.nCompactions.Load(),
+		LastCompactMicros: s.lastCompactUS.Load(),
+		QueueDepth:        len(s.ingest),
+		QueueCap:          s.cfg.QueueCap,
+		Draining:          s.draining.Load(),
+		SnapshotLoaded:    s.open.Loaded,
 	}
 	if s.open.LoadErr != nil {
 		st.SnapshotFallback = s.open.LoadErr.Error()
@@ -494,6 +692,13 @@ func (s *Server) shutdown(ctx context.Context) error {
 		}
 	}
 	v := s.view.Load()
+	if len(v.layers) > 0 {
+		// Fold outstanding delta layers down so the post-drain view (and
+		// anything reading it after shutdown) is fully compacted; the
+		// applier has exited, so the store cannot race with a publish.
+		v = s.compactView(v)
+		s.view.Store(v)
+	}
 	s.logf("drained at epoch %d with %d offers indexed", v.epoch, len(v.offers))
 	return s.saveSnapshot(v)
 }

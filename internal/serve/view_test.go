@@ -1,0 +1,251 @@
+// The layered-view suite: the delta-publication equivalence property
+// (after every applied batch, the layered view answers byte-identically
+// to a from-scratch adjacency rebuild, across worker and shard counts,
+// through forced compactions), plus the publication-dedup regression —
+// engines that emit a candidate pair more than once must still yield
+// sorted, duplicate-free partner lists — on both the delta layer path
+// and the ErrNoDelta full-rebuild fallback.
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"wdcproducts/internal/blocking"
+	"wdcproducts/internal/schemaorg"
+)
+
+// TestLayeredViewEquivalence is the core property of the incremental
+// write path: stream batches through applyBatch and, after every single
+// publication, compare the layered view against s.buildView run fresh
+// over the same index — every offer's match list and corpus position
+// must agree exactly. CompactLayers is forced low so the walk crosses
+// several compactions, and the matrix covers the engine worker pool and
+// the sharded fan-in.
+func TestLayeredViewEquivalence(t *testing.T) {
+	all := fixture(t)
+	for _, workers := range []int{1, 2, 8} {
+		for _, shards := range []int{1, 4} {
+			workers, shards := workers, shards
+			t.Run(fmt.Sprintf("workers=%d/shards=%d", workers, shards), func(t *testing.T) {
+				t.Parallel()
+				cfg := testConfig(all[:40])
+				cfg.Blocker = &blocking.MinHashBlocker{
+					Config: blocking.MinHashConfig{Bands: 48, Rows: 2, Workers: workers},
+					Seed:   1,
+				}
+				cfg.Index = blocking.IndexOptions{Shards: shards}
+				cfg.CompactLayers = 3
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkViewEquivalence(t, s)
+
+				rng := rand.New(rand.NewSource(1))
+				stream := all[40:145]
+				for len(stream) > 0 {
+					n := 7
+					if n > len(stream) {
+						n = len(stream)
+					}
+					s.applyBatch(context.Background(), stream[:n], rng)
+					stream = stream[n:]
+					checkViewEquivalence(t, s)
+				}
+				v := s.view.Load()
+				if len(v.offers) != 145 {
+					t.Fatalf("streamed corpus has %d offers, want 145", len(v.offers))
+				}
+				if got := s.Stats().Compactions; got == 0 {
+					t.Fatal("the walk crossed no compaction; CompactLayers=3 should have forced several")
+				}
+			})
+		}
+	}
+}
+
+// checkViewEquivalence compares the published layered view against a
+// from-scratch rebuild over the same index state: identical epoch
+// corpus, identical id→index resolution, identical match lists, and an
+// additive pair count (base + layers == the full adjacency).
+func checkViewEquivalence(t *testing.T, s *Server) {
+	t.Helper()
+	v := s.view.Load()
+	idxOf := make(map[int64]int, len(v.offers))
+	for i := range v.offers {
+		idxOf[v.offers[i].ID] = i
+	}
+	ref, err := s.buildView(v.epoch, v.offers, idxOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.offers {
+		id := v.offers[i].ID
+		if idx, ok := v.indexOf(id); !ok || idx != i {
+			t.Fatalf("epoch %d: indexOf(%d) = (%d, %v), want (%d, true)", v.epoch, id, idx, ok, i)
+		}
+		got, want := v.match(id), ref.match(id)
+		if !slices.Equal(got, want) {
+			t.Fatalf("epoch %d: match(%d) diverged from full rebuild:\n got %v\nwant %v",
+				v.epoch, id, got, want)
+		}
+	}
+	if total := v.base.pairs + v.deltaPairs; total != ref.base.pairs {
+		t.Fatalf("epoch %d: base+delta pairs = %d, want %d (full adjacency)",
+			v.epoch, total, ref.base.pairs)
+	}
+}
+
+// dupIndex is a deliberately contract-violating fake: it proposes every
+// same-title pair among the indexed offers but emits each pair twice.
+// Publication must absorb that (partner lists stay sorted and unique).
+type dupIndex struct {
+	offers  []schemaorg.Offer
+	indexed map[int]bool
+}
+
+func newDupIndex() *dupIndex { return &dupIndex{indexed: map[int]bool{}} }
+
+func (d *dupIndex) Name() string { return "dup-fake" }
+func (d *dupIndex) Len() int     { return len(d.indexed) }
+func (d *dupIndex) Add(offers []schemaorg.Offer, idxs []int) {
+	d.offers = offers
+	for _, i := range idxs {
+		d.indexed[i] = true
+	}
+}
+
+// pairsAmong returns every same-title pair with both endpoints in idxs,
+// each emitted twice (the duplication under test).
+func (d *dupIndex) pairsAmong(idxs []int) []blocking.CandidatePair {
+	var out []blocking.CandidatePair
+	for _, i := range idxs {
+		for _, j := range idxs {
+			if i < j && d.offers[i].Title == d.offers[j].Title {
+				p := blocking.CandidatePair{A: i, B: j}
+				out = append(out, p, p)
+			}
+		}
+	}
+	return out
+}
+
+func (d *dupIndex) Candidates(queryIdxs []int) []blocking.CandidatePair {
+	for _, i := range queryIdxs {
+		if !d.indexed[i] {
+			panic(&blocking.UnindexedQueryError{Offer: i})
+		}
+	}
+	return d.pairsAmong(queryIdxs)
+}
+
+// dupDeltaIndex adds the delta path to dupIndex, again emitting every
+// pair twice.
+type dupDeltaIndex struct{ *dupIndex }
+
+func (d *dupDeltaIndex) DeltaCandidates(newIdxs []int) []blocking.CandidatePair {
+	for _, i := range newIdxs {
+		if !d.indexed[i] {
+			panic(&blocking.UnindexedQueryError{Offer: i})
+		}
+	}
+	in := map[int]bool{}
+	for _, i := range newIdxs {
+		in[i] = true
+	}
+	all := make([]int, 0, len(d.indexed))
+	for i := range d.indexed {
+		all = append(all, i)
+	}
+	var out []blocking.CandidatePair
+	for _, p := range d.pairsAmong(all) {
+		if in[p.A] || in[p.B] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dupBlocker builds dupIndex (delta selects the DeltaCandidates form).
+type dupBlocker struct{ delta bool }
+
+func (b dupBlocker) Name() string { return "dup-fake" }
+func (b dupBlocker) Candidates(offers []schemaorg.Offer, idxs []int) []blocking.CandidatePair {
+	return nil
+}
+func (b dupBlocker) BuildIndex(offers []schemaorg.Offer, idxs []int) blocking.Index {
+	ix := newDupIndex()
+	ix.Add(offers, idxs)
+	if b.delta {
+		return &dupDeltaIndex{ix}
+	}
+	return ix
+}
+
+// TestPublishDedupesDuplicatePairs pins the dedup-on-publication
+// guarantee on both write paths: the delta-layer path (an engine's
+// DeltaCandidates emits a pair twice) and the ErrNoDelta fallback (the
+// full rebuild's Candidates emits a pair twice). Every served match
+// list must come back strictly increasing — sorted with no duplicate
+// partner IDs.
+func TestPublishDedupesDuplicatePairs(t *testing.T) {
+	seed := []schemaorg.Offer{
+		{ID: 1, Title: "alpha"}, {ID: 2, Title: "alpha"},
+		{ID: 3, Title: "beta"}, {ID: 4, Title: "beta"},
+		{ID: 5, Title: "gamma"}, {ID: 6, Title: "alpha"},
+	}
+	batch := []schemaorg.Offer{
+		{ID: 7, Title: "alpha"}, {ID: 8, Title: "beta"}, {ID: 9, Title: "delta"},
+	}
+	want := map[int64][]int64{
+		1: {2, 6, 7}, 2: {1, 6, 7}, 3: {4, 8}, 4: {3, 8},
+		5: {}, 6: {1, 2, 7}, 7: {1, 2, 6}, 8: {3, 4}, 9: {},
+	}
+	for _, tc := range []struct {
+		name       string
+		delta      bool
+		wantLayers int
+	}{
+		{name: "delta-layer", delta: true, wantLayers: 1},
+		{name: "errnodelta-fallback", delta: false, wantLayers: 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(seed)
+			cfg.Blocker = dupBlocker{delta: tc.delta}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.applyBatch(context.Background(), batch, rand.New(rand.NewSource(1)))
+			st := s.Stats()
+			if st.Epoch != 1 || st.Offers != 9 {
+				t.Fatalf("published epoch %d with %d offers, want epoch 1 with 9", st.Epoch, st.Offers)
+			}
+			if st.Layers != tc.wantLayers {
+				t.Fatalf("view has %d layers, want %d", st.Layers, tc.wantLayers)
+			}
+			for id, wantPartners := range want {
+				got, _, merr := s.Match(context.Background(), id)
+				if merr != nil {
+					t.Fatalf("Match(%d): %v", id, merr)
+				}
+				if !slices.IsSortedFunc(got, func(a, b int64) int {
+					if a < b {
+						return -1
+					}
+					return 1 // equal counts as disorder: duplicates must not survive
+				}) {
+					t.Fatalf("Match(%d) = %v is not strictly increasing", id, got)
+				}
+				if len(got) != len(wantPartners) || (len(got) > 0 && !slices.Equal(got, wantPartners)) {
+					t.Fatalf("Match(%d) = %v, want %v", id, got, wantPartners)
+				}
+			}
+		})
+	}
+}
